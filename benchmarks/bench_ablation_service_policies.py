@@ -1,0 +1,55 @@
+"""Ablation: service-level policy knobs (reuse policy, hot-spare window).
+
+Each configuration runs the same Nanoconfinement-shaped bag; assertions
+record the directional claims (policy completes the bag; spares bounded).
+"""
+
+import pytest
+
+from repro.service.api import BagRequest, JobRequest
+from repro.service.controller import BatchComputingService, ServiceConfig
+from repro.sim.cloud import CloudProvider
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.traces.catalog import default_catalog
+
+
+def _run_service(use_reuse_policy: bool, hot_spare_hours: float, seed: int = 77):
+    sim = Simulator()
+    cat = default_catalog()
+    cloud = CloudProvider(sim, cat, RandomStreams(seed))
+    model = cat.distribution("n1-highcpu-16", "us-central1-c")
+    svc = BatchComputingService(
+        sim,
+        cloud,
+        model,
+        ServiceConfig(
+            vm_type="n1-highcpu-16",
+            max_vms=8,
+            use_reuse_policy=use_reuse_policy,
+            hot_spare_hours=hot_spare_hours,
+        ),
+    )
+    bid = svc.submit_bag(
+        BagRequest(jobs=[JobRequest(work_hours=14.0 / 60.0, width=2)] * 30)
+    )
+    svc.run_until_bag_done(bid)
+    svc.shutdown()
+    return svc.report(bid)
+
+
+@pytest.mark.parametrize("use_policy", [True, False], ids=["model-reuse", "memoryless"])
+def test_reuse_policy_ablation(benchmark, use_policy):
+    rep = benchmark.pedantic(
+        _run_service, args=(use_policy, 1.0), rounds=3, iterations=1
+    )
+    assert rep.metrics.n_jobs_completed == 30
+    assert rep.cost_reduction_factor > 2.0
+
+
+@pytest.mark.parametrize("spare_hours", [0.25, 1.0, 3.0])
+def test_hot_spare_window_ablation(benchmark, spare_hours):
+    rep = benchmark.pedantic(
+        _run_service, args=(True, spare_hours), rounds=3, iterations=1
+    )
+    assert rep.metrics.n_jobs_completed == 30

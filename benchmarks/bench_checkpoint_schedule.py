@@ -1,0 +1,10 @@
+"""Section 4.3 table benchmark: the 5-hour job's DP schedule."""
+
+from repro.experiments import checkpoint_schedule
+
+
+def test_five_hour_schedule(benchmark):
+    result = benchmark.pedantic(
+        checkpoint_schedule.run, kwargs=dict(step=0.1), rounds=3, iterations=1
+    )
+    assert result.monotone_increasing

@@ -1,0 +1,41 @@
+"""Micro-benchmarks of the hot paths underlying every experiment.
+
+These are the operations the policies call millions of times across a
+service run: model CDF evaluation, truncated moments, sampling, and the
+curve fit itself.
+"""
+
+import numpy as np
+
+from repro.fitting.ecdf import EmpiricalCDF
+from repro.fitting.least_squares import fit_bathtub
+
+
+def test_cdf_vectorised_evaluation(benchmark, reference_dist):
+    t = np.linspace(0.0, 24.0, 100_000)
+    out = benchmark(reference_dist.cdf, t)
+    assert out.shape == t.shape
+
+
+def test_truncated_moment_closed_form(benchmark, reference_dist):
+    def moments():
+        return [
+            reference_dist.truncated_first_moment(s, s + 4.0)
+            for s in np.linspace(0.0, 20.0, 200)
+        ]
+
+    out = benchmark(moments)
+    assert all(m >= 0.0 for m in out)
+
+
+def test_inverse_transform_sampling(benchmark, reference_dist):
+    rng = np.random.default_rng(0)
+    out = benchmark(reference_dist.sample, 100_000, rng)
+    assert out.shape == (100_000,)
+
+
+def test_bathtub_curve_fit(benchmark, reference_dist):
+    lifetimes = reference_dist.sample(300, np.random.default_rng(1))
+    ecdf = EmpiricalCDF.from_samples(lifetimes)
+    fit = benchmark(fit_bathtub, ecdf)
+    assert fit.sse < 1.0

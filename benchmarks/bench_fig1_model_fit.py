@@ -1,0 +1,11 @@
+"""Fig. 1 benchmark: trace generation + all model fits."""
+
+from repro.experiments import fig1_model_fit
+
+
+def test_fig1_model_comparison(benchmark):
+    result = benchmark.pedantic(
+        fig1_model_fit.run, kwargs=dict(n_vms=120, seed=7), rounds=3, iterations=1
+    )
+    assert result.winner == "bathtub"
+    assert result.scores["bathtub"].r2 > 0.97

@@ -1,0 +1,10 @@
+"""Fig. 2 benchmark: per-group trace generation and empirical CDFs."""
+
+from repro.experiments import fig2_characteristics
+
+
+def test_fig2_breakdowns(benchmark):
+    result = benchmark.pedantic(
+        fig2_characteristics.run, kwargs=dict(per_config=150, seed=11), rounds=3, iterations=1
+    )
+    assert result.means["n1-highcpu-2"] > result.means["n1-highcpu-32"]

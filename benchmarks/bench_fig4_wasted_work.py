@@ -1,0 +1,9 @@
+"""Fig. 4 benchmark: wasted-work / runtime-increase series (Eqs. 5, 7)."""
+
+from repro.experiments import fig4_wasted_work
+
+
+def test_fig4_series(benchmark):
+    result = benchmark(fig4_wasted_work.run, num=48)
+    assert 3.0 < result.crossover_hours < 7.0
+    assert result.increase_ratio_at(10.0) > 3.0

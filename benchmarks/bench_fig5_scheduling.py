@@ -1,0 +1,22 @@
+"""Fig. 5 + Fig. 6 benchmarks: scheduling-policy failure probabilities."""
+
+import numpy as np
+
+from repro.experiments import fig5_start_time, fig6_job_length
+
+
+def test_fig5_start_time_sweep(benchmark):
+    result = benchmark(fig5_start_time.run, job_length=6.0, num=49)
+    late = result.start_ages > 18.5
+    np.testing.assert_allclose(result.memoryless[late], 1.0)
+    assert 0.3 < result.fresh_vm_level < 0.55
+
+
+def test_fig6_job_length_sweep(benchmark):
+    result = benchmark.pedantic(
+        fig6_job_length.run,
+        kwargs=dict(num_lengths=12, num_ages=48),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.reduction_factor() > 1.4

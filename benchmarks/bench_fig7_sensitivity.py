@@ -1,0 +1,13 @@
+"""Fig. 7 benchmark: policy sensitivity to wrong model parameters."""
+
+from repro.experiments import fig7_sensitivity
+
+
+def test_fig7_sensitivity_sweep(benchmark):
+    result = benchmark.pedantic(
+        fig7_sensitivity.run,
+        kwargs=dict(num_lengths=10, num_ages=32),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.max_suboptimality_gap() < 0.05

@@ -1,0 +1,13 @@
+"""Fig. 8 benchmark: DP checkpoint planning vs Young-Daly evaluation."""
+
+from repro.experiments import fig8_checkpointing
+
+
+def test_fig8_overhead_sweeps(benchmark):
+    result = benchmark.pedantic(
+        fig8_checkpointing.run,
+        kwargs=dict(num_ages=8, num_lengths=5, step=0.2),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.overhead_ours_by_age.mean() < result.overhead_yd_by_age.mean()

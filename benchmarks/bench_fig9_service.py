@@ -1,0 +1,14 @@
+"""Fig. 9 benchmark: full batch-service simulation (both panels)."""
+
+from repro.experiments import fig9_service
+
+
+def test_fig9_service_run(benchmark):
+    result = benchmark.pedantic(
+        fig9_service.run,
+        kwargs=dict(n_jobs=20, max_vms=8, n_slowdown_seeds=3),
+        rounds=3,
+        iterations=1,
+    )
+    for app in result.costs:
+        assert app.reduction_factor > 2.5

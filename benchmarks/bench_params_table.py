@@ -1,0 +1,10 @@
+"""Section 3.2.2 table benchmark: per-type fitting pipeline."""
+
+from repro.experiments import params_table
+
+
+def test_per_type_fitting(benchmark):
+    result = benchmark.pedantic(
+        params_table.run, kwargs=dict(per_type=250, seed=13), rounds=3, iterations=1
+    )
+    assert result.lifetime_ranking()[-1] == "n1-highcpu-32"

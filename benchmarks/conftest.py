@@ -1,0 +1,16 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one paper artifact (figure/table series) via
+the corresponding :mod:`repro.experiments` module and asserts the
+artifact's headline claim, so `pytest benchmarks/ --benchmark-only` both
+times the harness and re-validates the reproduction.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def reference_dist():
+    from repro.traces.catalog import default_catalog
+
+    return default_catalog().distribution("n1-highcpu-16", "us-east1-b")

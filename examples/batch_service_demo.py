@@ -1,0 +1,78 @@
+"""Batch computing service demo (paper Section 5 / Fig. 9).
+
+Runs a 100-job Nanoconfinement-style bag on a simulated preemptible
+fleet with the model-driven policies, then the same bag under the
+memoryless baseline, and prints the cost/performance comparison against
+a conventional on-demand deployment.
+
+Run:  python examples/batch_service_demo.py
+"""
+
+from repro.service import BagRequest, BatchComputingService, JobRequest, ServiceConfig
+from repro.sim import CloudProvider, RandomStreams, Simulator
+from repro.traces import default_catalog
+from repro.utils.tables import format_table
+
+# Sized so the run spans a full 24 h VM lifetime: the policies only
+# diverge once VMs approach the deadline (Fig. 5), so a bag that
+# finishes in a few hours would show no difference at all.
+N_JOBS = 72
+JOB_HOURS = 1.0
+WIDTH = 1
+MAX_VMS = 3
+
+
+def run_once(use_reuse_policy: bool, seed: int = 42):
+    catalog = default_catalog()
+    sim = Simulator()
+    cloud = CloudProvider(sim, catalog, RandomStreams(seed))
+    model = catalog.distribution("n1-highcpu-16", "us-central1-c")
+    service = BatchComputingService(
+        sim,
+        cloud,
+        model,
+        ServiceConfig(
+            vm_type="n1-highcpu-16",
+            max_vms=MAX_VMS,
+            use_reuse_policy=use_reuse_policy,
+        ),
+    )
+    bag = BagRequest(
+        jobs=[JobRequest(work_hours=JOB_HOURS, width=WIDTH, name=f"nano-{i}")
+              for i in range(N_JOBS)],
+        name="nanoconfinement sweep",
+    )
+    bag_id = service.submit_bag(bag)
+    service.run_until_bag_done(bag_id)
+    service.shutdown()
+    return service.report(bag_id)
+
+
+rows = []
+for label, use_policy in (("model-driven reuse", True), ("memoryless baseline", False)):
+    rep = run_once(use_policy)
+    rows.append(
+        (
+            label,
+            rep.makespan_hours,
+            rep.n_preemptions,
+            rep.metrics.n_job_failures,
+            rep.metrics.total_cost,
+            rep.metrics.cost_per_job(),
+            rep.cost_reduction_factor,
+        )
+    )
+
+print(
+    format_table(
+        ["policy", "makespan (h)", "preempts", "job fails", "total $", "$/job", "vs on-demand"],
+        rows,
+        floatfmt=".3f",
+        title=f"{N_JOBS}-job bag (1 h jobs) on preemptible n1-highcpu-16 x{MAX_VMS}",
+    )
+)
+print(
+    "\n(on-demand baseline pays list price for the same work with zero "
+    "preemptions; the raw preemptible discount is ~4.7x, so reduction "
+    "factors near 4.3x mean the service loses <10% to preemption overheads)"
+)

@@ -1,0 +1,75 @@
+"""Checkpoint planning demo (paper Section 4.3 / Fig. 8).
+
+1. Computes the DP-optimal checkpoint schedule for jobs of several
+   lengths and start ages — reproducing the paper's signature
+   *increasing intervals* on fresh VMs (cf. its 5-hour example:
+   15, 28, 38, 59, 128 minutes).
+2. Compares the expected makespan against Young-Daly and no-checkpoint
+   baselines, analytically and by Monte-Carlo simulation.
+3. Applies the schedule to a *real* checkpointable workload (the 1-D
+   Lagrangian shock solver) with injected preemptions and shows the
+   final physics is bit-identical to an uninterrupted run.
+
+Run:  python examples/checkpoint_planner.py
+"""
+
+import numpy as np
+
+from repro.policies.checkpointing import (
+    CheckpointPolicy,
+    evaluate_schedule,
+    simulate_schedule,
+)
+from repro.policies.youngdaly import young_daly_interval, young_daly_schedule
+from repro.traces import default_catalog
+from repro.utils.tables import format_table
+from repro.workloads import LagrangianShock1D, run_workload
+
+DELTA = 1.0 / 60.0  # 1-minute checkpoint writes, as in the paper
+dist = default_catalog().distribution("n1-highcpu-16", "us-east1-b")
+policy = CheckpointPolicy(dist, step=0.1, delta=DELTA)
+
+# --- 1. schedules across start ages -----------------------------------
+print("DP-optimal checkpoint intervals (minutes):")
+for start_age in (0.0, 8.0, 18.0):
+    plan = policy.plan(5.0, start_age)
+    intervals = ", ".join(f"{m:.0f}" for m in plan.intervals_minutes())
+    print(f"  5 h job @ VM age {start_age:4.1f} h -> [{intervals}]  "
+          f"(expected makespan {plan.expected_makespan:.3f} h)")
+
+# --- 2. baseline comparison -------------------------------------------
+tau = young_daly_interval(DELTA, mttf=1.0)  # the paper's YD parameterisation
+rows = []
+for J in (2.0, 4.0, 6.0):
+    ours = policy.expected_makespan(J, 0.0)
+    yd = evaluate_schedule(dist, young_daly_schedule(J, tau), delta=DELTA)
+    none = evaluate_schedule(dist, [J], delta=DELTA)
+    mc = simulate_schedule(
+        dist, policy.plan(J, 0.0).segments, delta=DELTA,
+        n_runs=2000, rng=np.random.default_rng(1),
+    ).mean()
+    rows.append((J, 100 * (ours - J) / J, 100 * (mc - J) / J,
+                 100 * (yd - J) / J, 100 * (none - J) / J))
+print()
+print(format_table(
+    ["job (h)", "DP analytic (%)", "DP Monte-Carlo (%)", "Young-Daly (%)", "no ckpt (%)"],
+    rows,
+    floatfmt=".2f",
+    title="Expected runtime increase on a fresh VM",
+))
+
+# --- 3. schedule applied to real physics ------------------------------
+plan = policy.plan(2.0, 0.0)
+steps_per_hour = 150
+ckpt_every = max(int(plan.segments[0] * steps_per_hour), 1)
+clean, _ = run_workload(LagrangianShock1D(n_zones=120, steps=300))
+victim = LagrangianShock1D(n_zones=120, steps=300)
+interrupted, executed = run_workload(
+    victim, checkpoint_every=ckpt_every, fail_at_steps={90, 201}
+)
+print(f"\nLULESH-style run with 2 injected preemptions: "
+      f"{executed} steps executed for 300 of work "
+      f"(recomputed {executed - 300}).")
+print(f"shock position clean={clean['shock_position']:.5f} "
+      f"interrupted={interrupted['shock_position']:.5f} "
+      f"identical={clean == interrupted}")

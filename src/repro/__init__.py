@@ -1,0 +1,116 @@
+"""repro — reproduction of *Modeling The Temporally Constrained Preemptions
+of Transient Cloud VMs* (Kadupitiya, Jadhao & Sharma, HPDC 2020).
+
+The library is organised bottom-up:
+
+* :mod:`repro.core` — the paper's bathtub preemption model (Eq. 1-3),
+* :mod:`repro.distributions` — classical baselines + extensions,
+* :mod:`repro.fitting` — empirical CDFs, least-squares / MLE fits,
+  model selection, bootstrap, change-point detection,
+* :mod:`repro.traces` — synthetic preemption-trace substrate,
+* :mod:`repro.policies` — job scheduling, checkpointing, VM selection,
+* :mod:`repro.sim` — discrete-event cloud / cluster simulator,
+* :mod:`repro.service` — the Section 5 batch computing service,
+* :mod:`repro.workloads` — checkpointable scientific kernels,
+* :mod:`repro.experiments` — one module per paper figure.
+
+Quickstart::
+
+    from repro import TraceGenerator, EmpiricalCDF, fit_bathtub
+
+    trace = TraceGenerator(seed=7).figure1_trace()
+    ecdf = EmpiricalCDF.from_samples(trace.lifetimes())
+    fit = fit_bathtub(ecdf)
+    print(fit.params)          # A, tau1, tau2, b ~ the paper's ranges
+"""
+
+from repro.core import (
+    BathtubParams,
+    ConstrainedPreemptionModel,
+    Phase,
+    PhaseBoundaries,
+    classify_phase,
+    phase_boundaries,
+)
+from repro.distributions import (
+    BathtubDistribution,
+    ExponentialDistribution,
+    GompertzMakehamDistribution,
+    LifetimeDistribution,
+    PiecewisePhaseDistribution,
+    SuperpositionMixture,
+    UniformLifetimeDistribution,
+    WeibullDistribution,
+)
+from repro.fitting import (
+    EmpiricalCDF,
+    FitResult,
+    compare_models,
+    fit_bathtub,
+    fit_exponential,
+    fit_gompertz_makeham,
+    fit_weibull,
+    kaplan_meier,
+)
+from repro.policies import (
+    CheckpointPlan,
+    CheckpointPolicy,
+    MemorylessSchedulingPolicy,
+    ModelReusePolicy,
+    SchedulingDecision,
+    expected_increase_in_runtime,
+    expected_makespan_at_age,
+    expected_wasted_work,
+    young_daly_interval,
+    young_daly_schedule,
+)
+from repro.traces import (
+    GroundTruthCatalog,
+    PreemptionRecord,
+    PreemptionTrace,
+    TraceGenerator,
+    default_catalog,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BathtubParams",
+    "ConstrainedPreemptionModel",
+    "Phase",
+    "PhaseBoundaries",
+    "classify_phase",
+    "phase_boundaries",
+    "BathtubDistribution",
+    "ExponentialDistribution",
+    "GompertzMakehamDistribution",
+    "LifetimeDistribution",
+    "PiecewisePhaseDistribution",
+    "SuperpositionMixture",
+    "UniformLifetimeDistribution",
+    "WeibullDistribution",
+    "EmpiricalCDF",
+    "FitResult",
+    "compare_models",
+    "fit_bathtub",
+    "fit_exponential",
+    "fit_gompertz_makeham",
+    "fit_weibull",
+    "kaplan_meier",
+    "CheckpointPlan",
+    "CheckpointPolicy",
+    "MemorylessSchedulingPolicy",
+    "ModelReusePolicy",
+    "SchedulingDecision",
+    "expected_increase_in_runtime",
+    "expected_makespan_at_age",
+    "expected_wasted_work",
+    "young_daly_interval",
+    "young_daly_schedule",
+    "GroundTruthCatalog",
+    "PreemptionRecord",
+    "PreemptionTrace",
+    "TraceGenerator",
+    "default_catalog",
+    "__version__",
+]

@@ -1,0 +1,30 @@
+"""The paper's primary contribution: the constrained-preemption model.
+
+This package implements Section 3.2 of the paper:
+
+* :mod:`repro.core.model` -- the closed-form bathtub CDF/pdf of Eq. 1-2,
+  its truncated first moments (Eq. 3), and parameter containers.
+* :mod:`repro.core.phases` -- decomposition of the lifetime axis into the
+  three empirically observed preemption phases.
+* :mod:`repro.core.reliability` -- reliability-theory views (survival,
+  hazard, cumulative hazard, mean residual life) of any failure model.
+* :mod:`repro.core.lifetime` -- expected-lifetime utilities used for
+  coarse-grained VM comparison (the paper's MTTF replacement).
+"""
+
+from repro.core.model import BathtubParams, ConstrainedPreemptionModel
+from repro.core.phases import Phase, PhaseBoundaries, classify_phase, phase_boundaries
+from repro.core.reliability import ReliabilityView
+from repro.core.lifetime import expected_lifetime_table, rank_by_expected_lifetime
+
+__all__ = [
+    "BathtubParams",
+    "ConstrainedPreemptionModel",
+    "Phase",
+    "PhaseBoundaries",
+    "classify_phase",
+    "phase_boundaries",
+    "ReliabilityView",
+    "expected_lifetime_table",
+    "rank_by_expected_lifetime",
+]

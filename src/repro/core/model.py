@@ -1,0 +1,332 @@
+"""The constrained-preemption probability model (paper Eq. 1-3).
+
+The paper models the CDF of the time-to-preemption ``t`` of a temporally
+constrained transient VM (maximum lifetime ``b`` of about 24 hours) as the
+superposition of two failure processes::
+
+    F(t) = A * (1 - exp(-t / tau1) + exp((t - b) / tau2))        (Eq. 1)
+
+* ``1 - exp(-t/tau1)`` is a classic exponential process with rate
+  ``1/tau1`` that dominates the *early* phase (young VMs are preempted
+  preferentially),
+* ``exp((t-b)/tau2)`` is an exponential *reclamation* process with rate
+  ``1/tau2`` activated near the deadline ``b``,
+* ``A`` scales the superposition so that ``F`` spans [0, 1].
+
+The pdf follows by differentiation (Eq. 2)::
+
+    f(t) = A * (exp(-t/tau1)/tau1 + exp((t-b)/tau2)/tau2)
+
+and the truncated first moment has the closed-form antiderivative used in
+Eq. 3 and in every policy of Section 4::
+
+    G(t) = -A (t + tau1) exp(-t/tau1) + A (t - tau2) exp((t-b)/tau2)
+    int_a^c  t f(t) dt = G(c) - G(a)
+
+``F`` reaches 1 at a finite time ``t_max`` slightly past ``b`` (for the
+paper's typical fits, within minutes of the 24 h deadline).  The model
+treats ``[0, t_max]`` as the distribution support: ``F`` is clamped to 1
+and ``f`` to 0 beyond it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import numpy as np
+from scipy.optimize import brentq
+
+from repro.utils.validation import check_positive
+
+__all__ = ["BathtubParams", "ConstrainedPreemptionModel"]
+
+#: Number of points in the cached inverse-CDF interpolation table.
+_PPF_TABLE_SIZE = 4097
+
+
+@dataclass(frozen=True)
+class BathtubParams:
+    """Parameters of the paper's constrained-preemption model (Eq. 1).
+
+    Attributes
+    ----------
+    A:
+        Scaling constant; typical fits land in ``[0.4, 0.5]``.
+    tau1:
+        Early-phase time constant (hours); ``1/tau1`` is the early
+        preemption rate.  Typical fits: ``[0.5, 5]``.
+    tau2:
+        Deadline-reclamation time constant (hours); typical fits
+        ``~0.8``.
+    b:
+        Activation time of the final phase (hours); typical fits
+        ``~24`` (the provider-imposed maximum lifetime).
+    """
+
+    A: float
+    tau1: float
+    tau2: float
+    b: float
+
+    def __post_init__(self) -> None:
+        check_positive("A", self.A)
+        check_positive("tau1", self.tau1)
+        check_positive("tau2", self.tau2)
+        check_positive("b", self.b)
+        if self.A >= 1.0:
+            raise ValueError(f"A must be < 1 for a valid CDF, got {self.A}")
+        # Boundary condition F(0) ~ 0 (paper Section 3.2.2): the late
+        # process must be negligible at t=0.
+        f0 = self.A * math.exp(-self.b / self.tau2)
+        if f0 > 0.05:
+            raise ValueError(
+                "parameters violate the boundary condition F(0) ~ 0: "
+                f"F(0) = {f0:.4f} > 0.05 (b/tau2 too small)"
+            )
+
+    def as_tuple(self) -> tuple[float, float, float, float]:
+        """Return ``(A, tau1, tau2, b)`` — the fitting order used throughout."""
+        return (self.A, self.tau1, self.tau2, self.b)
+
+    def as_dict(self) -> dict[str, float]:
+        """Return the parameters as a plain dict (JSON-friendly)."""
+        return {"A": self.A, "tau1": self.tau1, "tau2": self.tau2, "b": self.b}
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, float]) -> "BathtubParams":
+        """Build from any mapping with keys ``A, tau1, tau2, b``."""
+        return cls(
+            A=float(mapping["A"]),
+            tau1=float(mapping["tau1"]),
+            tau2=float(mapping["tau2"]),
+            b=float(mapping["b"]),
+        )
+
+
+class ConstrainedPreemptionModel:
+    """Closed-form bathtub preemption model over support ``[0, t_max]``.
+
+    Parameters
+    ----------
+    params:
+        A :class:`BathtubParams` instance, or anything accepted by
+        :meth:`BathtubParams.from_mapping`.
+
+    Notes
+    -----
+    All array-accepting methods are vectorised NumPy; scalars in,
+    scalars out.  The inverse CDF uses an interpolation table of
+    ``_PPF_TABLE_SIZE`` nodes refined near the support edges, with a
+    ``brentq``-exact scalar variant available as :meth:`ppf_exact`.
+    """
+
+    def __init__(self, params: BathtubParams | Mapping[str, float]):
+        if not isinstance(params, BathtubParams):
+            params = BathtubParams.from_mapping(params)
+        self.params = params
+        self._t_max = self._solve_t_max()
+        self._ppf_grid: tuple[np.ndarray, np.ndarray] | None = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _solve_t_max(self) -> float:
+        """Time at which the raw CDF (Eq. 1) reaches exactly 1."""
+        p = self.params
+        hi = p.b + p.tau2 * math.log(1.0 / p.A) + 1e-9
+        # raw_cdf(hi) >= A * (1/A) = 1, raw_cdf(0) = F(0) < 1.
+        return float(brentq(lambda t: self._raw_cdf_scalar(t) - 1.0, 0.0, hi))
+
+    def _raw_cdf_scalar(self, t: float) -> float:
+        p = self.params
+        return p.A * (1.0 - math.exp(-t / p.tau1) + math.exp((t - p.b) / p.tau2))
+
+    # ------------------------------------------------------------------
+    # Distribution functions
+    # ------------------------------------------------------------------
+    @property
+    def t_max(self) -> float:
+        """Right edge of the support (where the fitted CDF reaches 1)."""
+        return self._t_max
+
+    def cdf(self, t):
+        """CDF ``F(t)`` of Eq. 1, clamped to [0, 1] outside the support."""
+        p = self.params
+        t_arr = np.asarray(t, dtype=float)
+        raw = p.A * (1.0 - np.exp(-t_arr / p.tau1) + np.exp((t_arr - p.b) / p.tau2))
+        out = np.clip(raw, 0.0, 1.0)
+        out = np.where(t_arr < 0.0, 0.0, out)
+        out = np.where(t_arr >= self._t_max, 1.0, out)
+        return out if out.ndim else float(out)
+
+    def pdf(self, t):
+        """pdf ``f(t)`` of Eq. 2; zero outside ``[0, t_max]``."""
+        p = self.params
+        t_arr = np.asarray(t, dtype=float)
+        raw = p.A * (
+            np.exp(-t_arr / p.tau1) / p.tau1 + np.exp((t_arr - p.b) / p.tau2) / p.tau2
+        )
+        inside = (t_arr >= 0.0) & (t_arr <= self._t_max)
+        out = np.where(inside, raw, 0.0)
+        return out if out.ndim else float(out)
+
+    def sf(self, t):
+        """Survival function ``S(t) = 1 - F(t)``."""
+        t_arr = np.asarray(t, dtype=float)
+        out = 1.0 - np.asarray(self.cdf(t_arr))
+        return out if out.ndim else float(out)
+
+    def hazard(self, t):
+        """Hazard rate ``h(t) = f(t) / S(t)``; ``inf`` where ``S(t) = 0``.
+
+        This is the bathtub curve of the paper's Fig. 1 inset: high near
+        0 (rate ``~A/tau1``), low through the stable middle, and diverging
+        at the deadline.
+        """
+        t_arr = np.asarray(t, dtype=float)
+        f = np.asarray(self.pdf(t_arr), dtype=float)
+        s = np.asarray(self.sf(t_arr), dtype=float)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out = np.where(s > 0.0, f / np.where(s > 0.0, s, 1.0), np.inf)
+        out = np.where(f == 0.0, np.where(s > 0.0, 0.0, out), out)
+        return out if out.ndim else float(out)
+
+    def cumulative_hazard(self, t):
+        """Cumulative hazard ``H(t) = -log S(t)``; ``inf`` past ``t_max``."""
+        t_arr = np.asarray(t, dtype=float)
+        s = np.asarray(self.sf(t_arr), dtype=float)
+        with np.errstate(divide="ignore"):
+            out = -np.log(s)
+        return out if out.ndim else float(out)
+
+    # ------------------------------------------------------------------
+    # Moments (closed form, Eq. 3)
+    # ------------------------------------------------------------------
+    def moment_antiderivative(self, t):
+        """Antiderivative ``G(t)`` of ``t f(t)`` (paper Eq. 3 bracket)."""
+        p = self.params
+        t_arr = np.asarray(t, dtype=float)
+        out = p.A * (
+            -(t_arr + p.tau1) * np.exp(-t_arr / p.tau1)
+            + (t_arr - p.tau2) * np.exp((t_arr - p.b) / p.tau2)
+        )
+        return out if out.ndim else float(out)
+
+    def truncated_first_moment(self, a: float, c: float) -> float:
+        """Closed-form ``int_a^c t f(t) dt`` with bounds clipped to the support.
+
+        This single quantity powers the wasted-work analysis (Eq. 5), the
+        makespan expressions (Eq. 7-8), and the checkpoint DP's expected
+        lost work (Eq. 13).
+        """
+        a = min(max(float(a), 0.0), self._t_max)
+        c = min(max(float(c), 0.0), self._t_max)
+        if c <= a:
+            return 0.0
+        g = self.moment_antiderivative(np.array([a, c]))
+        return float(g[1] - g[0])
+
+    def expected_lifetime(self, horizon: float | None = None) -> float:
+        """Expected VM lifetime ``E[L]`` (Eq. 3).
+
+        ``horizon`` defaults to the full support ``t_max``; passing the
+        deadline ``b`` reproduces the paper's ``L ~ 24 h`` convention.
+        """
+        hi = self._t_max if horizon is None else float(horizon)
+        return self.truncated_first_moment(0.0, hi)
+
+    def cdf_antiderivative(self, t):
+        """Antiderivative of ``F(t)``: ``A (t + tau1 e^{-t/tau1} + tau2 e^{(t-b)/tau2})``.
+
+        Used for closed-form mean residual life (``int S dt = t - int F dt``).
+        """
+        p = self.params
+        t_arr = np.asarray(t, dtype=float)
+        out = p.A * (
+            t_arr + p.tau1 * np.exp(-t_arr / p.tau1) + p.tau2 * np.exp((t_arr - p.b) / p.tau2)
+        )
+        return out if out.ndim else float(out)
+
+    def mean_residual_life(self, s: float) -> float:
+        """``E[L - s | L > s]``: expected remaining lifetime of a VM aged ``s``.
+
+        A reliability-theory quantity the paper's VM-reuse intuition rests
+        on: it *increases* through the early phase (surviving VMs are
+        "stable") then collapses as the deadline approaches.
+        """
+        s = float(s)
+        if s >= self._t_max:
+            return 0.0
+        surv_s = float(self.sf(s))
+        if surv_s <= 0.0:
+            return 0.0
+        # int_s^{t_max} S(t) dt = (t_max - s) - (int F)
+        upper = self._t_max
+        int_f = float(self.cdf_antiderivative(upper)) - float(self.cdf_antiderivative(s))
+        integral = (upper - s) - int_f
+        return max(integral, 0.0) / surv_s
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def _build_ppf_grid(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._ppf_grid is None:
+            t = np.linspace(0.0, self._t_max, _PPF_TABLE_SIZE)
+            q = np.asarray(self.cdf(t), dtype=float)
+            # Strictly increasing q is required by np.interp for a clean
+            # inverse; F is strictly increasing on the support already.
+            self._ppf_grid = (q, t)
+        return self._ppf_grid
+
+    def ppf(self, q):
+        """Approximate inverse CDF via a cached interpolation table."""
+        grid_q, grid_t = self._build_ppf_grid()
+        q_arr = np.asarray(q, dtype=float)
+        if np.any((q_arr < 0.0) | (q_arr > 1.0)):
+            raise ValueError("quantiles must lie in [0, 1]")
+        out = np.interp(q_arr, grid_q, grid_t)
+        return out if out.ndim else float(out)
+
+    def ppf_exact(self, q: float) -> float:
+        """Exact scalar inverse CDF via root finding (slow, for tests)."""
+        q = float(q)
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must lie in [0, 1]")
+        f0 = float(self.cdf(0.0))
+        if q <= f0:
+            return 0.0
+        if q >= 1.0:
+            return self._t_max
+        return float(brentq(lambda t: self._raw_cdf_scalar(t) - q, 0.0, self._t_max))
+
+    def sample(self, n: int, rng: np.random.Generator | None = None) -> np.ndarray:
+        """Draw ``n`` lifetimes by inverse-transform sampling."""
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        if rng is None:
+            rng = np.random.default_rng()
+        return np.asarray(self.ppf(rng.random(n)), dtype=float)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        p = self.params
+        return (
+            f"ConstrainedPreemptionModel(A={p.A:.4g}, tau1={p.tau1:.4g}, "
+            f"tau2={p.tau2:.4g}, b={p.b:.4g}, t_max={self._t_max:.4g})"
+        )
+
+    @staticmethod
+    def cdf_function(t: np.ndarray, A: float, tau1: float, tau2: float, b: float) -> np.ndarray:
+        """Raw Eq. 1 as a free function for :func:`scipy.optimize.curve_fit`."""
+        return A * (1.0 - np.exp(-t / tau1) + np.exp((t - b) / tau2))
+
+
+def models_from_params(
+    items: Iterable[tuple[str, BathtubParams]]
+) -> dict[str, ConstrainedPreemptionModel]:
+    """Convenience: build a name -> model mapping from (name, params) pairs."""
+    return {name: ConstrainedPreemptionModel(p) for name, p in items}

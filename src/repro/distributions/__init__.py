@@ -1,0 +1,35 @@
+"""Failure-distribution zoo.
+
+Every distribution the paper fits in Fig. 1 (exponential, Weibull,
+Gompertz-Makeham), the uniform-on-[0, L] law used as the Fig. 4 baseline,
+the paper's own bathtub model as a first-class sampling distribution, and
+the Section 8 extensions (phase-wise segmented model, generic
+superposition mixture).
+
+All distributions share the :class:`~repro.distributions.base.LifetimeDistribution`
+interface: vectorised ``cdf/pdf/sf/hazard/ppf/sample`` plus truncated
+first moments, so policies and fitters are written once.
+"""
+
+from repro.distributions.base import LifetimeDistribution
+from repro.distributions.exponential import ExponentialDistribution
+from repro.distributions.weibull import WeibullDistribution
+from repro.distributions.gompertz import GompertzMakehamDistribution
+from repro.distributions.uniform import UniformLifetimeDistribution
+from repro.distributions.lognormal import LogNormalLifetimeDistribution
+from repro.distributions.bathtub import BathtubDistribution
+from repro.distributions.piecewise import PiecewisePhaseDistribution, PhaseSegment
+from repro.distributions.mixture import SuperpositionMixture
+
+__all__ = [
+    "LifetimeDistribution",
+    "ExponentialDistribution",
+    "WeibullDistribution",
+    "GompertzMakehamDistribution",
+    "UniformLifetimeDistribution",
+    "LogNormalLifetimeDistribution",
+    "BathtubDistribution",
+    "PiecewisePhaseDistribution",
+    "PhaseSegment",
+    "SuperpositionMixture",
+]

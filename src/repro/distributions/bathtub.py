@@ -1,0 +1,60 @@
+"""The paper's constrained-preemption model as a sampling distribution.
+
+Thin adapter exposing :class:`repro.core.model.ConstrainedPreemptionModel`
+through the :class:`~repro.distributions.base.LifetimeDistribution`
+interface, so the trace generator, the simulator, and the policies all
+consume it exactly like any classical law.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.model import BathtubParams, ConstrainedPreemptionModel
+from repro.distributions.base import LifetimeDistribution
+
+__all__ = ["BathtubDistribution"]
+
+
+class BathtubDistribution(LifetimeDistribution):
+    """Bathtub lifetimes with CDF of paper Eq. 1 over ``[0, t_max]``."""
+
+    def __init__(self, params: BathtubParams | Mapping[str, float] | ConstrainedPreemptionModel):
+        super().__init__()
+        if isinstance(params, ConstrainedPreemptionModel):
+            self.model = params
+        else:
+            self.model = ConstrainedPreemptionModel(params)
+        self.t_max = self.model.t_max
+
+    @property
+    def params(self) -> BathtubParams:
+        """The underlying Eq. 1 parameters."""
+        return self.model.params
+
+    def cdf(self, t):
+        return self.model.cdf(t)
+
+    def pdf(self, t):
+        return self.model.pdf(t)
+
+    def sf(self, t):
+        return self.model.sf(t)
+
+    def hazard(self, t):
+        return self.model.hazard(t)
+
+    def ppf(self, q):
+        return self.model.ppf(q)
+
+    def truncated_first_moment(self, a: float, c: float, *, num: int = 0) -> float:
+        """Exact closed form via the Eq. 3 antiderivative."""
+        return self.model.truncated_first_moment(a, c)
+
+    def mean(self) -> float:
+        return self.model.expected_lifetime()
+
+    def sample(self, n: int, rng: np.random.Generator | None = None) -> np.ndarray:
+        return self.model.sample(n, rng)

@@ -1,0 +1,99 @@
+"""Memoryless exponential lifetimes — the classical preemption model.
+
+This is the model all prior transient-computing systems assume (Section
+2.2): ``F(t) = 1 - e^{-lambda t}`` with ``lambda = 1/MTTF``.  The paper's
+Fig. 1 shows it cannot capture the 24 h deadline; we keep it as the
+baseline everywhere.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.distributions.base import LifetimeDistribution
+from repro.utils.validation import check_positive
+
+__all__ = ["ExponentialDistribution"]
+
+
+class ExponentialDistribution(LifetimeDistribution):
+    """``Exp(rate)`` with closed-form moments and sampling.
+
+    Parameters
+    ----------
+    rate:
+        Failure rate ``lambda`` (1/hours).  ``mttf = 1/rate``.
+    horizon:
+        Practical right edge for sampling tables; defaults to a point
+        where ``F`` is within 1e-9 of 1.
+    """
+
+    def __init__(self, rate: float, *, horizon: float | None = None):
+        super().__init__()
+        self.rate = check_positive("rate", rate)
+        if horizon is None:
+            horizon = -math.log(1e-9) / self.rate
+        self.t_max = check_positive("horizon", horizon)
+
+    @classmethod
+    def from_mttf(cls, mttf: float) -> "ExponentialDistribution":
+        """Construct from a mean time to failure (hours)."""
+        return cls(1.0 / check_positive("mttf", mttf))
+
+    @property
+    def mttf(self) -> float:
+        """Mean time to failure ``1/rate``."""
+        return 1.0 / self.rate
+
+    def cdf(self, t):
+        t_arr = np.asarray(t, dtype=float)
+        out = np.where(t_arr < 0.0, 0.0, 1.0 - np.exp(-self.rate * np.maximum(t_arr, 0.0)))
+        return out if out.ndim else float(out)
+
+    def pdf(self, t):
+        t_arr = np.asarray(t, dtype=float)
+        out = np.where(
+            t_arr < 0.0, 0.0, self.rate * np.exp(-self.rate * np.maximum(t_arr, 0.0))
+        )
+        return out if out.ndim else float(out)
+
+    def hazard(self, t):
+        """Constant hazard ``lambda`` — the memoryless signature."""
+        t_arr = np.asarray(t, dtype=float)
+        out = np.where(t_arr < 0.0, 0.0, self.rate)
+        return out if out.ndim else float(out)
+
+    def ppf(self, q):
+        q_arr = np.asarray(q, dtype=float)
+        if np.any((q_arr < 0.0) | (q_arr > 1.0)):
+            raise ValueError("quantiles must lie in [0, 1]")
+        with np.errstate(divide="ignore"):
+            out = -np.log1p(-q_arr) / self.rate
+        return out if out.ndim else float(out)
+
+    def truncated_first_moment(self, a: float, c: float, *, num: int = 0) -> float:
+        """Closed form: ``int t lam e^{-lam t} dt = [-(t + 1/lam) e^{-lam t}]``."""
+        a = max(float(a), 0.0)
+        c = float(c)
+        if c <= a:
+            return 0.0
+
+        def anti(t: float) -> float:
+            return -(t + 1.0 / self.rate) * math.exp(-self.rate * t)
+
+        return anti(c) - anti(a)
+
+    def mean(self) -> float:
+        return 1.0 / self.rate
+
+    def conditional_failure_probability(self, s: float, width: float) -> float:
+        """Exact memoryless form ``1 - e^{-rate * width}``.
+
+        The generic (F(s+w) - F(s)) / S(s) formula loses precision deep in
+        the tail where S(s) underflows toward 0; memorylessness gives the
+        answer in closed form independent of ``s``.
+        """
+        width = max(float(width), 0.0)
+        return float(-np.expm1(-self.rate * width))

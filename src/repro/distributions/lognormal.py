@@ -1,0 +1,53 @@
+"""Log-normal lifetimes — an additional unimodal-hazard comparator.
+
+Not fitted in the paper's Fig. 1, but a standard survival-analysis
+candidate; we include it in the model-selection study so the selection
+machinery has a non-monotone-hazard classical alternative to reject.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.special import erf
+
+from repro.distributions.base import LifetimeDistribution
+from repro.utils.validation import check_positive
+
+__all__ = ["LogNormalLifetimeDistribution"]
+
+_SQRT2 = math.sqrt(2.0)
+
+
+class LogNormalLifetimeDistribution(LifetimeDistribution):
+    """``log T ~ Normal(mu, sigma^2)``."""
+
+    def __init__(self, mu: float, sigma: float, *, horizon: float | None = None):
+        super().__init__()
+        self.mu = float(mu)
+        self.sigma = check_positive("sigma", sigma)
+        if horizon is None:
+            # 1 - 1e-9 quantile: mu + sigma * Phi^-1(1-1e-9), Phi^-1 ~ 6.0
+            horizon = math.exp(self.mu + 6.0 * self.sigma)
+        self.t_max = check_positive("horizon", horizon)
+
+    def cdf(self, t):
+        t_arr = np.asarray(t, dtype=float)
+        with np.errstate(divide="ignore"):
+            z = (np.log(np.maximum(t_arr, 1e-300)) - self.mu) / self.sigma
+        out = np.where(t_arr <= 0.0, 0.0, 0.5 * (1.0 + erf(z / _SQRT2)))
+        return out if out.ndim else float(out)
+
+    def pdf(self, t):
+        t_arr = np.asarray(t, dtype=float)
+        tt = np.maximum(t_arr, 1e-300)
+        with np.errstate(divide="ignore"):
+            z = (np.log(tt) - self.mu) / self.sigma
+        dens = np.exp(-0.5 * z * z) / (tt * self.sigma * math.sqrt(2.0 * math.pi))
+        out = np.where(t_arr <= 0.0, 0.0, dens)
+        return out if out.ndim else float(out)
+
+    def mean(self) -> float:
+        """Closed form ``exp(mu + sigma^2/2)``."""
+        return math.exp(self.mu + 0.5 * self.sigma * self.sigma)

@@ -1,0 +1,56 @@
+"""Uniform preemptions on ``[0, L]`` — the Fig. 4 thought-experiment baseline.
+
+Section 6.1 compares bathtub preemptions against preemptions spread
+uniformly over the 24 h window: ``F(t) = t / L``.  Under this law the
+expected single-preemption waste of a job of length ``J`` is exactly
+``J/2`` and the expected increase in running time is ``J^2 / (2L)``
+(``= J^2/48`` for ``L = 24``), both of which this class reproduces in
+closed form and the tests pin down.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributions.base import LifetimeDistribution
+from repro.utils.validation import check_positive
+
+__all__ = ["UniformLifetimeDistribution"]
+
+
+class UniformLifetimeDistribution(LifetimeDistribution):
+    """Uniform lifetimes on ``[0, L]`` (default ``L = 24`` hours)."""
+
+    def __init__(self, L: float = 24.0):
+        super().__init__()
+        self.L = check_positive("L", L)
+        self.t_max = self.L
+
+    def cdf(self, t):
+        t_arr = np.asarray(t, dtype=float)
+        out = np.clip(t_arr / self.L, 0.0, 1.0)
+        return out if out.ndim else float(out)
+
+    def pdf(self, t):
+        t_arr = np.asarray(t, dtype=float)
+        inside = (t_arr >= 0.0) & (t_arr <= self.L)
+        out = np.where(inside, 1.0 / self.L, 0.0)
+        return out if out.ndim else float(out)
+
+    def ppf(self, q):
+        q_arr = np.asarray(q, dtype=float)
+        if np.any((q_arr < 0.0) | (q_arr > 1.0)):
+            raise ValueError("quantiles must lie in [0, 1]")
+        out = q_arr * self.L
+        return out if out.ndim else float(out)
+
+    def truncated_first_moment(self, a: float, c: float, *, num: int = 0) -> float:
+        """Closed form ``(c^2 - a^2) / (2 L)`` on the support."""
+        a = min(max(float(a), 0.0), self.L)
+        c = min(max(float(c), 0.0), self.L)
+        if c <= a:
+            return 0.0
+        return (c * c - a * a) / (2.0 * self.L)
+
+    def mean(self) -> float:
+        return self.L / 2.0

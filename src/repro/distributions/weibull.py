@@ -1,0 +1,74 @@
+"""Classic Weibull lifetimes, ``F(t) = 1 - e^{-(lambda t)^k}``.
+
+The standard tool for non-constant failure rates; the paper shows
+(Section 3.2.1) that even Weibull cannot produce the sharp deadline
+inflection of constrained preemptions — its failure-rate growth is
+polynomial while the deadline reclamation is exponential.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.distributions.base import LifetimeDistribution
+from repro.utils.validation import check_positive
+
+__all__ = ["WeibullDistribution"]
+
+
+class WeibullDistribution(LifetimeDistribution):
+    """Weibull with rate parameter ``lam`` and shape ``k``.
+
+    ``k < 1`` gives a decreasing hazard (early-failure regime), ``k = 1``
+    is exponential, ``k > 1`` an increasing hazard (wear-out regime).
+    No single ``k`` produces a bathtub — which is exactly why the paper
+    needs a two-process model.
+    """
+
+    def __init__(self, lam: float, k: float, *, horizon: float | None = None):
+        super().__init__()
+        self.lam = check_positive("lam", lam)
+        self.k = check_positive("k", k)
+        if horizon is None:
+            # F(horizon) = 1 - 1e-9  =>  (lam*h)^k = -ln(1e-9)
+            horizon = (-math.log(1e-9)) ** (1.0 / self.k) / self.lam
+        self.t_max = check_positive("horizon", horizon)
+
+    def cdf(self, t):
+        t_arr = np.asarray(t, dtype=float)
+        z = (self.lam * np.maximum(t_arr, 0.0)) ** self.k
+        out = np.where(t_arr < 0.0, 0.0, 1.0 - np.exp(-z))
+        return out if out.ndim else float(out)
+
+    def pdf(self, t):
+        t_arr = np.asarray(t, dtype=float)
+        tt = np.maximum(t_arr, 0.0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            z = (self.lam * tt) ** self.k
+            # k*(lam^k)*t^(k-1)*exp(-z); handle t=0 for k<1 (density diverges)
+            dens = self.k * self.lam**self.k * tt ** (self.k - 1.0) * np.exp(-z)
+        out = np.where(t_arr < 0.0, 0.0, dens)
+        return out if out.ndim else float(out)
+
+    def hazard(self, t):
+        """``h(t) = k lam^k t^{k-1}`` — monotone, never bathtub."""
+        t_arr = np.asarray(t, dtype=float)
+        tt = np.maximum(t_arr, 0.0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out = self.k * self.lam**self.k * tt ** (self.k - 1.0)
+        out = np.where(t_arr < 0.0, 0.0, out)
+        return out if out.ndim else float(out)
+
+    def ppf(self, q):
+        q_arr = np.asarray(q, dtype=float)
+        if np.any((q_arr < 0.0) | (q_arr > 1.0)):
+            raise ValueError("quantiles must lie in [0, 1]")
+        with np.errstate(divide="ignore"):
+            out = (-np.log1p(-q_arr)) ** (1.0 / self.k) / self.lam
+        return out if out.ndim else float(out)
+
+    def mean(self) -> float:
+        """Closed form ``Gamma(1 + 1/k)/lam``."""
+        return math.gamma(1.0 + 1.0 / self.k) / self.lam

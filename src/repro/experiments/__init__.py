@@ -1,0 +1,17 @@
+"""Experiment harness: one module per paper figure/table.
+
+Every experiment module exposes
+
+* ``run(...)`` — compute the figure's data series (seeded, deterministic),
+  returning a frozen result dataclass,
+* ``report(result)`` — the series as an aligned ASCII table (the textual
+  equivalent of the paper's plot),
+
+and is registered in :mod:`repro.experiments.registry` so that
+``python -m repro.experiments <name>`` regenerates any single artifact
+and ``python -m repro.experiments all`` regenerates the whole evaluation.
+"""
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_all
+
+__all__ = ["EXPERIMENTS", "get_experiment", "run_all"]

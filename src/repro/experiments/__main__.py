@@ -1,0 +1,27 @@
+"""CLI entry point: ``python -m repro.experiments [name|all|list]``."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_all
+
+
+def main(argv: list[str]) -> int:
+    if not argv or argv[0] in ("-h", "--help", "list"):
+        print("usage: python -m repro.experiments <name>|all|list\n")
+        for name, exp in sorted(EXPERIMENTS.items()):
+            print(f"  {name:20s} {exp.description}")
+        return 0
+    if argv[0] == "all":
+        for name, text in run_all().items():
+            print(f"\n=== {name} ===")
+            print(text)
+        return 0
+    exp = get_experiment(argv[0])
+    print(exp.report(exp.run()))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,57 @@
+"""Shared fixtures for the experiment modules.
+
+Central place for the reference configuration (Fig. 1's
+n1-highcpu-16 / us-east1-b), the trace sizes, and the cross-model
+failure-probability helper used by the sensitivity study.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributions.base import LifetimeDistribution
+from repro.distributions.bathtub import BathtubDistribution
+from repro.policies.scheduling import (
+    ModelReusePolicy,
+    SchedulingDecision,
+    job_failure_probability,
+)
+from repro.traces.catalog import GroundTruthCatalog, default_catalog
+
+__all__ = [
+    "REFERENCE_TYPE",
+    "REFERENCE_ZONE",
+    "reference_distribution",
+    "mismatched_policy_failure_probability",
+    "job_length_grid",
+]
+
+#: The paper's Fig. 1 reference configuration.
+REFERENCE_TYPE = "n1-highcpu-16"
+REFERENCE_ZONE = "us-east1-b"
+
+
+def reference_distribution(
+    catalog: GroundTruthCatalog | None = None,
+) -> BathtubDistribution:
+    """Ground-truth lifetime law of the reference configuration."""
+    return (catalog or default_catalog()).distribution(REFERENCE_TYPE, REFERENCE_ZONE)
+
+
+def job_length_grid(max_hours: float = 24.0, num: int = 25) -> np.ndarray:
+    """Job lengths spanning (0, max_hours] (excludes 0)."""
+    return np.linspace(max_hours / num, max_hours, num)
+
+
+def mismatched_policy_failure_probability(
+    decision_model: LifetimeDistribution,
+    true_model: LifetimeDistribution,
+    job_length: float,
+    start_age: float,
+) -> float:
+    """Failure probability when the policy *decides* with one model but
+    reality follows another (the Fig. 7 sensitivity construction)."""
+    policy = ModelReusePolicy(decision_model)
+    if policy.decide(job_length, start_age) is SchedulingDecision.REUSE:
+        return job_failure_probability(true_model, job_length, start_age)
+    return job_failure_probability(true_model, job_length, 0.0)

@@ -1,0 +1,74 @@
+"""Fig. 5 — effect of job start time on failure probability (6 h job).
+
+The memoryless baseline always reuses the running VM, so a 6-hour job
+started after hour 18 *cannot* finish before the 24 h deadline — its
+failure probability saturates at 1.  The model policy detects (via
+Eq. 8) that a fresh VM is cheaper past the critical age and pins the
+failure probability at the fresh-VM level ``F(6) ~ 0.4``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.common import reference_distribution
+from repro.policies.scheduling import (
+    MemorylessSchedulingPolicy,
+    ModelReusePolicy,
+)
+from repro.utils.tables import format_table
+
+__all__ = ["Fig5Result", "run", "report"]
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    """Failure probability vs start age under both policies."""
+
+    start_ages: np.ndarray
+    memoryless: np.ndarray
+    model_policy: np.ndarray
+    job_length: float
+    critical_age: float
+    fresh_vm_level: float
+
+
+def run(*, job_length: float = 6.0, num: int = 49) -> Fig5Result:
+    dist = reference_distribution()
+    ours = ModelReusePolicy(dist)
+    base = MemorylessSchedulingPolicy(dist)
+    ages = np.linspace(0.0, dist.t_max, num)
+    ours_p = np.array([ours.failure_probability(job_length, float(s)) for s in ages])
+    base_p = np.array([base.failure_probability(job_length, float(s)) for s in ages])
+    return Fig5Result(
+        start_ages=ages,
+        memoryless=base_p,
+        model_policy=ours_p,
+        job_length=job_length,
+        critical_age=ours.critical_age(job_length),
+        fresh_vm_level=float(dist.cdf(job_length)),
+    )
+
+
+def report(result: Fig5Result) -> str:
+    rows = [
+        (float(s), result.memoryless[i], result.model_policy[i])
+        for i, s in enumerate(result.start_ages)
+    ]
+    table = format_table(
+        ["start age (h)", "memoryless P(fail)", "our policy P(fail)"],
+        rows,
+        floatfmt=".3f",
+        title=f"Fig. 5 — {result.job_length:.0f} h job failure probability vs start age",
+    )
+    return (
+        table
+        + f"\npolicy switches to fresh VMs past age {result.critical_age:.2f} h; "
+        + f"flat level F({result.job_length:.0f}) = {result.fresh_vm_level:.3f} (paper: ~0.4)"
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(report(run()))

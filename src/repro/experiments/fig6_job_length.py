@@ -1,0 +1,73 @@
+"""Fig. 6 — failure probability vs job length, averaged over start times.
+
+Jobs arrive at arbitrary points in a VM's life; averaging the Fig. 5
+curves over a uniform start age gives the per-length failure
+probability.  The paper's claim: "for all but the shortest and longest
+jobs, the failure probability with our policy is half of that of
+existing memoryless policies."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.common import job_length_grid, reference_distribution
+from repro.policies.scheduling import (
+    MemorylessSchedulingPolicy,
+    ModelReusePolicy,
+    average_failure_probability,
+)
+from repro.utils.tables import format_table
+
+__all__ = ["Fig6Result", "run", "report"]
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    """Average failure probability per job length under both policies."""
+
+    job_lengths: np.ndarray
+    memoryless: np.ndarray
+    model_policy: np.ndarray
+
+    def reduction_factor(self) -> float:
+        """Mean memoryless/ours ratio over mid-range job lengths."""
+        mask = (self.job_lengths >= 2.0) & (self.job_lengths <= 18.0)
+        ours = np.maximum(self.model_policy[mask], 1e-9)
+        return float(np.mean(self.memoryless[mask] / ours))
+
+
+def run(*, num_lengths: int = 24, num_ages: int = 96) -> Fig6Result:
+    dist = reference_distribution()
+    ours = ModelReusePolicy(dist)
+    base = MemorylessSchedulingPolicy(dist)
+    lengths = job_length_grid(24.0, num_lengths)
+    ours_p = np.array(
+        [average_failure_probability(ours, float(j), num_ages=num_ages) for j in lengths]
+    )
+    base_p = np.array(
+        [average_failure_probability(base, float(j), num_ages=num_ages) for j in lengths]
+    )
+    return Fig6Result(job_lengths=lengths, memoryless=base_p, model_policy=ours_p)
+
+
+def report(result: Fig6Result) -> str:
+    rows = [
+        (float(j), result.memoryless[i], result.model_policy[i])
+        for i, j in enumerate(result.job_lengths)
+    ]
+    table = format_table(
+        ["job length (h)", "memoryless P(fail)", "our policy P(fail)"],
+        rows,
+        floatfmt=".3f",
+        title="Fig. 6 — failure probability vs job length (averaged over start ages)",
+    )
+    return table + (
+        f"\nmid-range reduction factor: {result.reduction_factor():.2f}x (paper: ~2x)"
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(report(run()))

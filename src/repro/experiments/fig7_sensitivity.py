@@ -1,0 +1,93 @@
+"""Fig. 7 — sensitivity of the scheduling policy to model fitting error.
+
+The deliberately "suboptimal" model uses the n1-highcpu-32 parameters to
+schedule jobs on VMs whose true law is n1-highcpu-16 (the two differ
+sharply, see Fig. 2a).  The paper's result: as long as the surrogate is
+*some* bathtub, the scheduling decisions barely change — failure
+probability within ~2% of the best-fit model, and both far below the
+memoryless baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.common import (
+    job_length_grid,
+    mismatched_policy_failure_probability,
+    reference_distribution,
+)
+from repro.policies.scheduling import MemorylessSchedulingPolicy
+from repro.traces.catalog import default_catalog
+from repro.utils.tables import format_table
+
+__all__ = ["Fig7Result", "run", "report"]
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    """Average failure probability per job length for three policies."""
+
+    job_lengths: np.ndarray
+    memoryless: np.ndarray
+    best_fit: np.ndarray
+    suboptimal: np.ndarray
+
+    def max_suboptimality_gap(self) -> float:
+        """Worst absolute gap between suboptimal and best-fit curves."""
+        return float(np.max(np.abs(self.suboptimal - self.best_fit)))
+
+
+def run(*, num_lengths: int = 20, num_ages: int = 64) -> Fig7Result:
+    truth = reference_distribution()
+    # Suboptimal surrogate: a *different* VM type's law (highcpu-32 in
+    # us-central1-c), i.e. badly wrong parameters but still bathtub.
+    surrogate = default_catalog().distribution("n1-highcpu-32", "us-central1-c")
+    base = MemorylessSchedulingPolicy(truth)
+    lengths = job_length_grid(24.0, num_lengths)
+    ages = np.linspace(0.0, truth.t_max, num_ages, endpoint=False)
+
+    def avg(decision_model) -> np.ndarray:
+        out = np.empty(len(lengths))
+        for i, j in enumerate(lengths):
+            probs = [
+                mismatched_policy_failure_probability(decision_model, truth, float(j), float(s))
+                for s in ages
+            ]
+            out[i] = float(np.mean(probs))
+        return out
+
+    best = avg(truth)
+    subopt = avg(surrogate)
+    memoryless = np.array(
+        [
+            float(np.mean([base.failure_probability(float(j), float(s)) for s in ages]))
+            for j in lengths
+        ]
+    )
+    return Fig7Result(
+        job_lengths=lengths, memoryless=memoryless, best_fit=best, suboptimal=subopt
+    )
+
+
+def report(result: Fig7Result) -> str:
+    rows = [
+        (float(j), result.memoryless[i], result.best_fit[i], result.suboptimal[i])
+        for i, j in enumerate(result.job_lengths)
+    ]
+    table = format_table(
+        ["job length (h)", "memoryless", "best-fit bathtub", "suboptimal bathtub"],
+        rows,
+        floatfmt=".3f",
+        title="Fig. 7 — scheduling-policy sensitivity to model parameters",
+    )
+    return table + (
+        f"\nmax |suboptimal - best-fit| = {result.max_suboptimality_gap():.3f} "
+        "(paper: < 0.02)"
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(report(run()))

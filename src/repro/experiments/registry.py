@@ -1,0 +1,116 @@
+"""Experiment registry and CLI.
+
+``python -m repro.experiments <name>`` regenerates one artifact;
+``python -m repro.experiments all`` regenerates every table/figure in
+DESIGN.md's per-experiment index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.experiments import (
+    checkpoint_schedule,
+    fig1_model_fit,
+    fig2_characteristics,
+    fig4_wasted_work,
+    fig5_start_time,
+    fig6_job_length,
+    fig7_sensitivity,
+    fig8_checkpointing,
+    fig9_service,
+    params_table,
+)
+
+__all__ = ["Experiment", "EXPERIMENTS", "get_experiment", "run_all"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered experiment: its id, description, and entry points."""
+
+    name: str
+    description: str
+    run: Callable[..., Any]
+    report: Callable[[Any], str]
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    e.name: e
+    for e in (
+        Experiment(
+            "fig1",
+            "Lifetime CDF + model comparison (bathtub vs classical fits)",
+            fig1_model_fit.run,
+            fig1_model_fit.report,
+        ),
+        Experiment(
+            "fig2",
+            "Preemption characteristics by VM type / zone / launch context",
+            fig2_characteristics.run,
+            fig2_characteristics.report,
+        ),
+        Experiment(
+            "fig4",
+            "Wasted work and runtime increase: bathtub vs uniform",
+            fig4_wasted_work.run,
+            fig4_wasted_work.report,
+        ),
+        Experiment(
+            "fig5",
+            "6 h job failure probability vs start age (policy vs memoryless)",
+            fig5_start_time.run,
+            fig5_start_time.report,
+        ),
+        Experiment(
+            "fig6",
+            "Failure probability vs job length, averaged over start ages",
+            fig6_job_length.run,
+            fig6_job_length.report,
+        ),
+        Experiment(
+            "fig7",
+            "Scheduling-policy sensitivity to wrong model parameters",
+            fig7_sensitivity.run,
+            fig7_sensitivity.report,
+        ),
+        Experiment(
+            "fig8",
+            "Checkpointing: DP policy vs Young-Daly overheads",
+            fig8_checkpointing.run,
+            fig8_checkpointing.report,
+        ),
+        Experiment(
+            "fig9",
+            "Batch service: cost per job and preemption impact",
+            fig9_service.run,
+            fig9_service.report,
+        ),
+        Experiment(
+            "checkpoint-schedule",
+            "The 5-hour job's non-uniform checkpoint intervals",
+            checkpoint_schedule.run,
+            checkpoint_schedule.report,
+        ),
+        Experiment(
+            "params-table",
+            "Fitted bathtub parameters and expected lifetimes per VM type",
+            params_table.run,
+            params_table.report,
+        ),
+    )
+}
+
+
+def get_experiment(name: str) -> Experiment:
+    try:
+        return EXPERIMENTS[name]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {name!r}; known: {known}") from None
+
+
+def run_all() -> dict[str, str]:
+    """Run every experiment; returns name -> rendered report."""
+    return {name: exp.report(exp.run()) for name, exp in EXPERIMENTS.items()}

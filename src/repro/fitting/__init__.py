@@ -1,0 +1,47 @@
+"""Model fitting and statistical validation.
+
+Implements the paper's fitting pipeline (Section 3.2): build an empirical
+CDF from observed preemptions, least-squares fit candidate distributions
+with :func:`scipy.optimize.curve_fit` (``method="dogbox"``, as the paper
+specifies), score goodness of fit, and select among models.  Extensions:
+maximum-likelihood fitting, Kaplan-Meier handling of censored records,
+bootstrap confidence intervals, and the Section 8 change-point detector.
+"""
+
+from repro.fitting.ecdf import EmpiricalCDF, kaplan_meier
+from repro.fitting.least_squares import (
+    FitResult,
+    fit_bathtub,
+    fit_exponential,
+    fit_gompertz_makeham,
+    fit_piecewise_bathtub,
+    fit_weibull,
+)
+from repro.fitting.metrics import GoodnessOfFit, evaluate_fit, ks_statistic, r_squared, rmse
+from repro.fitting.mle import mle_bathtub, mle_exponential
+from repro.fitting.selection import ModelComparison, compare_models
+from repro.fitting.bootstrap import bootstrap_bathtub_ci
+from repro.fitting.changepoint import ChangePointReport, detect_policy_change
+
+__all__ = [
+    "EmpiricalCDF",
+    "kaplan_meier",
+    "FitResult",
+    "fit_bathtub",
+    "fit_exponential",
+    "fit_gompertz_makeham",
+    "fit_piecewise_bathtub",
+    "fit_weibull",
+    "GoodnessOfFit",
+    "evaluate_fit",
+    "ks_statistic",
+    "r_squared",
+    "rmse",
+    "mle_bathtub",
+    "mle_exponential",
+    "ModelComparison",
+    "compare_models",
+    "bootstrap_bathtub_ci",
+    "ChangePointReport",
+    "detect_policy_change",
+]

@@ -1,0 +1,82 @@
+"""Bootstrap confidence intervals for fitted bathtub parameters.
+
+The paper reports point estimates only; a production service acting on a
+fitted model should know how tight those estimates are.  Nonparametric
+bootstrap: resample lifetimes with replacement, refit Eq. 1, report
+percentile intervals per parameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fitting.ecdf import EmpiricalCDF
+from repro.fitting.least_squares import fit_bathtub
+
+__all__ = ["BootstrapCI", "bootstrap_bathtub_ci"]
+
+
+@dataclass(frozen=True)
+class BootstrapCI:
+    """Percentile bootstrap interval for one parameter."""
+
+    name: str
+    point: float
+    low: float
+    high: float
+    level: float
+
+    def contains(self, value: float) -> bool:
+        """True if ``value`` lies inside the interval."""
+        return self.low <= value <= self.high
+
+
+def bootstrap_bathtub_ci(
+    lifetimes: np.ndarray,
+    *,
+    n_boot: int = 200,
+    level: float = 0.95,
+    seed: int = 0,
+    grid_num: int = 128,
+) -> dict[str, BootstrapCI]:
+    """Bootstrap CIs for ``A, tau1, tau2, b``.
+
+    Resamples that fail to fit are skipped (and counted against
+    ``n_boot``); at least 20 successful refits are required.
+    """
+    lifetimes = np.asarray(lifetimes, dtype=float)
+    if lifetimes.size < 10:
+        raise ValueError("need at least 10 observations to bootstrap")
+    if not 0.0 < level < 1.0:
+        raise ValueError(f"level must be in (0, 1), got {level}")
+    rng = np.random.default_rng(seed)
+    point_fit = fit_bathtub(EmpiricalCDF.from_samples(lifetimes), num=grid_num)
+    draws: dict[str, list[float]] = {k: [] for k in point_fit.params}
+    successes = 0
+    for _ in range(n_boot):
+        resampled = rng.choice(lifetimes, size=lifetimes.size, replace=True)
+        try:
+            fit = fit_bathtub(EmpiricalCDF.from_samples(resampled), num=grid_num)
+        except RuntimeError:
+            continue
+        successes += 1
+        for k, v in fit.params.items():
+            draws[k].append(v)
+    if successes < 20:
+        raise RuntimeError(
+            f"only {successes}/{n_boot} bootstrap refits converged; cannot form CIs"
+        )
+    alpha = (1.0 - level) / 2.0
+    out: dict[str, BootstrapCI] = {}
+    for k, values in draws.items():
+        arr = np.asarray(values, dtype=float)
+        out[k] = BootstrapCI(
+            name=k,
+            point=float(point_fit.params[k]),
+            low=float(np.quantile(arr, alpha)),
+            high=float(np.quantile(arr, 1.0 - alpha)),
+            level=level,
+        )
+    return out

@@ -1,0 +1,110 @@
+"""Preemption-policy drift detection (paper Section 8).
+
+"Our model allows detecting policy and phase changes by comparing
+observed data with model-predictions and detect change-points, and a
+long-running cloud service can continuously update the model based on
+recent preemption behavior."
+
+Implementation: a sequential two-sample monitor.  Maintain the fitted
+reference model; for each new window of observed lifetimes compute the
+Kolmogorov-Smirnov distance between the window's ECDF and the model CDF
+and flag a change when it exceeds the (sample-size aware) critical value.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distributions.base import LifetimeDistribution
+from repro.fitting.ecdf import EmpiricalCDF
+from repro.fitting.metrics import ks_statistic
+
+__all__ = ["ChangePointReport", "detect_policy_change", "PolicyDriftMonitor"]
+
+
+def _ks_critical(n: int, alpha: float) -> float:
+    """One-sample KS critical value (asymptotic): ``c(alpha)/sqrt(n)``."""
+    c = math.sqrt(-0.5 * math.log(alpha / 2.0))
+    return c / math.sqrt(n)
+
+
+@dataclass(frozen=True)
+class ChangePointReport:
+    """Outcome of a drift test on one observation window."""
+
+    ks: float
+    critical: float
+    n: int
+    alpha: float
+    changed: bool
+
+
+def detect_policy_change(
+    reference: LifetimeDistribution,
+    window_lifetimes: np.ndarray,
+    *,
+    alpha: float = 0.01,
+) -> ChangePointReport:
+    """Test whether ``window_lifetimes`` still follow ``reference``.
+
+    Returns a report; ``report.changed`` is True when the KS distance
+    between the window ECDF and the reference CDF exceeds the critical
+    value at significance ``alpha``.
+    """
+    window_lifetimes = np.asarray(window_lifetimes, dtype=float)
+    if window_lifetimes.size < 8:
+        raise ValueError("need at least 8 observations per drift window")
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    ecdf = EmpiricalCDF.from_samples(window_lifetimes)
+    ks = ks_statistic(ecdf, reference)
+    crit = _ks_critical(window_lifetimes.size, alpha)
+    return ChangePointReport(
+        ks=ks, critical=crit, n=int(window_lifetimes.size), alpha=alpha, changed=ks > crit
+    )
+
+
+class PolicyDriftMonitor:
+    """Streaming drift monitor over fixed-size windows of lifetimes.
+
+    Feed observed preemption lifetimes one at a time with
+    :meth:`observe`; every full window is tested against the reference
+    model and appended to :attr:`reports`.
+    """
+
+    def __init__(
+        self,
+        reference: LifetimeDistribution,
+        *,
+        window: int = 50,
+        alpha: float = 0.01,
+    ):
+        if window < 8:
+            raise ValueError(f"window must be >= 8, got {window}")
+        self.reference = reference
+        self.window = int(window)
+        self.alpha = float(alpha)
+        self._buffer: list[float] = []
+        self.reports: list[ChangePointReport] = []
+
+    def observe(self, lifetime: float) -> ChangePointReport | None:
+        """Record one lifetime; returns a report when a window completes."""
+        if lifetime < 0:
+            raise ValueError(f"lifetime must be >= 0, got {lifetime}")
+        self._buffer.append(float(lifetime))
+        if len(self._buffer) < self.window:
+            return None
+        report = detect_policy_change(
+            self.reference, np.asarray(self._buffer), alpha=self.alpha
+        )
+        self.reports.append(report)
+        self._buffer.clear()
+        return report
+
+    @property
+    def drift_detected(self) -> bool:
+        """True if any completed window flagged a change."""
+        return any(r.changed for r in self.reports)

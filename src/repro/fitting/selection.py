@@ -1,0 +1,102 @@
+"""Model selection across the candidate distribution families.
+
+Automates the paper's Fig. 1 comparison: fit every family to the same
+empirical CDF, score each with :mod:`repro.fitting.metrics`, and rank.
+On bathtub data the paper's model must win by a wide margin — the
+integration tests assert exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fitting.ecdf import EmpiricalCDF
+from repro.fitting.least_squares import (
+    FitResult,
+    fit_bathtub,
+    fit_exponential,
+    fit_gompertz_makeham,
+    fit_piecewise_bathtub,
+    fit_weibull,
+)
+from repro.fitting.metrics import GoodnessOfFit, evaluate_fit
+
+__all__ = ["ModelComparison", "compare_models"]
+
+_N_PARAMS = {
+    "bathtub": 4,
+    "exponential": 1,
+    "weibull": 2,
+    "gompertz-makeham": 3,
+    "piecewise": 3,
+}
+
+_FITTERS = {
+    "bathtub": fit_bathtub,
+    "exponential": fit_exponential,
+    "weibull": fit_weibull,
+    "gompertz-makeham": fit_gompertz_makeham,
+    "piecewise": fit_piecewise_bathtub,
+}
+
+
+@dataclass(frozen=True)
+class ModelComparison:
+    """All fits plus their scores, ranked best-first by RMSE."""
+
+    fits: dict[str, FitResult]
+    scores: dict[str, GoodnessOfFit]
+    ranking: tuple[str, ...]
+
+    @property
+    def best(self) -> str:
+        """Name of the winning family."""
+        return self.ranking[0]
+
+    def improvement_over(self, other: str, *, metric: str = "rmse") -> float:
+        """Factor by which the best model beats ``other`` on ``metric``."""
+        best_val = getattr(self.scores[self.best], metric)
+        other_val = getattr(self.scores[other], metric)
+        if best_val == 0.0:
+            return float("inf")
+        return other_val / best_val
+
+
+def compare_models(
+    ecdf: EmpiricalCDF,
+    lifetimes: np.ndarray,
+    *,
+    families: tuple[str, ...] = ("bathtub", "exponential", "weibull", "gompertz-makeham"),
+    grid_num: int = 256,
+) -> ModelComparison:
+    """Fit and score the requested families against one empirical CDF.
+
+    Families that fail to converge are dropped from the comparison rather
+    than aborting it (mirrors how a production fitter must behave when a
+    family simply cannot express the data).
+    """
+    fits: dict[str, FitResult] = {}
+    scores: dict[str, GoodnessOfFit] = {}
+    for name in families:
+        try:
+            fitter = _FITTERS[name]
+        except KeyError:
+            raise ValueError(f"unknown model family {name!r}") from None
+        try:
+            result = fitter(ecdf, num=grid_num)
+        except RuntimeError:  # curve_fit convergence failure
+            continue
+        fits[name] = result
+        scores[name] = evaluate_fit(
+            ecdf,
+            result.distribution,
+            lifetimes,
+            n_params=_N_PARAMS[name],
+            grid_num=grid_num,
+        )
+    if not fits:
+        raise RuntimeError("no candidate family converged")
+    ranking = tuple(sorted(fits, key=lambda n: scores[n].rmse))
+    return ModelComparison(fits=fits, scores=scores, ranking=ranking)

@@ -1,0 +1,58 @@
+"""Model-driven resource-management policies (paper Section 4).
+
+* :mod:`repro.policies.runtime` -- expected wasted work and makespan
+  under a single preemption (Eqs. 4-8),
+* :mod:`repro.policies.scheduling` -- the VM-reuse job-scheduling policy
+  and its memoryless baseline (Section 4.2, Figs. 5-7),
+* :mod:`repro.policies.checkpointing` -- the dynamic-programming
+  checkpoint scheduler (Eqs. 9-13) and a fixed-schedule evaluator,
+* :mod:`repro.policies.youngdaly` -- the Young-Daly periodic baseline,
+* :mod:`repro.policies.selection` -- expected-lifetime-driven VM-type
+  selection,
+* :mod:`repro.policies.hotspare` -- the Section 5 "stable VMs are
+  valuable" hot-spare retention rule.
+"""
+
+from repro.policies.runtime import (
+    expected_increase_in_runtime,
+    expected_makespan_at_age,
+    expected_makespan_multi_failure,
+    expected_makespan_single_failure,
+    expected_wasted_work,
+)
+from repro.policies.scheduling import (
+    MemorylessSchedulingPolicy,
+    ModelReusePolicy,
+    SchedulingDecision,
+    average_failure_probability,
+    job_failure_probability,
+)
+from repro.policies.checkpointing import (
+    CheckpointPlan,
+    CheckpointPolicy,
+    evaluate_schedule,
+)
+from repro.policies.youngdaly import young_daly_interval, young_daly_schedule
+from repro.policies.selection import cheapest_suitable_type, select_vm_type
+from repro.policies.hotspare import HotSparePolicy
+
+__all__ = [
+    "expected_increase_in_runtime",
+    "expected_makespan_at_age",
+    "expected_makespan_multi_failure",
+    "expected_makespan_single_failure",
+    "expected_wasted_work",
+    "MemorylessSchedulingPolicy",
+    "ModelReusePolicy",
+    "SchedulingDecision",
+    "average_failure_probability",
+    "job_failure_probability",
+    "CheckpointPlan",
+    "CheckpointPolicy",
+    "evaluate_schedule",
+    "young_daly_interval",
+    "young_daly_schedule",
+    "cheapest_suitable_type",
+    "select_vm_type",
+    "HotSparePolicy",
+]

@@ -1,0 +1,69 @@
+"""Hot-spare retention of stable VMs (paper Section 5).
+
+"Due to the bathtub nature of the failure rate, VMs that have survived
+the initial failures are 'stable' and have a very low rate of failure,
+and thus are 'valuable'.  We keep these stable VMs as 'hot spares'
+instead of terminating them, for a period of one hour."
+
+The policy decides, when a VM goes idle, whether to keep it (and for how
+long) or release it.  A VM is worth keeping only while it sits in the
+stable phase; early-phase VMs are cheap to replace and final-phase VMs
+are about to die anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.model import ConstrainedPreemptionModel
+from repro.core.phases import Phase, classify_phase
+from repro.utils.validation import check_nonnegative, check_positive
+
+__all__ = ["HotSparePolicy", "SpareDecision"]
+
+
+@dataclass(frozen=True)
+class SpareDecision:
+    """Whether to retain an idle VM and the retention budget in hours."""
+
+    keep: bool
+    hold_hours: float
+    reason: str
+
+
+@dataclass(frozen=True)
+class HotSparePolicy:
+    """Phase-aware hot-spare retention.
+
+    Parameters
+    ----------
+    model:
+        Fitted bathtub model of the VM's type.
+    hold_hours:
+        Maximum idle retention (the paper uses 1 hour).
+    """
+
+    model: ConstrainedPreemptionModel
+    hold_hours: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive("hold_hours", self.hold_hours)
+
+    def decide(self, vm_age: float) -> SpareDecision:
+        """Decide retention for an idle VM of age ``vm_age`` hours."""
+        age = check_nonnegative("vm_age", vm_age)
+        if age > self.model.t_max:
+            return SpareDecision(False, 0.0, "past support edge")
+        phase = classify_phase(self.model, min(age, self.model.t_max))
+        if phase is Phase.EARLY:
+            return SpareDecision(False, 0.0, "early phase: not yet stable")
+        if phase is Phase.FINAL:
+            return SpareDecision(False, 0.0, "final phase: deadline imminent")
+        # Stable: keep, but never hold into the final phase.
+        from repro.core.phases import phase_boundaries
+
+        bounds = phase_boundaries(self.model)
+        budget = min(self.hold_hours, max(bounds.final_start - age, 0.0))
+        if budget <= 0.0:
+            return SpareDecision(False, 0.0, "stable but too close to final phase")
+        return SpareDecision(True, budget, "stable phase: valuable VM")

@@ -1,0 +1,83 @@
+"""Model-informed VM-type selection.
+
+Section 4.1: "this analysis also allows principled selection of VM types
+for jobs of a given length" — high-initial-rate types are poison for
+short jobs.  Combined with the per-type price table this yields the
+cost-aware selection rule a batch service actually needs: minimise the
+expected *dollar* cost of finishing the job.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.distributions.base import LifetimeDistribution
+from repro.policies.runtime import expected_makespan_single_failure
+from repro.utils.validation import check_positive
+
+__all__ = ["select_vm_type", "cheapest_suitable_type", "expected_job_cost"]
+
+
+def expected_job_cost(
+    dist: LifetimeDistribution,
+    job_length: float,
+    hourly_price: float,
+) -> float:
+    """Expected cost (USD) of one job: expected makespan x hourly price.
+
+    Uses the Eq. 7 single-failure makespan — the same first-order model
+    the paper's analysis rests on.
+    """
+    price = check_positive("hourly_price", hourly_price)
+    return expected_makespan_single_failure(dist, job_length) * price
+
+
+def select_vm_type(
+    candidates: Mapping[str, tuple[LifetimeDistribution, float]],
+    job_length: float,
+) -> str:
+    """Pick the type minimising expected job cost.
+
+    Parameters
+    ----------
+    candidates:
+        ``name -> (lifetime distribution, preemptible hourly price)``.
+    job_length:
+        Job length in hours.
+    """
+    if not candidates:
+        raise ValueError("no candidate VM types supplied")
+    check_positive("job_length", job_length)
+    scored = {
+        name: expected_job_cost(dist, job_length, price)
+        for name, (dist, price) in candidates.items()
+    }
+    return min(scored, key=lambda n: (scored[n], n))
+
+
+def cheapest_suitable_type(
+    candidates: Mapping[str, tuple[LifetimeDistribution, float]],
+    job_length: float,
+    *,
+    max_failure_probability: float = 0.5,
+) -> str | None:
+    """Cheapest type whose fresh-VM failure probability stays acceptable.
+
+    Returns ``None`` when no type can run the job within the failure
+    budget (e.g. a 23-hour job on any 24 h-bounded type).
+    """
+    if not candidates:
+        raise ValueError("no candidate VM types supplied")
+    T = check_positive("job_length", job_length)
+    if not 0.0 < max_failure_probability <= 1.0:
+        raise ValueError(
+            f"max_failure_probability must be in (0, 1], got {max_failure_probability}"
+        )
+    suitable = {
+        name: price
+        for name, (dist, price) in candidates.items()
+        if float(dist.cdf(T)) <= max_failure_probability
+    }
+    if not suitable:
+        return None
+    return min(suitable, key=lambda n: (suitable[n], n))

@@ -1,0 +1,56 @@
+"""Young-Daly periodic checkpointing — the memoryless baseline of Fig. 8.
+
+Prior transient-computing systems (SpotOn, Flint, Proteus, ...) assume
+exponentially distributed preemptions and checkpoint at the constant
+Young-Daly interval ``tau = sqrt(2 * delta * MTTF)``.  The paper
+parameterises the baseline with the VM's *initial* failure rate (a
+bathtub VM looks ~1 h-MTTF-exponential to a memoryless observer watching
+fresh VMs), which over-checkpoints wildly through the stable phase.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.distributions.base import LifetimeDistribution
+from repro.utils.validation import check_positive
+
+__all__ = ["young_daly_interval", "young_daly_schedule", "initial_rate_mttf"]
+
+
+def young_daly_interval(delta: float, mttf: float) -> float:
+    """The classic first-order optimum ``sqrt(2 * delta * MTTF)`` (hours)."""
+    delta = check_positive("delta", delta)
+    mttf = check_positive("mttf", mttf)
+    return math.sqrt(2.0 * delta * mttf)
+
+
+def initial_rate_mttf(dist: LifetimeDistribution, *, probe: float = 1e-3) -> float:
+    """MTTF implied by the distribution's initial hazard, ``1 / h(0+)``.
+
+    This is the paper's Young-Daly parameterisation: a memoryless
+    observer estimates the failure rate from young VMs, where the
+    bathtub's early phase dominates.
+    """
+    h0 = float(dist.hazard(probe))
+    if not h0 > 0.0:
+        raise ValueError("distribution has zero initial hazard; MTTF undefined")
+    return 1.0 / h0
+
+
+def young_daly_schedule(job_length: float, interval: float) -> list[float]:
+    """Equal segments of ``interval`` hours covering ``job_length``.
+
+    The last segment carries the remainder (and, like every schedule in
+    this package, is not followed by a checkpoint).
+    """
+    job_length = check_positive("job_length", job_length)
+    interval = check_positive("interval", interval)
+    n_full = int(job_length / interval)
+    segments = [interval] * n_full
+    remainder = job_length - n_full * interval
+    if remainder > 1e-12:
+        segments.append(remainder)
+    if not segments:  # interval > job_length: single segment, no checkpoints
+        segments = [job_length]
+    return segments

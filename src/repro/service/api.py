@@ -1,0 +1,95 @@
+"""Request/response surface of the batch service.
+
+The paper's controller exposes an HTTP API; transport is irrelevant to
+the evaluation, so these dataclasses *are* the API: users construct
+requests, the controller returns statuses.  A thin HTTP layer could wrap
+them one-to-one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.utils.validation import check_positive
+
+__all__ = ["JobRequest", "JobStatus", "BagRequest", "BagStatus"]
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """A single batch job submission.
+
+    Attributes
+    ----------
+    work_hours:
+        Uninterrupted running time on the requested gang.
+    width:
+        Number of VMs the job occupies simultaneously.
+    name:
+        Free-form label (e.g. the parameter-point identifier).
+    checkpointable:
+        Whether the application supports checkpoint/restart (the paper's
+        MD applications did not; LULESH-style ones do).
+    """
+
+    work_hours: float
+    width: int = 1
+    name: str = ""
+    checkpointable: bool = True
+
+    def __post_init__(self) -> None:
+        check_positive("work_hours", self.work_hours)
+        if self.width < 1:
+            raise ValueError(f"width must be >= 1, got {self.width}")
+
+
+@dataclass(frozen=True)
+class BagRequest:
+    """A bag of jobs: one application swept over a parameter space.
+
+    Within a bag, "jobs show little variation in their running time"
+    (Section 5); the controller exploits this by estimating run times of
+    later jobs from earlier completions.
+    """
+
+    jobs: Sequence[JobRequest]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.jobs:
+            raise ValueError("a bag must contain at least one job")
+
+    @property
+    def total_work_hours(self) -> float:
+        return sum(j.work_hours * j.width for j in self.jobs)
+
+
+@dataclass(frozen=True)
+class JobStatus:
+    """Point-in-time view of a submitted job."""
+
+    job_id: int
+    name: str
+    state: str
+    progress_hours: float
+    work_hours: float
+    attempts: int
+    failures: int
+    makespan_hours: float | None
+
+
+@dataclass(frozen=True)
+class BagStatus:
+    """Aggregate view of a bag."""
+
+    bag_id: int
+    name: str
+    n_jobs: int
+    n_completed: int
+    n_failures: int
+    job_statuses: tuple[JobStatus, ...] = field(default_factory=tuple)
+
+    @property
+    def done(self) -> bool:
+        return self.n_completed == self.n_jobs

@@ -1,0 +1,59 @@
+"""The bag-of-jobs abstraction (paper Section 5).
+
+Scientific sweeps submit one application over many parameter points;
+run times within a bag vary little.  The controller uses completions of
+early bag members to estimate the run time of later ones — which feeds
+the reuse policy (needs job length ``T``) and the checkpoint planner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.service.api import BagRequest
+
+__all__ = ["BagOfJobs"]
+
+
+@dataclass
+class BagOfJobs:
+    """Controller-side state of one bag: estimates and bookkeeping.
+
+    The run-time estimate starts at the user-declared ``work_hours`` of
+    the first job and converges to the trailing mean of observed
+    completions (uninterrupted run times, not makespans).
+    """
+
+    bag_id: int
+    request: BagRequest
+    observed_runtimes: list[float] = field(default_factory=list)
+    window: int = 16
+
+    def record_completion(self, uninterrupted_hours: float) -> None:
+        """Record the clean run time of a finished bag member."""
+        if uninterrupted_hours <= 0:
+            raise ValueError("uninterrupted_hours must be positive")
+        self.observed_runtimes.append(float(uninterrupted_hours))
+
+    def estimated_runtime(self) -> float:
+        """Best current estimate of a member job's run time (hours)."""
+        if self.observed_runtimes:
+            tail = self.observed_runtimes[-self.window :]
+            return float(np.mean(tail))
+        return float(self.request.jobs[0].work_hours)
+
+    def runtime_cv(self) -> float:
+        """Coefficient of variation of observed run times (0 if < 2 obs).
+
+        The paper's homogeneity assumption can be monitored with this:
+        a large CV means the bag abstraction's estimates are unreliable.
+        """
+        if len(self.observed_runtimes) < 2:
+            return 0.0
+        arr = np.asarray(self.observed_runtimes, dtype=float)
+        mean = float(arr.mean())
+        if mean == 0.0:
+            return 0.0
+        return float(arr.std(ddof=1) / mean)

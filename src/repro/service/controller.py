@@ -1,0 +1,332 @@
+"""The central batch-service controller (paper Fig. 3).
+
+Responsibilities, mirroring Section 5:
+
+* maintain a cluster of preemptible VMs on the (simulated) cloud, capped
+  at ``max_vms``, plus a small on-demand master node (the Slurm head),
+* accept bag-of-jobs submissions; estimate member run times from earlier
+  completions (:class:`repro.service.bag.BagOfJobs`),
+* apply the **model-driven VM-reuse policy** when placing jobs: a free
+  VM is used only if the Eq. 8 expected makespan on it beats a fresh VM,
+  otherwise it is released and a new VM launched,
+* optionally plan **DP checkpoint schedules** per job attempt (jobs
+  whose applications support checkpointing),
+* keep idle *stable* VMs as **hot spares** for a bounded window,
+* account costs and expose job/bag status queries.
+
+The controller is deliberately event-driven: it only acts from cluster
+callbacks (job completed/failed, node idle, queue stalled) — the same
+callback architecture as the paper's Slurm-integrated service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.distributions.base import LifetimeDistribution
+from repro.policies.checkpointing import CheckpointPolicy
+from repro.policies.hotspare import HotSparePolicy
+from repro.policies.scheduling import ModelReusePolicy, SchedulingDecision
+from repro.service.api import BagRequest, BagStatus, JobRequest, JobStatus
+from repro.service.bag import BagOfJobs
+from repro.service.costs import on_demand_baseline_cost
+from repro.service.database import MetadataStore
+from repro.service.metrics import ServiceMetrics
+from repro.sim.cloud import CloudProvider
+from repro.sim.cluster import ClusterManager, JobState, SimJob
+from repro.sim.engine import Simulator
+from repro.sim.vm import SimVM
+from repro.utils.validation import check_nonnegative, check_positive
+
+__all__ = ["ServiceConfig", "ServiceReport", "BatchComputingService"]
+
+#: Machine type of the shared Slurm master (2-CPU non-preemptible VM).
+MASTER_VM_TYPE = "n1-highcpu-2"
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunable knobs of the batch service.
+
+    Attributes
+    ----------
+    vm_type, zone:
+        Worker fleet configuration (one type per service instance, as in
+        the paper's experiments).
+    max_vms:
+        Worker-fleet size cap (the paper's experiments use 32).
+    use_reuse_policy:
+        True = the Section 4.2 model policy; False = memoryless baseline
+        (always reuse, never proactively replace).
+    use_checkpointing:
+        Enable the Section 4.3 DP checkpoint planner for checkpointable
+        jobs.
+    checkpoint_cost:
+        Hours per checkpoint write (paper evaluation: 1 minute).
+    checkpoint_step:
+        DP work-step granularity in hours.
+    hot_spare_hours:
+        Idle retention window for stable VMs (paper: 1 hour).
+    provision_latency:
+        Boot delay for new worker VMs, in hours.
+    run_master:
+        Launch the 2-CPU on-demand master node (billed).
+    max_attempts_per_job:
+        Safety valve against jobs that can never finish.
+    """
+
+    vm_type: str = "n1-highcpu-16"
+    zone: str = "us-central1-c"
+    max_vms: int = 8
+    use_reuse_policy: bool = True
+    use_checkpointing: bool = False
+    checkpoint_cost: float = 1.0 / 60.0
+    checkpoint_step: float = 0.1
+    hot_spare_hours: float = 1.0
+    provision_latency: float = 0.0
+    run_master: bool = True
+    max_attempts_per_job: int = 1000
+
+    def __post_init__(self) -> None:
+        check_positive("max_vms", self.max_vms)
+        check_nonnegative("checkpoint_cost", self.checkpoint_cost)
+        check_positive("checkpoint_step", self.checkpoint_step)
+        check_positive("hot_spare_hours", self.hot_spare_hours)
+        check_nonnegative("provision_latency", self.provision_latency)
+
+
+@dataclass(frozen=True)
+class ServiceReport:
+    """Final accounting of a service run (feeds Fig. 9)."""
+
+    metrics: ServiceMetrics
+    on_demand_baseline: float
+    cost_reduction_factor: float
+    n_preemptions: int
+    makespan_hours: float
+
+
+class BatchComputingService:
+    """Event-driven controller over one simulated cloud + cluster."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cloud: CloudProvider,
+        lifetime_model: LifetimeDistribution,
+        config: ServiceConfig | None = None,
+    ):
+        self.sim = sim
+        self.cloud = cloud
+        self.config = config or ServiceConfig()
+        self.model = lifetime_model
+        self.store = MetadataStore()
+        self.bags: dict[int, BagOfJobs] = {}
+        self._provisioning = 0
+        self._spare_timers: dict[int, object] = {}
+        self._master: SimVM | None = None
+        # The service uses the survival-conditioned reuse criterion: the
+        # literal Eq. 8 form rejects stable aged VMs for short jobs,
+        # causing fresh-VM churn (see ModelReusePolicy.criterion docs).
+        self._reuse = ModelReusePolicy(lifetime_model, criterion="conditional")
+        self._ckpt: CheckpointPolicy | None = None
+        if self.config.use_checkpointing:
+            self._ckpt = CheckpointPolicy(
+                lifetime_model,
+                step=self.config.checkpoint_step,
+                delta=self.config.checkpoint_cost,
+            )
+        self.cluster = ClusterManager(
+            sim,
+            log=cloud.log,
+            node_selector=self._select_nodes,
+            checkpoint_planner=self._plan_checkpoints,
+            checkpoint_cost=self.config.checkpoint_cost,
+        )
+        self.cluster.on_job_complete.append(self._job_completed)
+        self.cluster.on_job_failed.append(self._job_failed)
+        self.cluster.on_node_idle.append(self._node_idle)
+        self.cluster.on_queue_stalled.append(self._queue_stalled)
+        if self.config.run_master:
+            self._master = cloud.launch(
+                MASTER_VM_TYPE, self.config.zone, preemptible=False
+            )
+
+    # ------------------------------------------------------------------
+    # Submission API
+    # ------------------------------------------------------------------
+    def submit_bag(self, request: BagRequest) -> int:
+        """Submit a bag; returns the bag id for status queries."""
+        bag_id = self.store.new_bag(request.name)
+        self.bags[bag_id] = BagOfJobs(bag_id=bag_id, request=request)
+        for req in request.jobs:
+            self._submit_job(req, bag_id)
+        return bag_id
+
+    def submit_job(self, request: JobRequest) -> int:
+        """Submit a standalone job; returns the job id."""
+        return self._submit_job(request, None)
+
+    def _submit_job(self, request: JobRequest, bag_id: int | None) -> int:
+        if request.width > self.config.max_vms:
+            raise ValueError(
+                f"job width {request.width} exceeds max_vms {self.config.max_vms}"
+            )
+        job = SimJob(
+            job_id=self.store.new_job_id(),
+            work_hours=request.work_hours,
+            width=request.width,
+            bag_id=bag_id,
+            submit_time=self.sim.now,
+        )
+        # Stash checkpointability on the job object for the planner hook.
+        job.checkpointable = request.checkpointable  # type: ignore[attr-defined]
+        self.store.register_job(job, request.name)
+        self.cluster.submit(job)
+        return job.job_id
+
+    # ------------------------------------------------------------------
+    # Policy hooks (called by the cluster manager)
+    # ------------------------------------------------------------------
+    def _estimate_length(self, job: SimJob) -> float:
+        if job.bag_id is not None:
+            return self.bags[job.bag_id].estimated_runtime()
+        return job.work_hours
+
+    def _select_nodes(self, job: SimJob, free: Sequence[SimVM]) -> list[SimVM] | None:
+        """Reuse-policy-filtered node selection (oldest suitable first)."""
+        length = max(self._estimate_length(job), 1e-6)
+        if self.config.use_reuse_policy:
+            suitable = [
+                vm
+                for vm in free
+                if self._reuse.decide(length, vm.age(self.sim.now))
+                is SchedulingDecision.REUSE
+            ]
+        else:
+            suitable = list(free)
+        if len(suitable) < job.width:
+            return None
+        return suitable[: job.width]
+
+    def _plan_checkpoints(self, job: SimJob, start_age: float) -> list[float] | None:
+        if self._ckpt is None or not getattr(job, "checkpointable", True):
+            return None
+        remaining = job.remaining_hours
+        if remaining < self.config.checkpoint_step:
+            return None
+        plan = self._ckpt.plan(remaining, start_age)
+        return list(plan.segments)
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _job_completed(self, job: SimJob) -> None:
+        if job.bag_id is not None:
+            self.bags[job.bag_id].record_completion(job.work_hours)
+
+    def _job_failed(self, job: SimJob, dead_vm: SimVM) -> None:
+        if job.attempts >= self.config.max_attempts_per_job:
+            raise RuntimeError(
+                f"job {job.job_id} exceeded {self.config.max_attempts_per_job} attempts"
+            )
+
+    def _node_idle(self, vm: SimVM) -> None:
+        """Hot-spare bookkeeping when a node has no work."""
+        if self.cluster.queue_length > 0:
+            return  # it will be picked up by try_schedule
+        hold = self.config.hot_spare_hours
+        handle = self.sim.schedule(hold, lambda: self._reap_spare(vm.vm_id))
+        self._spare_timers[vm.vm_id] = handle
+
+    def _reap_spare(self, vm_id: int) -> None:
+        self._spare_timers.pop(vm_id, None)
+        for vm in self.cluster.free_nodes():
+            if vm.vm_id == vm_id and self.cluster.queue_length == 0:
+                self.cluster.remove_node(vm)
+                self.cloud.terminate(vm)
+                return
+
+    def _queue_stalled(self, job: SimJob, n_free: int) -> None:
+        """Launch workers to unblock the queue head (respecting the cap)."""
+        length = max(self._estimate_length(job), 1e-6)
+        free = self.cluster.free_nodes()
+        if self.config.use_reuse_policy:
+            suitable = [
+                vm
+                for vm in free
+                if self._reuse.decide(length, vm.age(self.sim.now))
+                is SchedulingDecision.REUSE
+            ]
+            # Policy-rejected idle VMs are released: the model says any
+            # job placed there now would be better off on a fresh VM.
+            for vm in free:
+                if vm not in suitable:
+                    self.cluster.remove_node(vm)
+                    self.cloud.terminate(vm)
+        else:
+            suitable = free
+        alive_workers = len(self.cluster.free_nodes()) + len(self.cluster.busy_nodes())
+        deficit = job.width - len(suitable) - self._provisioning
+        headroom = self.config.max_vms - alive_workers - self._provisioning
+        to_launch = min(deficit, headroom)
+        for _ in range(max(to_launch, 0)):
+            self._provisioning += 1
+            self.sim.schedule(self.config.provision_latency, self._boot_worker)
+
+    def _boot_worker(self) -> None:
+        self._provisioning -= 1
+        vm = self.cloud.launch(self.config.vm_type, self.config.zone, preemptible=True)
+        self.cluster.add_node(vm)
+
+    # ------------------------------------------------------------------
+    # Run / status / reporting
+    # ------------------------------------------------------------------
+    def bag_done(self, bag_id: int) -> bool:
+        return self.store.bag_status(bag_id).done
+
+    def run_until_bag_done(self, bag_id: int, *, max_events: int = 5_000_000) -> None:
+        """Drive the simulator until every job of the bag completes."""
+        for _ in range(max_events):
+            if self.bag_done(bag_id):
+                return
+            if not self.sim.step():
+                raise RuntimeError("simulation drained before the bag finished")
+        raise RuntimeError(f"exceeded {max_events} events")
+
+    def shutdown(self) -> None:
+        """Terminate all service VMs (workers, spares, master)."""
+        for vm in list(self.cluster.free_nodes()):
+            self.cluster.remove_node(vm)
+            self.cloud.terminate(vm)
+        if self._master is not None and self._master.alive:
+            self.cloud.terminate(self._master)
+
+    def job_status(self, job_id: int) -> JobStatus:
+        return self.store.job_status(job_id)
+
+    def bag_status(self, bag_id: int, *, include_jobs: bool = False) -> BagStatus:
+        return self.store.bag_status(bag_id, include_jobs=include_jobs)
+
+    def report(self, bag_id: int, *, start_time: float = 0.0) -> ServiceReport:
+        """Final cost/performance report for a completed bag."""
+        bag = self.bags[bag_id]
+        metrics = ServiceMetrics.from_run(
+            self.cloud.log, self.cloud.billing(), self.sim.now - start_time
+        )
+        master_hours = self.sim.now - start_time if self.config.run_master else 0.0
+        baseline = on_demand_baseline_cost(
+            bag.request,
+            self.config.vm_type,
+            catalog=self.cloud.catalog,
+            master_hours=0.0,
+        )
+        factor = baseline / metrics.total_cost if metrics.total_cost > 0 else float("inf")
+        return ServiceReport(
+            metrics=metrics,
+            on_demand_baseline=baseline,
+            cost_reduction_factor=factor,
+            n_preemptions=metrics.n_preemptions,
+            makespan_hours=self.sim.now - start_time,
+        )

@@ -1,0 +1,54 @@
+"""Cost accounting (the Fig. 9a comparison).
+
+Preemptible cost comes from the simulator's billing; the on-demand
+baseline is the counterfactual the paper compares against: the same
+work executed on never-preempted on-demand VMs at list price (no wasted
+work, no checkpoint overhead — the paper's conventional deployment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.service.api import BagRequest
+from repro.traces.catalog import GroundTruthCatalog, default_catalog
+from repro.utils.validation import check_nonnegative
+
+__all__ = ["CostModel", "on_demand_baseline_cost"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Price lookups over a catalog (one place to swap price sheets)."""
+
+    catalog: GroundTruthCatalog
+
+    def preemptible_rate(self, vm_type: str) -> float:
+        return self.catalog.spec(vm_type).preemptible_price
+
+    def on_demand_rate(self, vm_type: str) -> float:
+        return self.catalog.spec(vm_type).on_demand_price
+
+    def discount(self, vm_type: str) -> float:
+        """On-demand / preemptible ratio (~4.7x on the 2019 sheet)."""
+        return self.catalog.spec(vm_type).discount
+
+
+def on_demand_baseline_cost(
+    bag: BagRequest,
+    vm_type: str,
+    *,
+    catalog: GroundTruthCatalog | None = None,
+    master_hours: float = 0.0,
+    master_rate: float = 0.0,
+) -> float:
+    """Cost of running ``bag`` on conventional on-demand VMs.
+
+    Ideal execution: every job runs exactly once, each of its ``width``
+    VMs billed for the job's duration at the on-demand rate.
+    """
+    catalog = catalog or default_catalog()
+    rate = catalog.spec(vm_type).on_demand_price
+    check_nonnegative("master_hours", master_hours)
+    check_nonnegative("master_rate", master_rate)
+    return bag.total_work_hours * rate + master_hours * master_rate

@@ -1,0 +1,90 @@
+"""In-memory metadata store (the controller's "local database").
+
+The paper's controller keeps the job queue and metadata in a local
+database; an indexed in-memory store keeps the reproduction dependency
+free while preserving the query surface (by job, by bag, by state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.service.api import BagStatus, JobStatus
+from repro.sim.cluster import JobState, SimJob
+
+__all__ = ["MetadataStore"]
+
+
+@dataclass
+class _BagRecord:
+    bag_id: int
+    name: str
+    job_ids: list[int] = field(default_factory=list)
+
+
+class MetadataStore:
+    """Job and bag registry with status projection."""
+
+    def __init__(self) -> None:
+        self._jobs: dict[int, SimJob] = {}
+        self._names: dict[int, str] = {}
+        self._bags: dict[int, _BagRecord] = {}
+        self._next_job_id = 0
+        self._next_bag_id = 0
+
+    # -- registration ---------------------------------------------------
+    def new_job_id(self) -> int:
+        jid = self._next_job_id
+        self._next_job_id += 1
+        return jid
+
+    def register_job(self, job: SimJob, name: str = "") -> None:
+        if job.job_id in self._jobs:
+            raise ValueError(f"duplicate job id {job.job_id}")
+        self._jobs[job.job_id] = job
+        self._names[job.job_id] = name
+        if job.bag_id is not None:
+            self._bags[job.bag_id].job_ids.append(job.job_id)
+
+    def new_bag(self, name: str = "") -> int:
+        bid = self._next_bag_id
+        self._next_bag_id += 1
+        self._bags[bid] = _BagRecord(bag_id=bid, name=name)
+        return bid
+
+    # -- queries ----------------------------------------------------------
+    def job(self, job_id: int) -> SimJob:
+        return self._jobs[job_id]
+
+    def jobs(self) -> list[SimJob]:
+        return list(self._jobs.values())
+
+    def jobs_in_bag(self, bag_id: int) -> list[SimJob]:
+        return [self._jobs[j] for j in self._bags[bag_id].job_ids]
+
+    def job_status(self, job_id: int) -> JobStatus:
+        job = self._jobs[job_id]
+        return JobStatus(
+            job_id=job.job_id,
+            name=self._names.get(job.job_id, ""),
+            state=job.state.value,
+            progress_hours=job.progress_hours,
+            work_hours=job.work_hours,
+            attempts=job.attempts,
+            failures=job.failures,
+            makespan_hours=job.makespan,
+        )
+
+    def bag_status(self, bag_id: int, *, include_jobs: bool = False) -> BagStatus:
+        rec = self._bags[bag_id]
+        jobs = [self._jobs[j] for j in rec.job_ids]
+        return BagStatus(
+            bag_id=bag_id,
+            name=rec.name,
+            n_jobs=len(jobs),
+            n_completed=sum(1 for j in jobs if j.state is JobState.COMPLETED),
+            n_failures=sum(j.failures for j in jobs),
+            job_statuses=tuple(self.job_status(j.job_id) for j in jobs)
+            if include_jobs
+            else (),
+        )

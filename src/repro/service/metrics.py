@@ -1,0 +1,54 @@
+"""Service-level metrics derived from the simulation event log."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.cloud import BillingReport
+from repro.sim.events import EventLog, JobCompleted, JobFailed, VMPreempted
+
+__all__ = ["ServiceMetrics"]
+
+
+@dataclass(frozen=True)
+class ServiceMetrics:
+    """Summary of one service run (feeds Fig. 9 and EXPERIMENTS.md)."""
+
+    n_jobs_completed: int
+    n_job_failures: int
+    n_preemptions: int
+    total_lost_hours: float
+    mean_job_makespan: float
+    wall_clock_hours: float
+    total_cost: float
+    preemptible_cost: float
+    on_demand_cost: float
+    vm_hours: float
+
+    @classmethod
+    def from_run(
+        cls, log: EventLog, billing: BillingReport, wall_clock_hours: float
+    ) -> "ServiceMetrics":
+        completed = log.of_type(JobCompleted)
+        failed = log.of_type(JobFailed)
+        makespans = np.array([e.makespan_hours for e in completed], dtype=float)
+        return cls(
+            n_jobs_completed=len(completed),
+            n_job_failures=len(failed),
+            n_preemptions=log.count(VMPreempted),
+            total_lost_hours=float(sum(e.lost_hours for e in failed)),
+            mean_job_makespan=float(makespans.mean()) if makespans.size else 0.0,
+            wall_clock_hours=wall_clock_hours,
+            total_cost=billing.total_cost,
+            preemptible_cost=billing.preemptible_cost,
+            on_demand_cost=billing.on_demand_cost,
+            vm_hours=billing.vm_hours,
+        )
+
+    def cost_per_job(self) -> float:
+        """Mean USD per completed job (the Fig. 9a y-axis)."""
+        if self.n_jobs_completed == 0:
+            return float("nan")
+        return self.total_cost / self.n_jobs_completed

@@ -1,0 +1,47 @@
+"""Discrete-event simulation substrate.
+
+Replaces the paper's live Google Cloud deployment:
+
+* :mod:`repro.sim.engine` -- event-heap simulator core,
+* :mod:`repro.sim.events` -- typed event records + event log,
+* :mod:`repro.sim.rng` -- hierarchical seeded random streams,
+* :mod:`repro.sim.cloud` -- the cloud provider (launch/preempt/bill),
+* :mod:`repro.sim.vm` -- VM lifecycle state machine,
+* :mod:`repro.sim.cluster` -- Slurm-like cluster manager with
+  completion/failure callbacks,
+* :mod:`repro.sim.runner` -- job execution with checkpoint/restart.
+
+Time unit is **hours** throughout, matching the modeling layer.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.events import (
+    EventLog,
+    JobCompleted,
+    JobFailed,
+    JobStarted,
+    VMLaunched,
+    VMPreempted,
+    VMTerminated,
+)
+from repro.sim.rng import RandomStreams
+from repro.sim.cloud import CloudProvider
+from repro.sim.vm import SimVM, VMState
+from repro.sim.cluster import ClusterManager, SimJob
+
+__all__ = [
+    "Simulator",
+    "EventLog",
+    "JobCompleted",
+    "JobFailed",
+    "JobStarted",
+    "VMLaunched",
+    "VMPreempted",
+    "VMTerminated",
+    "RandomStreams",
+    "CloudProvider",
+    "SimVM",
+    "VMState",
+    "ClusterManager",
+    "SimJob",
+]

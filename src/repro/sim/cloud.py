@@ -1,0 +1,205 @@
+"""The simulated cloud provider.
+
+Implements the provider-side contract the paper's service programs
+against (via the Google Cloud API in the original):
+
+* launch preemptible or on-demand VMs of catalog types,
+* draw each preemptible VM's true lifetime from the ground-truth
+  bathtub law for its (type, zone, time-of-day, idleness) context,
+* deliver preemptions through registered callbacks after an (optional)
+  advance-warning window — Google gives 30 s,
+* bill per VM-hour at the catalog prices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.events import EventLog, VMLaunched, VMPreempted, VMTerminated
+from repro.sim.rng import RandomStreams
+from repro.sim.vm import SimVM, VMState
+from repro.traces.catalog import GroundTruthCatalog, default_catalog
+from repro.utils.validation import check_nonnegative
+
+__all__ = ["CloudProvider", "BillingReport"]
+
+#: Google's preemption notice (30 seconds, in hours).
+PREEMPTION_WARNING_HOURS = 30.0 / 3600.0
+
+
+@dataclass(frozen=True)
+class BillingReport:
+    """Aggregate billing at a point in simulation time."""
+
+    total_cost: float
+    preemptible_cost: float
+    on_demand_cost: float
+    vm_hours: float
+    n_launched: int
+    n_preempted: int
+
+
+@dataclass
+class _VMBookkeeping:
+    vm: SimVM
+    preempt_handle: EventHandle | None = None
+    warning_handle: EventHandle | None = None
+
+
+class CloudProvider:
+    """Simulated IaaS provider with temporally constrained preemptions.
+
+    Parameters
+    ----------
+    sim:
+        The driving :class:`Simulator`.
+    catalog:
+        Ground-truth catalog (types, prices, preemption laws).
+    streams:
+        Seeded random streams; each VM's lifetime uses stream
+        ``("vm-lifetime", vm_id)``.
+    day_origin_hour:
+        Hour-of-day corresponding to simulation time 0 (for the
+        night/day preemption modifier).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        catalog: GroundTruthCatalog | None = None,
+        streams: RandomStreams | None = None,
+        *,
+        day_origin_hour: float = 9.0,
+        log: EventLog | None = None,
+    ):
+        self.sim = sim
+        self.catalog = catalog or default_catalog()
+        self.streams = streams or RandomStreams(0)
+        self.day_origin_hour = check_nonnegative("day_origin_hour", day_origin_hour)
+        self.log = log if log is not None else EventLog()
+        self._vms: dict[int, _VMBookkeeping] = {}
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    def hour_of_day(self, time: float | None = None) -> float:
+        """Local hour-of-day at simulation time ``time`` (default now)."""
+        t = self.sim.now if time is None else time
+        return (self.day_origin_hour + t) % 24.0
+
+    def is_night(self, time: float | None = None) -> bool:
+        """The paper's night window: 8 PM to 8 AM."""
+        h = self.hour_of_day(time)
+        return h >= 20.0 or h < 8.0
+
+    # ------------------------------------------------------------------
+    def launch(
+        self,
+        vm_type: str,
+        zone: str = "us-central1-c",
+        *,
+        preemptible: bool = True,
+        idle: bool = False,
+    ) -> SimVM:
+        """Launch a VM and (if preemptible) schedule its hidden preemption."""
+        spec = self.catalog.spec(vm_type)
+        vm_id = self._next_id
+        self._next_id += 1
+        price = spec.preemptible_price if preemptible else spec.on_demand_price
+        vm = SimVM(
+            vm_id=vm_id,
+            vm_type=vm_type,
+            zone=zone,
+            launch_time=self.sim.now,
+            preemptible=preemptible,
+            hourly_price=price,
+        )
+        book = _VMBookkeeping(vm=vm)
+        self._vms[vm_id] = book
+        self.log.record(VMLaunched(time=self.sim.now, vm_id=vm_id, vm_type=vm_type, zone=zone))
+        if preemptible:
+            dist = self.catalog.distribution(
+                vm_type, zone, night=self.is_night(), idle=idle
+            )
+            rng = self.streams.spawn("vm-lifetime", vm_id)
+            lifetime = float(dist.sample(1, rng)[0])
+            warn_at = max(lifetime - PREEMPTION_WARNING_HOURS, 0.0)
+            if warn_at > 0.0:
+                book.warning_handle = self.sim.schedule(
+                    warn_at, lambda: self._fire_warning(vm_id)
+                )
+            book.preempt_handle = self.sim.schedule(
+                lifetime, lambda: self._fire_preemption(vm_id)
+            )
+        return vm
+
+    def _fire_warning(self, vm_id: int) -> None:
+        # Advance notice: currently informational (the service's policies
+        # are proactive rather than reactive); hook point for extensions.
+        pass
+
+    def _fire_preemption(self, vm_id: int) -> None:
+        book = self._vms[vm_id]
+        vm = book.vm
+        if vm.state is not VMState.RUNNING:
+            return  # already terminated by the user
+        vm.mark_preempted(self.sim.now)
+        self.log.record(
+            VMPreempted(
+                time=self.sim.now,
+                vm_id=vm_id,
+                vm_type=vm.vm_type,
+                age_hours=vm.age(self.sim.now),
+            )
+        )
+        for cb in list(vm.on_preempt):
+            cb(vm, self.sim.now)
+
+    def terminate(self, vm: SimVM) -> None:
+        """User-initiated termination (cancels the pending preemption)."""
+        if vm.state is not VMState.RUNNING:
+            return
+        book = self._vms[vm.vm_id]
+        if book.preempt_handle is not None:
+            book.preempt_handle.cancel()
+        if book.warning_handle is not None:
+            book.warning_handle.cancel()
+        vm.mark_terminated(self.sim.now)
+        self.log.record(
+            VMTerminated(
+                time=self.sim.now,
+                vm_id=vm.vm_id,
+                vm_type=vm.vm_type,
+                age_hours=vm.age(self.sim.now),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def vm(self, vm_id: int) -> SimVM:
+        return self._vms[vm_id].vm
+
+    def all_vms(self) -> list[SimVM]:
+        return [b.vm for b in self._vms.values()]
+
+    def billing(self) -> BillingReport:
+        """Aggregate cost/usage report at the current simulation time."""
+        now = self.sim.now
+        pre = od = hours = 0.0
+        n_pre = 0
+        for b in self._vms.values():
+            c = b.vm.cost(now)
+            hours += b.vm.runtime_hours(now)
+            if b.vm.preemptible:
+                pre += c
+            else:
+                od += c
+            if b.vm.state is VMState.PREEMPTED:
+                n_pre += 1
+        return BillingReport(
+            total_cost=pre + od,
+            preemptible_cost=pre,
+            on_demand_cost=od,
+            vm_hours=hours,
+            n_launched=len(self._vms),
+            n_preempted=n_pre,
+        )

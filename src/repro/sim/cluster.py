@@ -1,0 +1,248 @@
+"""Slurm-like cluster manager.
+
+The paper's service drives a Slurm cluster whose "cloud" nodes are
+preemptible VMs; Slurm handles node loss and reports job completions and
+failures back to the controller via callbacks.  This module reproduces
+that contract:
+
+* a node registry (VMs join and leave as they launch and die),
+* a FIFO job queue with gang scheduling (a job occupies ``width`` nodes
+  at once; MPI semantics — losing any node aborts the attempt),
+* pluggable *node selection* and *checkpoint planning* hooks, through
+  which the service controller injects the Section 4 policies,
+* completion / failure callbacks (the "Slurm call-backs" of Fig. 3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.sim.engine import Simulator
+from repro.sim.events import EventLog, JobCompleted, JobFailed, JobStarted
+from repro.sim.runner import JobExecution
+from repro.sim.vm import SimVM
+from repro.utils.validation import check_positive
+
+__all__ = ["JobState", "SimJob", "ClusterManager"]
+
+
+class JobState(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+
+
+@dataclass
+class SimJob:
+    """A batch job: ``work_hours`` of computation on ``width`` gang nodes.
+
+    ``progress_hours`` tracks checkpointed work; after a preemption the
+    job resumes from there.
+    """
+
+    job_id: int
+    work_hours: float
+    width: int = 1
+    bag_id: int | None = None
+    submit_time: float = 0.0
+    state: JobState = JobState.PENDING
+    progress_hours: float = 0.0
+    attempts: int = 0
+    failures: int = 0
+    start_time: float | None = None
+    finish_time: float | None = None
+
+    def __post_init__(self) -> None:
+        check_positive("work_hours", self.work_hours)
+        if self.width < 1:
+            raise ValueError(f"width must be >= 1, got {self.width}")
+
+    @property
+    def remaining_hours(self) -> float:
+        return max(self.work_hours - self.progress_hours, 0.0)
+
+    @property
+    def makespan(self) -> float | None:
+        """Submission-to-completion wall time, once finished."""
+        if self.finish_time is None:
+            return None
+        return self.finish_time - self.submit_time
+
+
+# Hook signatures ------------------------------------------------------
+#: Given (job, free VMs) return the VMs to run on, or None to defer
+#: (e.g. because new VMs should be launched instead).
+NodeSelector = Callable[[SimJob, Sequence[SimVM]], "list[SimVM] | None"]
+#: Given (job, age of the oldest selected VM) return checkpoint segments
+#: (hours of work between checkpoints) or None for no checkpointing.
+CheckpointPlanner = Callable[[SimJob, float], "list[float] | None"]
+
+
+def _default_selector(job: SimJob, free: Sequence[SimVM]) -> list[SimVM] | None:
+    if len(free) < job.width:
+        return None
+    return list(free[: job.width])
+
+
+def _no_checkpoints(job: SimJob, start_age: float) -> list[float] | None:
+    return None
+
+
+class ClusterManager:
+    """FIFO gang scheduler over a dynamic pool of preemptible nodes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        *,
+        log: EventLog | None = None,
+        node_selector: NodeSelector = _default_selector,
+        checkpoint_planner: CheckpointPlanner = _no_checkpoints,
+        checkpoint_cost: float = 1.0 / 60.0,
+    ):
+        self.sim = sim
+        self.log = log if log is not None else EventLog()
+        self.node_selector = node_selector
+        self.checkpoint_planner = checkpoint_planner
+        self.checkpoint_cost = checkpoint_cost
+        self._free: dict[int, SimVM] = {}
+        self._busy: dict[int, SimVM] = {}
+        self._queue: list[SimJob] = []
+        self._executions: dict[int, JobExecution] = {}
+        self.completed: list[SimJob] = []
+        #: external callbacks: fired after internal state updates.
+        self.on_job_complete: list[Callable[[SimJob], None]] = []
+        self.on_job_failed: list[Callable[[SimJob, SimVM], None]] = []
+        self.on_node_idle: list[Callable[[SimVM], None]] = []
+        self.on_queue_stalled: list[Callable[[SimJob, int], None]] = []
+
+    # -- node registry --------------------------------------------------
+    def add_node(self, vm: SimVM) -> None:
+        """Register a running VM as a schedulable node."""
+        if not vm.alive:
+            raise ValueError(f"VM {vm.vm_id} is not running")
+        vm.on_preempt.append(self._node_preempted)
+        self._free[vm.vm_id] = vm
+        self.try_schedule()
+
+    def remove_node(self, vm: SimVM) -> None:
+        """Deregister an idle node (e.g. hot-spare expiry)."""
+        if vm.vm_id in self._busy:
+            raise ValueError(f"VM {vm.vm_id} is busy; cannot remove")
+        self._free.pop(vm.vm_id, None)
+
+    def free_nodes(self) -> list[SimVM]:
+        """Idle registered nodes, oldest launch first (stable order)."""
+        return sorted(self._free.values(), key=lambda v: (v.launch_time, v.vm_id))
+
+    def busy_nodes(self) -> list[SimVM]:
+        return sorted(self._busy.values(), key=lambda v: v.vm_id)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    # -- job queue --------------------------------------------------------
+    def submit(self, job: SimJob) -> None:
+        if job.state is not JobState.PENDING:
+            raise ValueError(f"job {job.job_id} is {job.state.value}")
+        job.submit_time = self.sim.now if job.submit_time == 0.0 else job.submit_time
+        self._queue.append(job)
+        self.try_schedule()
+
+    def try_schedule(self) -> None:
+        """Start queued jobs while the selector yields node sets (FIFO)."""
+        while self._queue:
+            job = self._queue[0]
+            free = self.free_nodes()
+            selected = self.node_selector(job, free)
+            if not selected:
+                if len(free) < job.width or selected is None:
+                    for cb in list(self.on_queue_stalled):
+                        cb(job, len(free))
+                return
+            if len(selected) != job.width:
+                raise RuntimeError(
+                    f"selector returned {len(selected)} nodes for width {job.width}"
+                )
+            self._queue.pop(0)
+            self._start(job, selected)
+
+    def _start(self, job: SimJob, vms: list[SimVM]) -> None:
+        for vm in vms:
+            self._free.pop(vm.vm_id)
+            self._busy[vm.vm_id] = vm
+        job.state = JobState.RUNNING
+        job.attempts += 1
+        if job.start_time is None:
+            job.start_time = self.sim.now
+        oldest_age = max(vm.age(self.sim.now) for vm in vms)
+        segments = self.checkpoint_planner(job, oldest_age)
+        execution = JobExecution(
+            sim=self.sim,
+            job=job,
+            vms=vms,
+            segments=segments,
+            checkpoint_cost=self.checkpoint_cost,
+            log=self.log,
+            on_complete=self._job_completed,
+            on_abort=self._job_aborted,
+        )
+        self._executions[job.job_id] = execution
+        self.log.record(
+            JobStarted(time=self.sim.now, job_id=job.job_id, vm_ids=tuple(v.vm_id for v in vms))
+        )
+        execution.begin()
+
+    # -- execution callbacks ---------------------------------------------
+    def _release(self, vms: Sequence[SimVM]) -> None:
+        for vm in vms:
+            self._busy.pop(vm.vm_id, None)
+            if vm.alive:
+                self._free[vm.vm_id] = vm
+                for cb in list(self.on_node_idle):
+                    cb(vm)
+
+    def _job_completed(self, job: SimJob, vms: Sequence[SimVM]) -> None:
+        job.state = JobState.COMPLETED
+        job.finish_time = self.sim.now
+        self._executions.pop(job.job_id, None)
+        self.completed.append(job)
+        self.log.record(
+            JobCompleted(
+                time=self.sim.now, job_id=job.job_id, makespan_hours=job.makespan or 0.0
+            )
+        )
+        self._release(vms)
+        for cb in list(self.on_job_complete):
+            cb(job)
+        self.try_schedule()
+
+    def _job_aborted(self, job: SimJob, vms: Sequence[SimVM], dead_vm: SimVM, lost: float) -> None:
+        job.state = JobState.PENDING
+        job.failures += 1
+        self._executions.pop(job.job_id, None)
+        self.log.record(
+            JobFailed(time=self.sim.now, job_id=job.job_id, vm_id=dead_vm.vm_id, lost_hours=lost)
+        )
+        # Failed job returns to the head of the queue (it was oldest).
+        self._queue.insert(0, job)
+        # Release the whole gang: the dead VM leaves the busy set, the
+        # survivors return to the free pool.
+        self._release(vms)
+        for cb in list(self.on_job_failed):
+            cb(job, dead_vm)
+        self.try_schedule()
+
+    def _node_preempted(self, vm: SimVM, now: float) -> None:
+        if vm.vm_id in self._free:
+            self._free.pop(vm.vm_id)
+            return
+        if vm.vm_id in self._busy:
+            # The execution owning this VM handles the abort.
+            for execution in list(self._executions.values()):
+                if any(v.vm_id == vm.vm_id for v in execution.vms):
+                    execution.abort(vm)
+                    return

@@ -1,0 +1,124 @@
+"""Minimal deterministic discrete-event simulator.
+
+A binary-heap event queue keyed on (time, sequence number) so that
+same-time events fire in scheduling order — determinism matters because
+every evaluation in EXPERIMENTS.md must be reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["Simulator", "EventHandle"]
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`Simulator.schedule`; supports cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent):
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing (idempotent)."""
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+
+class Simulator:
+    """Event-driven clock with ``schedule`` / ``run_until`` / ``run``.
+
+    Notes
+    -----
+    Callbacks may schedule further events (including at the current
+    time); they execute strictly in (time, insertion-order).
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._queue: list[_ScheduledEvent] = []
+        self._counter = itertools.count()
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (hours)."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks executed so far."""
+        return self._processed
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Run ``callback`` after ``delay`` hours (>= 0)."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        """Run ``callback`` at absolute time ``time`` (>= now)."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self._now})")
+        ev = _ScheduledEvent(time=float(time), seq=next(self._counter), callback=callback)
+        heapq.heappush(self._queue, ev)
+        return EventHandle(ev)
+
+    def step(self) -> bool:
+        """Execute the next pending event; False when the queue is empty."""
+        while self._queue:
+            ev = heapq.heappop(self._queue)
+            if ev.cancelled:
+                continue
+            self._now = ev.time
+            ev.callback()
+            self._processed += 1
+            return True
+        return False
+
+    def run(self, *, max_events: int = 10_000_000) -> None:
+        """Run until the queue drains (or the safety cap trips)."""
+        for _ in range(max_events):
+            if not self.step():
+                return
+        raise RuntimeError(f"simulation exceeded {max_events} events")
+
+    def run_until(self, time: float, *, max_events: int = 10_000_000) -> None:
+        """Run all events scheduled strictly before or at ``time``."""
+        if time < self._now:
+            raise ValueError(f"cannot run backwards ({time} < {self._now})")
+        for _ in range(max_events):
+            if not self._queue:
+                break
+            nxt = self._queue[0]
+            if nxt.time > time:
+                break
+            self.step()
+        else:
+            raise RuntimeError(f"simulation exceeded {max_events} events")
+        self._now = max(self._now, float(time))
+
+    def peek_next_time(self) -> float | None:
+        """Time of the next live event, or None if the queue is empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None

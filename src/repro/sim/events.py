@@ -1,0 +1,101 @@
+"""Typed event records and the event log.
+
+The service controller, the metrics collector, and the tests all consume
+the same structured event stream; nothing greps strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Type, TypeVar
+
+__all__ = [
+    "SimEvent",
+    "VMLaunched",
+    "VMPreempted",
+    "VMTerminated",
+    "JobStarted",
+    "JobCompleted",
+    "JobFailed",
+    "CheckpointWritten",
+    "EventLog",
+]
+
+
+@dataclass(frozen=True)
+class SimEvent:
+    """Base class: every event carries its simulation timestamp (hours)."""
+
+    time: float
+
+
+@dataclass(frozen=True)
+class VMLaunched(SimEvent):
+    vm_id: int
+    vm_type: str
+    zone: str
+
+
+@dataclass(frozen=True)
+class VMPreempted(SimEvent):
+    vm_id: int
+    vm_type: str
+    age_hours: float
+
+
+@dataclass(frozen=True)
+class VMTerminated(SimEvent):
+    vm_id: int
+    vm_type: str
+    age_hours: float
+
+
+@dataclass(frozen=True)
+class JobStarted(SimEvent):
+    job_id: int
+    vm_ids: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class JobCompleted(SimEvent):
+    job_id: int
+    makespan_hours: float
+
+
+@dataclass(frozen=True)
+class JobFailed(SimEvent):
+    job_id: int
+    vm_id: int
+    lost_hours: float
+
+
+@dataclass(frozen=True)
+class CheckpointWritten(SimEvent):
+    job_id: int
+    work_done_hours: float
+
+
+E = TypeVar("E", bound=SimEvent)
+
+
+@dataclass
+class EventLog:
+    """Append-only chronological event store with typed queries."""
+
+    events: list[SimEvent] = field(default_factory=list)
+
+    def record(self, event: SimEvent) -> None:
+        self.events.append(event)
+
+    def of_type(self, event_type: Type[E]) -> list[E]:
+        """All events of the exact given type, in order."""
+        return [e for e in self.events if type(e) is event_type]
+
+    def count(self, event_type: Type[SimEvent]) -> int:
+        return sum(1 for e in self.events if type(e) is event_type)
+
+    def __iter__(self) -> Iterator[SimEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)

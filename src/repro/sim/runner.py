@@ -1,0 +1,119 @@
+"""Job execution with checkpoint/restart semantics.
+
+A :class:`JobExecution` runs one attempt of a job on its gang of VMs.
+Work advances segment by segment; after each non-final segment the
+execution pays the checkpoint write cost and durably records progress.
+A preemption of any gang VM aborts the attempt: progress rolls back to
+the last checkpoint (or to zero if none), and the cluster manager
+requeues the job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.events import CheckpointWritten, EventLog
+from repro.sim.vm import SimVM
+
+__all__ = ["JobExecution"]
+
+
+@dataclass
+class JobExecution:
+    """One attempt at running ``job`` on ``vms``.
+
+    Parameters
+    ----------
+    segments:
+        Work-hours between checkpoints for the *remaining* work; ``None``
+        means run the remainder as a single unchecked segment.
+    checkpoint_cost:
+        Hours charged per checkpoint write.
+    on_complete:
+        Called ``(job, vms)`` when the final segment finishes.
+    on_abort:
+        Called ``(job, vms, dead_vm, lost_hours)`` on preemption.
+    """
+
+    sim: Simulator
+    job: "SimJob"  # noqa: F821 - forward ref to avoid import cycle
+    vms: Sequence[SimVM]
+    segments: "list[float] | None"
+    checkpoint_cost: float
+    log: EventLog
+    on_complete: Callable[["SimJob", Sequence[SimVM]], None]
+    on_abort: Callable[["SimJob", Sequence[SimVM], SimVM, float], None]
+    _pending: EventHandle | None = field(default=None, init=False)
+    _segment_index: int = field(default=0, init=False)
+    _segment_start: float = field(default=0.0, init=False)
+    _active: bool = field(default=False, init=False)
+    _plan: list[float] = field(default_factory=list, init=False)
+
+    def begin(self) -> None:
+        """Start executing the remaining work."""
+        remaining = self.job.remaining_hours
+        if remaining <= 0.0:
+            raise RuntimeError(f"job {self.job.job_id} has no remaining work")
+        if self.segments is None:
+            self._plan = [remaining]
+        else:
+            self._plan = self._clip_segments(self.segments, remaining)
+        self._active = True
+        self._segment_index = 0
+        self._launch_segment()
+
+    @staticmethod
+    def _clip_segments(segments: Sequence[float], remaining: float) -> list[float]:
+        """Trim a proposed plan to exactly ``remaining`` work hours."""
+        plan: list[float] = []
+        left = remaining
+        for seg in segments:
+            if left <= 1e-12:
+                break
+            take = min(seg, left)
+            plan.append(take)
+            left -= take
+        if left > 1e-12:
+            plan.append(left)
+        return plan
+
+    def _launch_segment(self) -> None:
+        seg = self._plan[self._segment_index]
+        is_final = self._segment_index == len(self._plan) - 1
+        duration = seg + (0.0 if is_final else self.checkpoint_cost)
+        self._segment_start = self.sim.now
+        self._pending = self.sim.schedule(duration, self._segment_done)
+
+    def _segment_done(self) -> None:
+        if not self._active:
+            return
+        seg = self._plan[self._segment_index]
+        self.job.progress_hours = min(
+            self.job.progress_hours + seg, self.job.work_hours
+        )
+        is_final = self._segment_index == len(self._plan) - 1
+        if is_final:
+            self._active = False
+            self.on_complete(self.job, self.vms)
+            return
+        self.log.record(
+            CheckpointWritten(
+                time=self.sim.now,
+                job_id=self.job.job_id,
+                work_done_hours=self.job.progress_hours,
+            )
+        )
+        self._segment_index += 1
+        self._launch_segment()
+
+    def abort(self, dead_vm: SimVM) -> None:
+        """Handle a gang-VM preemption: roll back to the last checkpoint."""
+        if not self._active:
+            return
+        self._active = False
+        if self._pending is not None:
+            self._pending.cancel()
+        lost = max(self.sim.now - self._segment_start, 0.0)
+        self.on_abort(self.job, self.vms, dead_vm, lost)

@@ -1,0 +1,81 @@
+"""VM lifecycle state machine.
+
+A simulated VM moves RUNNING -> (PREEMPTED | TERMINATED).  Its true
+lifetime is drawn at launch by the cloud provider and is **private** to
+the provider — policies and the service controller only learn of it when
+the preemption fires, exactly as on the real cloud.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["VMState", "SimVM"]
+
+
+class VMState(enum.Enum):
+    RUNNING = "running"
+    PREEMPTED = "preempted"
+    TERMINATED = "terminated"
+
+
+@dataclass
+class SimVM:
+    """A launched (possibly preemptible) VM.
+
+    Attributes
+    ----------
+    vm_id:
+        Provider-assigned id.
+    vm_type, zone:
+        Machine type and zone.
+    launch_time:
+        Simulation time of the launch (hours).
+    preemptible:
+        False for on-demand VMs (never preempted by the provider).
+    hourly_price:
+        Billing rate actually charged for this VM.
+    """
+
+    vm_id: int
+    vm_type: str
+    zone: str
+    launch_time: float
+    preemptible: bool
+    hourly_price: float
+    state: VMState = VMState.RUNNING
+    end_time: float | None = None
+    #: callbacks invoked with (vm, time) when the provider preempts it.
+    on_preempt: list[Callable[["SimVM", float], None]] = field(default_factory=list)
+
+    def age(self, now: float) -> float:
+        """Age in hours at simulation time ``now`` (capped at end time)."""
+        end = self.end_time if self.end_time is not None else now
+        return max(min(now, end) - self.launch_time, 0.0)
+
+    @property
+    def alive(self) -> bool:
+        return self.state is VMState.RUNNING
+
+    def runtime_hours(self, now: float) -> float:
+        """Billable hours so far (or final, once ended)."""
+        return self.age(now)
+
+    def cost(self, now: float) -> float:
+        """Accrued cost in USD at ``now``."""
+        return self.runtime_hours(now) * self.hourly_price
+
+    # -- transitions (driven by CloudProvider) -------------------------
+    def mark_preempted(self, now: float) -> None:
+        if self.state is not VMState.RUNNING:
+            raise RuntimeError(f"VM {self.vm_id} is {self.state.value}, cannot preempt")
+        self.state = VMState.PREEMPTED
+        self.end_time = now
+
+    def mark_terminated(self, now: float) -> None:
+        if self.state is not VMState.RUNNING:
+            raise RuntimeError(f"VM {self.vm_id} is {self.state.value}, cannot terminate")
+        self.state = VMState.TERMINATED
+        self.end_time = now

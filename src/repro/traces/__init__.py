@@ -1,0 +1,45 @@
+"""Synthetic preemption-trace substrate.
+
+The paper's empirical study launched 870 real Google Preemptible VMs; we
+have no cloud, so this package provides the closest synthetic equivalent
+(see DESIGN.md, substitution table):
+
+* :mod:`repro.traces.schema` -- the preemption-record data model,
+* :mod:`repro.traces.catalog` -- ground-truth bathtub parameters per VM
+  type / region / time-of-day / workload, tuned to the paper's reported
+  fit ranges and qualitative observations 1-5,
+* :mod:`repro.traces.generator` -- seeded sampling of preemption records,
+* :mod:`repro.traces.io` -- CSV/JSON round-trip (the public dataset format),
+* :mod:`repro.traces.stats` -- per-group summary statistics.
+"""
+
+from repro.traces.schema import PreemptionRecord, PreemptionTrace, TraceMetadata
+from repro.traces.catalog import (
+    GroundTruthCatalog,
+    VMSpec,
+    default_catalog,
+    REGIONS,
+    VM_TYPES,
+)
+from repro.traces.generator import TraceGenerator
+from repro.traces.io import load_trace_csv, load_trace_json, save_trace_csv, save_trace_json
+from repro.traces.stats import group_summary, lifetimes_by, trace_summary
+
+__all__ = [
+    "PreemptionRecord",
+    "PreemptionTrace",
+    "TraceMetadata",
+    "GroundTruthCatalog",
+    "VMSpec",
+    "default_catalog",
+    "REGIONS",
+    "VM_TYPES",
+    "TraceGenerator",
+    "load_trace_csv",
+    "load_trace_json",
+    "save_trace_csv",
+    "save_trace_json",
+    "group_summary",
+    "lifetimes_by",
+    "trace_summary",
+]

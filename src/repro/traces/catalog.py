@@ -1,0 +1,206 @@
+"""Ground-truth preemption parameters for the synthetic cloud.
+
+This catalog is the synthetic stand-in for Google's (hidden) preemption
+policy.  Parameter choices are tuned so that the *fitted* models land in
+the ranges the paper reports (Section 3.2.2: ``b ~ 24``, ``tau1 in
+[0.5, 5]``, ``tau2 ~ 0.8``, ``A in [0.4, 0.5]``) and so that the
+qualitative observations hold:
+
+* **Observation 3** — every configuration is bathtub-shaped;
+* **Observation 4** — larger VMs preempt more (smaller ``tau1``, larger
+  ``A``): n1-highcpu-32 is the steepest, n1-highcpu-2 the flattest;
+* **Observation 5** — night launches and idle VMs live longer
+  (multiplicative ``tau1`` stretch, slight ``A`` reduction).
+
+The reference configuration of Fig. 1 (n1-highcpu-16, us-east1-b) has
+``F(6) ~ 0.45``, matching the flat ~0.4 job-failure probability of
+Fig. 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.model import BathtubParams
+from repro.distributions.bathtub import BathtubDistribution
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "VMSpec",
+    "GroundTruthCatalog",
+    "default_catalog",
+    "VM_TYPES",
+    "REGIONS",
+    "DEADLINE_HOURS",
+]
+
+#: Provider-imposed maximum lifetime (Google Preemptible VMs: 24 h).
+DEADLINE_HOURS = 24.0
+
+#: The five machine types of the paper's Fig. 2a.
+VM_TYPES = (
+    "n1-highcpu-2",
+    "n1-highcpu-4",
+    "n1-highcpu-8",
+    "n1-highcpu-16",
+    "n1-highcpu-32",
+)
+
+#: The four zones of the paper's study (Fig. 2c).
+REGIONS = ("us-central1-c", "us-central1-f", "us-west1-a", "us-east1-b")
+
+
+@dataclass(frozen=True)
+class VMSpec:
+    """Static description of a machine type (vCPUs and hourly prices).
+
+    Prices are the 2019 us-central1 list prices the paper's cost numbers
+    rest on; preemptible is ~4.7x cheaper than on-demand.
+    """
+
+    name: str
+    cpus: int
+    on_demand_price: float
+    preemptible_price: float
+
+    def __post_init__(self) -> None:
+        check_positive("cpus", self.cpus)
+        check_positive("on_demand_price", self.on_demand_price)
+        check_positive("preemptible_price", self.preemptible_price)
+
+    @property
+    def discount(self) -> float:
+        """On-demand / preemptible price ratio (the headline ~4.7x)."""
+        return self.on_demand_price / self.preemptible_price
+
+
+#: 2019 GCP n1-highcpu list prices (USD/hour, us-central1).
+VM_SPECS: dict[str, VMSpec] = {
+    "n1-highcpu-2": VMSpec("n1-highcpu-2", 2, 0.0709, 0.0150),
+    "n1-highcpu-4": VMSpec("n1-highcpu-4", 4, 0.1418, 0.0300),
+    "n1-highcpu-8": VMSpec("n1-highcpu-8", 8, 0.2836, 0.0600),
+    "n1-highcpu-16": VMSpec("n1-highcpu-16", 16, 0.5672, 0.1200),
+    "n1-highcpu-32": VMSpec("n1-highcpu-32", 32, 1.1344, 0.2400),
+}
+
+# Base ground-truth parameters per VM type (us-central1-c daytime, busy).
+# tau1 decreases and A increases with size (Observation 4).
+_BASE_PARAMS: dict[str, BathtubParams] = {
+    "n1-highcpu-2": BathtubParams(A=0.42, tau1=5.0, tau2=0.90, b=DEADLINE_HOURS),
+    "n1-highcpu-4": BathtubParams(A=0.44, tau1=3.5, tau2=0.90, b=DEADLINE_HOURS),
+    "n1-highcpu-8": BathtubParams(A=0.45, tau1=2.2, tau2=0.85, b=DEADLINE_HOURS),
+    "n1-highcpu-16": BathtubParams(A=0.46, tau1=1.2, tau2=0.80, b=DEADLINE_HOURS),
+    "n1-highcpu-32": BathtubParams(A=0.48, tau1=0.6, tau2=0.80, b=DEADLINE_HOURS),
+}
+
+# Zone modifiers for n1-highcpu-16 (Fig. 2c): multiplicative tau1 factor
+# and additive A shift.  us-east1-b (the Fig. 1 reference zone) is the
+# most aggressive, us-west1-a the gentlest.
+_ZONE_MODIFIERS: dict[str, tuple[float, float]] = {
+    "us-central1-c": (1.00, 0.000),
+    "us-central1-f": (1.35, -0.010),
+    "us-west1-a": (1.70, -0.020),
+    "us-east1-b": (0.85, +0.010),
+}
+
+#: Night launches (8 PM - 8 AM local) see lower demand: tau1 stretched.
+_NIGHT_TAU1_FACTOR = 1.40
+#: Idle VMs are overcommit-friendly: tau1 stretched further.
+_IDLE_TAU1_FACTOR = 1.60
+#: Weekend (Saturday=5, Sunday=6) demand dip: mild tau1 stretch.  The
+#: paper parameterises its model by day-of-week; weekday variation in
+#: its data is mild, so only the weekend contrast is encoded.
+_WEEKEND_TAU1_FACTOR = 1.15
+
+
+class GroundTruthCatalog:
+    """Resolves (vm_type, zone, night, idle) to ground-truth parameters.
+
+    The catalog is the single source of truth for both the trace
+    generator and the cloud simulator, so fitted models can be validated
+    against known parameters.
+    """
+
+    def __init__(
+        self,
+        base_params: dict[str, BathtubParams] | None = None,
+        zone_modifiers: dict[str, tuple[float, float]] | None = None,
+        vm_specs: dict[str, VMSpec] | None = None,
+    ):
+        self.base_params = dict(base_params or _BASE_PARAMS)
+        self.zone_modifiers = dict(zone_modifiers or _ZONE_MODIFIERS)
+        self.vm_specs = dict(vm_specs or VM_SPECS)
+
+    # -- lookups ---------------------------------------------------------
+    def vm_types(self) -> tuple[str, ...]:
+        return tuple(sorted(self.base_params, key=lambda n: self.vm_specs[n].cpus))
+
+    def zones(self) -> tuple[str, ...]:
+        return tuple(self.zone_modifiers)
+
+    def spec(self, vm_type: str) -> VMSpec:
+        try:
+            return self.vm_specs[vm_type]
+        except KeyError:
+            raise KeyError(f"unknown VM type {vm_type!r}") from None
+
+    def params(
+        self,
+        vm_type: str,
+        zone: str = "us-central1-c",
+        *,
+        night: bool = False,
+        idle: bool = False,
+        day_of_week: int | None = None,
+    ) -> BathtubParams:
+        """Ground-truth Eq. 1 parameters for a launch context.
+
+        ``day_of_week`` follows the record schema (0 = Monday ...
+        6 = Sunday); ``None`` means "a generic weekday".
+        """
+        try:
+            base = self.base_params[vm_type]
+        except KeyError:
+            raise KeyError(f"unknown VM type {vm_type!r}") from None
+        try:
+            tau1_factor, a_shift = self.zone_modifiers[zone]
+        except KeyError:
+            raise KeyError(f"unknown zone {zone!r}") from None
+        if day_of_week is not None and not 0 <= int(day_of_week) <= 6:
+            raise ValueError(f"day_of_week must be in [0, 6], got {day_of_week}")
+        tau1 = base.tau1 * tau1_factor
+        A = base.A + a_shift
+        if night:
+            tau1 *= _NIGHT_TAU1_FACTOR
+            A -= 0.005
+        if idle:
+            tau1 *= _IDLE_TAU1_FACTOR
+            A -= 0.010
+        if day_of_week is not None and int(day_of_week) >= 5:
+            tau1 *= _WEEKEND_TAU1_FACTOR
+        return replace(base, A=A, tau1=tau1)
+
+    def distribution(
+        self,
+        vm_type: str,
+        zone: str = "us-central1-c",
+        *,
+        night: bool = False,
+        idle: bool = False,
+        day_of_week: int | None = None,
+    ) -> BathtubDistribution:
+        """Ground-truth lifetime distribution for a launch context."""
+        return BathtubDistribution(
+            self.params(vm_type, zone, night=night, idle=idle, day_of_week=day_of_week)
+        )
+
+
+_DEFAULT: GroundTruthCatalog | None = None
+
+
+def default_catalog() -> GroundTruthCatalog:
+    """Shared default catalog (constructed once)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = GroundTruthCatalog()
+    return _DEFAULT

@@ -1,0 +1,110 @@
+"""Trace serialisation: CSV (dataset-compatible) and JSON round-trips.
+
+The paper publishes its preemption dataset as flat files; these loaders
+let users swap in the real dataset for the synthetic one without touching
+any downstream code.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.traces.schema import PreemptionRecord, PreemptionTrace, TraceMetadata
+
+__all__ = ["save_trace_csv", "load_trace_csv", "save_trace_json", "load_trace_json"]
+
+_FIELDS = [
+    "vm_type",
+    "zone",
+    "lifetime_hours",
+    "day_of_week",
+    "launch_hour",
+    "idle",
+    "censored",
+]
+
+
+def save_trace_csv(trace: PreemptionTrace, path: str | Path) -> None:
+    """Write one row per record with a header line."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=_FIELDS)
+        writer.writeheader()
+        for r in trace.records:
+            writer.writerow(
+                {
+                    "vm_type": r.vm_type,
+                    "zone": r.zone,
+                    "lifetime_hours": repr(r.lifetime_hours),
+                    "day_of_week": r.day_of_week,
+                    "launch_hour": repr(r.launch_hour),
+                    "idle": int(r.idle),
+                    "censored": int(r.censored),
+                }
+            )
+
+
+def load_trace_csv(path: str | Path) -> PreemptionTrace:
+    """Load a trace written by :func:`save_trace_csv` (or the real dataset)."""
+    path = Path(path)
+    records: list[PreemptionRecord] = []
+    with path.open(newline="") as fh:
+        reader = csv.DictReader(fh)
+        missing = set(_FIELDS) - set(reader.fieldnames or [])
+        if missing:
+            raise ValueError(f"CSV is missing columns: {sorted(missing)}")
+        for row in reader:
+            records.append(
+                PreemptionRecord(
+                    vm_type=row["vm_type"],
+                    zone=row["zone"],
+                    lifetime_hours=float(row["lifetime_hours"]),
+                    day_of_week=int(row["day_of_week"]),
+                    launch_hour=float(row["launch_hour"]),
+                    idle=bool(int(row["idle"])),
+                    censored=bool(int(row["censored"])),
+                )
+            )
+    return PreemptionTrace(records=records, metadata=TraceMetadata(source=str(path)))
+
+
+def save_trace_json(trace: PreemptionTrace, path: str | Path) -> None:
+    """Write the trace (records + metadata) as a single JSON document."""
+    path = Path(path)
+    doc = {
+        "metadata": {
+            "seed": trace.metadata.seed,
+            "source": trace.metadata.source,
+            "notes": trace.metadata.notes,
+        },
+        "records": [
+            {
+                "vm_type": r.vm_type,
+                "zone": r.zone,
+                "lifetime_hours": r.lifetime_hours,
+                "day_of_week": r.day_of_week,
+                "launch_hour": r.launch_hour,
+                "idle": r.idle,
+                "censored": r.censored,
+            }
+            for r in trace.records
+        ],
+    }
+    path.write_text(json.dumps(doc, indent=1))
+
+
+def load_trace_json(path: str | Path) -> PreemptionTrace:
+    """Load a trace written by :func:`save_trace_json`."""
+    doc = json.loads(Path(path).read_text())
+    meta = doc.get("metadata", {})
+    records = [PreemptionRecord(**r) for r in doc["records"]]
+    return PreemptionTrace(
+        records=records,
+        metadata=TraceMetadata(
+            seed=meta.get("seed"),
+            source=meta.get("source", str(path)),
+            notes=meta.get("notes", ""),
+        ),
+    )

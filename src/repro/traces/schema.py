@@ -1,0 +1,148 @@
+"""Data model for preemption traces.
+
+Mirrors the fields of the paper's public dataset
+(github.com/kadupitiya/goog-preemption-data): one record per VM launch
+with its type, zone, launch context, and observed time-to-preemption.
+Records may be right-censored (the VM was still alive when observation
+stopped — e.g. a job finished and the VM was terminated by *us*), which
+the Kaplan-Meier estimator in :mod:`repro.fitting.ecdf` handles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_nonnegative
+
+__all__ = ["PreemptionRecord", "TraceMetadata", "PreemptionTrace"]
+
+
+@dataclass(frozen=True)
+class PreemptionRecord:
+    """A single VM launch and its observed (possibly censored) lifetime.
+
+    Attributes
+    ----------
+    vm_type:
+        Machine type, e.g. ``"n1-highcpu-16"``.
+    zone:
+        Zone, e.g. ``"us-east1-b"``.
+    lifetime_hours:
+        Observed time from launch to preemption (or to censoring).
+    day_of_week:
+        0 = Monday ... 6 = Sunday (launch day, VM-local time).
+    launch_hour:
+        Hour-of-day of the launch in [0, 24), VM-local time.
+    idle:
+        True if the VM ran no workload (paper Observation 5).
+    censored:
+        True if the VM was *not* preempted (terminated by the user or
+        still running at observation end).
+    """
+
+    vm_type: str
+    zone: str
+    lifetime_hours: float
+    day_of_week: int = 0
+    launch_hour: float = 12.0
+    idle: bool = False
+    censored: bool = False
+
+    def __post_init__(self) -> None:
+        check_nonnegative("lifetime_hours", self.lifetime_hours)
+        if not 0 <= self.day_of_week <= 6:
+            raise ValueError(f"day_of_week must be in [0, 6], got {self.day_of_week}")
+        if not 0.0 <= self.launch_hour < 24.0:
+            raise ValueError(f"launch_hour must be in [0, 24), got {self.launch_hour}")
+
+    @property
+    def night_launch(self) -> bool:
+        """True for launches between 8 PM and 8 AM (the paper's split)."""
+        return self.launch_hour >= 20.0 or self.launch_hour < 8.0
+
+
+@dataclass(frozen=True)
+class TraceMetadata:
+    """Provenance of a trace (generator seed, catalog version, notes)."""
+
+    seed: int | None = None
+    source: str = "synthetic"
+    notes: str = ""
+
+
+@dataclass
+class PreemptionTrace:
+    """An ordered collection of :class:`PreemptionRecord` s plus metadata."""
+
+    records: list[PreemptionRecord] = field(default_factory=list)
+    metadata: TraceMetadata = field(default_factory=TraceMetadata)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[PreemptionRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, idx: int) -> PreemptionRecord:
+        return self.records[idx]
+
+    def extend(self, records: Iterable[PreemptionRecord]) -> None:
+        self.records.extend(records)
+
+    def lifetimes(self, *, include_censored: bool = False) -> np.ndarray:
+        """Observed lifetimes (hours); censored records excluded by default."""
+        return np.array(
+            [
+                r.lifetime_hours
+                for r in self.records
+                if include_censored or not r.censored
+            ],
+            dtype=float,
+        )
+
+    def censoring_flags(self) -> np.ndarray:
+        """Boolean array aligned with ``lifetimes(include_censored=True)``."""
+        return np.array([r.censored for r in self.records], dtype=bool)
+
+    def filter(
+        self,
+        *,
+        vm_type: str | None = None,
+        zone: str | None = None,
+        idle: bool | None = None,
+        night: bool | None = None,
+    ) -> "PreemptionTrace":
+        """Subset the trace by any combination of the study dimensions."""
+        out = []
+        for r in self.records:
+            if vm_type is not None and r.vm_type != vm_type:
+                continue
+            if zone is not None and r.zone != zone:
+                continue
+            if idle is not None and r.idle != idle:
+                continue
+            if night is not None and r.night_launch != night:
+                continue
+            out.append(r)
+        return PreemptionTrace(records=out, metadata=self.metadata)
+
+    def vm_types(self) -> list[str]:
+        """Distinct VM types present, sorted."""
+        return sorted({r.vm_type for r in self.records})
+
+    def zones(self) -> list[str]:
+        """Distinct zones present, sorted."""
+        return sorted({r.zone for r in self.records})
+
+
+def concat_traces(traces: Sequence[PreemptionTrace]) -> PreemptionTrace:
+    """Concatenate traces (metadata taken from the first)."""
+    if not traces:
+        return PreemptionTrace()
+    merged = PreemptionTrace(metadata=traces[0].metadata)
+    for t in traces:
+        merged.extend(t.records)
+    return merged

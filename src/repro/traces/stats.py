@@ -1,0 +1,92 @@
+"""Summary statistics over preemption traces (the Section 3.1 analysis).
+
+Provides the per-group breakdowns behind Observations 1-5: lifetimes by
+VM type, zone, day/night, and idleness, with the headline statistics the
+paper discusses (median/mean lifetime, fraction preempted within the
+early phase, fraction surviving to the final phase).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.traces.schema import PreemptionRecord, PreemptionTrace
+
+__all__ = ["GroupStats", "trace_summary", "group_summary", "lifetimes_by"]
+
+
+@dataclass(frozen=True)
+class GroupStats:
+    """Headline lifetime statistics for one group of records."""
+
+    n: int
+    mean_hours: float
+    median_hours: float
+    p10_hours: float
+    p90_hours: float
+    frac_early: float
+    frac_final: float
+
+    @classmethod
+    def from_lifetimes(
+        cls,
+        lifetimes: np.ndarray,
+        *,
+        early_end: float = 3.0,
+        final_start: float = 21.5,
+    ) -> "GroupStats":
+        lifetimes = np.asarray(lifetimes, dtype=float)
+        if lifetimes.size == 0:
+            return cls(0, float("nan"), float("nan"), float("nan"), float("nan"), float("nan"), float("nan"))
+        return cls(
+            n=int(lifetimes.size),
+            mean_hours=float(np.mean(lifetimes)),
+            median_hours=float(np.median(lifetimes)),
+            p10_hours=float(np.percentile(lifetimes, 10)),
+            p90_hours=float(np.percentile(lifetimes, 90)),
+            frac_early=float(np.mean(lifetimes <= early_end)),
+            frac_final=float(np.mean(lifetimes >= final_start)),
+        )
+
+
+def trace_summary(trace: PreemptionTrace) -> GroupStats:
+    """Summary over all non-censored records of a trace."""
+    return GroupStats.from_lifetimes(trace.lifetimes())
+
+
+def lifetimes_by(
+    trace: PreemptionTrace,
+    key: str | Callable[[PreemptionRecord], object],
+) -> dict[object, np.ndarray]:
+    """Group non-censored lifetimes by a record attribute or callable.
+
+    ``key`` may be ``"vm_type"``, ``"zone"``, ``"idle"``,
+    ``"night_launch"``, ``"day_of_week"``, or any callable on records.
+    """
+    if isinstance(key, str):
+        attr = key
+
+        def key_fn(r: PreemptionRecord) -> object:
+            return getattr(r, attr)
+
+    else:
+        key_fn = key
+    groups: dict[object, list[float]] = {}
+    for r in trace.records:
+        if r.censored:
+            continue
+        groups.setdefault(key_fn(r), []).append(r.lifetime_hours)
+    return {k: np.asarray(v, dtype=float) for k, v in sorted(groups.items(), key=lambda kv: str(kv[0]))}
+
+
+def group_summary(
+    trace: PreemptionTrace,
+    key: str | Callable[[PreemptionRecord], object],
+) -> dict[object, GroupStats]:
+    """Per-group :class:`GroupStats` (the Fig. 2 analysis as numbers)."""
+    return {
+        k: GroupStats.from_lifetimes(v) for k, v in lifetimes_by(trace, key).items()
+    }

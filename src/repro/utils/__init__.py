@@ -1,0 +1,30 @@
+"""Shared numeric and formatting utilities for the :mod:`repro` package.
+
+The helpers here are deliberately free of any domain knowledge: they are
+used by the core model, the distribution zoo, the policies, and the
+discrete-event simulator alike.
+"""
+
+from repro.utils.integrate import (
+    cumulative_trapezoid,
+    first_moment,
+    trapezoid_integral,
+)
+from repro.utils.tables import format_table
+from repro.utils.validation import (
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "cumulative_trapezoid",
+    "first_moment",
+    "trapezoid_integral",
+    "format_table",
+    "check_in_range",
+    "check_nonnegative",
+    "check_positive",
+    "check_probability",
+]

@@ -1,0 +1,65 @@
+"""Argument-validation helpers.
+
+All public entry points of the library validate their scalar arguments
+through these helpers so that error messages are uniform and informative.
+Each helper returns the (possibly float-coerced) value so call sites can
+validate and normalise in a single expression::
+
+    tau1 = check_positive("tau1", tau1)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+
+def check_positive(name: str, value: Any) -> float:
+    """Return ``value`` as ``float`` after checking it is finite and > 0."""
+    v = float(value)
+    if not math.isfinite(v) or v <= 0.0:
+        raise ValueError(f"{name} must be a finite positive number, got {value!r}")
+    return v
+
+
+def check_nonnegative(name: str, value: Any) -> float:
+    """Return ``value`` as ``float`` after checking it is finite and >= 0."""
+    v = float(value)
+    if not math.isfinite(v) or v < 0.0:
+        raise ValueError(f"{name} must be a finite non-negative number, got {value!r}")
+    return v
+
+
+def check_probability(name: str, value: Any) -> float:
+    """Return ``value`` as ``float`` after checking it lies in [0, 1]."""
+    v = float(value)
+    if not math.isfinite(v) or v < 0.0 or v > 1.0:
+        raise ValueError(f"{name} must be a probability in [0, 1], got {value!r}")
+    return v
+
+
+def check_in_range(
+    name: str,
+    value: Any,
+    low: float,
+    high: float,
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Return ``value`` as ``float`` after checking ``low <= value <= high``.
+
+    With ``inclusive=False`` the bounds are strict.
+    """
+    v = float(value)
+    if not math.isfinite(v):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    if inclusive:
+        ok = low <= v <= high
+    else:
+        ok = low < v < high
+    if not ok:
+        bracket = "[]" if inclusive else "()"
+        raise ValueError(
+            f"{name} must be in {bracket[0]}{low}, {high}{bracket[1]}, got {value!r}"
+        )
+    return v

@@ -1,0 +1,35 @@
+"""Scientific workloads (paper Section 6 applications, laptop-scale).
+
+Each workload is a real, stepwise NumPy computation implementing the
+:class:`~repro.workloads.base.CheckpointableWorkload` protocol —
+``step()`` advances physics, ``get_state()/set_state()`` provide
+checkpoint/restart — so the service examples run actual simulations, not
+sleep loops:
+
+* :mod:`repro.workloads.nanoconfinement` -- molecular dynamics of ions
+  confined between charged material surfaces (velocity Verlet, screened
+  Coulomb + short-range repulsion),
+* :mod:`repro.workloads.shapes` -- relaxation of a charged deformable
+  nanoparticle contour toward its optimal shape (electrostatics vs
+  surface tension),
+* :mod:`repro.workloads.lulesh` -- 1-D Lagrangian shock hydrodynamics
+  (Sod problem with artificial viscosity), standing in for LULESH,
+* :mod:`repro.workloads.synthetic` -- a tunable busy-work job for
+  harness tests.
+"""
+
+from repro.workloads.base import CheckpointableWorkload, WorkloadCheckpoint, run_workload
+from repro.workloads.nanoconfinement import NanoconfinementMD
+from repro.workloads.shapes import ShapeRelaxation
+from repro.workloads.lulesh import LagrangianShock1D
+from repro.workloads.synthetic import SyntheticJob
+
+__all__ = [
+    "CheckpointableWorkload",
+    "WorkloadCheckpoint",
+    "run_workload",
+    "NanoconfinementMD",
+    "ShapeRelaxation",
+    "LagrangianShock1D",
+    "SyntheticJob",
+]

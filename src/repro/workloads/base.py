@@ -1,0 +1,89 @@
+"""Checkpointable-workload protocol and driver.
+
+The service's checkpoint/restart semantics require applications that can
+serialise their state at arbitrary step boundaries.  The protocol is the
+minimal contract: ``step()`` advances one unit of work, ``get_state``
+returns a deep-copyable snapshot, ``set_state`` restores it exactly
+(bit-for-bit — the tests assert restart determinism).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Protocol, runtime_checkable
+
+__all__ = ["CheckpointableWorkload", "WorkloadCheckpoint", "run_workload"]
+
+
+@runtime_checkable
+class CheckpointableWorkload(Protocol):
+    """Protocol for stepwise, checkpointable computations."""
+
+    #: total steps the workload wants to run
+    total_steps: int
+    #: steps completed so far
+    steps_done: int
+
+    def step(self) -> None:
+        """Advance one work step (must raise past ``total_steps``)."""
+        ...
+
+    def get_state(self) -> dict[str, Any]:
+        """Snapshot of the full mutable state (deep copies, not views)."""
+        ...
+
+    def set_state(self, state: dict[str, Any]) -> None:
+        """Restore a snapshot taken by :meth:`get_state`."""
+        ...
+
+    def result(self) -> dict[str, float]:
+        """Scalar observables of the current state (for verification)."""
+        ...
+
+
+@dataclass(frozen=True)
+class WorkloadCheckpoint:
+    """A checkpoint: the step count it was taken at plus the state blob."""
+
+    steps_done: int
+    state: dict[str, Any]
+
+
+def run_workload(
+    workload: CheckpointableWorkload,
+    *,
+    checkpoint_every: int | None = None,
+    fail_at_steps: frozenset[int] | set[int] = frozenset(),
+) -> tuple[dict[str, float], int]:
+    """Drive a workload to completion with optional failure injection.
+
+    Parameters
+    ----------
+    checkpoint_every:
+        Snapshot the state every this many steps (``None`` = never).
+    fail_at_steps:
+        Steps at which a simulated preemption strikes *before* the step
+        executes: state rolls back to the last checkpoint (or the start).
+        Each listed step fires at most once.
+
+    Returns
+    -------
+    (result, total_steps_executed):
+        Final observables and the number of ``step()`` calls actually
+        made (>= ``total_steps`` when failures caused recomputation).
+    """
+    pending_failures = set(fail_at_steps)
+    checkpoint = WorkloadCheckpoint(steps_done=0, state=workload.get_state())
+    executed = 0
+    while workload.steps_done < workload.total_steps:
+        if workload.steps_done in pending_failures:
+            pending_failures.discard(workload.steps_done)
+            workload.set_state(checkpoint.state)
+            continue
+        workload.step()
+        executed += 1
+        if checkpoint_every and workload.steps_done % checkpoint_every == 0:
+            checkpoint = WorkloadCheckpoint(
+                steps_done=workload.steps_done, state=workload.get_state()
+            )
+    return workload.result(), executed

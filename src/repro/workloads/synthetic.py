@@ -1,0 +1,51 @@
+"""Synthetic tunable workload for harness and failure-injection tests."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+__all__ = ["SyntheticJob"]
+
+
+class SyntheticJob:
+    """Deterministic busy-work: iterated affine map over a state vector.
+
+    Cheap, exactly reproducible, and sensitive to any lost or replayed
+    step — ideal for asserting checkpoint/restart correctness (the final
+    state is a pure function of the number of *effective* steps).
+    """
+
+    def __init__(self, size: int = 64, steps: int = 100, *, seed: int = 0):
+        check_positive("size", size)
+        check_positive("steps", steps)
+        self.total_steps = int(steps)
+        self.steps_done = 0
+        rng = np.random.default_rng(seed)
+        self.vector = rng.normal(size=int(size))
+        # Contractive map keeps the state bounded for any step count.
+        self._scale = 0.999
+        self._shift = rng.normal(size=int(size)) * 1e-3
+
+    def step(self) -> None:
+        if self.steps_done >= self.total_steps:
+            raise RuntimeError("workload already complete")
+        self.vector = self._scale * self.vector + self._shift
+        self.steps_done += 1
+
+    def get_state(self) -> dict[str, Any]:
+        return {"steps_done": self.steps_done, "vector": self.vector.copy()}
+
+    def set_state(self, state: dict[str, Any]) -> None:
+        self.steps_done = int(state["steps_done"])
+        self.vector = state["vector"].copy()
+
+    def result(self) -> dict[str, float]:
+        return {
+            "norm": float(np.linalg.norm(self.vector)),
+            "mean": float(self.vector.mean()),
+            "steps_done": float(self.steps_done),
+        }

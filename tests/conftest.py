@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import BathtubParams, ConstrainedPreemptionModel
+from repro.distributions.bathtub import BathtubDistribution
+from repro.traces.catalog import GroundTruthCatalog, default_catalog
+
+
+@pytest.fixture(scope="session")
+def catalog() -> GroundTruthCatalog:
+    return default_catalog()
+
+
+@pytest.fixture(scope="session")
+def reference_params() -> BathtubParams:
+    """The Fig. 1 reference configuration's ground-truth parameters."""
+    return default_catalog().params("n1-highcpu-16", "us-east1-b")
+
+
+@pytest.fixture(scope="session")
+def reference_model(reference_params) -> ConstrainedPreemptionModel:
+    return ConstrainedPreemptionModel(reference_params)
+
+
+@pytest.fixture(scope="session")
+def reference_dist(reference_model) -> BathtubDistribution:
+    return BathtubDistribution(reference_model)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,57 @@
+"""Tests for expected-lifetime comparison utilities."""
+
+import pytest
+
+from repro.core.lifetime import (
+    expected_lifetime_table,
+    rank_by_expected_lifetime,
+    suitability_for_job,
+)
+from repro.traces.catalog import VM_TYPES, default_catalog
+
+
+@pytest.fixture(scope="module")
+def type_models():
+    cat = default_catalog()
+    return {vt: cat.params(vt, "us-central1-c") for vt in VM_TYPES}
+
+
+class TestLifetimeTable:
+    def test_all_types_present(self, type_models):
+        table = expected_lifetime_table(type_models)
+        assert set(table) == set(VM_TYPES)
+        assert all(v > 0 for v in table.values())
+
+    def test_observation_4_ordering(self, type_models):
+        """Larger VMs fail sooner => lower expected lifetime (ground truth)."""
+        table = expected_lifetime_table(type_models)
+        ordered = [table[vt] for vt in VM_TYPES]  # VM_TYPES is small -> large
+        assert all(a >= b for a, b in zip(ordered, ordered[1:]))
+
+    def test_ranking_sorted(self, type_models):
+        ranking = rank_by_expected_lifetime(type_models)
+        values = [v for _, v in ranking]
+        assert values == sorted(values, reverse=True)
+        assert ranking[0][0] == "n1-highcpu-2"
+        assert ranking[-1][0] == "n1-highcpu-32"
+
+    def test_horizon_truncation(self, type_models):
+        short = expected_lifetime_table(type_models, horizon=2.0)
+        full = expected_lifetime_table(type_models)
+        assert all(short[k] < full[k] for k in short)
+
+
+class TestSuitability:
+    def test_short_jobs_prefer_small_vms(self, type_models):
+        """High initial rate is poison for short jobs (Section 4.1)."""
+        ranked = suitability_for_job(type_models, 1.0)
+        assert ranked[0][0] == "n1-highcpu-2"
+        assert ranked[-1][0] == "n1-highcpu-32"
+
+    def test_scores_are_survival_probabilities(self, type_models):
+        ranked = suitability_for_job(type_models, 6.0)
+        assert all(0.0 <= p <= 1.0 for _, p in ranked)
+
+    def test_negative_length_rejected(self, type_models):
+        with pytest.raises(ValueError):
+            suitability_for_job(type_models, -1.0)

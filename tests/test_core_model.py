@@ -1,0 +1,241 @@
+"""Tests for the constrained-preemption model (paper Eq. 1-3)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.model import BathtubParams, ConstrainedPreemptionModel
+from repro.utils.integrate import first_moment
+
+
+@pytest.fixture()
+def model() -> ConstrainedPreemptionModel:
+    return ConstrainedPreemptionModel(BathtubParams(A=0.46, tau1=1.2, tau2=0.8, b=24.0))
+
+
+class TestBathtubParams:
+    def test_valid_construction(self):
+        p = BathtubParams(A=0.45, tau1=1.0, tau2=0.8, b=24.0)
+        assert p.as_tuple() == (0.45, 1.0, 0.8, 24.0)
+
+    def test_as_dict_roundtrip(self):
+        p = BathtubParams(A=0.45, tau1=1.0, tau2=0.8, b=24.0)
+        assert BathtubParams.from_mapping(p.as_dict()) == p
+
+    @pytest.mark.parametrize("field,value", [
+        ("A", 0.0), ("A", -0.1), ("A", 1.0), ("A", 1.5),
+        ("tau1", 0.0), ("tau1", -1.0),
+        ("tau2", 0.0), ("b", 0.0), ("b", -24.0),
+    ])
+    def test_invalid_parameters_rejected(self, field, value):
+        kwargs = dict(A=0.45, tau1=1.0, tau2=0.8, b=24.0)
+        kwargs[field] = value
+        with pytest.raises(ValueError):
+            BathtubParams(**kwargs)
+
+    def test_boundary_condition_enforced(self):
+        # b/tau2 small => F(0) = A e^{-b/tau2} not ~ 0 -> rejected.
+        with pytest.raises(ValueError, match="boundary condition"):
+            BathtubParams(A=0.45, tau1=1.0, tau2=10.0, b=2.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            BathtubParams(A=float("nan"), tau1=1.0, tau2=0.8, b=24.0)
+
+
+class TestCDF:
+    def test_matches_equation_1(self, model):
+        """F(t) must equal the closed form inside the support."""
+        p = model.params
+        t = np.linspace(0.1, 20.0, 50)
+        expected = p.A * (1 - np.exp(-t / p.tau1) + np.exp((t - p.b) / p.tau2))
+        np.testing.assert_allclose(model.cdf(t), expected, rtol=1e-12)
+
+    def test_f0_is_nearly_zero(self, model):
+        assert 0.0 <= model.cdf(0.0) < 1e-10
+
+    def test_monotone_nondecreasing(self, model):
+        t = np.linspace(-1.0, 30.0, 500)
+        f = np.asarray(model.cdf(t))
+        assert np.all(np.diff(f) >= -1e-14)
+
+    def test_clamped_outside_support(self, model):
+        assert model.cdf(-5.0) == 0.0
+        assert model.cdf(model.t_max) == 1.0
+        assert model.cdf(100.0) == 1.0
+
+    def test_scalar_in_scalar_out(self, model):
+        assert isinstance(model.cdf(5.0), float)
+        assert isinstance(model.pdf(5.0), float)
+
+    def test_t_max_slightly_past_deadline(self, model):
+        """For the paper's fits, F reaches 1 within minutes of b."""
+        assert model.params.b < model.t_max < model.params.b + 0.5
+
+    def test_t_max_solves_raw_cdf(self, model):
+        p = model.params
+        raw = p.A * (1 - math.exp(-model.t_max / p.tau1) + math.exp((model.t_max - p.b) / p.tau2))
+        assert raw == pytest.approx(1.0, abs=1e-9)
+
+
+class TestPDF:
+    def test_matches_equation_2(self, model):
+        p = model.params
+        t = np.linspace(0.1, 20.0, 50)
+        expected = p.A * (np.exp(-t / p.tau1) / p.tau1 + np.exp((t - p.b) / p.tau2) / p.tau2)
+        np.testing.assert_allclose(model.pdf(t), expected, rtol=1e-12)
+
+    def test_zero_outside_support(self, model):
+        assert model.pdf(-0.1) == 0.0
+        assert model.pdf(model.t_max + 0.1) == 0.0
+
+    def test_integrates_to_one(self, model):
+        total = first_moment(lambda t: np.asarray(model.pdf(t)) / np.maximum(t, 1e-300) * t,
+                             0.0, model.t_max, num=8193)
+        # Direct integral of the pdf:
+        from repro.utils.integrate import trapezoid_integral
+        total = trapezoid_integral(model.pdf, 0.0, model.t_max, num=8193)
+        assert total == pytest.approx(1.0, abs=2e-3)
+
+    def test_bathtub_shape(self, model):
+        """High at 0, low in the middle, high at the deadline."""
+        early = float(model.pdf(0.05))
+        middle = float(model.pdf(12.0))
+        late = float(model.pdf(model.params.b - 0.2))
+        assert early > 10 * middle
+        assert late > 10 * middle
+
+    def test_pdf_is_cdf_derivative(self, model):
+        t = np.linspace(0.5, 20.0, 40)
+        h = 1e-6
+        numeric = (np.asarray(model.cdf(t + h)) - np.asarray(model.cdf(t - h))) / (2 * h)
+        np.testing.assert_allclose(numeric, model.pdf(t), rtol=1e-5)
+
+
+class TestMoments:
+    def test_antiderivative_differentiates_to_t_pdf(self, model):
+        t = np.linspace(0.5, 20.0, 30)
+        h = 1e-6
+        numeric = (
+            np.asarray(model.moment_antiderivative(t + h))
+            - np.asarray(model.moment_antiderivative(t - h))
+        ) / (2 * h)
+        np.testing.assert_allclose(numeric, t * np.asarray(model.pdf(t)), rtol=1e-4)
+
+    @pytest.mark.parametrize("a,c", [(0.0, 5.0), (2.0, 10.0), (10.0, 24.0), (0.0, 24.0)])
+    def test_closed_form_matches_quadrature(self, model, a, c):
+        closed = model.truncated_first_moment(a, c)
+        numeric = first_moment(model.pdf, a, min(c, model.t_max), num=16385)
+        assert closed == pytest.approx(numeric, rel=1e-4, abs=1e-6)
+
+    def test_moment_clipping(self, model):
+        assert model.truncated_first_moment(5.0, 5.0) == 0.0
+        assert model.truncated_first_moment(8.0, 3.0) == 0.0
+        # Bounds beyond the support are clipped, not extrapolated.
+        full = model.truncated_first_moment(0.0, model.t_max)
+        assert model.truncated_first_moment(0.0, 100.0) == pytest.approx(full)
+
+    def test_expected_lifetime_equals_full_moment(self, model):
+        assert model.expected_lifetime() == pytest.approx(
+            model.truncated_first_moment(0.0, model.t_max)
+        )
+
+    def test_expected_lifetime_sane(self, model):
+        el = model.expected_lifetime()
+        # Bathtub with ~46% early mass and the rest near 24 h.
+        assert 8.0 < el < 20.0
+
+    def test_expected_lifetime_horizon_truncation(self, model):
+        assert model.expected_lifetime(5.0) < model.expected_lifetime()
+
+
+class TestHazard:
+    def test_bathtub_hazard(self, model):
+        h_early = float(model.hazard(0.05))
+        h_mid = float(model.hazard(12.0))
+        h_late = float(model.hazard(model.params.b - 0.1))
+        assert h_early > h_mid
+        assert h_late > h_early  # deadline reclamation dominates everything
+
+    def test_hazard_infinite_past_support(self, model):
+        assert math.isinf(float(model.hazard(model.t_max + 0.5)))
+
+    def test_cumulative_hazard_increasing(self, model):
+        t = np.linspace(0.1, model.t_max - 0.1, 100)
+        ch = np.asarray(model.cumulative_hazard(t))
+        assert np.all(np.diff(ch) > 0)
+
+
+class TestSampling:
+    def test_ppf_inverts_cdf(self, model):
+        q = np.linspace(0.01, 0.99, 25)
+        t = np.asarray(model.ppf(q))
+        np.testing.assert_allclose(model.cdf(t), q, atol=2e-3)
+
+    def test_ppf_exact_matches_table(self, model):
+        for q in (0.1, 0.3, 0.5, 0.7, 0.9, 0.99):
+            assert float(model.ppf(q)) == pytest.approx(model.ppf_exact(q), abs=2e-2)
+
+    def test_ppf_bounds_validated(self, model):
+        with pytest.raises(ValueError):
+            model.ppf(-0.1)
+        with pytest.raises(ValueError):
+            model.ppf(1.1)
+        with pytest.raises(ValueError):
+            model.ppf_exact(2.0)
+
+    def test_samples_within_support(self, model, rng):
+        s = model.sample(2000, rng)
+        assert np.all(s >= 0.0)
+        assert np.all(s <= model.t_max + 1e-9)
+
+    def test_samples_follow_cdf(self, model, rng):
+        """KS distance between sample ECDF and model CDF is small."""
+        n = 4000
+        s = np.sort(model.sample(n, rng))
+        emp = np.arange(1, n + 1) / n
+        ks = np.max(np.abs(emp - np.asarray(model.cdf(s))))
+        assert ks < 0.03  # ~1.63/sqrt(n) at alpha=1%
+
+    def test_sampling_deterministic_given_seed(self, model):
+        a = model.sample(50, np.random.default_rng(3))
+        b = model.sample(50, np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)
+
+    def test_negative_n_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.sample(-1)
+
+
+class TestResidualLife:
+    def test_mean_residual_life_rises_then_falls(self, model):
+        """Surviving the early phase makes a VM more valuable; the
+        deadline then destroys that value (the paper's reuse intuition)."""
+        mrl_young = model.mean_residual_life(0.0)
+        mrl_stable = model.mean_residual_life(5.0)
+        mrl_old = model.mean_residual_life(23.0)
+        assert mrl_stable > mrl_young
+        assert mrl_old < 2.0
+
+    def test_zero_at_support_edge(self, model):
+        assert model.mean_residual_life(model.t_max) == 0.0
+        assert model.mean_residual_life(model.t_max + 1) == 0.0
+
+    def test_mrl_against_quadrature(self, model):
+        s = 4.0
+        t = np.linspace(s, model.t_max, 20001)
+        surv = np.asarray(model.sf(t))
+        numeric = np.trapezoid(surv, t) / float(model.sf(s))
+        assert model.mean_residual_life(s) == pytest.approx(numeric, rel=1e-3)
+
+
+class TestConstruction:
+    def test_accepts_mapping(self):
+        m = ConstrainedPreemptionModel({"A": 0.45, "tau1": 1.0, "tau2": 0.8, "b": 24.0})
+        assert m.params.A == 0.45
+
+    def test_cdf_function_for_curve_fit(self):
+        t = np.linspace(0, 24, 10)
+        out = ConstrainedPreemptionModel.cdf_function(t, 0.45, 1.0, 0.8, 24.0)
+        assert out.shape == t.shape

@@ -1,0 +1,89 @@
+"""Tests for the three-phase decomposition (paper Observation 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import BathtubParams, ConstrainedPreemptionModel
+from repro.core.phases import (
+    Phase,
+    PhaseBoundaries,
+    classify_phase,
+    phase_boundaries,
+    stable_phase_hazard,
+)
+
+
+@pytest.fixture()
+def model():
+    return ConstrainedPreemptionModel(BathtubParams(A=0.46, tau1=1.0, tau2=0.8, b=24.0))
+
+
+class TestPhaseBoundaries:
+    def test_reference_fit_matches_paper_three_hours(self, model):
+        """tau1 ~ 1 puts the early-phase end at ~3 h, as observed."""
+        b = phase_boundaries(model)
+        assert 2.0 < b.early_end < 4.0
+        assert 20.0 < b.final_start < 23.0
+        assert b.final_start < b.t_max
+
+    def test_ordering_invariant(self, model):
+        b = phase_boundaries(model)
+        assert 0.0 <= b.early_end <= b.final_start <= b.t_max
+
+    def test_eps_moves_boundaries(self, model):
+        wide = phase_boundaries(model, eps=0.01)
+        narrow = phase_boundaries(model, eps=0.20)
+        assert wide.early_end > narrow.early_end
+        assert wide.final_start < narrow.final_start
+
+    def test_accepts_raw_params(self):
+        b = phase_boundaries(BathtubParams(A=0.46, tau1=1.0, tau2=0.8, b=24.0))
+        assert b.stable_duration > 0
+
+    @pytest.mark.parametrize("eps", [0.0, 1.0, -0.5, 1.5])
+    def test_invalid_eps(self, model, eps):
+        with pytest.raises(ValueError):
+            phase_boundaries(model, eps=eps)
+
+    def test_degenerate_slow_decay_collapses_stable_phase(self):
+        """Huge tau1: early phase covers everything; no crash, ordering kept."""
+        m = ConstrainedPreemptionModel(BathtubParams(A=0.45, tau1=40.0, tau2=0.8, b=24.0))
+        b = phase_boundaries(m)
+        assert b.early_end <= b.final_start <= b.t_max
+
+    def test_invalid_boundary_dataclass(self):
+        with pytest.raises(ValueError):
+            PhaseBoundaries(early_end=5.0, final_start=3.0, t_max=24.0)
+
+
+class TestClassification:
+    def test_scalar_classification(self, model):
+        assert classify_phase(model, 0.5) is Phase.EARLY
+        assert classify_phase(model, 12.0) is Phase.STABLE
+        assert classify_phase(model, 23.0) is Phase.FINAL
+
+    def test_array_classification(self, model):
+        phases = classify_phase(model, np.array([0.5, 12.0, 23.0]))
+        assert list(phases) == [Phase.EARLY, Phase.STABLE, Phase.FINAL]
+
+    def test_out_of_support_rejected(self, model):
+        with pytest.raises(ValueError):
+            classify_phase(model, -1.0)
+        with pytest.raises(ValueError):
+            classify_phase(model, model.t_max + 1.0)
+
+    def test_boundaries_are_inclusive(self, model):
+        b = phase_boundaries(model)
+        assert classify_phase(model, b.early_end) is Phase.EARLY
+        assert classify_phase(model, b.final_start) is Phase.FINAL
+
+
+class TestStableHazard:
+    def test_far_below_early_hazard(self, model):
+        """The stable phase is why VM reuse wins (Section 4.2)."""
+        stable = stable_phase_hazard(model)
+        early = float(model.hazard(0.1))
+        assert stable < early / 10.0
+
+    def test_positive(self, model):
+        assert stable_phase_hazard(model) > 0.0

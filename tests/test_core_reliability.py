@@ -1,0 +1,92 @@
+"""Tests for the reliability-theory adapter."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.reliability import ReliabilityView, exponential_equivalent_rate
+from repro.distributions.exponential import ExponentialDistribution
+from repro.distributions.uniform import UniformLifetimeDistribution
+
+
+class TestAgainstExponential:
+    """The exponential law has closed forms for everything the view derives."""
+
+    @pytest.fixture()
+    def view(self):
+        return ReliabilityView(ExponentialDistribution(rate=0.5), horizon=80.0)
+
+    def test_survival(self, view):
+        t = np.linspace(0, 10, 21)
+        np.testing.assert_allclose(view.survival(t), np.exp(-0.5 * t), rtol=1e-12)
+
+    def test_hazard_constant(self, view):
+        t = np.linspace(0.1, 10, 21)
+        np.testing.assert_allclose(view.hazard(t), 0.5, rtol=1e-9)
+
+    def test_cumulative_hazard_linear(self, view):
+        assert float(view.cumulative_hazard(4.0)) == pytest.approx(2.0, rel=1e-9)
+
+    def test_mttf(self, view):
+        assert view.mttf() == pytest.approx(2.0, rel=1e-3)
+
+    def test_memoryless_residual_life(self, view):
+        """E[T - s | T > s] = MTTF for the exponential."""
+        assert view.mean_residual_life(3.0) == pytest.approx(2.0, rel=1e-2)
+
+    def test_conditional_failure_probability_memoryless(self, view):
+        p0 = view.conditional_failure_probability(0.0, 1.0)
+        p5 = view.conditional_failure_probability(5.0, 1.0)
+        assert p0 == pytest.approx(p5, rel=1e-9)
+        assert p0 == pytest.approx(1 - math.exp(-0.5), rel=1e-9)
+
+    def test_equivalent_rate(self, view):
+        assert exponential_equivalent_rate(view) == pytest.approx(0.5, rel=1e-3)
+
+
+class TestAgainstUniform:
+    @pytest.fixture()
+    def view(self):
+        return ReliabilityView(UniformLifetimeDistribution(24.0), horizon=24.0)
+
+    def test_mttf_is_half_deadline(self, view):
+        assert view.mttf() == pytest.approx(12.0, rel=1e-3)
+
+    def test_failure_at_support_edge(self, view):
+        assert view.conditional_failure_probability(24.0, 1.0) == 1.0
+
+    def test_interval_vs_conditional(self, view):
+        """Conditional >= unconditional (survival <= 1)."""
+        s, w = 12.0, 6.0
+        assert view.conditional_failure_probability(s, w) >= view.interval_failure_probability(s, w)
+
+    def test_interval_probability_value(self, view):
+        assert view.interval_failure_probability(6.0, 6.0) == pytest.approx(0.25)
+        assert view.conditional_failure_probability(6.0, 6.0) == pytest.approx(1 / 3)
+
+
+class TestBathtubView:
+    def test_matches_model_internals(self, reference_model):
+        view = ReliabilityView(reference_model, horizon=reference_model.t_max)
+        t = np.linspace(0.5, 20, 15)
+        np.testing.assert_allclose(view.hazard(t), reference_model.hazard(t), rtol=1e-9)
+        assert view.mttf() == pytest.approx(reference_model.expected_lifetime(), rel=5e-3)
+
+    def test_mrl_matches_closed_form(self, reference_model):
+        view = ReliabilityView(reference_model, horizon=reference_model.t_max)
+        for s in (0.0, 5.0, 15.0):
+            assert view.mean_residual_life(s, num=8193) == pytest.approx(
+                reference_model.mean_residual_life(s), rel=1e-2
+            )
+
+
+class TestValidation:
+    def test_negative_args_rejected(self):
+        view = ReliabilityView(ExponentialDistribution(1.0))
+        with pytest.raises(ValueError):
+            view.mean_residual_life(-1.0)
+        with pytest.raises(ValueError):
+            view.conditional_failure_probability(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            view.conditional_failure_probability(1.0, -1.0)

@@ -1,0 +1,197 @@
+"""Closed-form checks per distribution family."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.model import BathtubParams
+from repro.distributions import (
+    BathtubDistribution,
+    ExponentialDistribution,
+    GompertzMakehamDistribution,
+    LogNormalLifetimeDistribution,
+    PiecewisePhaseDistribution,
+    PhaseSegment,
+    SuperpositionMixture,
+    UniformLifetimeDistribution,
+    WeibullDistribution,
+)
+
+
+class TestExponential:
+    def test_memorylessness(self):
+        """P(T <= s+w | T > s) is independent of s — the defining property."""
+        d = ExponentialDistribution(rate=0.7)
+        probs = [d.conditional_failure_probability(s, 2.0) for s in (0.0, 1.0, 5.0, 20.0)]
+        assert max(probs) - min(probs) < 1e-9
+
+    def test_mttf_constructor(self):
+        d = ExponentialDistribution.from_mttf(4.0)
+        assert d.rate == pytest.approx(0.25)
+        assert d.mttf == pytest.approx(4.0)
+        assert d.mean() == pytest.approx(4.0)
+
+    def test_closed_ppf(self):
+        d = ExponentialDistribution(rate=2.0)
+        assert float(d.ppf(0.5)) == pytest.approx(math.log(2) / 2)
+
+    def test_truncated_moment_closed_form(self):
+        d = ExponentialDistribution(rate=1.0)
+        # int_0^inf t e^-t dt = 1
+        assert d.truncated_first_moment(0.0, 60.0) == pytest.approx(1.0, rel=1e-9)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            ExponentialDistribution(rate=0.0)
+
+
+class TestWeibull:
+    def test_reduces_to_exponential_at_k1(self):
+        w = WeibullDistribution(lam=0.5, k=1.0)
+        e = ExponentialDistribution(rate=0.5)
+        t = np.linspace(0, 10, 50)
+        np.testing.assert_allclose(w.cdf(t), e.cdf(t), rtol=1e-10)
+
+    def test_mean_gamma_formula(self):
+        w = WeibullDistribution(lam=0.25, k=2.0)
+        assert w.mean() == pytest.approx(math.gamma(1.5) / 0.25, rel=1e-12)
+
+    def test_hazard_monotone_never_bathtub(self):
+        """k>1: increasing; k<1: decreasing. Never both — the paper's point."""
+        t = np.linspace(0.1, 20, 100)
+        inc = np.asarray(WeibullDistribution(0.1, 2.5).hazard(t))
+        dec = np.asarray(WeibullDistribution(0.1, 0.5).hazard(t))
+        assert np.all(np.diff(inc) > 0)
+        assert np.all(np.diff(dec) < 0)
+
+
+class TestGompertzMakeham:
+    def test_hazard_form(self):
+        g = GompertzMakehamDistribution(lam=0.05, alpha=0.01, beta=0.3)
+        t = np.linspace(0, 10, 30)
+        np.testing.assert_allclose(g.hazard(t), 0.05 + 0.01 * np.exp(0.3 * t), rtol=1e-10)
+
+    def test_horizon_captures_tail(self):
+        g = GompertzMakehamDistribution(lam=0.05, alpha=0.01, beta=0.3)
+        assert float(g.cdf(g.t_max)) > 1 - 1e-8
+
+
+class TestUniform:
+    def test_closed_forms_of_section_61(self):
+        """E[W1] = J/2 and E[increase] = J^2/48 for L = 24."""
+        u = UniformLifetimeDistribution(24.0)
+        for J in (2.0, 10.0, 20.0):
+            # E[W1] = (1/F(J)) int_0^J t/L dt = J/2
+            m = u.truncated_first_moment(0.0, J)
+            assert m / float(u.cdf(J)) == pytest.approx(J / 2)
+            # E[increase] = int_0^J t f = J^2 / 48
+            assert m == pytest.approx(J * J / 48.0)
+
+    def test_mean(self):
+        assert UniformLifetimeDistribution(24.0).mean() == pytest.approx(12.0)
+
+
+class TestBathtubDistribution:
+    def test_delegates_to_model(self, reference_model):
+        d = BathtubDistribution(reference_model)
+        t = np.linspace(0, 24, 30)
+        np.testing.assert_allclose(d.cdf(t), reference_model.cdf(t))
+        assert d.mean() == pytest.approx(reference_model.expected_lifetime())
+        assert d.params == reference_model.params
+
+    def test_constructible_from_params_and_mapping(self):
+        p = BathtubParams(A=0.45, tau1=1.0, tau2=0.8, b=24.0)
+        assert BathtubDistribution(p).t_max == BathtubDistribution(p.as_dict()).t_max
+
+
+class TestPiecewise:
+    def test_segment_validation(self):
+        with pytest.raises(ValueError):
+            PhaseSegment(2.0, 1.0, 0.1)
+        with pytest.raises(ValueError):
+            PiecewisePhaseDistribution([])
+        with pytest.raises(ValueError):
+            PiecewisePhaseDistribution([PhaseSegment(1.0, 2.0, 0.1)])  # not at 0
+        with pytest.raises(ValueError):
+            PiecewisePhaseDistribution(
+                [PhaseSegment(0.0, 1.0, 0.1), PhaseSegment(2.0, 3.0, 0.1)]  # gap
+            )
+
+    def test_piecewise_exponential_survival(self):
+        d = PiecewisePhaseDistribution.bathtub_three_phase(
+            early_hazard=0.3, stable_hazard=0.01, final_hazard=1.5
+        )
+        # Inside the first segment: S(t) = exp(-0.3 t).
+        assert float(d.cdf(2.0)) == pytest.approx(1 - math.exp(-0.6), rel=1e-10)
+        # Cumulative hazard is continuous across the boundary.
+        h = np.asarray(d.cumulative_hazard(np.array([2.999, 3.001])))
+        assert abs(h[1] - h[0]) < 1e-2
+
+    def test_terminal_atom(self):
+        d = PiecewisePhaseDistribution.bathtub_three_phase(
+            early_hazard=0.1, stable_hazard=0.001, final_hazard=0.2
+        )
+        atom = d.terminal_atom()
+        assert 0.0 < atom < 1.0
+        assert float(d.cdf(d.t_max)) == 1.0
+        assert float(d.cdf(d.t_max - 1e-6)) == pytest.approx(1.0 - atom, abs=1e-4)
+
+    def test_sampling_honours_atom(self, rng):
+        d = PiecewisePhaseDistribution.bathtub_three_phase(
+            early_hazard=0.05, stable_hazard=0.001, final_hazard=0.05
+        )
+        s = d.sample(4000, rng)
+        at_deadline = np.mean(s >= d.t_max - 1e-9)
+        assert at_deadline == pytest.approx(d.terminal_atom(), abs=0.03)
+
+    def test_non_terminal_variant(self):
+        d = PiecewisePhaseDistribution(
+            [PhaseSegment(0.0, 10.0, 0.2)], terminal=False
+        )
+        assert d.terminal_atom() == 0.0
+        assert float(d.cdf(10.0)) < 1.0
+
+
+class TestMixture:
+    def test_additive_superposition(self):
+        e1 = ExponentialDistribution(rate=1.0)
+        e2 = ExponentialDistribution(rate=0.1)
+        mix = SuperpositionMixture([(0.5, e1), (0.5, e2)])
+        t = np.linspace(0, 5, 20)
+        expected = 0.5 * np.asarray(e1.cdf(t)) + 0.5 * np.asarray(e2.cdf(t))
+        np.testing.assert_allclose(mix.cdf(t), expected, rtol=1e-10)
+
+    def test_two_process_structure_mimics_eq1(self):
+        """An early exponential + a deadline process reproduces the bathtub
+        shape — the Section 8 'superposition framework' in action."""
+        early = ExponentialDistribution(rate=1.0)
+        late = PiecewisePhaseDistribution(
+            [PhaseSegment(0.0, 21.0, 1e-9), PhaseSegment(21.0, 24.0, 2.0)]
+        )
+        mix = SuperpositionMixture([(0.46, early), (0.54, late)])
+        pdf_early = float(mix.pdf(0.1))
+        pdf_mid = float(mix.pdf(12.0))
+        pdf_late = float(mix.pdf(23.0))
+        assert pdf_early > 10 * pdf_mid
+        assert pdf_late > 10 * pdf_mid
+
+    def test_weights_validated(self):
+        with pytest.raises(ValueError):
+            SuperpositionMixture([(0.0, ExponentialDistribution(1.0))])
+        with pytest.raises(ValueError):
+            SuperpositionMixture([])
+
+    def test_n_components(self):
+        mix = SuperpositionMixture([(1.0, ExponentialDistribution(1.0))])
+        assert mix.n_components == 1
+
+
+class TestLogNormal:
+    def test_mean_closed_form(self):
+        d = LogNormalLifetimeDistribution(mu=1.0, sigma=0.5)
+        assert d.mean() == pytest.approx(math.exp(1.125), rel=1e-12)
+
+    def test_median(self):
+        d = LogNormalLifetimeDistribution(mu=1.0, sigma=0.5)
+        assert float(d.cdf(math.exp(1.0))) == pytest.approx(0.5, abs=1e-9)

@@ -1,0 +1,117 @@
+"""Interface-conformance tests shared by every lifetime distribution."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import BathtubParams
+from repro.distributions import (
+    BathtubDistribution,
+    ExponentialDistribution,
+    GompertzMakehamDistribution,
+    LogNormalLifetimeDistribution,
+    PiecewisePhaseDistribution,
+    SuperpositionMixture,
+    UniformLifetimeDistribution,
+    WeibullDistribution,
+)
+from repro.utils.integrate import first_moment
+
+ALL_DISTS = {
+    "exponential": ExponentialDistribution(rate=0.3),
+    "weibull": WeibullDistribution(lam=0.1, k=1.7),
+    "gompertz": GompertzMakehamDistribution(lam=0.02, alpha=1e-3, beta=0.4),
+    "uniform": UniformLifetimeDistribution(24.0),
+    "lognormal": LogNormalLifetimeDistribution(mu=2.0, sigma=0.6),
+    "bathtub": BathtubDistribution(BathtubParams(A=0.46, tau1=1.2, tau2=0.8, b=24.0)),
+    "piecewise": PiecewisePhaseDistribution.bathtub_three_phase(
+        early_hazard=0.3, stable_hazard=0.01, final_hazard=1.5
+    ),
+    "mixture": SuperpositionMixture(
+        [(0.5, ExponentialDistribution(rate=1.0)), (0.5, UniformLifetimeDistribution(24.0))]
+    ),
+}
+
+
+@pytest.fixture(params=sorted(ALL_DISTS), ids=sorted(ALL_DISTS))
+def dist(request):
+    return ALL_DISTS[request.param]
+
+
+class TestUniversalInvariants:
+    def test_cdf_bounds_and_monotonicity(self, dist):
+        t = np.linspace(-1.0, dist.t_max * 1.1, 400)
+        f = np.asarray(dist.cdf(t), dtype=float)
+        assert np.all((f >= 0.0) & (f <= 1.0))
+        assert np.all(np.diff(f) >= -1e-12)
+
+    def test_cdf_zero_at_negative_times(self, dist):
+        assert float(dist.cdf(-0.5)) == 0.0
+
+    def test_pdf_nonnegative(self, dist):
+        t = np.linspace(0.01, dist.t_max * 0.99, 300)
+        assert np.all(np.asarray(dist.pdf(t), dtype=float) >= 0.0)
+
+    def test_sf_complements_cdf(self, dist):
+        t = np.linspace(0.0, dist.t_max, 50)
+        np.testing.assert_allclose(
+            np.asarray(dist.sf(t)) + np.asarray(dist.cdf(t)), 1.0, atol=1e-12
+        )
+
+    def test_hazard_nonnegative(self, dist):
+        t = np.linspace(0.01, dist.t_max * 0.9, 100)
+        h = np.asarray(dist.hazard(t), dtype=float)
+        assert np.all(h >= 0.0)
+
+    def test_ppf_inverts_cdf(self, dist):
+        q = np.linspace(0.05, 0.95, 19)
+        t = np.asarray(dist.ppf(q), dtype=float)
+        np.testing.assert_allclose(np.asarray(dist.cdf(t), dtype=float), q, atol=5e-3)
+
+    def test_ppf_rejects_bad_quantiles(self, dist):
+        with pytest.raises(ValueError):
+            dist.ppf(1.5)
+        with pytest.raises(ValueError):
+            dist.ppf(-0.01)
+
+    def test_sampling_within_support_and_distribution(self, dist, rng):
+        n = 3000
+        s = dist.sample(n, rng)
+        assert s.shape == (n,)
+        assert np.all(s >= 0.0)
+        assert np.all(s <= dist.t_max + 1e-6)
+        emp = np.arange(1, n + 1) / n
+        ks = np.max(np.abs(emp - np.asarray(dist.cdf(np.sort(s)), dtype=float)))
+        assert ks < 0.05
+
+    def test_sample_negative_n(self, dist):
+        with pytest.raises(ValueError):
+            dist.sample(-1)
+
+    def test_sample_zero(self, dist, rng):
+        assert dist.sample(0, rng).shape == (0,)
+
+    def test_truncated_moment_matches_quadrature(self, dist):
+        a, c = 0.5, min(8.0, dist.t_max * 0.8)
+        numeric = first_moment(dist.pdf, a, c, num=8193)
+        assert dist.truncated_first_moment(a, c) == pytest.approx(numeric, rel=2e-3, abs=1e-5)
+
+    def test_truncated_moment_degenerate(self, dist):
+        assert dist.truncated_first_moment(3.0, 3.0) == 0.0
+        assert dist.truncated_first_moment(5.0, 2.0) == 0.0
+
+    def test_mean_positive(self, dist):
+        assert dist.mean() > 0.0
+
+    def test_conditional_failure_probability_bounds(self, dist):
+        for s in (0.0, 1.0, dist.t_max * 0.5):
+            p = dist.conditional_failure_probability(s, 2.0)
+            assert 0.0 <= p <= 1.0
+
+    def test_conditional_failure_total_at_edge(self, dist):
+        p = dist.conditional_failure_probability(dist.t_max + 1.0, 1.0)
+        if float(dist.sf(dist.t_max + 1.0)) <= 0.0:
+            # Bounded support: survival is exhausted, failure is certain.
+            assert p == 1.0
+        else:
+            # Unbounded laws: t_max is only a practical horizon.
+            assert 0.0 <= p <= 1.0

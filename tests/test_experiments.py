@@ -1,0 +1,248 @@
+"""Tests asserting the paper's figure-level claims on the experiment outputs.
+
+Each test runs the corresponding experiment (at reduced size where that
+does not change the claim) and checks the *shape* statements from the
+paper's evaluation section, as catalogued in EXPERIMENTS.md.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import checkpoint_schedule as exp_sched
+from repro.experiments import fig1_model_fit as exp_fig1
+from repro.experiments import fig2_characteristics as exp_fig2
+from repro.experiments import fig4_wasted_work as exp_fig4
+from repro.experiments import fig5_start_time as exp_fig5
+from repro.experiments import fig6_job_length as exp_fig6
+from repro.experiments import fig7_sensitivity as exp_fig7
+from repro.experiments import fig8_checkpointing as exp_fig8
+from repro.experiments import fig9_service as exp_fig9
+from repro.experiments import params_table as exp_params
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+
+class TestFig1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_fig1.run(n_vms=120, seed=7)
+
+    def test_bathtub_wins(self, result):
+        assert result.winner == "bathtub"
+
+    def test_bathtub_r2_high_and_baselines_poor(self, result):
+        assert result.scores["bathtub"].r2 > 0.97
+        assert result.scores["exponential"].r2 < 0.8
+        assert result.scores["weibull"].r2 < 0.9
+
+    def test_fitted_params_in_paper_ranges(self, result):
+        p = result.fitted_params["bathtub"]
+        assert 0.35 < p["A"] < 0.55
+        assert 0.3 < p["tau1"] < 6.0
+        assert 22.0 < p["b"] < 26.0
+
+    def test_report_renders(self, result):
+        text = exp_fig1.report(result)
+        assert "bathtub" in text and "ground truth" in text
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_fig2.run(per_config=250, seed=11)
+
+    def test_observation_4_mean_lifetime_ordering(self, result):
+        means = [result.means[vt] for vt in (
+            "n1-highcpu-2", "n1-highcpu-8", "n1-highcpu-32")]
+        assert means[0] > means[1] > means[2]
+
+    def test_observation_5_idle_lives_longer(self, result):
+        assert result.means["idle"] > result.means["busy"]
+
+    def test_cdfs_are_cdfs(self, result):
+        for curves in (result.by_vm_type, result.by_zone, result.by_context):
+            for name, curve in curves.items():
+                assert np.all(np.diff(curve) >= -1e-12), name
+                assert curve[-1] == pytest.approx(1.0, abs=1e-9)
+
+    def test_larger_vm_cdf_dominates(self, result):
+        """Fig. 2a: the highcpu-32 CDF sits above highcpu-2 everywhere."""
+        big = result.by_vm_type["n1-highcpu-32"]
+        small = result.by_vm_type["n1-highcpu-2"]
+        interior = (result.grid_hours > 0.5) & (result.grid_hours < 22.0)
+        assert np.all(big[interior] >= small[interior] - 0.05)
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_fig4.run(num=48)
+
+    def test_uniform_closed_forms(self, result):
+        np.testing.assert_allclose(
+            result.wasted_uniform, result.job_lengths / 2.0, rtol=1e-9
+        )
+        np.testing.assert_allclose(
+            result.increase_uniform, result.job_lengths**2 / 48.0, rtol=1e-9
+        )
+
+    def test_crossover_near_five_hours(self, result):
+        assert 3.0 < result.crossover_hours < 7.0
+
+    def test_ten_hour_job_multiple_times_cheaper(self, result):
+        assert result.increase_ratio_at(10.0) > 3.0
+
+    def test_long_jobs_always_cheaper_on_bathtub(self, result):
+        long = result.job_lengths >= 8.0
+        assert np.all(result.increase_bathtub[long] < result.increase_uniform[long])
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_fig5.run(job_length=6.0, num=49)
+
+    def test_memoryless_saturates_at_one(self, result):
+        late = result.start_ages > 18.5
+        np.testing.assert_allclose(result.memoryless[late], 1.0)
+
+    def test_policy_flat_after_critical_age(self, result):
+        past = result.start_ages > result.critical_age + 0.5
+        np.testing.assert_allclose(
+            result.model_policy[past & (result.start_ages < 24.0)],
+            result.fresh_vm_level,
+            atol=1e-6,
+        )
+
+    def test_fresh_level_near_paper_04(self, result):
+        assert 0.3 < result.fresh_vm_level < 0.55
+
+    def test_curves_agree_before_switch(self, result):
+        early = result.start_ages < result.critical_age - 0.5
+        np.testing.assert_allclose(
+            result.model_policy[early], result.memoryless[early], atol=1e-9
+        )
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_fig6.run(num_lengths=12, num_ages=48)
+
+    def test_policy_beats_memoryless_everywhere(self, result):
+        assert np.all(result.model_policy <= result.memoryless + 1e-9)
+
+    def test_midrange_reduction_close_to_two(self, result):
+        assert result.reduction_factor() > 1.4
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_fig7.run(num_lengths=10, num_ages=32)
+
+    def test_suboptimal_within_paper_gap(self, result):
+        """Paper: 'the increase in job failure probability is less than
+        2% compared to the best-fit model'."""
+        assert result.max_suboptimality_gap() < 0.05
+
+    def test_both_bathtub_models_beat_memoryless(self, result):
+        mid = (result.job_lengths > 2.0) & (result.job_lengths < 20.0)
+        assert np.all(result.best_fit[mid] < result.memoryless[mid])
+        assert np.all(result.suboptimal[mid] < result.memoryless[mid])
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_fig8.run(num_ages=8, num_lengths=5, step=0.2)
+
+    def test_our_overhead_bathtub_shaped(self, result):
+        """High at age 0, low mid-life."""
+        ours = result.overhead_ours_by_age
+        assert ours[0] > ours[len(ours) // 2]
+
+    def test_ours_beats_young_daly_on_average(self, result):
+        assert result.overhead_ours_by_age.mean() < result.overhead_yd_by_age.mean()
+        assert result.improvement_factor() > 1.2
+
+    def test_our_overhead_moderate(self, result):
+        """Paper: under ~10% for short jobs, ~3-5% for longer."""
+        assert np.all(result.overhead_ours_by_length < 15.0)
+
+    def test_yd_roughly_flat_mid_life(self, result):
+        mid = (result.start_ages > 2.0) & (result.start_ages < 15.0)
+        yd = result.overhead_yd_by_age[mid]
+        assert yd.std() < 2.0
+
+
+class TestCheckpointScheduleTable:
+    def test_monotone_increasing_intervals(self):
+        res = exp_sched.run(step=0.1)
+        assert res.monotone_increasing
+        iv = res.intervals_minutes
+        assert iv[-1] > 2.0 * iv[0]
+
+    def test_first_interval_near_paper(self):
+        res = exp_sched.run(step=0.1)
+        assert 5.0 < res.intervals_minutes[0] < 40.0
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_fig9.run(n_jobs=20, max_vms=8, n_slowdown_seeds=4)
+
+    def test_cost_reduction_factor(self, result):
+        """Paper: ~5x; the hard ceiling is the 4.7x price discount."""
+        for app in result.costs:
+            assert 2.5 < app.reduction_factor < 4.75
+
+    def test_all_apps_cheaper_than_on_demand(self, result):
+        for app in result.costs:
+            assert app.cost_per_job < app.on_demand_cost_per_job
+
+    def test_slowdown_nonnegative_and_slope_positive(self, result):
+        assert np.all(result.runtime_increase_pct >= 0.0)
+
+
+class TestParamsTable:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_params.run(per_type=250, seed=13)
+
+    def test_every_type_fitted(self, result):
+        assert len(result.fits) == 5
+
+    def test_b_recovered_everywhere(self, result):
+        for f in result.fits:
+            assert f.fitted.b == pytest.approx(24.0, abs=1.0)
+
+    def test_tau1_ordering_recovered(self, result):
+        """Fitted early-phase constants must reproduce the size ordering."""
+        tau1 = {f.vm_type: f.fitted.tau1 for f in result.fits}
+        assert tau1["n1-highcpu-2"] > tau1["n1-highcpu-16"] > tau1["n1-highcpu-32"]
+
+    def test_extremes_of_lifetime_ranking(self, result):
+        ranking = result.lifetime_ranking()
+        assert ranking[-1] == "n1-highcpu-32"
+        assert ranking[0] in ("n1-highcpu-2", "n1-highcpu-4")
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        expected = {
+            "fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+            "checkpoint-schedule", "params-table",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_get_experiment(self):
+        assert get_experiment("fig1").name == "fig1"
+        with pytest.raises(KeyError):
+            get_experiment("fig3")  # the paper has no Fig. 3 experiment
+
+    def test_reports_render_for_light_experiments(self):
+        for name in ("fig4", "fig5"):
+            exp = get_experiment(name)
+            text = exp.report(exp.run())
+            assert name.replace("fig", "Fig. ") in text

@@ -1,0 +1,25 @@
+"""Tests for the experiments CLI (`python -m repro.experiments`)."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out and "checkpoint-schedule" in out
+
+    def test_no_args_shows_help(self, capsys):
+        assert main([]) == 0
+        assert "usage" in capsys.readouterr().out
+
+    def test_single_experiment(self, capsys):
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 4" in out and "crossover" in out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError, match="known:"):
+            main(["fig99"])

@@ -1,0 +1,82 @@
+"""Tests for bootstrap CIs and the Section 8 change-point detector."""
+
+import numpy as np
+import pytest
+
+from repro.fitting.bootstrap import bootstrap_bathtub_ci
+from repro.fitting.changepoint import (
+    PolicyDriftMonitor,
+    detect_policy_change,
+)
+from repro.traces.catalog import default_catalog
+
+
+class TestBootstrap:
+    @pytest.fixture(scope="class")
+    def cis(self, reference_dist):
+        samples = reference_dist.sample(300, np.random.default_rng(9))
+        return bootstrap_bathtub_ci(samples, n_boot=60, seed=1, grid_num=96)
+
+    def test_all_parameters_covered(self, cis):
+        assert set(cis) == {"A", "tau1", "tau2", "b"}
+
+    def test_intervals_contain_point_estimates(self, cis):
+        for ci in cis.values():
+            assert ci.low <= ci.point <= ci.high
+
+    def test_intervals_contain_truth(self, cis, reference_params):
+        """At 95% with 4 params, expect truth inside (generous check: b
+        and A at least — the best-identified parameters)."""
+        assert cis["b"].contains(reference_params.b)
+        assert cis["A"].low - 0.05 <= reference_params.A <= cis["A"].high + 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_bathtub_ci(np.ones(5))
+        with pytest.raises(ValueError):
+            bootstrap_bathtub_ci(np.arange(1.0, 30.0), level=1.5)
+
+
+class TestChangePoint:
+    def test_no_false_alarm_on_same_distribution(self, reference_dist):
+        rng = np.random.default_rng(2)
+        window = reference_dist.sample(200, rng)
+        report = detect_policy_change(reference_dist, window, alpha=0.01)
+        assert not report.changed
+
+    def test_detects_policy_change(self, reference_dist):
+        """A switch to the highcpu-2 law (far flatter early phase) must
+        be flagged — the Section 8 drift scenario."""
+        changed = default_catalog().distribution("n1-highcpu-2", "us-central1-c")
+        window = changed.sample(200, np.random.default_rng(3))
+        report = detect_policy_change(reference_dist, window, alpha=0.01)
+        assert report.changed
+        assert report.ks > report.critical
+
+    def test_window_size_validation(self, reference_dist):
+        with pytest.raises(ValueError):
+            detect_policy_change(reference_dist, np.ones(3))
+        with pytest.raises(ValueError):
+            detect_policy_change(reference_dist, np.ones(20), alpha=0.0)
+
+    def test_streaming_monitor(self, reference_dist):
+        changed = default_catalog().distribution("n1-highcpu-2", "us-central1-c")
+        mon = PolicyDriftMonitor(reference_dist, window=100, alpha=0.01)
+        rng = np.random.default_rng(4)
+        # First window: in-distribution -> no drift.
+        report = None
+        for x in reference_dist.sample(100, rng):
+            report = mon.observe(float(x))
+        assert report is not None and not report.changed
+        # Second window: drifted law -> detected.
+        for x in changed.sample(100, rng):
+            report = mon.observe(float(x))
+        assert report is not None and report.changed
+        assert mon.drift_detected
+
+    def test_monitor_validation(self, reference_dist):
+        with pytest.raises(ValueError):
+            PolicyDriftMonitor(reference_dist, window=4)
+        mon = PolicyDriftMonitor(reference_dist, window=10)
+        with pytest.raises(ValueError):
+            mon.observe(-1.0)

@@ -1,0 +1,90 @@
+"""Tests for empirical CDF and Kaplan-Meier estimation."""
+
+import numpy as np
+import pytest
+
+from repro.fitting.ecdf import EmpiricalCDF, kaplan_meier
+
+
+class TestEmpiricalCDF:
+    def test_step_function_values(self):
+        e = EmpiricalCDF.from_samples(np.array([1.0, 2.0, 2.0, 4.0]))
+        assert float(e.evaluate(0.5)) == 0.0
+        assert float(e.evaluate(1.0)) == 0.25
+        assert float(e.evaluate(2.0)) == 0.75
+        assert float(e.evaluate(3.0)) == 0.75
+        assert float(e.evaluate(4.0)) == 1.0
+        assert float(e.evaluate(10.0)) == 1.0
+
+    def test_vectorised_evaluation(self):
+        e = EmpiricalCDF.from_samples(np.array([1.0, 2.0]))
+        out = e.evaluate(np.array([0.0, 1.5, 5.0]))
+        np.testing.assert_allclose(out, [0.0, 0.5, 1.0])
+
+    def test_grid(self):
+        e = EmpiricalCDF.from_samples(np.array([1.0, 3.0]))
+        t, y = e.grid(16)
+        assert t[0] == 0.0 and t[-1] == 3.0
+        assert y[-1] == 1.0
+
+    def test_median(self):
+        e = EmpiricalCDF.from_samples(np.arange(1.0, 11.0))
+        assert e.median() == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF.from_samples(np.array([]))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF.from_samples(np.array([1.0, -0.5]))
+
+    def test_converges_to_truth(self, reference_dist, rng):
+        s = reference_dist.sample(5000, rng)
+        e = EmpiricalCDF.from_samples(s)
+        t = np.linspace(0.5, 23.0, 40)
+        np.testing.assert_allclose(
+            e.evaluate(t), np.asarray(reference_dist.cdf(t)), atol=0.04
+        )
+
+
+class TestKaplanMeier:
+    def test_no_censoring_matches_ecdf(self):
+        lifetimes = np.array([1.0, 2.0, 2.0, 5.0, 7.0])
+        km = kaplan_meier(lifetimes, np.zeros(5, dtype=bool))
+        plain = EmpiricalCDF.from_samples(lifetimes)
+        t = np.linspace(0, 8, 30)
+        np.testing.assert_allclose(km.evaluate(t), plain.evaluate(t), atol=1e-12)
+
+    def test_censoring_reduces_cdf(self):
+        """Censored VMs are survivors: the KM CDF must sit at or below the
+        naive ECDF that (wrongly) treats censorings as preemptions."""
+        rng = np.random.default_rng(0)
+        lifetimes = rng.exponential(5.0, size=300)
+        censored = rng.random(300) < 0.3
+        km = kaplan_meier(lifetimes, censored)
+        naive = EmpiricalCDF.from_samples(lifetimes)
+        t = np.linspace(0.5, 15, 20)
+        assert np.all(np.asarray(km.evaluate(t)) <= np.asarray(naive.evaluate(t)) + 1e-9)
+
+    def test_km_recovers_truth_under_censoring(self):
+        """Administrative censoring at 6 h must not bias F below 6 h."""
+        rng = np.random.default_rng(1)
+        true = rng.exponential(5.0, size=4000)
+        censored = true > 6.0
+        observed = np.minimum(true, 6.0)
+        km = kaplan_meier(observed, censored)
+        t = np.linspace(0.5, 5.5, 10)
+        np.testing.assert_allclose(km.evaluate(t), 1 - np.exp(-t / 5.0), atol=0.03)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            kaplan_meier(np.ones(3), np.zeros(2, dtype=bool))
+
+    def test_all_censored_rejected(self):
+        with pytest.raises(ValueError):
+            kaplan_meier(np.ones(5), np.ones(5, dtype=bool))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            kaplan_meier(np.array([]), np.array([], dtype=bool))

@@ -1,0 +1,145 @@
+"""Tests for least-squares fitting, MLE, metrics, and model selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import BathtubParams
+from repro.distributions import (
+    BathtubDistribution,
+    ExponentialDistribution,
+    WeibullDistribution,
+)
+from repro.fitting.ecdf import EmpiricalCDF
+from repro.fitting.least_squares import (
+    fit_bathtub,
+    fit_exponential,
+    fit_gompertz_makeham,
+    fit_piecewise_bathtub,
+    fit_weibull,
+)
+from repro.fitting.metrics import evaluate_fit, ks_statistic, r_squared, rmse
+from repro.fitting.mle import mle_bathtub, mle_exponential
+from repro.fitting.selection import compare_models
+
+
+@pytest.fixture(scope="module")
+def bathtub_samples(reference_dist):
+    return reference_dist.sample(600, np.random.default_rng(21))
+
+
+@pytest.fixture(scope="module")
+def bathtub_ecdf(bathtub_samples):
+    return EmpiricalCDF.from_samples(bathtub_samples)
+
+
+class TestLeastSquares:
+    def test_bathtub_recovers_ground_truth(self, bathtub_ecdf, reference_params):
+        fit = fit_bathtub(bathtub_ecdf)
+        assert fit.params["A"] == pytest.approx(reference_params.A, abs=0.08)
+        assert fit.params["tau1"] == pytest.approx(reference_params.tau1, rel=0.35)
+        assert fit.params["tau2"] == pytest.approx(reference_params.tau2, rel=0.45)
+        assert fit.params["b"] == pytest.approx(reference_params.b, rel=0.03)
+
+    def test_fitted_params_within_paper_ranges(self, bathtub_ecdf):
+        p = fit_bathtub(bathtub_ecdf).params
+        assert 0.35 <= p["A"] <= 0.55
+        assert 0.3 <= p["tau1"] <= 6.0
+        assert 0.4 <= p["tau2"] <= 1.5
+        assert 22.0 <= p["b"] <= 26.0
+
+    def test_exponential_recovers_rate(self):
+        true = ExponentialDistribution(rate=0.4)
+        s = true.sample(2000, np.random.default_rng(3))
+        fit = fit_exponential(EmpiricalCDF.from_samples(s))
+        assert fit.params["rate"] == pytest.approx(0.4, rel=0.1)
+
+    def test_weibull_recovers_shape(self):
+        true = WeibullDistribution(lam=0.2, k=2.0)
+        s = true.sample(2000, np.random.default_rng(4))
+        fit = fit_weibull(EmpiricalCDF.from_samples(s))
+        assert fit.params["k"] == pytest.approx(2.0, rel=0.15)
+        assert fit.params["lam"] == pytest.approx(0.2, rel=0.1)
+
+    def test_gompertz_fit_runs(self, bathtub_ecdf):
+        fit = fit_gompertz_makeham(bathtub_ecdf)
+        assert fit.sse >= 0.0
+
+    def test_piecewise_fit_beats_exponential(self, bathtub_ecdf):
+        pw = fit_piecewise_bathtub(bathtub_ecdf)
+        exp = fit_exponential(bathtub_ecdf)
+        assert pw.sse < exp.sse
+        # Recovered hazards must be bathtub-ordered.
+        assert pw.params["early_hazard"] > pw.params["stable_hazard"]
+        assert pw.params["final_hazard"] > pw.params["stable_hazard"]
+
+
+class TestMetrics:
+    def test_r_squared_perfect_and_mean(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r_squared(y, y) == 1.0
+        assert r_squared(y, np.full(3, 2.0)) == pytest.approx(0.0)
+
+    def test_rmse(self):
+        assert rmse(np.zeros(4), np.full(4, 2.0)) == pytest.approx(2.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            r_squared(np.ones(3), np.ones(4))
+        with pytest.raises(ValueError):
+            rmse(np.ones(3), np.ones(4))
+
+    def test_ks_statistic_exact_for_steps(self):
+        e = EmpiricalCDF.from_samples(np.array([1.0, 2.0]))
+        u = ExponentialDistribution(rate=1e-9)  # F ~ 0 everywhere
+        assert ks_statistic(e, u) == pytest.approx(1.0, abs=1e-6)
+
+    def test_evaluate_fit_bundle(self, bathtub_ecdf, bathtub_samples, reference_dist):
+        gof = evaluate_fit(bathtub_ecdf, reference_dist, bathtub_samples, n_params=4)
+        assert gof.r2 > 0.98
+        assert gof.rmse < 0.03
+        assert gof.n_params == 4
+        assert np.isfinite(gof.aic)
+
+
+class TestMLE:
+    def test_exponential_mle(self):
+        s = np.random.default_rng(5).exponential(3.0, size=5000)
+        d = mle_exponential(s)
+        assert d.mttf == pytest.approx(3.0, rel=0.05)
+
+    def test_exponential_mle_empty(self):
+        with pytest.raises(ValueError):
+            mle_exponential(np.array([]))
+
+    def test_bathtub_mle_close_to_ls(self, bathtub_samples, reference_params):
+        d = mle_bathtub(bathtub_samples)
+        assert d.params.b == pytest.approx(reference_params.b, rel=0.05)
+        assert d.params.A == pytest.approx(reference_params.A, abs=0.1)
+
+    def test_bathtub_mle_needs_samples(self):
+        with pytest.raises(ValueError):
+            mle_bathtub(np.array([1.0, 2.0]))
+
+
+class TestSelection:
+    def test_bathtub_wins_on_bathtub_data(self, bathtub_ecdf, bathtub_samples):
+        cmp_ = compare_models(bathtub_ecdf, bathtub_samples)
+        assert cmp_.best == "bathtub"
+        # The paper's headline: classical families are far worse.
+        assert cmp_.improvement_over("exponential") > 5.0
+        assert cmp_.improvement_over("weibull") > 2.0
+
+    def test_scores_and_ranking_consistent(self, bathtub_ecdf, bathtub_samples):
+        cmp_ = compare_models(bathtub_ecdf, bathtub_samples)
+        rmses = [cmp_.scores[n].rmse for n in cmp_.ranking]
+        assert rmses == sorted(rmses)
+
+    def test_unknown_family_rejected(self, bathtub_ecdf, bathtub_samples):
+        with pytest.raises(ValueError):
+            compare_models(bathtub_ecdf, bathtub_samples, families=("nope",))
+
+    def test_subset_of_families(self, bathtub_ecdf, bathtub_samples):
+        cmp_ = compare_models(
+            bathtub_ecdf, bathtub_samples, families=("exponential", "weibull")
+        )
+        assert set(cmp_.fits) == {"exponential", "weibull"}

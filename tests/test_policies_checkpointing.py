@@ -1,0 +1,200 @@
+"""Tests for the DP checkpoint scheduler (paper Section 4.3, Eqs. 9-13)."""
+
+import numpy as np
+import pytest
+
+from repro.distributions.exponential import ExponentialDistribution
+from repro.policies.checkpointing import (
+    CheckpointPolicy,
+    evaluate_schedule,
+    simulate_schedule,
+)
+from repro.policies.youngdaly import (
+    initial_rate_mttf,
+    young_daly_interval,
+    young_daly_schedule,
+)
+
+DELTA = 1.0 / 60.0
+
+
+@pytest.fixture(scope="module")
+def policy(reference_dist):
+    return CheckpointPolicy(reference_dist, step=0.1, delta=DELTA)
+
+
+class TestPlanStructure:
+    def test_segments_cover_job(self, policy):
+        plan = policy.plan(4.0, 0.0)
+        assert sum(plan.segments) == pytest.approx(4.0)
+        assert len(plan.checkpoint_times) == len(plan.segments) - 1
+        assert plan.n_checkpoints >= 1
+
+    def test_checkpoint_times_cumulative(self, policy):
+        plan = policy.plan(4.0, 0.0)
+        np.testing.assert_allclose(
+            plan.checkpoint_times, np.cumsum(plan.segments)[:-1]
+        )
+
+    def test_intervals_increase_on_fresh_vm(self, policy):
+        """The paper's signature schedule: intervals grow as the early
+        hazard decays (cf. the (15, 28, 38, 59, 128) example)."""
+        plan = policy.plan(5.0, 0.0)
+        iv = plan.intervals_minutes()
+        assert len(iv) >= 3
+        assert all(b >= a - 1e-9 for a, b in zip(iv, iv[1:]))
+        assert iv[-1] > 2.5 * iv[0]
+
+    def test_stable_phase_barely_checkpoints(self, policy):
+        """Mid-life hazard is ~0: the optimal plan is (near-)checkpoint-free."""
+        plan = policy.plan(4.0, 8.0)
+        assert plan.n_checkpoints <= 1
+        assert plan.overhead_fraction < 0.02
+
+    def test_near_deadline_checkpoints_heavily(self, policy):
+        plan_mid = policy.plan(4.0, 10.0)
+        plan_late = policy.plan(4.0, 19.0)
+        assert plan_late.n_checkpoints >= plan_mid.n_checkpoints
+        assert plan_late.expected_makespan > plan_mid.expected_makespan
+
+    def test_expected_makespan_at_least_job_length(self, policy):
+        for s in (0.0, 8.0, 16.0):
+            assert policy.expected_makespan(4.0, s) >= 4.0 - 1e-9
+
+    def test_plan_deterministic(self, policy):
+        assert policy.plan(3.0, 0.0) == policy.plan(3.0, 0.0)
+
+    def test_table_cache_reused(self, reference_dist):
+        p = CheckpointPolicy(reference_dist, step=0.25, delta=DELTA)
+        p.plan(2.0, 0.0)
+        table = p._tables[8]
+        p.plan(2.0, 4.0)  # same length, different age: no re-solve
+        assert p._tables[8] is table
+
+    def test_validation(self, policy, reference_dist):
+        with pytest.raises(ValueError):
+            policy.plan(0.0)
+        with pytest.raises(ValueError):
+            policy.plan(0.01)  # below one work-step
+        with pytest.raises(ValueError):
+            policy.plan(2.0, -1.0)
+        with pytest.raises(ValueError):
+            CheckpointPolicy(reference_dist, step=0.0)
+        with pytest.raises(ValueError):
+            CheckpointPolicy(reference_dist, variant="wrong")
+
+
+class TestVariants:
+    def test_paper_variant_also_increasing_intervals(self, reference_dist):
+        p = CheckpointPolicy(reference_dist, step=0.1, delta=DELTA, variant="paper")
+        iv = p.plan(4.0, 0.0).intervals_minutes()
+        assert all(b >= a - 1e-9 for a, b in zip(iv, iv[1:]))
+
+    def test_conditional_costs_more_near_deadline(self, reference_dist):
+        """Only the conditional variant understands that a VM alive at
+        hour 20 is condemned; the paper-literal form underestimates."""
+        cond = CheckpointPolicy(reference_dist, step=0.1, delta=DELTA, variant="conditional")
+        paper = CheckpointPolicy(reference_dist, step=0.1, delta=DELTA, variant="paper")
+        assert cond.expected_makespan(3.0, 20.0) > paper.expected_makespan(3.0, 20.0)
+
+
+class TestAnalyticVsMonteCarlo:
+    def test_dp_makespan_matches_simulation(self, reference_dist, policy):
+        plan = policy.plan(4.0, 0.0)
+        mc = simulate_schedule(
+            reference_dist,
+            plan.segments,
+            delta=DELTA,
+            start_age=0.0,
+            n_runs=4000,
+            rng=np.random.default_rng(7),
+        )
+        assert plan.expected_makespan == pytest.approx(mc.mean(), rel=0.05)
+
+    def test_evaluate_schedule_matches_simulation(self, reference_dist):
+        sched = young_daly_schedule(3.0, 0.3)
+        analytic = evaluate_schedule(reference_dist, sched, delta=DELTA, start_age=0.0)
+        mc = simulate_schedule(
+            reference_dist,
+            sched,
+            delta=DELTA,
+            start_age=0.0,
+            n_runs=4000,
+            rng=np.random.default_rng(8),
+        )
+        assert analytic == pytest.approx(mc.mean(), rel=0.05)
+
+    def test_aged_start_agreement(self, reference_dist):
+        sched = [1.0, 1.0]
+        analytic = evaluate_schedule(reference_dist, sched, delta=DELTA, start_age=12.0)
+        mc = simulate_schedule(
+            reference_dist,
+            sched,
+            delta=DELTA,
+            start_age=12.0,
+            n_runs=3000,
+            rng=np.random.default_rng(9),
+        )
+        assert analytic == pytest.approx(mc.mean(), rel=0.05)
+
+
+class TestOptimality:
+    def test_dp_beats_young_daly(self, reference_dist, policy):
+        """Fig. 8: the DP schedule's expected makespan must not exceed the
+        Young-Daly schedule's under the same failure law."""
+        tau = young_daly_interval(DELTA, 1.0)
+        for J in (2.0, 4.0, 6.0):
+            yd = evaluate_schedule(
+                reference_dist, young_daly_schedule(J, tau), delta=DELTA, start_age=0.0
+            )
+            assert policy.expected_makespan(J, 0.0) <= yd + 1e-6
+
+    def test_dp_beats_no_checkpointing_on_fresh_vm(self, reference_dist, policy):
+        J = 4.0
+        none = evaluate_schedule(reference_dist, [J], delta=DELTA, start_age=0.0)
+        assert policy.expected_makespan(J, 0.0) < none
+
+    def test_no_checkpointing_optimal_in_stable_phase(self, reference_dist, policy):
+        """Where hazard ~ 0, paying delta per checkpoint is pure loss."""
+        J = 2.0
+        none = evaluate_schedule(reference_dist, [J], delta=DELTA, start_age=8.0)
+        assert policy.expected_makespan(J, 8.0) <= none + 1e-6
+
+
+class TestYoungDaly:
+    def test_interval_formula(self):
+        assert young_daly_interval(DELTA, 1.0) == pytest.approx(np.sqrt(2 * DELTA))
+
+    def test_schedule_covers_job(self):
+        sched = young_daly_schedule(4.0, 0.3)
+        assert sum(sched) == pytest.approx(4.0)
+        assert all(s > 0 for s in sched)
+        assert max(sched[:-1] or sched) <= 0.3 + 1e-12
+
+    def test_interval_longer_than_job(self):
+        assert young_daly_schedule(0.1, 5.0) == [0.1]
+
+    def test_initial_rate_mttf(self, reference_dist):
+        mttf = initial_rate_mttf(reference_dist)
+        assert mttf == pytest.approx(1.0 / float(reference_dist.hazard(1e-3)), rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            young_daly_interval(0.0, 1.0)
+        with pytest.raises(ValueError):
+            young_daly_schedule(0.0, 1.0)
+
+
+class TestExponentialSanity:
+    def test_young_daly_near_optimal_for_memoryless(self):
+        """Under a true exponential law, the DP schedule's makespan should
+        be close to Young-Daly's (YD is the first-order optimum there)."""
+        d = ExponentialDistribution(rate=0.5, horizon=60.0)
+        policy = CheckpointPolicy(d, step=0.1, delta=DELTA)
+        J = 4.0
+        dp = policy.expected_makespan(J, 0.0)
+        tau = young_daly_interval(DELTA, 2.0)
+        yd = evaluate_schedule(d, young_daly_schedule(J, tau), delta=DELTA, start_age=0.0)
+        # The two numbers come from different discretisations (DP grid vs
+        # fixed-schedule evaluator), so compare with tolerance only.
+        assert dp == pytest.approx(yd, rel=0.02)

@@ -1,0 +1,60 @@
+"""Tests for the multi-failure makespan extension (paper §4.1 footnote)."""
+
+import numpy as np
+import pytest
+
+from repro.distributions.exponential import ExponentialDistribution
+from repro.policies.checkpointing import simulate_schedule
+from repro.policies.runtime import (
+    expected_makespan_multi_failure,
+    expected_makespan_single_failure,
+)
+
+
+class TestMultiFailureMakespan:
+    def test_upper_bounds_single_failure_expansion(self, reference_dist):
+        """Eq. 7 ignores 2nd+ failures, so the exact value must dominate."""
+        for T in (1.0, 4.0, 8.0):
+            exact = expected_makespan_multi_failure(reference_dist, T)
+            first_order = expected_makespan_single_failure(reference_dist, T)
+            assert exact >= first_order - 1e-9
+
+    def test_close_to_first_order_when_failures_rare(self, reference_dist):
+        """Short job started mid-stable-phase: F over the window ~ 0, so
+        both expansions agree tightly."""
+        exact = expected_makespan_multi_failure(reference_dist, 1.0, start_age=8.0)
+        assert exact == pytest.approx(1.0, abs=0.01)
+
+    def test_matches_monte_carlo(self, reference_dist):
+        T = 4.0
+        exact = expected_makespan_multi_failure(reference_dist, T)
+        mc = simulate_schedule(
+            reference_dist,
+            [T],
+            delta=0.0,
+            n_runs=4000,
+            rng=np.random.default_rng(11),
+        )
+        assert exact == pytest.approx(mc.mean(), rel=0.05)
+
+    def test_exponential_renewal_closed_form(self):
+        """For Exp(rate), restart-from-scratch makespan has the classic
+        closed form (e^{rate T} - 1)/rate."""
+        d = ExponentialDistribution(rate=0.5, horizon=80.0)
+        T = 2.0
+        expected = (np.exp(0.5 * T) - 1.0) / 0.5
+        got = expected_makespan_multi_failure(d, T)
+        assert got == pytest.approx(expected, rel=0.02)
+
+    def test_restart_latency_charged(self, reference_dist):
+        base = expected_makespan_multi_failure(reference_dist, 4.0)
+        slow = expected_makespan_multi_failure(
+            reference_dist, 4.0, restart_latency=0.5
+        )
+        assert slow > base
+
+    def test_validation(self, reference_dist):
+        with pytest.raises(ValueError):
+            expected_makespan_multi_failure(reference_dist, 0.0)
+        with pytest.raises(ValueError):
+            expected_makespan_multi_failure(reference_dist, 1.0, start_age=-1.0)

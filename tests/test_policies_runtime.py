@@ -1,0 +1,104 @@
+"""Tests for the running-time analysis (paper Eqs. 4-8, Fig. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.distributions.uniform import UniformLifetimeDistribution
+from repro.policies.runtime import (
+    expected_increase_in_runtime,
+    expected_makespan_at_age,
+    expected_makespan_single_failure,
+    expected_wasted_work,
+)
+
+
+@pytest.fixture(scope="module")
+def uniform():
+    return UniformLifetimeDistribution(24.0)
+
+
+class TestUniformClosedForms:
+    """Section 6.1's analytic results pin the uniform baseline exactly."""
+
+    @pytest.mark.parametrize("J", [1.0, 5.0, 10.0, 20.0, 24.0])
+    def test_wasted_work_is_half_job(self, uniform, J):
+        assert expected_wasted_work(uniform, J) == pytest.approx(J / 2.0)
+
+    @pytest.mark.parametrize("J", [1.0, 5.0, 10.0, 20.0])
+    def test_increase_is_J_squared_over_48(self, uniform, J):
+        assert expected_increase_in_runtime(uniform, J) == pytest.approx(J * J / 48.0)
+
+    def test_makespan_identity(self, uniform):
+        J = 8.0
+        assert expected_makespan_single_failure(uniform, J) == pytest.approx(
+            J + J * J / 48.0
+        )
+
+
+class TestBathtubBehaviour:
+    def test_wasted_work_conditional_on_failure(self, reference_dist):
+        """E[W1] must equal moment / F(T) (Eq. 5)."""
+        T = 6.0
+        expected = reference_dist.truncated_first_moment(0.0, T) / float(
+            reference_dist.cdf(T)
+        )
+        assert expected_wasted_work(reference_dist, T) == pytest.approx(expected)
+
+    def test_early_waste_bounded_by_early_phase(self, reference_dist):
+        """Bathtub failures strike early, so conditional waste for long
+        jobs stays around the early-phase scale — not J/2."""
+        assert expected_wasted_work(reference_dist, 12.0) < 3.0
+
+    def test_paper_crossover_at_5_hours(self, reference_dist):
+        """Fig. 4b: bathtub beats uniform for jobs longer than ~5 h."""
+        uniform = UniformLifetimeDistribution(24.0)
+        for J in (6.0, 10.0, 16.0, 20.0):
+            assert expected_increase_in_runtime(
+                reference_dist, J
+            ) < expected_increase_in_runtime(uniform, J)
+        # And short jobs are (slightly) worse on the bathtub.
+        assert expected_increase_in_runtime(
+            reference_dist, 1.0
+        ) > expected_increase_in_runtime(uniform, 1.0)
+
+    def test_ten_hour_job_about_thirty_minutes(self, reference_dist):
+        """Paper: 'for a 10 hour job, the increase ... is about 30 minutes'."""
+        inc = expected_increase_in_runtime(reference_dist, 10.0)
+        assert 0.25 < inc < 0.8
+
+    def test_makespan_at_age_zero_matches_fresh(self, reference_dist):
+        J = 4.0
+        assert expected_makespan_at_age(reference_dist, J, 0.0) == pytest.approx(
+            expected_makespan_single_failure(reference_dist, J)
+        )
+
+    def test_stable_phase_start_is_cheaper(self, reference_dist):
+        """Eq. 8: starting in the stable phase beats starting fresh."""
+        J = 4.0
+        stable = expected_makespan_at_age(reference_dist, J, 8.0)
+        fresh = expected_makespan_at_age(reference_dist, J, 0.0)
+        assert stable < fresh
+
+
+class TestValidation:
+    def test_nonpositive_job_length(self, reference_dist):
+        for fn in (
+            expected_wasted_work,
+            expected_increase_in_runtime,
+            expected_makespan_single_failure,
+        ):
+            with pytest.raises(ValueError):
+                fn(reference_dist, 0.0)
+
+    def test_negative_age(self, reference_dist):
+        with pytest.raises(ValueError):
+            expected_makespan_at_age(reference_dist, 1.0, -0.5)
+
+    def test_zero_failure_window(self):
+        """A distribution with F(T) = 0 on the window yields zero waste."""
+        from repro.distributions.piecewise import PhaseSegment, PiecewisePhaseDistribution
+
+        d = PiecewisePhaseDistribution(
+            [PhaseSegment(0.0, 10.0, 0.0), PhaseSegment(10.0, 24.0, 1.0)]
+        )
+        assert expected_wasted_work(d, 5.0) == 0.0

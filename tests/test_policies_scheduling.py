@@ -1,0 +1,153 @@
+"""Tests for the VM-reuse scheduling policy (paper Section 4.2, Figs. 5-7)."""
+
+import numpy as np
+import pytest
+
+from repro.policies.scheduling import (
+    MemorylessSchedulingPolicy,
+    ModelReusePolicy,
+    SchedulingDecision,
+    average_failure_probability,
+    job_failure_probability,
+)
+
+
+@pytest.fixture(scope="module")
+def policy(reference_dist):
+    return ModelReusePolicy(reference_dist)
+
+
+@pytest.fixture(scope="module")
+def baseline(reference_dist):
+    return MemorylessSchedulingPolicy(reference_dist)
+
+
+class TestFailureProbability:
+    def test_fresh_vm_equals_cdf(self, reference_dist):
+        assert job_failure_probability(reference_dist, 6.0, 0.0) == pytest.approx(
+            float(reference_dist.cdf(6.0))
+        )
+
+    def test_certain_failure_past_deadline_window(self, reference_dist):
+        """A 6 h job started after hour 18 cannot finish (Fig. 5)."""
+        assert job_failure_probability(reference_dist, 6.0, 19.0) == 1.0
+
+    def test_stable_phase_is_safest(self, reference_dist):
+        p_fresh = job_failure_probability(reference_dist, 4.0, 0.0)
+        p_stable = job_failure_probability(reference_dist, 4.0, 8.0)
+        assert p_stable < p_fresh / 5.0
+
+
+class TestReuseDecision:
+    def test_stable_vm_reused(self, policy):
+        assert policy.decide(6.0, 8.0) is SchedulingDecision.REUSE
+
+    def test_near_deadline_vm_discarded(self, policy):
+        assert policy.decide(6.0, 20.0) is SchedulingDecision.NEW_VM
+
+    def test_dead_vm_discarded(self, policy, reference_dist):
+        assert policy.decide(1.0, reference_dist.t_max + 1.0) is SchedulingDecision.NEW_VM
+
+    def test_decision_consistent_with_critical_age(self, policy):
+        ca = policy.critical_age(6.0)
+        assert policy.decide(6.0, ca - 0.5) is SchedulingDecision.REUSE
+        assert policy.decide(6.0, ca + 0.5) is SchedulingDecision.NEW_VM
+
+    def test_critical_age_decreases_with_job_length(self, policy):
+        ages = [policy.critical_age(T) for T in (1.0, 4.0, 8.0, 12.0)]
+        assert all(a >= b for a, b in zip(ages, ages[1:]))
+
+    def test_six_hour_job_critical_age_matches_paper_scale(self, policy):
+        """Paper narrative: switch to fresh VMs in the late-life region
+        (around 24 - 6 = 18 h; the Eq. 8 criterion flips a little earlier)."""
+        assert 13.0 < policy.critical_age(6.0) < 19.0
+
+    def test_oversized_job_never_reuses(self, policy):
+        assert policy.critical_age(25.0) == 0.0
+
+    def test_critical_job_length(self, policy):
+        assert policy.critical_job_length(0.0) == float("inf")
+        t_star = policy.critical_job_length(12.0)
+        assert 5.0 < t_star < 13.0
+        assert policy.decide(t_star - 0.5, 12.0) is SchedulingDecision.REUSE
+        assert policy.decide(t_star + 0.5, 12.0) is SchedulingDecision.NEW_VM
+
+    def test_invalid_criterion(self, reference_dist):
+        with pytest.raises(ValueError):
+            ModelReusePolicy(reference_dist, criterion="bogus")
+
+
+class TestConditionalCriterion:
+    def test_coincides_with_paper_at_age_zero(self, reference_dist):
+        paper = ModelReusePolicy(reference_dist, criterion="paper")
+        cond = ModelReusePolicy(reference_dist, criterion="conditional")
+        for T in (1.0, 4.0, 8.0):
+            assert paper.reuse_cost(T, 0.0) == pytest.approx(cond.reuse_cost(T, 0.0))
+
+    def test_conditional_keeps_stable_vms_for_short_jobs(self, reference_dist):
+        """The literal Eq. 8 form churns fresh VMs for short jobs; the
+        conditional form retains stable ones (the service's criterion)."""
+        cond = ModelReusePolicy(reference_dist, criterion="conditional")
+        assert cond.decide(0.25, 1.0) is SchedulingDecision.REUSE
+        assert cond.decide(0.25, 8.0) is SchedulingDecision.REUSE
+
+    def test_both_discard_near_deadline(self, reference_dist):
+        for criterion in ("paper", "conditional"):
+            p = ModelReusePolicy(reference_dist, criterion=criterion)
+            assert p.decide(6.0, 21.0) is SchedulingDecision.NEW_VM
+
+    def test_infinite_cost_past_support(self, reference_dist):
+        cond = ModelReusePolicy(reference_dist, criterion="conditional")
+        assert cond.reuse_cost(1.0, reference_dist.t_max + 1.0) == float("inf")
+
+
+class TestFigure5Shape:
+    def test_policy_caps_failure_probability(self, policy, baseline, reference_dist):
+        """Our policy's curve equals the baseline early, then flattens at
+        F(T); the baseline saturates at 1."""
+        T = 6.0
+        level = float(reference_dist.cdf(T))
+        for s in (19.0, 21.0, 23.0):
+            assert baseline.failure_probability(T, s) == 1.0
+            assert policy.failure_probability(T, s) == pytest.approx(level)
+        # Early on, both follow the same conditional probability.
+        assert policy.failure_probability(T, 5.0) == pytest.approx(
+            baseline.failure_probability(T, 5.0)
+        )
+
+    def test_policy_not_worse_outside_transition_window(self, policy, baseline):
+        """The makespan criterion optimises expected *loss*, not failure
+        probability, so right after the switch age it can briefly exceed
+        the memoryless probability; before the switch and in the
+        deadline-doomed region it must never be worse."""
+        T = 6.0
+        ca = policy.critical_age(T)
+        for s in np.linspace(0.0, ca - 0.1, 20):
+            assert policy.failure_probability(T, float(s)) <= baseline.failure_probability(
+                T, float(s)
+            ) + 1e-9
+        for s in np.linspace(18.1, 24.0, 10):
+            assert policy.failure_probability(T, float(s)) <= baseline.failure_probability(
+                T, float(s)
+            ) + 1e-9
+
+
+class TestFigure6Average:
+    def test_policy_halves_average_failure_probability(self, policy, baseline):
+        """Paper: mid-length jobs see ~2x lower failure probability."""
+        ours = average_failure_probability(policy, 6.0, num_ages=64)
+        base = average_failure_probability(baseline, 6.0, num_ages=64)
+        assert base / ours > 1.4
+
+    def test_average_increases_with_job_length(self, baseline):
+        probs = [
+            average_failure_probability(baseline, T, num_ages=32)
+            for T in (2.0, 6.0, 12.0, 20.0)
+        ]
+        assert all(a < b for a, b in zip(probs, probs[1:]))
+
+    def test_validation(self, policy):
+        with pytest.raises(ValueError):
+            average_failure_probability(policy, 0.0)
+        with pytest.raises(ValueError):
+            average_failure_probability(policy, 1.0, max_age=0.0)

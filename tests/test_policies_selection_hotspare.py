@@ -1,0 +1,88 @@
+"""Tests for VM-type selection and hot-spare retention policies."""
+
+import pytest
+
+from repro.core.model import ConstrainedPreemptionModel
+from repro.core.phases import phase_boundaries
+from repro.policies.hotspare import HotSparePolicy
+from repro.policies.selection import (
+    cheapest_suitable_type,
+    expected_job_cost,
+    select_vm_type,
+)
+from repro.traces.catalog import VM_TYPES, default_catalog
+
+
+@pytest.fixture(scope="module")
+def candidates():
+    cat = default_catalog()
+    return {
+        vt: (cat.distribution(vt, "us-central1-c"), cat.spec(vt).preemptible_price)
+        for vt in VM_TYPES
+    }
+
+
+class TestSelection:
+    def test_expected_cost_positive_and_scales_with_price(self, candidates):
+        dist, price = candidates["n1-highcpu-16"]
+        c1 = expected_job_cost(dist, 4.0, price)
+        c2 = expected_job_cost(dist, 4.0, 2 * price)
+        assert c1 > 0 and c2 == pytest.approx(2 * c1)
+
+    def test_cheapest_type_wins_for_cost(self, candidates):
+        """Per-core prices are flat, so fewer cores => cheaper job."""
+        assert select_vm_type(candidates, 4.0) == "n1-highcpu-2"
+
+    def test_cheapest_suitable_respects_failure_budget(self, candidates):
+        choice = cheapest_suitable_type(candidates, 6.0, max_failure_probability=0.3)
+        assert choice is not None
+        dist, _ = candidates[choice]
+        assert float(dist.cdf(6.0)) <= 0.3
+        # The aggressive highcpu-32 must be excluded at this budget.
+        assert choice != "n1-highcpu-32"
+
+    def test_no_type_fits_tiny_budget_for_long_jobs(self, candidates):
+        assert cheapest_suitable_type(candidates, 23.5, max_failure_probability=0.05) is None
+
+    def test_validation(self, candidates):
+        with pytest.raises(ValueError):
+            select_vm_type({}, 1.0)
+        with pytest.raises(ValueError):
+            select_vm_type(candidates, 0.0)
+        with pytest.raises(ValueError):
+            cheapest_suitable_type(candidates, 1.0, max_failure_probability=0.0)
+
+
+class TestHotSpare:
+    @pytest.fixture(scope="class")
+    def policy(self, reference_params):
+        return HotSparePolicy(ConstrainedPreemptionModel(reference_params), hold_hours=1.0)
+
+    def test_early_phase_not_kept(self, policy):
+        d = policy.decide(0.5)
+        assert not d.keep
+
+    def test_stable_phase_kept(self, policy):
+        d = policy.decide(8.0)
+        assert d.keep
+        assert d.hold_hours == pytest.approx(1.0)
+
+    def test_final_phase_not_kept(self, policy):
+        bounds = phase_boundaries(policy.model)
+        d = policy.decide(bounds.final_start + 0.5)
+        assert not d.keep
+
+    def test_hold_truncated_near_final_phase(self, policy):
+        bounds = phase_boundaries(policy.model)
+        d = policy.decide(bounds.final_start - 0.4)
+        assert d.keep
+        assert d.hold_hours == pytest.approx(0.4, abs=1e-6)
+
+    def test_dead_vm_not_kept(self, policy):
+        assert not policy.decide(policy.model.t_max + 1.0).keep
+
+    def test_validation(self, policy, reference_params):
+        with pytest.raises(ValueError):
+            policy.decide(-1.0)
+        with pytest.raises(ValueError):
+            HotSparePolicy(ConstrainedPreemptionModel(reference_params), hold_hours=0.0)

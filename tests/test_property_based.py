@@ -1,0 +1,205 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These sweep randomised parameters through the model, distributions, and
+policies, asserting the structural invariants the rest of the library
+relies on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.model import BathtubParams, ConstrainedPreemptionModel
+from repro.core.phases import phase_boundaries
+from repro.distributions.exponential import ExponentialDistribution
+from repro.distributions.piecewise import PhaseSegment, PiecewisePhaseDistribution
+from repro.distributions.uniform import UniformLifetimeDistribution
+from repro.fitting.ecdf import EmpiricalCDF
+from repro.policies.runtime import (
+    expected_makespan_at_age,
+    expected_makespan_single_failure,
+)
+from repro.policies.scheduling import ModelReusePolicy, SchedulingDecision
+from repro.utils.tables import format_table
+
+# Parameter ranges covering (and exceeding) the paper's fitted ranges.
+bathtub_params = st.builds(
+    BathtubParams,
+    A=st.floats(0.30, 0.60),
+    tau1=st.floats(0.3, 8.0),
+    tau2=st.floats(0.4, 1.5),
+    b=st.floats(20.0, 28.0),
+)
+
+
+class TestModelInvariants:
+    @given(params=bathtub_params)
+    @settings(max_examples=60, deadline=None)
+    def test_cdf_monotone_and_bounded(self, params):
+        m = ConstrainedPreemptionModel(params)
+        t = np.linspace(-1.0, m.t_max + 2.0, 200)
+        f = np.asarray(m.cdf(t))
+        assert np.all((f >= 0.0) & (f <= 1.0))
+        assert np.all(np.diff(f) >= -1e-12)
+
+    @given(params=bathtub_params)
+    @settings(max_examples=60, deadline=None)
+    def test_support_edge_past_activation(self, params):
+        m = ConstrainedPreemptionModel(params)
+        assert m.t_max > 0.0
+        assert float(m.cdf(m.t_max)) == 1.0
+
+    @given(params=bathtub_params, a=st.floats(0.0, 20.0), width=st.floats(0.01, 10.0))
+    @settings(max_examples=60, deadline=None)
+    def test_truncated_moment_nonnegative_and_additive(self, params, a, width):
+        m = ConstrainedPreemptionModel(params)
+        c = a + width
+        mid = a + width / 2.0
+        whole = m.truncated_first_moment(a, c)
+        parts = m.truncated_first_moment(a, mid) + m.truncated_first_moment(mid, c)
+        assert whole >= 0.0
+        assert whole == pytest.approx(parts, rel=1e-9, abs=1e-12)
+
+    @given(params=bathtub_params)
+    @settings(max_examples=40, deadline=None)
+    def test_expected_lifetime_within_support(self, params):
+        m = ConstrainedPreemptionModel(params)
+        el = m.expected_lifetime()
+        assert 0.0 < el < m.t_max
+
+    @given(params=bathtub_params)
+    @settings(max_examples=40, deadline=None)
+    def test_phase_boundaries_ordered(self, params):
+        b = phase_boundaries(ConstrainedPreemptionModel(params))
+        assert 0.0 <= b.early_end <= b.final_start <= b.t_max
+
+    @given(params=bathtub_params, q=st.floats(0.001, 0.999))
+    @settings(max_examples=60, deadline=None)
+    def test_ppf_cdf_roundtrip(self, params, q):
+        m = ConstrainedPreemptionModel(params)
+        t = float(m.ppf(q))
+        assert float(m.cdf(t)) == pytest.approx(q, abs=5e-3)
+
+
+class TestPolicyInvariants:
+    @given(
+        params=bathtub_params,
+        T=st.floats(0.5, 12.0),
+        s=st.floats(0.0, 18.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_makespan_at_least_job_length(self, params, T, s):
+        m = ConstrainedPreemptionModel(params)
+        from repro.distributions.bathtub import BathtubDistribution
+
+        d = BathtubDistribution(m)
+        assert expected_makespan_at_age(d, T, s) >= T
+        assert expected_makespan_single_failure(d, T) >= T
+
+    @given(params=bathtub_params, T=st.floats(0.5, 10.0))
+    @settings(max_examples=40, deadline=None)
+    def test_decision_deterministic_and_valid(self, params, T):
+        from repro.distributions.bathtub import BathtubDistribution
+
+        d = BathtubDistribution(ConstrainedPreemptionModel(params))
+        policy = ModelReusePolicy(d)
+        for s in (0.0, 5.0, 15.0, 22.0):
+            dec = policy.decide(T, s)
+            assert dec in (SchedulingDecision.REUSE, SchedulingDecision.NEW_VM)
+            assert policy.decide(T, s) is dec
+
+    @given(
+        params=bathtub_params,
+        T=st.floats(0.5, 10.0),
+        s=st.floats(0.0, 20.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_failure_probability_is_probability(self, params, T, s):
+        from repro.distributions.bathtub import BathtubDistribution
+
+        d = BathtubDistribution(ConstrainedPreemptionModel(params))
+        for criterion in ("paper", "conditional"):
+            p = ModelReusePolicy(d, criterion=criterion).failure_probability(T, s)
+            assert 0.0 <= p <= 1.0
+
+
+class TestECDFInvariants:
+    @given(
+        samples=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=200),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_ecdf_is_valid_cdf(self, samples):
+        e = EmpiricalCDF.from_samples(np.asarray(samples))
+        assert np.all(np.diff(e.probabilities) > 0)
+        assert e.probabilities[-1] == pytest.approx(1.0)
+        t = np.linspace(-1.0, max(samples) + 1.0, 50)
+        v = np.asarray(e.evaluate(t))
+        assert np.all(np.diff(v) >= 0.0)
+        assert v[0] == 0.0 and v[-1] == 1.0
+
+
+class TestPiecewiseInvariants:
+    @given(
+        hazards=st.lists(st.floats(0.001, 3.0), min_size=1, max_size=5),
+        seg_len=st.floats(0.5, 10.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_cumulative_hazard_continuous_and_increasing(self, hazards, seg_len):
+        segs = [
+            PhaseSegment(i * seg_len, (i + 1) * seg_len, h)
+            for i, h in enumerate(hazards)
+        ]
+        d = PiecewisePhaseDistribution(segs)
+        t = np.linspace(0.0, d.t_max, 300)
+        ch = np.asarray(d.cumulative_hazard(t))
+        assert np.all(np.diff(ch) >= -1e-12)
+        # Continuity: no jump bigger than max hazard * grid spacing.
+        dt = t[1] - t[0]
+        assert np.max(np.diff(ch)) <= max(hazards) * dt + 1e-9
+
+
+class TestMemorylessnessProperty:
+    @given(rate=st.floats(0.05, 5.0), s=st.floats(0.0, 10.0), w=st.floats(0.01, 5.0))
+    @settings(max_examples=60, deadline=None)
+    def test_exponential_conditional_failure_ageless(self, rate, s, w):
+        d = ExponentialDistribution(rate=rate)
+        p_s = d.conditional_failure_probability(s, w)
+        p_0 = d.conditional_failure_probability(0.0, w)
+        # Deep in the tail (F(s) ~ 1) the generic conditional formula
+        # loses a few digits to cancellation; compare accordingly.
+        assert p_s == pytest.approx(p_0, abs=1e-4)
+
+    @given(L=st.floats(1.0, 48.0), s=st.floats(0.0, 40.0), w=st.floats(0.01, 10.0))
+    @settings(max_examples=60, deadline=None)
+    def test_uniform_conditional_failure_increases_with_age(self, L, s, w):
+        d = UniformLifetimeDistribution(L)
+        if s + w >= L:
+            return  # window leaves the support: trivially 1 at some point
+        p_young = d.conditional_failure_probability(0.0, w)
+        p_old = d.conditional_failure_probability(s, w)
+        assert p_old >= p_young - 1e-12
+
+
+class TestTableRendering:
+    @given(
+        rows=st.lists(
+            st.tuples(
+                st.text(
+                    alphabet=st.characters(
+                        whitelist_categories=("L", "N", "P", "Zs")
+                    ),
+                    max_size=8,
+                ),
+                st.floats(-1e6, 1e6),
+                st.integers(-100, 100),
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_all_rows_rendered_aligned(self, rows):
+        out = format_table(["a", "b", "c"], rows)
+        lines = out.splitlines()
+        assert len(lines) == 2 + len(rows)
+        assert len({len(line) for line in lines}) == 1  # aligned widths

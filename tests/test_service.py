@@ -1,0 +1,199 @@
+"""Tests for the batch computing service (paper Section 5)."""
+
+import pytest
+
+from repro.service.api import BagRequest, JobRequest
+from repro.service.bag import BagOfJobs
+from repro.service.controller import BatchComputingService, ServiceConfig
+from repro.service.costs import CostModel, on_demand_baseline_cost
+from repro.service.database import MetadataStore
+from repro.sim.cloud import CloudProvider
+from repro.sim.cluster import SimJob
+from repro.sim.engine import Simulator
+from repro.sim.events import VMPreempted
+from repro.sim.rng import RandomStreams
+from repro.traces.catalog import default_catalog
+
+
+def make_service(seed=0, **config_kwargs):
+    cat = default_catalog()
+    sim = Simulator()
+    cloud = CloudProvider(sim, cat, RandomStreams(seed))
+    cfg = ServiceConfig(**{"max_vms": 4, "vm_type": "n1-highcpu-16", **config_kwargs})
+    model = cat.distribution(cfg.vm_type, cfg.zone)
+    return sim, cloud, BatchComputingService(sim, cloud, model, cfg)
+
+
+class TestAPI:
+    def test_job_request_validation(self):
+        with pytest.raises(ValueError):
+            JobRequest(work_hours=0.0)
+        with pytest.raises(ValueError):
+            JobRequest(work_hours=1.0, width=0)
+
+    def test_bag_request_validation(self):
+        with pytest.raises(ValueError):
+            BagRequest(jobs=[])
+        bag = BagRequest(jobs=[JobRequest(work_hours=2.0, width=3)])
+        assert bag.total_work_hours == pytest.approx(6.0)
+
+
+class TestBagOfJobs:
+    def test_estimate_starts_at_declared_and_converges(self):
+        req = BagRequest(jobs=[JobRequest(work_hours=2.0)] * 5)
+        bag = BagOfJobs(bag_id=0, request=req)
+        assert bag.estimated_runtime() == 2.0
+        for v in (1.5, 1.6, 1.7):
+            bag.record_completion(v)
+        assert bag.estimated_runtime() == pytest.approx(1.6)
+
+    def test_cv_monitoring(self):
+        req = BagRequest(jobs=[JobRequest(work_hours=2.0)])
+        bag = BagOfJobs(bag_id=0, request=req)
+        assert bag.runtime_cv() == 0.0
+        bag.record_completion(1.0)
+        bag.record_completion(3.0)
+        assert bag.runtime_cv() > 0.5
+
+    def test_invalid_completion(self):
+        bag = BagOfJobs(bag_id=0, request=BagRequest(jobs=[JobRequest(work_hours=1.0)]))
+        with pytest.raises(ValueError):
+            bag.record_completion(0.0)
+
+
+class TestCosts:
+    def test_on_demand_baseline(self):
+        bag = BagRequest(jobs=[JobRequest(work_hours=1.0, width=4)] * 10)
+        cost = on_demand_baseline_cost(bag, "n1-highcpu-16")
+        assert cost == pytest.approx(40 * 0.5672)
+
+    def test_cost_model_discount(self):
+        cm = CostModel(default_catalog())
+        assert cm.discount("n1-highcpu-16") == pytest.approx(0.5672 / 0.12)
+        assert cm.preemptible_rate("n1-highcpu-2") == 0.0150
+
+
+class TestMetadataStore:
+    def test_job_and_bag_registration(self):
+        store = MetadataStore()
+        bid = store.new_bag("b")
+        job = SimJob(job_id=store.new_job_id(), work_hours=1.0, bag_id=bid)
+        store.register_job(job, "j0")
+        with pytest.raises(ValueError):
+            store.register_job(job)
+        status = store.job_status(job.job_id)
+        assert status.name == "j0" and status.state == "pending"
+        bag = store.bag_status(bid, include_jobs=True)
+        assert bag.n_jobs == 1 and not bag.done
+        assert bag.job_statuses[0].job_id == job.job_id
+
+
+class TestServiceEndToEnd:
+    def test_small_bag_completes_and_reports(self):
+        sim, cloud, svc = make_service(seed=31)
+        bag = BagRequest(jobs=[JobRequest(work_hours=0.25, width=2)] * 12, name="t")
+        bid = svc.submit_bag(bag)
+        svc.run_until_bag_done(bid)
+        svc.shutdown()
+        rep = svc.report(bid)
+        st = svc.bag_status(bid)
+        assert st.done
+        assert rep.metrics.n_jobs_completed == 12
+        assert rep.metrics.total_cost > 0
+        assert rep.on_demand_baseline == pytest.approx(12 * 0.25 * 2 * 0.5672)
+        assert rep.cost_reduction_factor > 2.0
+
+    def test_every_preemption_recovered(self):
+        """Jobs hit by preemptions must still all complete."""
+        sim, cloud, svc = make_service(seed=32, vm_type="n1-highcpu-32")
+        bag = BagRequest(jobs=[JobRequest(work_hours=0.5)] * 30)
+        bid = svc.submit_bag(bag)
+        svc.run_until_bag_done(bid)
+        svc.shutdown()
+        rep = svc.report(bid)
+        assert rep.metrics.n_jobs_completed == 30
+        assert cloud.log.count(VMPreempted) > 0  # highcpu-32 churns
+
+    def test_checkpointing_service_mode(self):
+        sim, cloud, svc = make_service(
+            seed=33, use_checkpointing=True, checkpoint_step=0.25
+        )
+        bag = BagRequest(jobs=[JobRequest(work_hours=2.0)] * 4)
+        bid = svc.submit_bag(bag)
+        svc.run_until_bag_done(bid)
+        svc.shutdown()
+        assert svc.bag_status(bid).done
+
+    def test_memoryless_baseline_mode(self):
+        sim, cloud, svc = make_service(seed=34, use_reuse_policy=False)
+        bag = BagRequest(jobs=[JobRequest(work_hours=0.25)] * 10)
+        bid = svc.submit_bag(bag)
+        svc.run_until_bag_done(bid)
+        svc.shutdown()
+        assert svc.bag_status(bid).done
+
+    def test_fleet_cap_respected(self):
+        sim, cloud, svc = make_service(seed=35, max_vms=3)
+        bag = BagRequest(jobs=[JobRequest(work_hours=0.25)] * 20)
+        bid = svc.submit_bag(bag)
+        svc.run_until_bag_done(bid)
+        # At no point may more than max_vms preemptible workers coexist;
+        # reconstruct concurrency from the event log.
+        events = []
+        for e in cloud.log:
+            name = type(e).__name__
+            if name == "VMLaunched" and e.vm_type == "n1-highcpu-16":
+                events.append((e.time, +1))
+            elif name in ("VMPreempted", "VMTerminated") and e.vm_type == "n1-highcpu-16":
+                events.append((e.time, -1))
+        events.sort()
+        level = peak = 0
+        for _, d in events:
+            level += d
+            peak = max(peak, level)
+        assert peak <= 3
+
+    def test_width_exceeding_cap_rejected(self):
+        sim, cloud, svc = make_service(seed=36, max_vms=2)
+        with pytest.raises(ValueError):
+            svc.submit_job(JobRequest(work_hours=1.0, width=3))
+
+    def test_hot_spares_reaped_when_idle(self):
+        sim, cloud, svc = make_service(seed=37, hot_spare_hours=0.5)
+        bid = svc.submit_bag(BagRequest(jobs=[JobRequest(work_hours=0.25)] * 2))
+        svc.run_until_bag_done(bid)
+        # Let spare timers fire.
+        sim.run_until(sim.now + 1.0)
+        assert len(svc.cluster.free_nodes()) == 0
+
+    def test_standalone_job_submission(self):
+        sim, cloud, svc = make_service(seed=38)
+        jid = svc.submit_job(JobRequest(work_hours=0.25, name="solo"))
+        while svc.job_status(jid).state != "completed" and sim.step():
+            pass
+        assert svc.job_status(jid).state == "completed"
+
+    def test_master_node_billed_on_demand(self):
+        sim, cloud, svc = make_service(seed=39, run_master=True)
+        bid = svc.submit_bag(BagRequest(jobs=[JobRequest(work_hours=0.25)]))
+        svc.run_until_bag_done(bid)
+        svc.shutdown()
+        assert svc.report(bid).metrics.on_demand_cost > 0.0
+
+    def test_no_master_mode(self):
+        sim, cloud, svc = make_service(seed=40, run_master=False)
+        bid = svc.submit_bag(BagRequest(jobs=[JobRequest(work_hours=0.25)]))
+        svc.run_until_bag_done(bid)
+        svc.shutdown()
+        assert svc.report(bid).metrics.on_demand_cost == 0.0
+
+    def test_deterministic_given_seed(self):
+        reports = []
+        for _ in range(2):
+            sim, cloud, svc = make_service(seed=41)
+            bid = svc.submit_bag(BagRequest(jobs=[JobRequest(work_hours=0.3)] * 8))
+            svc.run_until_bag_done(bid)
+            svc.shutdown()
+            reports.append(svc.report(bid))
+        assert reports[0].metrics.total_cost == reports[1].metrics.total_cost
+        assert reports[0].makespan_hours == reports[1].makespan_hours

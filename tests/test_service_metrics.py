@@ -1,0 +1,51 @@
+"""Tests for service metrics and remaining small service paths."""
+
+import math
+
+import pytest
+
+from repro.service.metrics import ServiceMetrics
+from repro.sim.cloud import BillingReport
+from repro.sim.events import EventLog, JobCompleted, JobFailed, VMPreempted
+
+
+def _billing(total=10.0, pre=8.0, od=2.0):
+    return BillingReport(
+        total_cost=total,
+        preemptible_cost=pre,
+        on_demand_cost=od,
+        vm_hours=40.0,
+        n_launched=5,
+        n_preempted=2,
+    )
+
+
+class TestServiceMetrics:
+    def test_from_run_aggregates(self):
+        log = EventLog()
+        log.record(JobCompleted(time=1.0, job_id=0, makespan_hours=1.0))
+        log.record(JobCompleted(time=2.0, job_id=1, makespan_hours=3.0))
+        log.record(JobFailed(time=1.5, job_id=2, vm_id=9, lost_hours=0.4))
+        log.record(VMPreempted(time=1.5, vm_id=9, vm_type="t", age_hours=1.5))
+        m = ServiceMetrics.from_run(log, _billing(), wall_clock_hours=2.0)
+        assert m.n_jobs_completed == 2
+        assert m.n_job_failures == 1
+        assert m.n_preemptions == 1
+        assert m.total_lost_hours == pytest.approx(0.4)
+        assert m.mean_job_makespan == pytest.approx(2.0)
+        assert m.total_cost == 10.0
+
+    def test_cost_per_job(self):
+        log = EventLog()
+        log.record(JobCompleted(time=1.0, job_id=0, makespan_hours=1.0))
+        m = ServiceMetrics.from_run(log, _billing(total=5.0), wall_clock_hours=1.0)
+        assert m.cost_per_job() == pytest.approx(5.0)
+
+    def test_cost_per_job_no_jobs_is_nan(self):
+        m = ServiceMetrics.from_run(EventLog(), _billing(), wall_clock_hours=1.0)
+        assert math.isnan(m.cost_per_job())
+
+    def test_empty_log_zeroes(self):
+        m = ServiceMetrics.from_run(EventLog(), _billing(), wall_clock_hours=0.5)
+        assert m.n_jobs_completed == 0
+        assert m.mean_job_makespan == 0.0

@@ -1,0 +1,205 @@
+"""Tests for the cloud provider, VM lifecycle, cluster manager, and runner."""
+
+import numpy as np
+import pytest
+
+from repro.sim.cloud import CloudProvider, PREEMPTION_WARNING_HOURS
+from repro.sim.cluster import ClusterManager, JobState, SimJob
+from repro.sim.engine import Simulator
+from repro.sim.events import JobCompleted, JobFailed, VMPreempted, VMTerminated
+from repro.sim.rng import RandomStreams
+from repro.sim.vm import SimVM, VMState
+
+
+def make_cloud(seed=0, start=0.0):
+    sim = Simulator(start_time=start)
+    return sim, CloudProvider(sim, streams=RandomStreams(seed))
+
+
+class TestVM:
+    def test_lifecycle_transitions(self):
+        vm = SimVM(1, "t", "z", launch_time=0.0, preemptible=True, hourly_price=0.1)
+        assert vm.alive
+        vm.mark_preempted(2.0)
+        assert vm.state is VMState.PREEMPTED
+        assert vm.age(10.0) == 2.0
+        with pytest.raises(RuntimeError):
+            vm.mark_terminated(3.0)
+
+    def test_cost_accrual(self):
+        vm = SimVM(1, "t", "z", launch_time=1.0, preemptible=True, hourly_price=0.5)
+        assert vm.cost(3.0) == pytest.approx(1.0)
+        vm.mark_terminated(3.0)
+        assert vm.cost(10.0) == pytest.approx(1.0)  # billing stops at end
+
+
+class TestCloudProvider:
+    def test_preemption_fires_within_constraint(self):
+        sim, cloud = make_cloud(seed=1)
+        vms = [cloud.launch("n1-highcpu-16") for _ in range(20)]
+        sim.run()
+        for vm in vms:
+            assert vm.state is VMState.PREEMPTED
+            age = vm.age(sim.now)
+            assert 0.0 <= age <= 24.2  # t_max slightly past 24 h
+
+    def test_on_demand_never_preempted(self):
+        sim, cloud = make_cloud(seed=2)
+        od = cloud.launch("n1-highcpu-2", preemptible=False)
+        cloud.launch("n1-highcpu-16")  # a preemptible neighbour
+        sim.run()
+        assert od.alive
+
+    def test_terminate_cancels_preemption(self):
+        sim, cloud = make_cloud(seed=3)
+        vm = cloud.launch("n1-highcpu-16")
+        cloud.terminate(vm)
+        sim.run()
+        assert vm.state is VMState.TERMINATED
+        assert cloud.log.count(VMPreempted) == 0
+        assert cloud.log.count(VMTerminated) == 1
+
+    def test_preemption_callbacks(self):
+        sim, cloud = make_cloud(seed=4)
+        vm = cloud.launch("n1-highcpu-16")
+        seen = []
+        vm.on_preempt.append(lambda v, t: seen.append((v.vm_id, t)))
+        sim.run()
+        assert seen and seen[0][0] == vm.vm_id
+
+    def test_hour_of_day_and_night(self):
+        sim = Simulator()
+        cloud = CloudProvider(sim, day_origin_hour=9.0)
+        assert cloud.hour_of_day(0.0) == 9.0
+        assert not cloud.is_night(0.0)
+        assert cloud.is_night(12.0)  # 9 + 12 = 21h local
+        assert cloud.is_night(22.0)  # 9 + 22 = 7h local
+
+    def test_billing_report(self):
+        sim, cloud = make_cloud(seed=5)
+        vm = cloud.launch("n1-highcpu-16")
+        od = cloud.launch("n1-highcpu-2", preemptible=False)
+        sim.run_until(1.0)
+        cloud.terminate(vm)
+        cloud.terminate(od)
+        bill = cloud.billing()
+        assert bill.preemptible_cost == pytest.approx(0.12, rel=1e-6)
+        assert bill.on_demand_cost == pytest.approx(0.0709, rel=1e-6)
+        assert bill.n_launched == 2
+
+    def test_deterministic_across_runs(self):
+        ages1 = []
+        ages2 = []
+        for store in (ages1, ages2):
+            sim, cloud = make_cloud(seed=6)
+            vms = [cloud.launch("n1-highcpu-16") for _ in range(5)]
+            sim.run()
+            store.extend(vm.age(sim.now) for vm in vms)
+        assert ages1 == ages2
+
+
+class TestClusterManager:
+    def _cluster(self, seed=0):
+        sim, cloud = make_cloud(seed=seed)
+        cluster = ClusterManager(sim, log=cloud.log)
+        return sim, cloud, cluster
+
+    def test_job_runs_and_completes(self):
+        sim, cloud, cluster = self._cluster(seed=20)
+        vm = cloud.launch("n1-highcpu-2")  # flat early phase: survives
+        cluster.add_node(vm)
+        job = SimJob(job_id=0, work_hours=0.5)
+        cluster.submit(job)
+        sim.run_until(1.0)
+        assert job.state is JobState.COMPLETED
+        assert job.makespan == pytest.approx(0.5)
+        assert cluster.free_nodes() == [vm] if vm.alive else True
+
+    def test_gang_width_waits_for_nodes(self):
+        sim, cloud, cluster = self._cluster(seed=21)
+        job = SimJob(job_id=0, work_hours=0.2, width=2)
+        cluster.submit(job)
+        stalls = []
+        cluster.on_queue_stalled.append(lambda j, n: stalls.append(n))
+        cluster.add_node(cloud.launch("n1-highcpu-2"))
+        assert job.state is JobState.PENDING
+        cluster.add_node(cloud.launch("n1-highcpu-2"))
+        assert job.state is JobState.RUNNING
+
+    def test_preemption_requeues_with_rollback(self):
+        """A preempted unchecked job loses all progress and re-runs."""
+        sim, cloud, cluster = self._cluster(seed=22)
+        vm = cloud.launch("n1-highcpu-32")  # aggressive type
+        # Force a deterministic preemption by terminating via the provider's
+        # schedule: instead, use a long job so some preemption hits it.
+        cluster.add_node(vm)
+        job = SimJob(job_id=0, work_hours=30.0)  # cannot finish on one VM
+        failures = []
+        cluster.on_job_failed.append(lambda j, v: failures.append(v.vm_id))
+        cluster.submit(job)
+        sim.run_until(26.0)
+        assert failures, "a 30 h job must get preempted within 24 h"
+        assert job.state is JobState.PENDING
+        assert job.progress_hours == 0.0
+        assert cluster.queue_length == 1
+
+    def test_checkpointing_preserves_progress(self):
+        """A 30 h checkpointed job outlives several VMs: progress must
+        carry across preemptions and the job must eventually finish."""
+        sim, cloud, cluster = self._cluster(seed=23)
+        cluster.checkpoint_planner = lambda job, age: [1.0] * 30
+        cluster.add_node(cloud.launch("n1-highcpu-16"))
+        job = SimJob(job_id=0, work_hours=30.0)
+        failures = []
+
+        def replace(j, dead_vm):
+            failures.append(dead_vm.vm_id)
+            cluster.add_node(cloud.launch("n1-highcpu-16"))
+
+        cluster.on_job_failed.append(replace)
+        cluster.submit(job)
+        sim.run_until(200.0)
+        assert job.state is JobState.COMPLETED
+        assert failures, "a 30 h job cannot fit one 24 h-bounded VM"
+        assert job.progress_hours == pytest.approx(30.0)
+
+    def test_busy_node_cannot_be_removed(self):
+        sim, cloud, cluster = self._cluster(seed=24)
+        vm = cloud.launch("n1-highcpu-2")
+        cluster.add_node(vm)
+        cluster.submit(SimJob(job_id=0, work_hours=5.0))
+        with pytest.raises(ValueError):
+            cluster.remove_node(vm)
+
+    def test_dead_node_rejected(self):
+        sim, cloud, cluster = self._cluster(seed=25)
+        vm = cloud.launch("n1-highcpu-16")
+        cloud.terminate(vm)
+        with pytest.raises(ValueError):
+            cluster.add_node(vm)
+
+    def test_job_validation(self):
+        with pytest.raises(ValueError):
+            SimJob(job_id=0, work_hours=0.0)
+        with pytest.raises(ValueError):
+            SimJob(job_id=0, work_hours=1.0, width=0)
+
+    def test_completion_callback_and_log(self):
+        sim, cloud, cluster = self._cluster(seed=26)
+        done = []
+        cluster.on_job_complete.append(lambda j: done.append(j.job_id))
+        cluster.add_node(cloud.launch("n1-highcpu-2"))
+        cluster.submit(SimJob(job_id=7, work_hours=0.1))
+        sim.run_until(0.5)
+        assert done == [7]
+        assert cluster.log.count(JobCompleted) == 1
+
+    def test_fifo_order(self):
+        sim, cloud, cluster = self._cluster(seed=27)
+        order = []
+        cluster.on_job_complete.append(lambda j: order.append(j.job_id))
+        cluster.add_node(cloud.launch("n1-highcpu-2"))
+        for jid in (0, 1, 2):
+            cluster.submit(SimJob(job_id=jid, work_hours=0.1))
+        sim.run_until(1.0)
+        assert order == [0, 1, 2]

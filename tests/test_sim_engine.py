@@ -1,0 +1,136 @@
+"""Tests for the discrete-event engine, RNG streams, and event log."""
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.events import (
+    EventLog,
+    JobCompleted,
+    JobFailed,
+    VMLaunched,
+    VMPreempted,
+)
+from repro.sim.rng import RandomStreams
+
+
+class TestSimulator:
+    def test_time_ordering(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+        assert sim.now == 3.0
+        assert sim.events_processed == 3
+
+    def test_same_time_fifo(self):
+        sim = Simulator()
+        fired = []
+        for tag in ("x", "y", "z"):
+            sim.schedule(1.0, lambda t=tag: fired.append(t))
+        sim.run()
+        assert fired == ["x", "y", "z"]
+
+    def test_cancellation(self):
+        sim = Simulator()
+        fired = []
+        h = sim.schedule(1.0, lambda: fired.append("no"))
+        sim.schedule(2.0, lambda: fired.append("yes"))
+        h.cancel()
+        assert h.cancelled
+        sim.run()
+        assert fired == ["yes"]
+
+    def test_run_until(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(5.0, lambda: fired.append(5))
+        sim.run_until(3.0)
+        assert fired == [1]
+        assert sim.now == 3.0
+        sim.run()
+        assert fired == [1, 5]
+
+    def test_callbacks_can_schedule(self):
+        sim = Simulator()
+        fired = []
+
+        def chain():
+            fired.append(sim.now)
+            if len(fired) < 3:
+                sim.schedule(1.0, chain)
+
+        sim.schedule(0.0, chain)
+        sim.run()
+        assert fired == [0.0, 1.0, 2.0]
+
+    def test_past_scheduling_rejected(self):
+        sim = Simulator(start_time=5.0)
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+        with pytest.raises(ValueError):
+            sim.schedule_at(4.0, lambda: None)
+        with pytest.raises(ValueError):
+            sim.run_until(1.0)
+
+    def test_peek_skips_cancelled(self):
+        sim = Simulator()
+        h = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        h.cancel()
+        assert sim.peek_next_time() == 2.0
+
+    def test_runaway_guard(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(0.0, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(RuntimeError, match="exceeded"):
+            sim.run(max_events=100)
+
+
+class TestRandomStreams:
+    def test_named_streams_independent_and_stable(self):
+        a = RandomStreams(seed=1)
+        b = RandomStreams(seed=1)
+        # Same name, same seed -> identical draws regardless of order.
+        b.stream("other")  # request another stream first
+        np.testing.assert_array_equal(
+            a.stream("x").random(5), b.stream("x").random(5)
+        )
+
+    def test_different_names_differ(self):
+        s = RandomStreams(seed=1)
+        assert not np.array_equal(s.stream("a").random(5), s.stream("b").random(5))
+
+    def test_spawn_indexing(self):
+        s = RandomStreams(seed=1)
+        assert s.spawn("vm", 1) is s.stream("vm:1")
+
+    def test_stream_cached(self):
+        s = RandomStreams(seed=1)
+        assert s.stream("x") is s.stream("x")
+
+
+class TestEventLog:
+    def test_typed_queries(self):
+        log = EventLog()
+        log.record(VMLaunched(time=0.0, vm_id=1, vm_type="t", zone="z"))
+        log.record(VMPreempted(time=1.0, vm_id=1, vm_type="t", age_hours=1.0))
+        log.record(JobCompleted(time=2.0, job_id=0, makespan_hours=2.0))
+        assert len(log) == 3
+        assert log.count(VMLaunched) == 1
+        assert log.count(JobFailed) == 0
+        assert log.of_type(VMPreempted)[0].age_hours == 1.0
+        # exact-type matching: subclasses of SimEvent don't cross-match
+        assert [type(e).__name__ for e in log] == [
+            "VMLaunched",
+            "VMPreempted",
+            "JobCompleted",
+        ]

@@ -1,0 +1,117 @@
+"""Edge-case tests for the job runner and cluster interactions."""
+
+import pytest
+
+from repro.sim.cloud import CloudProvider
+from repro.sim.cluster import ClusterManager, JobState, SimJob
+from repro.sim.engine import Simulator
+from repro.sim.events import CheckpointWritten, EventLog
+from repro.sim.rng import RandomStreams
+from repro.sim.runner import JobExecution
+from repro.sim.vm import SimVM
+
+
+class TestSegmentClipping:
+    def test_plan_trimmed_to_remaining_work(self):
+        plan = JobExecution._clip_segments([1.0, 1.0, 1.0], 2.5)
+        assert plan == [1.0, 1.0, 0.5]
+
+    def test_plan_extended_when_short(self):
+        plan = JobExecution._clip_segments([1.0], 3.0)
+        assert plan == [1.0, 2.0]
+
+    def test_exact_fit(self):
+        assert JobExecution._clip_segments([1.5, 1.5], 3.0) == [1.5, 1.5]
+
+    def test_oversized_first_segment(self):
+        assert JobExecution._clip_segments([10.0], 2.0) == [2.0]
+
+
+class TestRunnerWithCluster:
+    def _setup(self, seed=50):
+        sim = Simulator()
+        cloud = CloudProvider(sim, streams=RandomStreams(seed))
+        cluster = ClusterManager(sim, log=cloud.log)
+        return sim, cloud, cluster
+
+    def test_resume_uses_fresh_plan_for_remaining_work(self):
+        """After a failure, the next attempt plans only the remaining
+        hours (checkpointed progress is not re-planned)."""
+        sim, cloud, cluster = self._setup()
+        plans = []
+
+        def planner(job, age):
+            plans.append(job.remaining_hours)
+            return [0.5] * 100
+
+        cluster.checkpoint_planner = planner
+        cluster.on_job_failed.append(
+            lambda j, v: cluster.add_node(cloud.launch("n1-highcpu-16"))
+        )
+        cluster.add_node(cloud.launch("n1-highcpu-32"))
+        job = SimJob(job_id=0, work_hours=26.0)
+        cluster.submit(job)
+        sim.run_until(150.0)
+        assert job.state is JobState.COMPLETED
+        assert len(plans) >= 2
+        # Each successive plan covers no more work than the previous one.
+        assert all(b <= a + 1e-9 for a, b in zip(plans, plans[1:]))
+
+    def test_checkpoint_events_logged_with_progress(self):
+        sim, cloud, cluster = self._setup(seed=51)
+        cluster.checkpoint_planner = lambda j, a: [0.1, 0.1, 0.1]
+        cluster.add_node(cloud.launch("n1-highcpu-2"))
+        cluster.submit(SimJob(job_id=0, work_hours=0.3))
+        sim.run_until(1.0)
+        ckpts = cluster.log.of_type(CheckpointWritten)
+        assert [round(c.work_done_hours, 3) for c in ckpts] == [0.1, 0.2]
+
+    def test_checkpoint_cost_lengthens_makespan(self):
+        sim, cloud, cluster = self._setup(seed=52)
+        cluster.checkpoint_cost = 0.05
+        cluster.checkpoint_planner = lambda j, a: [0.1] * 10
+        cluster.add_node(cloud.launch("n1-highcpu-2"))
+        job = SimJob(job_id=0, work_hours=1.0)
+        cluster.submit(job)
+        sim.run_until(5.0)
+        assert job.state is JobState.COMPLETED
+        # 1.0 h work + 9 checkpoints x 0.05 h (none after the final segment).
+        assert job.makespan == pytest.approx(1.45)
+
+    def test_abort_before_any_progress_is_clean(self):
+        sim, cloud, cluster = self._setup(seed=53)
+        vm = cloud.launch("n1-highcpu-16")
+        cluster.add_node(vm)
+        job = SimJob(job_id=0, work_hours=30.0)
+        cluster.submit(job)
+        sim.run_until(30.0)
+        assert job.state is JobState.PENDING
+        assert job.progress_hours == 0.0
+        assert job.failures == 1
+
+    def test_completed_job_cannot_resubmit(self):
+        sim, cloud, cluster = self._setup(seed=54)
+        cluster.add_node(cloud.launch("n1-highcpu-2"))
+        job = SimJob(job_id=0, work_hours=0.1)
+        cluster.submit(job)
+        sim.run_until(1.0)
+        with pytest.raises(ValueError):
+            cluster.submit(job)
+
+    def test_execution_rejects_zero_remaining(self):
+        sim = Simulator()
+        job = SimJob(job_id=0, work_hours=1.0)
+        job.progress_hours = 1.0
+        vm = SimVM(0, "t", "z", 0.0, True, 0.1)
+        ex = JobExecution(
+            sim=sim,
+            job=job,
+            vms=[vm],
+            segments=None,
+            checkpoint_cost=0.0,
+            log=EventLog(),
+            on_complete=lambda j, v: None,
+            on_abort=lambda j, v, d, l: None,
+        )
+        with pytest.raises(RuntimeError):
+            ex.begin()

@@ -1,0 +1,228 @@
+"""Tests for the trace substrate: schema, catalog, generator, IO, stats."""
+
+import numpy as np
+import pytest
+
+from repro.traces.catalog import (
+    DEADLINE_HOURS,
+    REGIONS,
+    VM_TYPES,
+    GroundTruthCatalog,
+    default_catalog,
+)
+from repro.traces.generator import TraceGenerator
+from repro.traces.io import (
+    load_trace_csv,
+    load_trace_json,
+    save_trace_csv,
+    save_trace_json,
+)
+from repro.traces.schema import PreemptionRecord, PreemptionTrace, concat_traces
+from repro.traces.stats import group_summary, lifetimes_by, trace_summary
+
+
+class TestSchema:
+    def test_record_validation(self):
+        r = PreemptionRecord("n1-highcpu-16", "us-east1-b", 5.0)
+        assert not r.censored
+        with pytest.raises(ValueError):
+            PreemptionRecord("t", "z", -1.0)
+        with pytest.raises(ValueError):
+            PreemptionRecord("t", "z", 1.0, day_of_week=7)
+        with pytest.raises(ValueError):
+            PreemptionRecord("t", "z", 1.0, launch_hour=24.0)
+
+    def test_night_launch_window(self):
+        assert PreemptionRecord("t", "z", 1.0, launch_hour=21.0).night_launch
+        assert PreemptionRecord("t", "z", 1.0, launch_hour=3.0).night_launch
+        assert not PreemptionRecord("t", "z", 1.0, launch_hour=12.0).night_launch
+        assert PreemptionRecord("t", "z", 1.0, launch_hour=20.0).night_launch
+        assert not PreemptionRecord("t", "z", 1.0, launch_hour=8.0).night_launch
+
+    def test_trace_filter_and_lifetimes(self):
+        trace = PreemptionTrace(
+            records=[
+                PreemptionRecord("a", "z1", 1.0),
+                PreemptionRecord("b", "z1", 2.0, censored=True),
+                PreemptionRecord("a", "z2", 3.0, idle=True),
+            ]
+        )
+        assert len(trace) == 3
+        assert list(trace.lifetimes()) == [1.0, 3.0]
+        assert list(trace.lifetimes(include_censored=True)) == [1.0, 2.0, 3.0]
+        assert len(trace.filter(vm_type="a")) == 2
+        assert len(trace.filter(zone="z2")) == 1
+        assert len(trace.filter(idle=True)) == 1
+        assert trace.vm_types() == ["a", "b"]
+        assert trace.zones() == ["z1", "z2"]
+
+    def test_concat(self):
+        t1 = PreemptionTrace(records=[PreemptionRecord("a", "z", 1.0)])
+        t2 = PreemptionTrace(records=[PreemptionRecord("b", "z", 2.0)])
+        assert len(concat_traces([t1, t2])) == 2
+        assert len(concat_traces([])) == 0
+
+
+class TestCatalog:
+    def test_known_types_and_zones(self, catalog):
+        assert set(catalog.vm_types()) == set(VM_TYPES)
+        assert set(catalog.zones()) == set(REGIONS)
+        with pytest.raises(KeyError):
+            catalog.params("n2-standard-4")
+        with pytest.raises(KeyError):
+            catalog.params("n1-highcpu-2", "mars-central1-a")
+        with pytest.raises(KeyError):
+            catalog.spec("unknown")
+
+    def test_observation_4_larger_vms_fail_sooner(self, catalog):
+        """Ground-truth expected lifetimes decrease with VM size."""
+        lifetimes = [
+            catalog.distribution(vt, "us-central1-c").mean() for vt in VM_TYPES
+        ]
+        assert all(a > b for a, b in zip(lifetimes, lifetimes[1:]))
+
+    def test_observation_5_night_and_idle_live_longer(self, catalog):
+        base = catalog.distribution("n1-highcpu-16", "us-central1-c").mean()
+        night = catalog.distribution("n1-highcpu-16", "us-central1-c", night=True).mean()
+        idle = catalog.distribution("n1-highcpu-16", "us-central1-c", idle=True).mean()
+        assert night > base
+        assert idle > base
+
+    def test_observation_3_every_context_is_bathtub(self, catalog):
+        """All configurations exhibit the three-phase bathtub pdf."""
+        for vt in VM_TYPES:
+            for zone in REGIONS:
+                d = catalog.distribution(vt, zone)
+                early = float(d.pdf(0.05))
+                mid = float(d.pdf(12.0))
+                late = float(d.pdf(DEADLINE_HOURS - 0.3))
+                assert early > mid and late > mid, (vt, zone)
+
+    def test_prices_and_discount(self, catalog):
+        for vt in VM_TYPES:
+            spec = catalog.spec(vt)
+            assert 4.0 < spec.discount < 5.0  # the ~4.7x 2019 sheet
+
+    def test_deadline_is_24h(self, catalog):
+        for vt in VM_TYPES:
+            assert catalog.params(vt).b == DEADLINE_HOURS
+
+    def test_default_catalog_singleton(self):
+        assert default_catalog() is default_catalog()
+
+    def test_custom_catalog_isolated(self, catalog):
+        custom = GroundTruthCatalog(vm_specs=dict(catalog.vm_specs))
+        assert custom is not default_catalog()
+
+
+class TestGenerator:
+    def test_deterministic_given_seed(self):
+        a = TraceGenerator(seed=3).launch_batch(30, "n1-highcpu-16")
+        b = TraceGenerator(seed=3).launch_batch(30, "n1-highcpu-16")
+        np.testing.assert_array_equal(a.lifetimes(), b.lifetimes())
+
+    def test_different_seeds_differ(self):
+        a = TraceGenerator(seed=3).launch_batch(30, "n1-highcpu-16")
+        b = TraceGenerator(seed=4).launch_batch(30, "n1-highcpu-16")
+        assert not np.array_equal(a.lifetimes(), b.lifetimes())
+
+    def test_censoring_window(self):
+        trace = TraceGenerator(seed=5).launch_batch(
+            200, "n1-highcpu-2", observe_hours=2.0
+        )
+        censored = [r for r in trace if r.censored]
+        assert censored, "flat early phase must leave survivors at 2 h"
+        assert all(r.lifetime_hours == 2.0 for r in censored)
+        assert all(r.lifetime_hours <= 2.0 for r in trace)
+
+    def test_fixed_launch_hour(self):
+        trace = TraceGenerator(seed=6).launch_batch(10, "n1-highcpu-16", launch_hour=2.0)
+        assert all(r.launch_hour == 2.0 and r.night_launch for r in trace)
+
+    def test_lifetimes_respect_ground_truth_distribution(self, catalog):
+        trace = TraceGenerator(seed=7).launch_batch(
+            2000, "n1-highcpu-16", "us-east1-b", launch_hour=12.0
+        )
+        lt = np.sort(trace.lifetimes())
+        truth = catalog.distribution("n1-highcpu-16", "us-east1-b")
+        emp = np.arange(1, len(lt) + 1) / len(lt)
+        ks = np.max(np.abs(emp - np.asarray(truth.cdf(lt))))
+        assert ks < 0.04
+
+    def test_study_trace_covers_dimensions(self):
+        trace = TraceGenerator(seed=8).study_trace(per_config=5)
+        assert set(trace.vm_types()) == set(VM_TYPES)
+        assert set(trace.zones()) == set(REGIONS)
+        assert any(r.idle for r in trace)
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            TraceGenerator().launch_batch(-1, "n1-highcpu-16")
+
+
+class TestIO:
+    def test_csv_roundtrip(self, tmp_path):
+        trace = TraceGenerator(seed=9).launch_batch(25, "n1-highcpu-16", observe_hours=20.0)
+        path = tmp_path / "trace.csv"
+        save_trace_csv(trace, path)
+        loaded = load_trace_csv(path)
+        assert len(loaded) == len(trace)
+        for a, b in zip(trace, loaded):
+            assert a.vm_type == b.vm_type
+            assert a.lifetime_hours == b.lifetime_hours  # repr round-trip exact
+            assert a.censored == b.censored
+
+    def test_csv_missing_columns(self, tmp_path):
+        p = tmp_path / "bad.csv"
+        p.write_text("vm_type,zone\nx,y\n")
+        with pytest.raises(ValueError, match="missing columns"):
+            load_trace_csv(p)
+
+    def test_json_roundtrip(self, tmp_path):
+        trace = TraceGenerator(seed=10).launch_batch(10, "n1-highcpu-4")
+        path = tmp_path / "trace.json"
+        save_trace_json(trace, path)
+        loaded = load_trace_json(path)
+        assert len(loaded) == 10
+        assert loaded.metadata.seed == 10
+        np.testing.assert_array_equal(loaded.lifetimes(), trace.lifetimes())
+
+
+class TestStats:
+    @pytest.fixture(scope="class")
+    def mixed_trace(self):
+        gen = TraceGenerator(seed=11)
+        t = gen.launch_batch(150, "n1-highcpu-2", launch_hour=12.0)
+        t.extend(gen.launch_batch(150, "n1-highcpu-32", launch_hour=12.0).records)
+        return t
+
+    def test_trace_summary_fields(self, mixed_trace):
+        s = trace_summary(mixed_trace)
+        assert s.n == 300
+        assert s.p10_hours < s.median_hours < s.p90_hours
+        assert 0.0 <= s.frac_early <= 1.0
+
+    def test_group_by_type(self, mixed_trace):
+        groups = group_summary(mixed_trace, "vm_type")
+        assert set(groups) == {"n1-highcpu-2", "n1-highcpu-32"}
+        # Observation 4 again, at the sample level.
+        assert groups["n1-highcpu-2"].frac_early < groups["n1-highcpu-32"].frac_early
+
+    def test_group_by_callable(self, mixed_trace):
+        groups = lifetimes_by(mixed_trace, lambda r: r.lifetime_hours > 12.0)
+        assert set(groups) == {False, True}
+
+    def test_censored_excluded(self):
+        t = PreemptionTrace(
+            records=[
+                PreemptionRecord("a", "z", 1.0),
+                PreemptionRecord("a", "z", 9.9, censored=True),
+            ]
+        )
+        assert trace_summary(t).n == 1
+
+    def test_empty_group_stats(self):
+        from repro.traces.stats import GroupStats
+
+        s = GroupStats.from_lifetimes(np.array([]))
+        assert s.n == 0 and np.isnan(s.mean_hours)

@@ -1,0 +1,68 @@
+"""Tests for the day-of-week catalog dimension (paper Section 5).
+
+The service "parametrizes the bathtub model based on the VM type,
+region, time-of-day, and day-of-week"; the catalog encodes a weekend
+demand dip.
+"""
+
+import numpy as np
+import pytest
+
+from repro.traces.catalog import default_catalog
+from repro.traces.generator import TraceGenerator
+from repro.traces.stats import lifetimes_by
+
+
+class TestWeekendModifier:
+    def test_weekend_lives_longer_at_truth_level(self, catalog):
+        weekday = catalog.distribution("n1-highcpu-16", day_of_week=2).mean()
+        weekend = catalog.distribution("n1-highcpu-16", day_of_week=6).mean()
+        assert weekend > weekday
+
+    def test_weekday_matches_default(self, catalog):
+        default = catalog.params("n1-highcpu-16")
+        monday = catalog.params("n1-highcpu-16", day_of_week=0)
+        assert default == monday
+
+    def test_saturday_and_sunday_equal(self, catalog):
+        assert catalog.params("n1-highcpu-16", day_of_week=5) == catalog.params(
+            "n1-highcpu-16", day_of_week=6
+        )
+
+    def test_invalid_day_rejected(self, catalog):
+        with pytest.raises(ValueError):
+            catalog.params("n1-highcpu-16", day_of_week=7)
+
+    def test_composes_with_other_modifiers(self, catalog):
+        both = catalog.params("n1-highcpu-16", night=True, day_of_week=6)
+        night_only = catalog.params("n1-highcpu-16", night=True)
+        assert both.tau1 > night_only.tau1
+
+
+class TestGeneratorDayOfWeek:
+    def test_fixed_day_recorded(self):
+        trace = TraceGenerator(seed=60).launch_batch(
+            20, "n1-highcpu-16", day_of_week=6
+        )
+        assert all(r.day_of_week == 6 for r in trace)
+
+    def test_weekend_samples_live_longer_in_aggregate(self):
+        gen = TraceGenerator(seed=61)
+        weekday = gen.launch_batch(
+            800, "n1-highcpu-16", launch_hour=12.0, day_of_week=2
+        ).lifetimes()
+        weekend = gen.launch_batch(
+            800, "n1-highcpu-16", launch_hour=12.0, day_of_week=6
+        ).lifetimes()
+        assert weekend.mean() > weekday.mean()
+
+    def test_mixed_days_grouped_correctly(self):
+        trace = TraceGenerator(seed=62).launch_batch(100, "n1-highcpu-16")
+        groups = lifetimes_by(trace, "day_of_week")
+        assert set(groups) <= set(range(7))
+        assert sum(len(v) for v in groups.values()) == 100
+
+    def test_determinism_preserved(self):
+        a = TraceGenerator(seed=63).launch_batch(40, "n1-highcpu-16")
+        b = TraceGenerator(seed=63).launch_batch(40, "n1-highcpu-16")
+        np.testing.assert_array_equal(a.lifetimes(), b.lifetimes())

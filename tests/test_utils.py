@@ -1,0 +1,95 @@
+"""Tests for the shared utility layer."""
+
+import numpy as np
+import pytest
+
+from repro.utils.integrate import cumulative_trapezoid, first_moment, trapezoid_integral
+from repro.utils.tables import format_table
+from repro.utils.validation import (
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestValidation:
+    def test_check_positive(self):
+        assert check_positive("x", 2) == 2.0
+        for bad in (0, -1, float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                check_positive("x", bad)
+
+    def test_check_nonnegative(self):
+        assert check_nonnegative("x", 0) == 0.0
+        with pytest.raises(ValueError):
+            check_nonnegative("x", -0.1)
+
+    def test_check_probability(self):
+        assert check_probability("p", 0.5) == 0.5
+        assert check_probability("p", 0) == 0.0
+        assert check_probability("p", 1) == 1.0
+        for bad in (-0.01, 1.01, float("nan")):
+            with pytest.raises(ValueError):
+                check_probability("p", bad)
+
+    def test_check_in_range(self):
+        assert check_in_range("x", 5, 0, 10) == 5.0
+        assert check_in_range("x", 0, 0, 10) == 0.0
+        with pytest.raises(ValueError):
+            check_in_range("x", 0, 0, 10, inclusive=False)
+        with pytest.raises(ValueError):
+            check_in_range("x", 11, 0, 10)
+
+    def test_error_messages_include_name(self):
+        with pytest.raises(ValueError, match="tau1"):
+            check_positive("tau1", -1)
+
+
+class TestIntegrate:
+    def test_trapezoid_polynomial(self):
+        # int_0^2 3t^2 dt = 8
+        assert trapezoid_integral(lambda t: 3 * t**2, 0, 2, num=4097) == pytest.approx(8.0, rel=1e-6)
+
+    def test_signed_and_empty_intervals(self):
+        assert trapezoid_integral(lambda t: np.ones_like(t), 2, 2) == 0.0
+        assert trapezoid_integral(lambda t: np.ones_like(t), 2, 0) == pytest.approx(-2.0)
+
+    def test_num_validation(self):
+        with pytest.raises(ValueError):
+            trapezoid_integral(lambda t: t, 0, 1, num=1)
+
+    def test_first_moment_uniform(self):
+        # int_0^1 t * 1 dt = 0.5
+        assert first_moment(lambda t: np.ones_like(t), 0, 1) == pytest.approx(0.5, rel=1e-6)
+
+    def test_cumulative_trapezoid(self):
+        x = np.linspace(0, 1, 101)
+        c = cumulative_trapezoid(2 * x, x)
+        np.testing.assert_allclose(c, x**2, atol=1e-4)
+        assert c[0] == 0.0
+
+    def test_cumulative_trapezoid_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            cumulative_trapezoid(np.ones(3), np.ones(4))
+
+
+class TestTables:
+    def test_basic_render(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [30, 4.25]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "2.5000" in out
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_floatfmt(self):
+        out = format_table(["x"], [[3.14159]], floatfmt=".1f")
+        assert "3.1" in out and "3.14" not in out

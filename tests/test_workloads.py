@@ -1,0 +1,181 @@
+"""Tests for the scientific workloads (physics sanity + checkpoint/restart)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.base import run_workload
+from repro.workloads.lulesh import LagrangianShock1D
+from repro.workloads.nanoconfinement import NanoconfinementMD
+from repro.workloads.shapes import ShapeRelaxation
+from repro.workloads.synthetic import SyntheticJob
+
+ALL_WORKLOADS = {
+    "nano": lambda: NanoconfinementMD(n_ions=16, steps=30, seed=1),
+    "shapes": lambda: ShapeRelaxation(n_vertices=24, steps=40, seed=1),
+    "lulesh": lambda: LagrangianShock1D(n_zones=60, steps=60),
+    "synthetic": lambda: SyntheticJob(size=16, steps=25, seed=1),
+}
+
+
+@pytest.fixture(params=sorted(ALL_WORKLOADS), ids=sorted(ALL_WORKLOADS))
+def workload(request):
+    return ALL_WORKLOADS[request.param]()
+
+
+class TestProtocolConformance:
+    def test_steps_advance(self, workload):
+        assert workload.steps_done == 0
+        workload.step()
+        assert workload.steps_done == 1
+
+    def test_overrun_rejected(self, workload):
+        for _ in range(workload.total_steps):
+            workload.step()
+        with pytest.raises(RuntimeError):
+            workload.step()
+
+    def test_checkpoint_restart_bit_exact(self, workload):
+        """set_state must restore the computation exactly: running
+        5+5 steps with a rollback in between equals 10 straight steps."""
+        for _ in range(5):
+            workload.step()
+        snap = workload.get_state()
+        ref = {k: (v.copy() if hasattr(v, "copy") else v) for k, v in snap.items()}
+        for _ in range(3):
+            workload.step()
+        workload.set_state(snap)
+        assert workload.steps_done == 5
+        for _ in range(5):
+            workload.step()
+        result_a = workload.result()
+        # Straight-line run of the same type/seed for 10 steps.
+        fresh = type(workload)(**_ctor_kwargs(workload))
+        for _ in range(10):
+            fresh.step()
+        result_b = fresh.result()
+        for k in result_a:
+            assert result_a[k] == pytest.approx(result_b[k], rel=1e-12), k
+        # And the snapshot itself must be unmodified (deep copy).
+        for k, v in ref.items():
+            if hasattr(v, "copy"):
+                np.testing.assert_array_equal(snap[k], v)
+
+    def test_state_is_deep_copy(self, workload):
+        snap = workload.get_state()
+        workload.step()
+        snap2 = workload.get_state()
+        changed = any(
+            hasattr(v, "shape") and not np.array_equal(v, snap2[k])
+            for k, v in snap.items()
+        )
+        assert changed, "stepping must not mutate earlier snapshots"
+
+
+def _ctor_kwargs(w):
+    if isinstance(w, NanoconfinementMD):
+        return dict(n_ions=16, steps=30, seed=1)
+    if isinstance(w, ShapeRelaxation):
+        return dict(n_vertices=24, steps=40, seed=1)
+    if isinstance(w, LagrangianShock1D):
+        return dict(n_zones=60, steps=60)
+    return dict(size=16, steps=25, seed=1)
+
+
+class TestRunWorkloadDriver:
+    def test_failure_injection_recomputes(self):
+        w = SyntheticJob(size=8, steps=20, seed=2)
+        _, executed = run_workload(w, checkpoint_every=5, fail_at_steps={7, 13})
+        assert executed > 20  # recomputation happened
+
+    def test_failures_do_not_change_result(self):
+        a, _ = run_workload(SyntheticJob(size=8, steps=20, seed=3))
+        b, _ = run_workload(
+            SyntheticJob(size=8, steps=20, seed=3),
+            checkpoint_every=4,
+            fail_at_steps={5, 6, 17},
+        )
+        assert a == b
+
+    def test_failure_without_checkpoint_restarts_from_zero(self):
+        w = SyntheticJob(size=8, steps=10, seed=4)
+        _, executed = run_workload(w, checkpoint_every=None, fail_at_steps={8})
+        assert executed == 18  # 8 lost + 10 clean
+
+
+class TestNanoconfinementPhysics:
+    @pytest.fixture(scope="class")
+    def md(self):
+        md = NanoconfinementMD(n_ions=32, steps=60, seed=5)
+        for _ in range(60):
+            md.step()
+        return md
+
+    def test_ions_stay_confined(self, md):
+        z = md.positions[:, 2]
+        assert np.all(z >= 0.0) and np.all(z <= md.box[2])
+
+    def test_thermostat_holds_temperature(self, md):
+        assert md.result()["temperature"] == pytest.approx(1.0, rel=0.5)
+
+    def test_density_profile_normalised(self, md):
+        assert md.density_profile().sum() == pytest.approx(1.0)
+
+    def test_charge_neutrality(self, md):
+        assert md.charges.sum() == 0.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            NanoconfinementMD(n_ions=3)
+
+
+class TestShapesPhysics:
+    def test_relaxation_reduces_energy(self):
+        s = ShapeRelaxation(n_vertices=32, steps=150, seed=6, charge=2.0)
+        e0 = s.energy()
+        for _ in range(150):
+            s.step()
+        assert s.energy() < e0
+
+    def test_high_charge_deforms_shape(self):
+        """Charge dominance must push the circle anisotropic — the
+        shape-transition physics of the original application."""
+        weak = ShapeRelaxation(n_vertices=32, steps=200, seed=7, charge=0.5)
+        strong = ShapeRelaxation(n_vertices=32, steps=200, seed=7, charge=12.0)
+        for _ in range(200):
+            weak.step()
+            strong.step()
+        assert strong.asphericity() >= weak.asphericity()
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ShapeRelaxation(n_vertices=4)
+
+
+class TestLuleshPhysics:
+    @pytest.fixture(scope="class")
+    def hydro(self):
+        h = LagrangianShock1D(n_zones=100, steps=300)
+        for _ in range(300):
+            h.step()
+        return h
+
+    def test_mass_conserved_exactly(self, hydro):
+        assert hydro.total_mass() == pytest.approx(0.5625, rel=1e-12)
+
+    def test_energy_roughly_conserved(self, hydro):
+        fresh = LagrangianShock1D(n_zones=100, steps=300)
+        assert hydro.total_energy() == pytest.approx(fresh.total_energy(), rel=0.05)
+
+    def test_shock_moves_right(self, hydro):
+        assert hydro.shock_position() > 0.52
+
+    def test_density_bounded_by_sod_limits(self, hydro):
+        assert np.all(hydro.rho > 0.05)
+        assert float(np.max(hydro.rho)) < 1.5
+
+    def test_mesh_stays_ordered(self, hydro):
+        assert np.all(np.diff(hydro.x) > 0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LagrangianShock1D(n_zones=5)
