@@ -18,6 +18,8 @@ DELTA = 1.0 / 60.0
 
 _LATE_MAKESPANS: dict[str, float] = {}
 
+pytestmark = pytest.mark.benchmark
+
 
 @pytest.mark.parametrize("variant", ["paper", "conditional"])
 def test_dp_variant(benchmark, reference_dist, variant):

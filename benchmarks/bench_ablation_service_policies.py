@@ -13,6 +13,8 @@ from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
 from repro.traces.catalog import default_catalog
 
+pytestmark = pytest.mark.benchmark
+
 
 def _run_service(use_reuse_policy: bool, hot_spare_hours: float, seed: int = 77):
     sim = Simulator()

@@ -1,6 +1,10 @@
 """Section 4.3 table benchmark: the 5-hour job's DP schedule."""
 
+import pytest
+
 from repro.experiments import checkpoint_schedule
+
+pytestmark = pytest.mark.benchmark
 
 
 def test_five_hour_schedule(benchmark):

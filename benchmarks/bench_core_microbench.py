@@ -5,10 +5,14 @@ service run: model CDF evaluation, truncated moments, sampling, and the
 curve fit itself.
 """
 
+import pytest
+
 import numpy as np
 
 from repro.fitting.ecdf import EmpiricalCDF
 from repro.fitting.least_squares import fit_bathtub
+
+pytestmark = pytest.mark.benchmark
 
 
 def test_cdf_vectorised_evaluation(benchmark, reference_dist):

@@ -1,6 +1,10 @@
 """Fig. 1 benchmark: trace generation + all model fits."""
 
+import pytest
+
 from repro.experiments import fig1_model_fit
+
+pytestmark = pytest.mark.benchmark
 
 
 def test_fig1_model_comparison(benchmark):

@@ -1,6 +1,10 @@
 """Fig. 2 benchmark: per-group trace generation and empirical CDFs."""
 
+import pytest
+
 from repro.experiments import fig2_characteristics
+
+pytestmark = pytest.mark.benchmark
 
 
 def test_fig2_breakdowns(benchmark):

@@ -1,6 +1,10 @@
 """Fig. 4 benchmark: wasted-work / runtime-increase series (Eqs. 5, 7)."""
 
+import pytest
+
 from repro.experiments import fig4_wasted_work
+
+pytestmark = pytest.mark.benchmark
 
 
 def test_fig4_series(benchmark):

@@ -1,8 +1,12 @@
 """Fig. 5 + Fig. 6 benchmarks: scheduling-policy failure probabilities."""
 
+import pytest
+
 import numpy as np
 
 from repro.experiments import fig5_start_time, fig6_job_length
+
+pytestmark = pytest.mark.benchmark
 
 
 def test_fig5_start_time_sweep(benchmark):

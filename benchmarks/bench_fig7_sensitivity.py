@@ -1,6 +1,10 @@
 """Fig. 7 benchmark: policy sensitivity to wrong model parameters."""
 
+import pytest
+
 from repro.experiments import fig7_sensitivity
+
+pytestmark = pytest.mark.benchmark
 
 
 def test_fig7_sensitivity_sweep(benchmark):

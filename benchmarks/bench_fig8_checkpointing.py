@@ -1,6 +1,10 @@
 """Fig. 8 benchmark: DP checkpoint planning vs Young-Daly evaluation."""
 
+import pytest
+
 from repro.experiments import fig8_checkpointing
+
+pytestmark = pytest.mark.benchmark
 
 
 def test_fig8_overhead_sweeps(benchmark):

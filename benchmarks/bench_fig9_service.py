@@ -1,6 +1,10 @@
 """Fig. 9 benchmark: full batch-service simulation (both panels)."""
 
+import pytest
+
 from repro.experiments import fig9_service
+
+pytestmark = pytest.mark.benchmark
 
 
 def test_fig9_service_run(benchmark):

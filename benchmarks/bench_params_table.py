@@ -1,6 +1,10 @@
 """Section 3.2.2 table benchmark: per-type fitting pipeline."""
 
+import pytest
+
 from repro.experiments import params_table
+
+pytestmark = pytest.mark.benchmark
 
 
 def test_per_type_fitting(benchmark):

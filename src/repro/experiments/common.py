@@ -23,6 +23,8 @@ __all__ = [
     "REFERENCE_ZONE",
     "reference_distribution",
     "mismatched_policy_failure_probability",
+    "monte_carlo_failure_probability",
+    "mismatched_policy_failure_probability_mc",
     "job_length_grid",
 ]
 
@@ -55,3 +57,55 @@ def mismatched_policy_failure_probability(
     if policy.decide(job_length, start_age) is SchedulingDecision.REUSE:
         return job_failure_probability(true_model, job_length, start_age)
     return job_failure_probability(true_model, job_length, 0.0)
+
+
+def monte_carlo_failure_probability(
+    dist: LifetimeDistribution,
+    job_length: float,
+    start_age: float,
+    *,
+    n_replications: int = 1000,
+    seed: int | np.random.Generator | None = 0,
+) -> float:
+    """Monte-Carlo estimate of ``P(preempted during job | alive at start_age)``.
+
+    One vectorised conditioned-sampling pass (the backends' round-0 draw,
+    see :func:`repro.sim.vectorized.sample_lifetimes`): the first VM
+    dying before ``start_age + job_length`` is exactly a preemption
+    inside the job's window, and later rounds cannot change the estimate.
+    """
+    from repro.sim.vectorized import sample_lifetimes
+
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    deaths = sample_lifetimes(dist, n_replications, rng, start_age=start_age)
+    return float(np.mean(deaths < start_age + job_length))
+
+
+def mismatched_policy_failure_probability_mc(
+    decision_model: LifetimeDistribution,
+    true_model: LifetimeDistribution,
+    job_length: float,
+    start_age: float,
+    *,
+    n_replications: int = 1000,
+    seed: int | np.random.Generator | None = 0,
+) -> float:
+    """Monte-Carlo counterpart of :func:`mismatched_policy_failure_probability`.
+
+    The *decision* stays analytic (that is the policy under study); only
+    the resulting failure probability is estimated by simulation under
+    the true law.
+    """
+    policy = ModelReusePolicy(decision_model)
+    age = (
+        start_age
+        if policy.decide(job_length, start_age) is SchedulingDecision.REUSE
+        else 0.0
+    )
+    return monte_carlo_failure_probability(
+        true_model,
+        job_length,
+        age,
+        n_replications=n_replications,
+        seed=seed,
+    )

@@ -88,6 +88,24 @@ EXPERIMENTS: dict[str, Experiment] = {
             fig9_service.report,
         ),
         Experiment(
+            "fig4-mc",
+            "Fig. 4 validated by batched replications (vectorized backend)",
+            fig4_wasted_work.run_monte_carlo,
+            fig4_wasted_work.report_monte_carlo,
+        ),
+        Experiment(
+            "fig7-mc",
+            "Fig. 7 with simulated failure outcomes (vectorized backend)",
+            fig7_sensitivity.run_monte_carlo,
+            fig7_sensitivity.report_monte_carlo,
+        ),
+        Experiment(
+            "fig8-mc",
+            "Fig. 8b overheads simulated restart-until-done (vectorized backend)",
+            fig8_checkpointing.run_monte_carlo,
+            fig8_checkpointing.report_monte_carlo,
+        ),
+        Experiment(
             "checkpoint-schedule",
             "The 5-hour job's non-uniform checkpoint intervals",
             checkpoint_schedule.run,

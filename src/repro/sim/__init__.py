@@ -9,11 +9,15 @@ Replaces the paper's live Google Cloud deployment:
 * :mod:`repro.sim.vm` -- VM lifecycle state machine,
 * :mod:`repro.sim.cluster` -- Slurm-like cluster manager with
   completion/failure callbacks,
-* :mod:`repro.sim.runner` -- job execution with checkpoint/restart.
+* :mod:`repro.sim.runner` -- job execution with checkpoint/restart,
+* :mod:`repro.sim.vectorized` -- batched NumPy Monte-Carlo kernels,
+* :mod:`repro.sim.backend` -- event/vectorized backend selection for
+  replication sweeps (see README.md in this package).
 
 Time unit is **hours** throughout, matching the modeling layer.
 """
 
+from repro.sim.backend import ReplicationOutcomes, run_replications
 from repro.sim.engine import Simulator
 from repro.sim.events import (
     EventLog,
@@ -30,6 +34,8 @@ from repro.sim.vm import SimVM, VMState
 from repro.sim.cluster import ClusterManager, SimJob
 
 __all__ = [
+    "ReplicationOutcomes",
+    "run_replications",
     "Simulator",
     "EventLog",
     "JobCompleted",

@@ -1,0 +1,175 @@
+"""Batched (array-shaped) Monte-Carlo kernels for replication sweeps.
+
+The event-driven :class:`repro.sim.engine.Simulator` pays Python-level
+heap and callback costs for *every* segment of *every* replication, so a
+10k-replication sweep is dominated by interpreter dispatch even though
+the per-replication logic — sample a lifetime, walk a checkpoint plan,
+accumulate wasted/useful hours — is embarrassingly parallel.  This
+module hoists that inner loop into NumPy: all N replications advance
+together as flat arrays, and the restart-until-done kernel iterates in
+"rounds" (one VM acquisition per round) over only the still-unfinished
+replications.
+
+Draw protocol (the determinism contract shared with the event backend)
+-----------------------------------------------------------------------
+Round ``r`` draws one uniform vector ``u_r = rng.random(n)`` from the
+single generator; replication ``i``'s ``r``-th VM lifetime comes from
+``u_r[i]`` by inverse-transform sampling through the distribution's
+cached PPF table.  Finished replications keep (and discard) their column
+so that column ``i`` is a function of ``(seed, i, r)`` alone — never of
+the progress of *other* replications.  Rounds are drawn only while at
+least one replication is unfinished.  The event backend consumes the
+same generator through the same protocol, which is what makes the two
+backends bit-compatible for identical seeds (see
+:mod:`repro.sim.backend`).
+
+Execution semantics (identical to the event-driven reference)
+-------------------------------------------------------------
+A replication runs ``segments`` in order; every non-final segment is
+followed by a ``delta``-hour checkpoint write.  The first VM's lifetime
+is conditioned on survival to ``start_age``; if the VM dies before the
+current segment (plus its checkpoint) finishes, all progress since the
+last checkpoint is lost, ``restart_latency`` hours are charged, and the
+replication resumes from its last checkpoint on a fresh VM in the next
+round.  Ties favour completion: a VM that dies *exactly* at a segment
+boundary completes the segment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributions.base import LifetimeDistribution
+
+__all__ = [
+    "conditional_quantiles",
+    "sample_lifetimes",
+    "simulate_plan_vectorized",
+]
+
+
+def conditional_quantiles(u, cdf_at_age: float):
+    """Map uniforms to quantiles of ``T | T > age`` given ``F(age)``.
+
+    ``q = F(s) + u * (1 - F(s))``, clamped to 1 against floating-point
+    overshoot.  Both backends use this exact expression so conditioned
+    first-VM draws agree bit-for-bit.
+    """
+    u_arr = np.asarray(u, dtype=float)
+    out = np.minimum(cdf_at_age + u_arr * (1.0 - cdf_at_age), 1.0)
+    return out if out.ndim else float(out)
+
+
+def sample_lifetimes(
+    dist: LifetimeDistribution,
+    n: int,
+    rng: np.random.Generator,
+    *,
+    start_age: float = 0.0,
+) -> np.ndarray:
+    """Draw ``n`` lifetimes conditioned on survival to ``start_age``.
+
+    One vectorised inverse-CDF pass: ``ppf(F(s) + U (1 - F(s)))``.  With
+    ``start_age = 0`` this is plain inverse-transform sampling.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if start_age < 0.0:
+        raise ValueError(f"start_age must be >= 0, got {start_age}")
+    F_s = float(np.asarray(dist.cdf(start_age), dtype=float)) if start_age > 0.0 else 0.0
+    q = conditional_quantiles(rng.random(n), F_s)
+    return np.asarray(dist.ppf(q), dtype=float)
+
+
+def simulate_plan_vectorized(
+    dist: LifetimeDistribution,
+    segments: np.ndarray,
+    *,
+    delta: float,
+    start_age: float,
+    restart_latency: float,
+    n_replications: int,
+    rng: np.random.Generator,
+    max_rounds: int = 10_000,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]:
+    """Restart-until-done kernel over N independent replications.
+
+    Returns ``(makespan, wasted_hours, completed_work, n_restarts,
+    n_rounds)`` — per-replication arrays plus the number of rounds (VM
+    generations) the batch needed.  Argument validation lives in
+    :func:`repro.sim.backend.run_replications`; this kernel assumes
+    positive segments and non-negative ``delta``/``start_age``/latency.
+
+    The per-round walk is closed-form: with ``cum_w`` the cumulative
+    wall-clock of the plan (segment + checkpoint durations), a VM that
+    grants ``budget`` hours starting from segment ``k`` completes through
+    segment ``j-1`` where ``j = searchsorted(cum_w, cum_w[k] + budget,
+    'right') - 1`` — a single O(N log K) pass instead of a Python loop
+    over segments.
+    """
+    segs = np.asarray(segments, dtype=float)
+    K = segs.size
+    durations = segs.copy()
+    if K > 1:
+        durations[:-1] += delta
+    # cum_w[j]: wall-clock hours to durably finish the first j segments
+    # (each non-final one including its checkpoint write); cum_s[j]: the
+    # corresponding durable *work* hours.
+    cum_w = np.concatenate(([0.0], np.cumsum(durations)))
+    cum_s = np.concatenate(([0.0], np.cumsum(segs)))
+
+    n = int(n_replications)
+    makespan = np.zeros(n)
+    wasted = np.zeros(n)
+    completed = np.zeros(n)
+    restarts = np.zeros(n, dtype=np.int64)
+    seg_idx = np.zeros(n, dtype=np.int64)  # next segment to (re)run
+    active = np.arange(n)
+
+    F_s = float(np.asarray(dist.cdf(start_age), dtype=float))
+    n_rounds = 0
+    while active.size:
+        if n_rounds >= max_rounds:
+            raise RuntimeError(
+                f"{active.size} replications unfinished after {max_rounds} "
+                "rounds; schedule cannot finish under this lifetime law"
+            )
+        u = rng.random(n)  # full-width row: the draw protocol (see module doc)
+        ua = u[active]
+        if n_rounds == 0:
+            death = np.asarray(dist.ppf(conditional_quantiles(ua, F_s)), dtype=float)
+            age = start_age
+        else:
+            death = np.asarray(dist.ppf(ua), dtype=float)
+            age = 0.0
+        # The PPF table can land epsilon below the conditioning age.
+        budget = np.maximum(death - age, 0.0)
+
+        k = seg_idx[active]
+        j = np.searchsorted(cum_w, cum_w[k] + budget, side="right") - 1
+        finished = j >= K
+
+        fin = active[finished]
+        if fin.size:
+            k_fin = seg_idx[fin]
+            makespan[fin] += cum_w[K] - cum_w[k_fin]
+            completed[fin] += cum_s[K] - cum_s[k_fin]
+            seg_idx[fin] = K
+
+        fail = active[~finished]
+        if fail.size:
+            j_fail = j[~finished]
+            k_fail = seg_idx[fail]
+            b_fail = budget[~finished]
+            # The whole VM tenure counts toward makespan; only the hours
+            # past the last durable checkpoint are wasted.
+            makespan[fail] += b_fail + restart_latency
+            completed[fail] += cum_s[j_fail] - cum_s[k_fail]
+            wasted[fail] += b_fail - (cum_w[j_fail] - cum_w[k_fail])
+            restarts[fail] += 1
+            seg_idx[fail] = j_fail
+
+        active = fail
+        n_rounds += 1
+
+    return makespan, wasted, completed, restarts, n_rounds

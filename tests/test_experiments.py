@@ -96,6 +96,33 @@ class TestFig4:
         assert np.all(result.increase_bathtub[long] < result.increase_uniform[long])
 
 
+class TestFig4MonteCarlo:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_fig4.run_monte_carlo(num=6, n_replications=3000, seed=0)
+
+    def test_matches_analytic_expectations(self, result):
+        """Simulated Eq. 5 waste and multi-failure increase track the
+        closed forms within Monte-Carlo noise."""
+        assert result.max_relative_error() < 0.15
+
+    def test_wasted_below_job_length(self, result):
+        assert np.all(result.mc_wasted < result.job_lengths)
+        assert np.all(result.mc_wasted >= 0.0)
+
+    def test_report_renders(self, result):
+        text = exp_fig4.report_monte_carlo(result)
+        assert "MC" in text and "relative error" in text
+
+    def test_backends_agree_statistically(self):
+        vec = exp_fig4.run_monte_carlo(num=3, n_replications=400, seed=1)
+        ev = exp_fig4.run_monte_carlo(
+            num=3, n_replications=400, seed=1, backend="event"
+        )
+        np.testing.assert_allclose(vec.mc_increase, ev.mc_increase, atol=1e-9)
+        np.testing.assert_allclose(vec.mc_wasted, ev.mc_wasted, atol=1e-9)
+
+
 class TestFig5:
     @pytest.fixture(scope="class")
     def result(self):
@@ -151,6 +178,27 @@ class TestFig7:
         assert np.all(result.suboptimal[mid] < result.memoryless[mid])
 
 
+class TestFig7MonteCarlo:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_fig7.run_monte_carlo(
+            num_lengths=5, num_ages=8, n_replications=400, seed=0
+        )
+
+    def test_suboptimal_tracks_best_fit(self, result):
+        """Common random numbers: the curves differ only where decisions
+        differ, so the MC gap stays small like the analytic one."""
+        assert result.max_suboptimality_gap() < 0.1
+
+    def test_bathtub_models_beat_memoryless_on_average(self, result):
+        assert result.best_fit.mean() < result.memoryless.mean()
+        assert result.suboptimal.mean() < result.memoryless.mean()
+
+    def test_report_renders(self, result):
+        text = exp_fig7.report_monte_carlo(result)
+        assert "suboptimal" in text and "MC" in text
+
+
 class TestFig8:
     @pytest.fixture(scope="class")
     def result(self):
@@ -173,6 +221,25 @@ class TestFig8:
         mid = (result.start_ages > 2.0) & (result.start_ages < 15.0)
         yd = result.overhead_yd_by_age[mid]
         assert yd.std() < 2.0
+
+
+class TestFig8MonteCarlo:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_fig8.run_monte_carlo(num_lengths=3, n_replications=2000, seed=0)
+
+    def test_mc_close_to_analytic(self, result):
+        """The fixed-plan replay pays slightly more than the re-planning
+        DP bound, so allow a couple of percentage points."""
+        assert result.max_absolute_error_pct() < 2.0
+
+    def test_ours_beats_young_daly(self, result):
+        assert np.all(result.mc_ours < result.mc_yd)
+        assert result.improvement_factor() > 1.2
+
+    def test_report_renders(self, result):
+        text = exp_fig8.report_monte_carlo(result)
+        assert "Young-Daly" in text and "MC" in text
 
 
 class TestCheckpointScheduleTable:
@@ -232,6 +299,7 @@ class TestRegistry:
     def test_all_experiments_registered(self):
         expected = {
             "fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+            "fig4-mc", "fig7-mc", "fig8-mc",
             "checkpoint-schedule", "params-table",
         }
         assert set(EXPERIMENTS) == expected

@@ -95,6 +95,87 @@ class TestSimulator:
             sim.run(max_events=100)
 
 
+class TestSimulatorEdgeCases:
+    def test_cancel_before_firing_is_idempotent(self):
+        sim = Simulator()
+        fired = []
+        h = sim.schedule(1.0, lambda: fired.append("no"))
+        h.cancel()
+        h.cancel()  # second cancel must be a no-op
+        assert h.cancelled
+        sim.run()
+        assert fired == []
+        assert sim.events_processed == 0
+
+    def test_cancel_after_firing_is_harmless(self):
+        sim = Simulator()
+        fired = []
+        h = sim.schedule(1.0, lambda: fired.append("yes"))
+        sim.run()
+        assert fired == ["yes"]
+        h.cancel()  # late cancel: no error, no retroactive effect
+        assert h.cancelled
+        assert sim.events_processed == 1
+
+    def test_peek_next_time_all_cancelled(self):
+        sim = Simulator()
+        handles = [sim.schedule(t, lambda: None) for t in (1.0, 2.0, 3.0)]
+        for h in handles:
+            h.cancel()
+        assert sim.peek_next_time() is None
+        # The queue was compacted, not just skipped over.
+        assert not sim.step()
+
+    def test_peek_next_time_empty_queue(self):
+        assert Simulator().peek_next_time() is None
+
+    def test_run_until_landing_exactly_on_event_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append("at"))
+        sim.schedule(2.0 + 1e-9, lambda: fired.append("after"))
+        sim.run_until(2.0)
+        # Events at exactly t fire; strictly-later ones do not.
+        assert fired == ["at"]
+        assert sim.now == 2.0
+        sim.run()
+        assert fired == ["at", "after"]
+
+    def test_run_until_processes_same_time_chain(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append("first")
+            sim.schedule(0.0, lambda: fired.append("chained"))
+
+        sim.schedule(1.0, first)
+        sim.run_until(1.0)
+        # The chained same-time event lands inside the window too.
+        assert fired == ["first", "chained"]
+
+    def test_same_time_order_survives_cancellation(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("a"))
+        mid = sim.schedule(1.0, lambda: fired.append("b"))
+        sim.schedule(1.0, lambda: fired.append("c"))
+        mid.cancel()
+        sim.run()
+        assert fired == ["a", "c"]
+
+    def test_handle_time_property(self):
+        sim = Simulator(start_time=3.0)
+        h = sim.schedule(2.0, lambda: None)
+        assert h.time == 5.0
+
+    def test_run_until_advances_clock_with_empty_queue(self):
+        sim = Simulator()
+        sim.run_until(4.0)
+        assert sim.now == 4.0
+        assert sim.events_processed == 0
+
+
 class TestRandomStreams:
     def test_named_streams_independent_and_stable(self):
         a = RandomStreams(seed=1)

@@ -1,0 +1,161 @@
+"""Property-based tests for the vectorized Monte-Carlo kernels.
+
+Hypothesis sweeps schedules, checkpoint costs, start ages, and seeds
+through the batched backend, asserting the structural invariants the
+replication sweeps rely on:
+
+* wasted work is non-negative and obeys the exact accounting identity
+  ``makespan = plan walltime + wasted + restarts * latency``;
+* every replication terminates with the full job durably completed;
+* under zero checkpoint cost, refining the checkpoint plan (more
+  frequent checkpoints) never increases any replication's completion
+  time — with common random numbers the deaths per round are identical,
+  so the comparison is pointwise, not just in expectation;
+* conditioned lifetime sampling respects the conditioning age.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distributions.exponential import ExponentialDistribution
+from repro.distributions.uniform import UniformLifetimeDistribution
+from repro.sim.backend import run_replications
+from repro.sim.vectorized import sample_lifetimes
+
+# Keep the per-segment failure probability away from 1 (segment length
+# well under the exponential's worst-case MTTF of 1 h), so every config
+# terminates in a modest number of rounds — pathological schedules that
+# *cannot* finish are covered separately by the max_rounds test in
+# test_sim_backend_equivalence.py.
+segments_strategy = st.lists(
+    st.floats(0.05, 2.0, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=6,
+)
+seed_strategy = st.integers(0, 2**32 - 1)
+rate_strategy = st.floats(0.2, 1.0, allow_nan=False, allow_infinity=False)
+
+
+def make_dist(kind: str, rate: float):
+    if kind == "exponential":
+        return ExponentialDistribution(rate=rate)
+    return UniformLifetimeDistribution(24.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    kind=st.sampled_from(["exponential", "uniform"]),
+    rate=rate_strategy,
+    segments=segments_strategy,
+    delta=st.floats(0.0, 0.1, allow_nan=False),
+    start_age=st.floats(0.0, 20.0, allow_nan=False),
+    latency=st.floats(0.0, 0.5, allow_nan=False),
+    seed=seed_strategy,
+)
+def test_invariants(kind, rate, segments, delta, start_age, latency, seed):
+    dist = make_dist(kind, rate)
+    out = run_replications(
+        dist,
+        segments,
+        delta=delta,
+        start_age=start_age,
+        restart_latency=latency,
+        n_replications=64,
+        seed=seed,
+        backend="vectorized",
+    )
+    job = sum(segments)
+    walltime = job + delta * (len(segments) - 1)
+    # Non-negative waste, full termination, exact accounting.
+    assert (out.wasted_hours >= 0.0).all()
+    np.testing.assert_allclose(out.completed_work, job, rtol=0.0, atol=1e-9)
+    np.testing.assert_allclose(
+        out.makespan,
+        walltime + out.wasted_hours + out.n_restarts * latency,
+        rtol=0.0,
+        atol=1e-9,
+    )
+    assert out.n_rounds == int(out.n_restarts.max()) + 1
+    # No waste at all implies the no-failure walltime exactly.
+    clean = out.n_restarts == 0
+    np.testing.assert_allclose(out.makespan[clean], walltime, rtol=0.0, atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    kind=st.sampled_from(["exponential", "uniform"]),
+    rate=rate_strategy,
+    segments=st.lists(st.floats(0.1, 2.0, allow_nan=False), min_size=1, max_size=4),
+    seed=seed_strategy,
+)
+def test_refinement_monotone_under_free_checkpoints(kind, rate, segments, seed):
+    """Zero-cost checkpoints: a strictly finer plan can only help.
+
+    The round protocol draws each replication's r-th lifetime as a
+    function of (seed, replication, round) alone, so both plans see the
+    same death sequence and the comparison holds per replication.
+    """
+    dist = make_dist(kind, rate)
+    refined = [half for s in segments for half in (s / 2.0, s / 2.0)]
+    coarse = run_replications(
+        dist, segments, delta=0.0, n_replications=64, seed=seed, backend="vectorized"
+    )
+    fine = run_replications(
+        dist, refined, delta=0.0, n_replications=64, seed=seed, backend="vectorized"
+    )
+    assert (fine.makespan <= coarse.makespan + 1e-9).all()
+    assert (fine.wasted_hours <= coarse.wasted_hours + 1e-9).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    kind=st.sampled_from(["exponential", "uniform"]),
+    rate=rate_strategy,
+    start_age=st.floats(0.0, 20.0, allow_nan=False),
+    seed=seed_strategy,
+)
+def test_conditioned_sampling_respects_age(kind, rate, start_age, seed):
+    dist = make_dist(kind, rate)
+    rng = np.random.default_rng(seed)
+    draws = sample_lifetimes(dist, 256, rng, start_age=start_age)
+    assert (draws >= start_age - 1e-7).all()
+    assert draws.shape == (256,)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    kind=st.sampled_from(["exponential", "uniform"]),
+    rate=rate_strategy,
+    segments=segments_strategy,
+    start_age=st.floats(0.0, 12.0, allow_nan=False),
+    seed=st.integers(0, 1000),
+)
+def test_backends_agree_on_random_configs(kind, rate, segments, start_age, seed):
+    """Randomised counterpart of the grid in test_sim_backend_equivalence."""
+    dist = make_dist(kind, rate)
+    results = [
+        run_replications(
+            dist,
+            segments,
+            delta=1.0 / 60.0,
+            start_age=start_age,
+            n_replications=16,
+            seed=seed,
+            backend=backend,
+        )
+        for backend in ("event", "vectorized")
+    ]
+    np.testing.assert_allclose(
+        results[1].makespan, results[0].makespan, rtol=0.0, atol=1e-9
+    )
+    np.testing.assert_array_equal(results[1].n_restarts, results[0].n_restarts)
+
+
+def test_sample_lifetimes_validation():
+    dist = UniformLifetimeDistribution(24.0)
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        sample_lifetimes(dist, -1, rng)
+    with pytest.raises(ValueError):
+        sample_lifetimes(dist, 8, rng, start_age=-0.5)
