@@ -1,11 +1,18 @@
 """Batch computing service demo (paper Section 5 / Fig. 9).
 
-Runs a 100-job Nanoconfinement-style bag on a simulated preemptible
-fleet with the model-driven policies, then the same bag under the
-memoryless baseline, and prints the cost/performance comparison against
-a conventional on-demand deployment.
+Runs a Nanoconfinement-style bag on a simulated preemptible fleet with
+the model-driven policies, then the same bag under the memoryless
+baseline, and prints the cost/performance comparison against a
+conventional on-demand deployment.
 
-Run:  python examples/batch_service_demo.py
+Run:  PYTHONPATH=src python examples/batch_service_demo.py
+
+Expected output: both policies land near the raw ~4.7x preemptible
+discount, with the model-driven reuse row suffering fewer job failures
+and a shorter makespan than the memoryless baseline.  This drives the
+full event-driven controller; for sweeping many policy configurations
+at 10k+ replications, use the headless evaluator instead
+(``repro.service.evaluate`` — see the README's service snippet).
 """
 
 from repro.service import BagRequest, BatchComputingService, JobRequest, ServiceConfig

@@ -5,7 +5,14 @@ lifetimes.  This demo simulates the provider silently changing its
 preemption policy (switching the underlying law) and shows the KS-based
 monitor flagging the change, after which the service refits.
 
-Run:  python examples/drift_monitoring.py
+Run:  PYTHONPATH=src python examples/drift_monitoring.py
+
+Expected output: windows before the change pass the KS test
+(``changed=False``); within a window or two after the switch the
+statistic crosses the critical value, the monitor reports
+``changed=True``, and the refit on post-change data recovers the new
+law's tau1.  In production this is the trigger for re-solving the
+policies with the refitted model.
 """
 
 import numpy as np

@@ -8,7 +8,14 @@ Mirrors the paper's core workflow in ~40 lines:
 3. compare against classical failure distributions (Fig. 1),
 4. inspect the three preemption phases and the expected lifetime.
 
-Run:  python examples/quickstart.py
+Run:  PYTHONPATH=src python examples/quickstart.py
+
+Expected output: the bathtub family tops the model ranking with
+r2 > 0.97 while exponential/Weibull trail badly, the fitted parameters
+land in the paper's Table 2 ranges (A ~ 0.4, b ~ 24), and the phase
+boundaries split the 24 h deadline into early / stable / final — the
+structure every policy in this repo exploits.  This is the first stop
+after reading the README's quickstart section.
 """
 
 from repro import (

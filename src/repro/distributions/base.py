@@ -79,6 +79,28 @@ class LifetimeDistribution(abc.ABC):
             return 0.0
         return first_moment(self.pdf, a, c, num=num)
 
+    def truncated_first_moment_batch(self, a, c, *, num: int = 4097):
+        """Vectorised ``int_a^c t f(t) dt`` over arrays of bounds.
+
+        The generic implementation loops over the scalar
+        :meth:`truncated_first_moment` (one numeric integration per
+        element, elementwise identical to the scalar calls); subclasses
+        with a closed-form antiderivative override it with one array
+        pass.  Used by the batched Eq. 8 reuse decision in
+        :mod:`repro.policies.scheduling`.
+        """
+        a_arr, c_arr = np.broadcast_arrays(
+            np.asarray(a, dtype=float), np.asarray(c, dtype=float)
+        )
+        flat = np.array(
+            [
+                self.truncated_first_moment(float(x), float(y), num=num)
+                for x, y in zip(a_arr.ravel(), c_arr.ravel())
+            ],
+            dtype=float,
+        )
+        return flat.reshape(a_arr.shape)
+
     def mean(self) -> float:
         """Mean lifetime over ``[0, t_max]``."""
         return self.truncated_first_moment(0.0, self.t_max)

@@ -53,6 +53,17 @@ class BathtubDistribution(LifetimeDistribution):
         """Exact closed form via the Eq. 3 antiderivative."""
         return self.model.truncated_first_moment(a, c)
 
+    def truncated_first_moment_batch(self, a, c, *, num: int = 0):
+        """Exact closed form over arrays of bounds (one antiderivative pass)."""
+        a_arr, c_arr = np.broadcast_arrays(
+            np.asarray(a, dtype=float), np.asarray(c, dtype=float)
+        )
+        a_clip = np.clip(a_arr, 0.0, self.t_max)
+        c_clip = np.clip(c_arr, 0.0, self.t_max)
+        g = self.model.moment_antiderivative
+        out = np.asarray(g(c_clip), dtype=float) - np.asarray(g(a_clip), dtype=float)
+        return np.where(c_clip > a_clip, out, 0.0)
+
     def mean(self) -> float:
         return self.model.expected_lifetime()
 

@@ -94,6 +94,18 @@ EXPERIMENTS: dict[str, Experiment] = {
             fig4_wasted_work.report_monte_carlo,
         ),
         Experiment(
+            "fig5-mc",
+            "Fig. 5 with simulated job placements per start age (both backends)",
+            fig5_start_time.run_monte_carlo,
+            fig5_start_time.report_monte_carlo,
+        ),
+        Experiment(
+            "fig6-mc",
+            "Fig. 6 with sampled start ages and batched Eq. 8 decisions",
+            fig6_job_length.run_monte_carlo,
+            fig6_job_length.report_monte_carlo,
+        ),
+        Experiment(
             "fig7-mc",
             "Fig. 7 with simulated failure outcomes (vectorized backend)",
             fig7_sensitivity.run_monte_carlo,

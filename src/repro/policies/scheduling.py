@@ -30,7 +30,9 @@ __all__ = [
     "ModelReusePolicy",
     "MemorylessSchedulingPolicy",
     "job_failure_probability",
+    "job_failure_probability_batch",
     "average_failure_probability",
+    "effective_start_ages",
 ]
 
 
@@ -54,6 +56,28 @@ def job_failure_probability(
     T = check_positive("job_length", job_length)
     s = check_nonnegative("start_age", start_age)
     return dist.conditional_failure_probability(s, T)
+
+
+def job_failure_probability_batch(
+    dist: LifetimeDistribution, job_length: float, start_ages
+) -> np.ndarray:
+    """Vectorised :func:`job_failure_probability` over an age array.
+
+    One array pass through the distribution's ``cdf``/``sf``; elementwise
+    identical to the scalar form (1.0 where survival at the start age is
+    zero).  This is the closed-form counterpart the Fig. 5/6 Monte-Carlo
+    variants cross-validate against.
+    """
+    T = check_positive("job_length", job_length)
+    s = np.asarray(start_ages, dtype=float)
+    if np.any(s < 0.0):
+        raise ValueError("start_ages must be >= 0")
+    surv = np.asarray(dist.sf(s), dtype=float)
+    mass = np.asarray(dist.cdf(s + T), dtype=float) - np.asarray(
+        dist.cdf(s), dtype=float
+    )
+    safe = np.where(surv > 0.0, surv, 1.0)
+    return np.where(surv > 0.0, np.clip(mass / safe, 0.0, 1.0), 1.0)
 
 
 @dataclass(frozen=True)
@@ -115,6 +139,52 @@ class ModelReusePolicy:
         if self.reuse_cost(T, s) <= self.reuse_cost(T, 0.0):
             return SchedulingDecision.REUSE
         return SchedulingDecision.NEW_VM
+
+    def reuse_cost_batch(self, job_length: float, vm_ages) -> np.ndarray:
+        """Vectorised :meth:`reuse_cost` over an array of VM ages.
+
+        One pass through the distribution's batched truncated moment and
+        ``cdf``/``sf`` — elementwise identical to the scalar form (``inf``
+        where survival at the age is zero, under the conditional
+        criterion).
+        """
+        T = check_positive("job_length", job_length)
+        s = np.asarray(vm_ages, dtype=float)
+        if np.any(s < 0.0):
+            raise ValueError("vm_ages must be >= 0")
+        moment = np.asarray(
+            self.dist.truncated_first_moment_batch(s, s + T), dtype=float
+        )
+        if self.criterion == "paper":
+            return moment
+        surv = np.asarray(self.dist.sf(s), dtype=float)
+        end = np.minimum(s + T, self.dist.t_max)
+        mass = np.asarray(self.dist.cdf(end), dtype=float) - np.asarray(
+            self.dist.cdf(s), dtype=float
+        )
+        safe = np.where(surv > 0.0, surv, 1.0)
+        cost = np.maximum(moment - s * mass, 0.0) / safe
+        return np.where(surv > 0.0, cost, np.inf)
+
+    def decide_batch(self, job_length: float, vm_ages) -> np.ndarray:
+        """Eq. 8 decisions over an age array: ``True`` = reuse the aged VM.
+
+        The batched counterpart of :meth:`decide` — exactly the same
+        decisions (the scalar-vs-batch agreement is pinned by the test
+        suite), computed in one vectorised pass so that the
+        policy-evaluation layer can score millions of placements without
+        a Python loop over ages.
+        """
+        T = check_positive("job_length", job_length)
+        s = np.asarray(vm_ages, dtype=float)
+        fresh = self.reuse_cost(T, 0.0)
+        reuse = self.reuse_cost_batch(T, s) <= fresh
+        return reuse & (s < self.dist.t_max)
+
+    def failure_probability_batch(self, job_length: float, vm_ages) -> np.ndarray:
+        """Closed-form failure probability of the policy's VM choices."""
+        ages, _ = effective_start_ages(self, job_length, vm_ages)
+        return job_failure_probability_batch(self.dist, job_length, ages)
 
     def failure_probability(self, job_length: float, vm_age: float) -> float:
         """Failure probability of the job under the policy's VM choice."""
@@ -192,8 +262,39 @@ class MemorylessSchedulingPolicy:
         check_nonnegative("vm_age", vm_age)
         return SchedulingDecision.REUSE
 
+    def decide_batch(self, job_length: float, vm_ages) -> np.ndarray:
+        """Always-reuse over an age array (all ``True``)."""
+        check_positive("job_length", job_length)
+        s = np.asarray(vm_ages, dtype=float)
+        if np.any(s < 0.0):
+            raise ValueError("vm_ages must be >= 0")
+        return np.ones(s.shape, dtype=bool)
+
     def failure_probability(self, job_length: float, vm_age: float) -> float:
         return job_failure_probability(self.dist, job_length, vm_age)
+
+    def failure_probability_batch(self, job_length: float, vm_ages) -> np.ndarray:
+        """Closed-form failure probability at each (always reused) age."""
+        return job_failure_probability_batch(self.dist, job_length, vm_ages)
+
+
+def effective_start_ages(
+    policy: "ModelReusePolicy | MemorylessSchedulingPolicy",
+    job_length: float,
+    vm_ages,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Apply a policy's batch decision to candidate VM ages.
+
+    Returns ``(start_ages, reused)``: the age each job actually starts
+    at (the candidate's age where the policy reuses, 0 for a fresh VM)
+    and the boolean reuse mask.  This is the array form of the
+    controller's placement step, consumed directly by
+    :func:`repro.sim.vectorized.simulate_job_attempts_vectorized` and
+    the service evaluator.
+    """
+    ages = np.asarray(vm_ages, dtype=float)
+    reused = policy.decide_batch(job_length, ages)
+    return np.where(reused, ages, 0.0), reused
 
 
 def average_failure_probability(

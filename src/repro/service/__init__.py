@@ -12,6 +12,11 @@ from repro.service.bag import BagOfJobs
 from repro.service.controller import BatchComputingService, ServiceConfig, ServiceReport
 from repro.service.costs import CostModel, on_demand_baseline_cost
 from repro.service.database import MetadataStore
+from repro.service.evaluate import (
+    PolicyEvaluation,
+    ServicePolicyEvaluator,
+    sweep_configurations,
+)
 from repro.service.metrics import ServiceMetrics
 
 __all__ = [
@@ -26,5 +31,8 @@ __all__ = [
     "CostModel",
     "on_demand_baseline_cost",
     "MetadataStore",
+    "PolicyEvaluation",
+    "ServicePolicyEvaluator",
     "ServiceMetrics",
+    "sweep_configurations",
 ]

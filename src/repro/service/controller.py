@@ -303,6 +303,19 @@ class BatchComputingService:
         if self._master is not None and self._master.alive:
             self.cloud.terminate(self._master)
 
+    def policy_evaluator(self):
+        """Headless Monte-Carlo scorer for this service's configuration.
+
+        Returns a :class:`repro.service.evaluate.ServicePolicyEvaluator`
+        wired to the same lifetime model and config, so batch scoring
+        ("what failure probability / cost does this policy mix give at
+        10k replications?") runs through the vectorized backend without
+        replaying the event-driven controller loop.
+        """
+        from repro.service.evaluate import ServicePolicyEvaluator
+
+        return ServicePolicyEvaluator(self.model, self.config)
+
     def job_status(self, job_id: int) -> JobStatus:
         return self.store.job_status(job_id)
 

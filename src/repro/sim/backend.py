@@ -230,7 +230,7 @@ def _simulate_plan_event(
     segments: np.ndarray,
     *,
     delta: float,
-    start_age: float,
+    start_age,
     restart_latency: float,
     n_replications: int,
     rng: np.random.Generator,
@@ -239,7 +239,16 @@ def _simulate_plan_event(
     durations = segments.copy()
     if segments.size > 1:
         durations[:-1] += delta
-    F_s = float(np.asarray(dist.cdf(start_age), dtype=float))
+    # start_age is a scalar or a (n_replications,) array; F is evaluated
+    # with the same array shape the vectorized kernel uses, so the
+    # per-element conditioning values match bit-for-bit either way.
+    given = np.asarray(start_age, dtype=float)
+    if given.ndim == 0:
+        F_arr = np.full(n_replications, float(np.asarray(dist.cdf(given), dtype=float)))
+        start_arr = np.full(n_replications, float(given))
+    else:
+        F_arr = np.asarray(dist.cdf(given), dtype=float)
+        start_arr = given
     uniforms = _RoundUniforms(rng, n_replications)
     makespan = np.zeros(n_replications)
     wasted = np.zeros(n_replications)
@@ -251,8 +260,8 @@ def _simulate_plan_event(
             dist,
             segments,
             durations,
-            F_s,
-            start_age,
+            float(F_arr[i]),
+            float(start_arr[i]),
             restart_latency,
             uniforms,
             i,
@@ -268,7 +277,7 @@ def run_replications(
     segments: Sequence[float],
     *,
     delta: float = 1.0 / 60.0,
-    start_age: float = 0.0,
+    start_age: float | Sequence[float] | np.ndarray = 0.0,
     restart_latency: float = 0.0,
     n_replications: int = 1000,
     seed: int | np.random.Generator | None = 0,
@@ -288,7 +297,11 @@ def run_replications(
         Checkpoint write cost in hours.
     start_age:
         Age of the first VM; its lifetime is conditioned on surviving to
-        this age.  Replacement VMs are fresh.
+        this age.  Replacement VMs are fresh.  Either one scalar age for
+        the whole batch, or an array of shape ``(n_replications,)``
+        giving each replication its own first-VM age — the shape the
+        policy-evaluation layer uses to score reuse decisions over
+        sampled VM ages.
     restart_latency:
         Extra hours charged per preemption for acquiring the replacement.
     seed:
@@ -315,18 +328,29 @@ def run_replications(
     if segs.size == 0:
         raise ValueError("segments must be non-empty")
     check_nonnegative("delta", delta)
-    check_nonnegative("start_age", start_age)
     check_nonnegative("restart_latency", restart_latency)
     if n_replications < 0:
         raise ValueError(f"n_replications must be >= 0, got {n_replications}")
     check_positive("max_rounds", max_rounds)
+    start_arr = np.asarray(start_age, dtype=float)
+    if start_arr.ndim == 0:
+        start_val: float | np.ndarray = check_nonnegative("start_age", float(start_arr))
+    else:
+        if start_arr.shape != (int(n_replications),):
+            raise ValueError(
+                "per-replication start_age must have shape "
+                f"({n_replications},), got {start_arr.shape}"
+            )
+        if np.any(start_arr < 0.0):
+            raise ValueError("start_age entries must be >= 0")
+        start_val = start_arr
     rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
     kernel = simulate_plan_vectorized if backend == "vectorized" else _simulate_plan_event
     makespan, wasted, completed, restarts, n_rounds = kernel(
         dist,
         segs,
         delta=float(delta),
-        start_age=float(start_age),
+        start_age=start_val,
         restart_latency=float(restart_latency),
         n_replications=int(n_replications),
         rng=rng,

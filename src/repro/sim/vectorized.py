@@ -45,18 +45,22 @@ __all__ = [
     "conditional_quantiles",
     "sample_lifetimes",
     "simulate_plan_vectorized",
+    "simulate_job_attempts_vectorized",
 ]
 
 
-def conditional_quantiles(u, cdf_at_age: float):
+def conditional_quantiles(u, cdf_at_age):
     """Map uniforms to quantiles of ``T | T > age`` given ``F(age)``.
 
     ``q = F(s) + u * (1 - F(s))``, clamped to 1 against floating-point
-    overshoot.  Both backends use this exact expression so conditioned
+    overshoot.  ``cdf_at_age`` may be a scalar (one conditioning age for
+    the whole batch) or an array aligned with ``u`` (per-replication
+    ages).  Both backends use this exact expression so conditioned
     first-VM draws agree bit-for-bit.
     """
     u_arr = np.asarray(u, dtype=float)
-    out = np.minimum(cdf_at_age + u_arr * (1.0 - cdf_at_age), 1.0)
+    cdf_arr = np.asarray(cdf_at_age, dtype=float)
+    out = np.minimum(cdf_arr + u_arr * (1.0 - cdf_arr), 1.0)
     return out if out.ndim else float(out)
 
 
@@ -100,6 +104,13 @@ def simulate_plan_vectorized(
     :func:`repro.sim.backend.run_replications`; this kernel assumes
     positive segments and non-negative ``delta``/``start_age``/latency.
 
+    ``start_age`` may be a scalar (every replication's first VM has the
+    same age) or an array of shape ``(n_replications,)`` — the shape the
+    policy-evaluation layer uses, where each replication's job lands on
+    a VM of a different sampled age.  Either way, the first VM's
+    lifetime is conditioned on survival to its replication's age and
+    replacement VMs are fresh.
+
     The per-round walk is closed-form: with ``cum_w`` the cumulative
     wall-clock of the plan (segment + checkpoint durations), a VM that
     grants ``budget`` hours starting from segment ``k`` completes through
@@ -126,7 +137,11 @@ def simulate_plan_vectorized(
     seg_idx = np.zeros(n, dtype=np.int64)  # next segment to (re)run
     active = np.arange(n)
 
-    F_s = float(np.asarray(dist.cdf(start_age), dtype=float))
+    start_arr = np.asarray(start_age, dtype=float)
+    per_rep_ages = start_arr.ndim > 0
+    F_s = np.asarray(dist.cdf(start_arr), dtype=float)
+    if not per_rep_ages:
+        F_s = float(F_s)
     n_rounds = 0
     while active.size:
         if n_rounds >= max_rounds:
@@ -137,8 +152,9 @@ def simulate_plan_vectorized(
         u = rng.random(n)  # full-width row: the draw protocol (see module doc)
         ua = u[active]
         if n_rounds == 0:
-            death = np.asarray(dist.ppf(conditional_quantiles(ua, F_s)), dtype=float)
-            age = start_age
+            F_a = F_s[active] if per_rep_ages else F_s
+            death = np.asarray(dist.ppf(conditional_quantiles(ua, F_a)), dtype=float)
+            age = start_arr[active] if per_rep_ages else float(start_arr)
         else:
             death = np.asarray(dist.ppf(ua), dtype=float)
             age = 0.0
@@ -173,3 +189,49 @@ def simulate_plan_vectorized(
         n_rounds += 1
 
     return makespan, wasted, completed, restarts, n_rounds
+
+
+def simulate_job_attempts_vectorized(
+    dist: LifetimeDistribution,
+    job_length: float,
+    start_ages: np.ndarray,
+    *,
+    reuse: np.ndarray | None = None,
+    restart_latency: float = 0.0,
+    rng: np.random.Generator,
+    max_rounds: int = 10_000,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]:
+    """Batched uncheckpointed job attempts under the Eq. 8 reuse decision.
+
+    The scheduling scenario of Figs. 5/6 and the service's placement
+    path: replication ``i``'s job (length ``job_length`` hours, no
+    checkpoints) is offered a VM of age ``start_ages[i]``.  If
+    ``reuse[i]`` is True the job runs on the aged VM (its lifetime
+    conditioned on survival to that age); otherwise it starts on a fresh
+    VM.  A preemption loses *all* progress and the job restarts from
+    scratch on a fresh VM in the next round, until it completes.
+
+    ``reuse`` is the boolean output of a batch decision function (e.g.
+    :meth:`repro.policies.scheduling.ModelReusePolicy.decide_batch`);
+    ``None`` means "always reuse" — the memoryless baseline.
+
+    Returns the same ``(makespan, wasted_hours, completed_work,
+    n_restarts, n_rounds)`` tuple as :func:`simulate_plan_vectorized`;
+    ``n_restarts > 0`` marks the replications whose *first* attempt was
+    preempted, so its mean is the Monte-Carlo job failure probability.
+    The draw protocol is the shared round protocol, so the event backend
+    (via :func:`repro.sim.backend.run_replications` with a single
+    segment) reproduces the outcomes for an identical generator state.
+    """
+    ages = np.asarray(start_ages, dtype=float)
+    effective = ages if reuse is None else np.where(np.asarray(reuse, bool), ages, 0.0)
+    return simulate_plan_vectorized(
+        dist,
+        np.asarray([float(job_length)]),
+        delta=0.0,
+        start_age=effective,
+        restart_latency=restart_latency,
+        n_replications=ages.size,
+        rng=rng,
+        max_rounds=max_rounds,
+    )

@@ -150,6 +150,39 @@ class TestFig5:
         )
 
 
+class TestFig5MonteCarlo:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_fig5.run_monte_carlo(num=13, n_replications=2000, seed=0)
+
+    def test_mc_matches_closed_form_within_ci(self, result):
+        """Sampled placements agree with the analytic curves (~4 sigma)."""
+        assert result.max_abs_error() < 0.05
+
+    def test_memoryless_saturates_at_one(self, result):
+        late = result.start_ages > 18.5
+        np.testing.assert_allclose(result.memoryless_mc[late], 1.0)
+
+    def test_policy_capped_at_fresh_level_after_switch(self, result):
+        dist_level = result.model_policy_closed[-1]
+        past = result.start_ages > 20.0
+        np.testing.assert_allclose(
+            result.model_policy_mc[past], dist_level, atol=0.05
+        )
+
+    def test_backends_identical(self):
+        vec = exp_fig5.run_monte_carlo(num=5, n_replications=150, seed=1)
+        ev = exp_fig5.run_monte_carlo(
+            num=5, n_replications=150, seed=1, backend="event"
+        )
+        np.testing.assert_array_equal(vec.model_policy_mc, ev.model_policy_mc)
+        np.testing.assert_array_equal(vec.memoryless_mc, ev.memoryless_mc)
+
+    def test_report_renders(self, result):
+        text = exp_fig5.report_monte_carlo(result)
+        assert "Fig. 5 (MC)" in text and "closed" in text
+
+
 class TestFig6:
     @pytest.fixture(scope="class")
     def result(self):
@@ -160,6 +193,34 @@ class TestFig6:
 
     def test_midrange_reduction_close_to_two(self, result):
         assert result.reduction_factor() > 1.4
+
+
+class TestFig6MonteCarlo:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_fig6.run_monte_carlo(num_lengths=8, n_replications=2500, seed=0)
+
+    def test_mc_matches_closed_form_within_ci(self, result):
+        """The closed forms are averaged over the *same* sampled ages, so
+        the only gap is lifetime-sampling noise."""
+        assert result.max_abs_error() < 0.04
+
+    def test_policy_beats_memoryless(self, result):
+        """Paired draws: the MC curves preserve the Fig. 6 ordering."""
+        assert np.all(result.model_policy_mc <= result.memoryless_mc + 0.02)
+        assert result.reduction_factor() > 1.3
+
+    def test_backends_identical(self):
+        vec = exp_fig6.run_monte_carlo(num_lengths=3, n_replications=150, seed=1)
+        ev = exp_fig6.run_monte_carlo(
+            num_lengths=3, n_replications=150, seed=1, backend="event"
+        )
+        np.testing.assert_array_equal(vec.model_policy_mc, ev.model_policy_mc)
+        np.testing.assert_array_equal(vec.memoryless_mc, ev.memoryless_mc)
+
+    def test_report_renders(self, result):
+        text = exp_fig6.report_monte_carlo(result)
+        assert "Fig. 6 (MC)" in text and "reduction factor" in text
 
 
 class TestFig7:
@@ -299,7 +360,7 @@ class TestRegistry:
     def test_all_experiments_registered(self):
         expected = {
             "fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-            "fig4-mc", "fig7-mc", "fig8-mc",
+            "fig4-mc", "fig5-mc", "fig6-mc", "fig7-mc", "fig8-mc",
             "checkpoint-schedule", "params-table",
         }
         assert set(EXPERIMENTS) == expected

@@ -8,7 +8,9 @@ from repro.policies.scheduling import (
     ModelReusePolicy,
     SchedulingDecision,
     average_failure_probability,
+    effective_start_ages,
     job_failure_probability,
+    job_failure_probability_batch,
 )
 
 
@@ -151,3 +153,76 @@ class TestFigure6Average:
             average_failure_probability(policy, 0.0)
         with pytest.raises(ValueError):
             average_failure_probability(policy, 1.0, max_age=0.0)
+
+
+class TestBatchDecisions:
+    """The vectorised decision layer must match the scalar path exactly."""
+
+    @pytest.mark.parametrize("criterion", ["paper", "conditional"])
+    @pytest.mark.parametrize("job_length", [0.5, 6.0, 12.0])
+    def test_decide_batch_matches_scalar(self, reference_dist, criterion, job_length):
+        pol = ModelReusePolicy(reference_dist, criterion=criterion)
+        ages = np.linspace(0.0, reference_dist.t_max + 2.0, 301)
+        batch = pol.decide_batch(job_length, ages)
+        scalar = np.array(
+            [pol.decide(job_length, float(s)) is SchedulingDecision.REUSE for s in ages]
+        )
+        np.testing.assert_array_equal(batch, scalar)
+
+    @pytest.mark.parametrize("criterion", ["paper", "conditional"])
+    def test_reuse_cost_batch_matches_scalar(self, reference_dist, criterion):
+        pol = ModelReusePolicy(reference_dist, criterion=criterion)
+        ages = np.linspace(0.0, reference_dist.t_max + 1.0, 101)
+        batch = pol.reuse_cost_batch(6.0, ages)
+        scalar = np.array([pol.reuse_cost(6.0, float(s)) for s in ages])
+        np.testing.assert_array_equal(batch, scalar)
+
+    def test_memoryless_batch_always_reuses(self, baseline):
+        ages = np.linspace(0.0, 30.0, 50)
+        assert baseline.decide_batch(6.0, ages).all()
+
+    def test_failure_probability_batch_matches_scalar(self, policy, baseline):
+        ages = np.linspace(0.0, 24.0, 97)
+        for pol in (policy, baseline):
+            batch = pol.failure_probability_batch(6.0, ages)
+            scalar = np.array(
+                [pol.failure_probability(6.0, float(s)) for s in ages]
+            )
+            np.testing.assert_array_equal(batch, scalar)
+
+    def test_job_failure_probability_batch_matches_scalar(self, reference_dist):
+        ages = np.linspace(0.0, reference_dist.t_max + 1.0, 97)
+        batch = job_failure_probability_batch(reference_dist, 6.0, ages)
+        scalar = np.array(
+            [job_failure_probability(reference_dist, 6.0, float(s)) for s in ages]
+        )
+        np.testing.assert_array_equal(batch, scalar)
+
+    def test_generic_distribution_fallback(self):
+        """Laws without a closed-form moment use the scalar loop fallback."""
+        from repro.distributions.exponential import ExponentialDistribution
+
+        pol = ModelReusePolicy(ExponentialDistribution(rate=0.5))
+        ages = np.linspace(0.0, pol.dist.t_max * 0.9, 25)
+        batch = pol.decide_batch(3.0, ages)
+        scalar = np.array(
+            [pol.decide(3.0, float(s)) is SchedulingDecision.REUSE for s in ages]
+        )
+        np.testing.assert_array_equal(batch, scalar)
+
+    def test_effective_start_ages(self, policy):
+        ages = np.linspace(0.0, 24.0, 49)
+        eff, reused = effective_start_ages(policy, 6.0, ages)
+        np.testing.assert_array_equal(eff[reused], ages[reused])
+        assert np.all(eff[~reused] == 0.0)
+        # The Fig. 5 shape: reuse up to the critical age, fresh afterwards.
+        ca = policy.critical_age(6.0)
+        np.testing.assert_array_equal(reused, ages <= ca + 1e-9)
+
+    def test_batch_validation(self, policy, baseline):
+        with pytest.raises(ValueError):
+            policy.decide_batch(6.0, np.array([-1.0]))
+        with pytest.raises(ValueError):
+            baseline.decide_batch(6.0, np.array([-1.0]))
+        with pytest.raises(ValueError):
+            job_failure_probability_batch(policy.dist, 0.0, np.array([1.0]))

@@ -13,8 +13,10 @@ import pytest
 from repro.distributions.exponential import ExponentialDistribution
 from repro.distributions.uniform import UniformLifetimeDistribution
 from repro.policies.checkpointing import CheckpointPolicy, simulate_schedule
+from repro.policies.scheduling import ModelReusePolicy
 from repro.policies.youngdaly import young_daly_schedule
 from repro.sim.backend import run_replications
+from repro.sim.vectorized import simulate_job_attempts_vectorized
 
 DELTA = 1.0 / 60.0
 N = 200
@@ -67,6 +69,44 @@ class TestBathtubEquivalence:
             )
         )
 
+    @pytest.mark.parametrize("seed", [0, 2])
+    def test_per_replication_start_ages(self, reference_dist, seed):
+        """The policy-evaluation shape: every replication has its own age."""
+        ages = np.random.default_rng(seed).random(N) * reference_dist.t_max
+        assert_equivalent(
+            *run_both(reference_dist, [0.5, 1.0, 1.5], seed, delta=DELTA, start_age=ages)
+        )
+
+    def test_scalar_and_array_start_age_agree(self, reference_dist):
+        """A constant age array reproduces the scalar start_age path."""
+        scalar = run_replications(
+            reference_dist, [1.0, 2.0], start_age=8.0, seed=1, n_replications=N
+        )
+        array = run_replications(
+            reference_dist,
+            [1.0, 2.0],
+            start_age=np.full(N, 8.0),
+            seed=1,
+            n_replications=N,
+        )
+        np.testing.assert_allclose(
+            array.makespan, scalar.makespan, rtol=0.0, atol=1e-9
+        )
+        np.testing.assert_array_equal(array.n_restarts, scalar.n_restarts)
+
+    def test_start_age_array_validation(self, reference_dist):
+        with pytest.raises(ValueError, match="shape"):
+            run_replications(
+                reference_dist, [1.0], start_age=np.zeros(3), n_replications=5
+            )
+        with pytest.raises(ValueError, match=">= 0"):
+            run_replications(
+                reference_dist,
+                [1.0],
+                start_age=np.array([0.0, -1.0]),
+                n_replications=2,
+            )
+
     @pytest.mark.parametrize("seed", [0, 3])
     def test_restart_latency_and_zero_delta(self, reference_dist, seed):
         assert_equivalent(
@@ -118,6 +158,57 @@ class TestFrontEnds:
         np.testing.assert_allclose(
             mk["vectorized"], mk["event"], rtol=0.0, atol=1e-9
         )
+
+    def test_job_attempt_kernel_matches_event_backend(self, reference_dist):
+        """The Eq. 8 job-attempt kernel keeps the round-protocol contract:
+        same generator state -> same outcomes as the event backend run on
+        the policy-chosen effective ages."""
+        job = 6.0
+        ages = np.random.default_rng(9).random(N) * reference_dist.t_max
+        reuse = ModelReusePolicy(reference_dist).decide_batch(job, ages)
+        makespan, wasted, completed, restarts, n_rounds = (
+            simulate_job_attempts_vectorized(
+                reference_dist,
+                job,
+                ages,
+                reuse=reuse,
+                restart_latency=0.1,
+                rng=np.random.default_rng(5),
+            )
+        )
+        event = run_replications(
+            reference_dist,
+            [job],
+            delta=0.0,
+            start_age=np.where(reuse, ages, 0.0),
+            restart_latency=0.1,
+            n_replications=N,
+            seed=np.random.default_rng(5),
+            backend="event",
+        )
+        np.testing.assert_allclose(makespan, event.makespan, rtol=0.0, atol=1e-9)
+        np.testing.assert_allclose(
+            wasted, event.wasted_hours, rtol=0.0, atol=1e-9
+        )
+        np.testing.assert_array_equal(restarts, event.n_restarts)
+        assert n_rounds == event.n_rounds
+        # First-attempt failures are exactly the replications that restarted.
+        np.testing.assert_array_equal(
+            restarts > 0, makespan > job + 1e-12
+        )
+
+    def test_job_attempt_kernel_default_reuses_all(self, reference_dist):
+        """reuse=None is the memoryless baseline: every age kept as-is."""
+        ages = np.linspace(0.0, 20.0, 64)
+        rng_a, rng_b = np.random.default_rng(3), np.random.default_rng(3)
+        none_mask = simulate_job_attempts_vectorized(
+            reference_dist, 2.0, ages, rng=rng_a
+        )
+        all_true = simulate_job_attempts_vectorized(
+            reference_dist, 2.0, ages, reuse=np.ones(64, bool), rng=rng_b
+        )
+        for got, expected in zip(none_mask, all_true):
+            np.testing.assert_array_equal(got, expected)
 
     def test_zero_replications(self, reference_dist):
         event, vec = run_both(reference_dist, [1.0], 0, n_replications=0)

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Documentation checker: executable snippets + intra-repo links.
+
+Run from the repository root (CI runs it in the ``docs`` job)::
+
+    python tools/check_docs.py
+
+Two checks over the markdown documentation set (top-level ``README.md``,
+everything under ``docs/``, and the per-package READMEs):
+
+1. **Snippets execute.**  Every fenced ```python block is written to a
+   temp file and run with ``PYTHONPATH=src``; a non-zero exit fails the
+   check.  Blocks that are deliberately illustrative (pseudo-code,
+   fragments) opt out by placing ``<!-- doccheck: skip -->`` on the line
+   directly above the fence.  Shell fences (```sh) are not executed.
+
+2. **Intra-repo links resolve.**  Every relative markdown link target
+   (``[text](path)``, optionally with a ``"title"``) must exist on
+   disk, resolved against the linking file's directory.  Fenced code
+   blocks and inline code spans are stripped before scanning, so
+   bracket-paren expressions in snippets are not mistaken for links.
+   External (``http…``), ``mailto:`` and pure-anchor (``#…``) links are
+   ignored; a ``path#anchor`` link checks only the path part.
+
+Exit status: 0 when everything checked out, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SKIP_MARK = "<!-- doccheck: skip -->"
+SNIPPET_TIMEOUT_S = 300
+
+#: Markdown files under check: top-level README, docs/, package READMEs.
+DOC_GLOBS = ("README.md", "docs/*.md", "src/**/README.md")
+
+_FENCE_RE = re.compile(r"^```python\s*$")
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_FENCED_BLOCK_RE = re.compile(r"^```.*?^```\s*$", re.MULTILINE | re.DOTALL)
+_INLINE_CODE_RE = re.compile(r"`[^`\n]*`")
+
+
+def doc_files() -> list[Path]:
+    files: list[Path] = []
+    for pattern in DOC_GLOBS:
+        files.extend(sorted(REPO_ROOT.glob(pattern)))
+    return files
+
+
+def python_snippets(path: Path) -> list[tuple[int, str]]:
+    """(first line number, source) of each runnable ```python block."""
+    lines = path.read_text(encoding="utf-8").splitlines()
+    snippets: list[tuple[int, str]] = []
+    i = 0
+    while i < len(lines):
+        if _FENCE_RE.match(lines[i]):
+            skipped = i > 0 and SKIP_MARK in lines[i - 1]
+            start = i + 1
+            j = start
+            while j < len(lines) and not lines[j].startswith("```"):
+                j += 1
+            if not skipped:
+                snippets.append((start + 1, "\n".join(lines[start:j])))
+            i = j + 1
+        else:
+            i += 1
+    return snippets
+
+
+def run_snippet(source: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    src_dir = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src_dir}:{existing}" if existing else src_dir
+    with tempfile.NamedTemporaryFile(
+        "w", suffix="_doc_snippet.py", delete=False, encoding="utf-8"
+    ) as handle:
+        handle.write(source)
+        tmp = handle.name
+    try:
+        return subprocess.run(
+            [sys.executable, tmp],
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=SNIPPET_TIMEOUT_S,
+        )
+    finally:
+        os.unlink(tmp)
+
+
+def check_snippets(path: Path) -> list[str]:
+    failures = []
+    for lineno, source in python_snippets(path):
+        result = run_snippet(source)
+        rel = path.relative_to(REPO_ROOT)
+        if result.returncode != 0:
+            tail = (result.stderr or result.stdout).strip().splitlines()[-6:]
+            failures.append(
+                f"{rel}:{lineno}: snippet exited {result.returncode}\n    "
+                + "\n    ".join(tail)
+            )
+        else:
+            print(f"  ok  {rel}:{lineno} (python snippet)")
+    return failures
+
+
+def check_links(path: Path) -> list[str]:
+    failures = []
+    rel = path.relative_to(REPO_ROOT)
+    prose = _FENCED_BLOCK_RE.sub("", path.read_text(encoding="utf-8"))
+    prose = _INLINE_CODE_RE.sub("", prose)
+    for match in _LINK_RE.finditer(prose):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        candidate = (path.parent / target.split("#", 1)[0]).resolve()
+        if not candidate.exists():
+            failures.append(f"{rel}: broken link -> {target}")
+        else:
+            print(f"  ok  {rel} -> {target}")
+    return failures
+
+
+def main() -> int:
+    failures: list[str] = []
+    files = doc_files()
+    if not files:
+        print("no documentation files found", file=sys.stderr)
+        return 1
+    for path in files:
+        print(f"checking {path.relative_to(REPO_ROOT)}")
+        failures.extend(check_links(path))
+        failures.extend(check_snippets(path))
+    if failures:
+        print(f"\n{len(failures)} documentation failure(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+    else:
+        print(f"\nall checks passed across {len(files)} file(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
