@@ -118,6 +118,12 @@ EXPERIMENTS: dict[str, Experiment] = {
             fig8_checkpointing.report_monte_carlo,
         ),
         Experiment(
+            "fig9-mc",
+            "Fig. 9 over batched whole-cluster replications (both backends)",
+            fig9_service.run_monte_carlo,
+            fig9_service.report_monte_carlo,
+        ),
+        Experiment(
             "checkpoint-schedule",
             "The 5-hour job's non-uniform checkpoint intervals",
             checkpoint_schedule.run,

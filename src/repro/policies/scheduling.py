@@ -146,10 +146,39 @@ class ModelReusePolicy:
         One pass through the distribution's batched truncated moment and
         ``cdf``/``sf`` — elementwise identical to the scalar form (``inf``
         where survival at the age is zero, under the conditional
-        criterion).
+        criterion).  The fixed-length special case of
+        :meth:`reuse_cost_pairs`.
         """
         T = check_positive("job_length", job_length)
+        return self.reuse_cost_pairs(T, vm_ages)
+
+    def decide_batch(self, job_length: float, vm_ages) -> np.ndarray:
+        """Eq. 8 decisions over an age array: ``True`` = reuse the aged VM.
+
+        The batched counterpart of :meth:`decide` — exactly the same
+        decisions (the scalar-vs-batch agreement is pinned by the test
+        suite), computed in one vectorised pass so that the
+        policy-evaluation layer can score millions of placements without
+        a Python loop over ages.  The fixed-length special case of
+        :meth:`decide_pairs`.
+        """
+        T = check_positive("job_length", job_length)
+        return self.decide_pairs(T, vm_ages)
+
+    def reuse_cost_pairs(self, job_lengths, vm_ages) -> np.ndarray:
+        """Vectorised :meth:`reuse_cost` over paired (length, age) arrays.
+
+        Unlike :meth:`reuse_cost_batch` the job length varies elementwise
+        too — the shape the cluster kernel needs, where every replication
+        evaluates its own queue head against its own pool ages.  The
+        arrays broadcast against each other; elementwise identical to the
+        scalar form (``inf`` where survival at the age is zero, under the
+        conditional criterion).
+        """
+        T = np.asarray(job_lengths, dtype=float)
         s = np.asarray(vm_ages, dtype=float)
+        if np.any(T <= 0.0):
+            raise ValueError("job_lengths must be > 0")
         if np.any(s < 0.0):
             raise ValueError("vm_ages must be >= 0")
         moment = np.asarray(
@@ -166,20 +195,23 @@ class ModelReusePolicy:
         cost = np.maximum(moment - s * mass, 0.0) / safe
         return np.where(surv > 0.0, cost, np.inf)
 
-    def decide_batch(self, job_length: float, vm_ages) -> np.ndarray:
-        """Eq. 8 decisions over an age array: ``True`` = reuse the aged VM.
+    def decide_pairs(self, job_lengths, vm_ages) -> np.ndarray:
+        """Eq. 8 decisions over paired (length, age) arrays: ``True`` = reuse.
 
-        The batched counterpart of :meth:`decide` — exactly the same
-        decisions (the scalar-vs-batch agreement is pinned by the test
-        suite), computed in one vectorised pass so that the
-        policy-evaluation layer can score millions of placements without
-        a Python loop over ages.
+        The fully-batched counterpart of :meth:`decide` for the cluster
+        kernel: replication ``i`` asks about a job of length
+        ``job_lengths[i]`` on VMs of ages ``vm_ages[i, ...]`` in one
+        pass.  Same decisions as the scalar form at every element
+        (pinned by the test suite).
         """
-        T = check_positive("job_length", job_length)
+        T = np.asarray(job_lengths, dtype=float)
         s = np.asarray(vm_ages, dtype=float)
-        fresh = self.reuse_cost(T, 0.0)
-        reuse = self.reuse_cost_batch(T, s) <= fresh
-        return reuse & (s < self.dist.t_max)
+        T_b, s_b = np.broadcast_arrays(T, s)
+        aged = self.reuse_cost_pairs(T_b, s_b)
+        # The fresh-VM cost depends on the length alone; evaluate it at
+        # the unbroadcast shape and let the comparison broadcast.
+        fresh = self.reuse_cost_pairs(T, np.zeros_like(T))
+        return (aged <= fresh) & (s_b < self.dist.t_max)
 
     def failure_probability_batch(self, job_length: float, vm_ages) -> np.ndarray:
         """Closed-form failure probability of the policy's VM choices."""

@@ -67,11 +67,23 @@ from repro.policies.scheduling import (
     ModelReusePolicy,
     job_failure_probability_batch,
 )
+from repro.policies.youngdaly import young_daly_interval
 from repro.service.controller import ServiceConfig
-from repro.sim.backend import ReplicationOutcomes, run_replications
+from repro.sim.backend import (
+    ClusterOutcomes,
+    ReplicationOutcomes,
+    run_cluster_replications,
+    run_replications,
+)
+from repro.sim.cluster_vectorized import ClusterConfig, GangJob
 from repro.utils.validation import check_nonnegative, check_positive
 
-__all__ = ["PolicyEvaluation", "ServicePolicyEvaluator", "sweep_configurations"]
+__all__ = [
+    "PolicyEvaluation",
+    "ClusterEvaluation",
+    "ServicePolicyEvaluator",
+    "sweep_configurations",
+]
 
 
 @dataclass(frozen=True)
@@ -172,6 +184,74 @@ class PolicyEvaluation:
             f"(closed form {self.expected_failure_fraction:.3f}), "
             f"E[makespan] {self.mean_makespan:.3f} h, "
             f"reused {100 * self.reuse_fraction:.0f}% of placements"
+        )
+
+
+@dataclass(frozen=True)
+class ClusterEvaluation:
+    """Scored outcome of one cluster-scale (bag + configuration) sweep.
+
+    Where :class:`PolicyEvaluation` scores a single job placement per
+    replication, this scores the *whole service scenario*: the bag's
+    gang jobs competing for the configuration's VM pool, per
+    replication, through
+    :func:`repro.sim.backend.run_cluster_replications`.
+    """
+
+    config: ServiceConfig
+    cluster_config: ClusterConfig
+    jobs: tuple[GangJob, ...]
+    outcomes: ClusterOutcomes
+    backend: str
+
+    @property
+    def n_replications(self) -> int:
+        return self.outcomes.n_replications
+
+    @property
+    def mean_makespan(self) -> float:
+        return self.outcomes.mean_makespan
+
+    @property
+    def mean_wasted_hours(self) -> float:
+        return self.outcomes.mean_wasted_hours
+
+    @property
+    def failure_fraction(self) -> float:
+        """Fraction of cluster runs that saw at least one gang abort."""
+        return self.outcomes.failure_fraction
+
+    @property
+    def total_work_hours(self) -> float:
+        """Ideal VM-hours of the bag (work x gang width, summed)."""
+        return float(sum(j.work_hours * j.width for j in self.jobs))
+
+    def mean_cost_per_job(self, price_per_hour: float) -> float:
+        """Mean billed cluster-run cost per bag member."""
+        return self.outcomes.mean_cost(price_per_hour) / len(self.jobs)
+
+    def cost_reduction_factor(
+        self, preemptible_rate: float, on_demand_rate: float
+    ) -> float:
+        """Ideal on-demand bag cost over the configuration's mean cost."""
+        check_positive("preemptible_rate", preemptible_rate)
+        check_nonnegative("on_demand_rate", on_demand_rate)
+        spend = self.outcomes.mean_cost(preemptible_rate)
+        baseline = self.total_work_hours * on_demand_rate
+        return baseline / spend if spend > 0 else float("inf")
+
+    def summary(self) -> str:
+        flags = (
+            f"reuse={'on' if self.config.use_reuse_policy else 'off'} "
+            f"ckpt={'on' if self.cluster_config.checkpoint_interval else 'off'} "
+            f"spare={'on' if self.cluster_config.hot_spare else 'off'} "
+            f"pool={self.cluster_config.pool_size}"
+        )
+        return (
+            f"[{flags}] {len(self.jobs)} jobs x n={self.n_replications} "
+            f"({self.backend}): E[makespan] {self.mean_makespan:.3f} h, "
+            f"E[waste] {self.mean_wasted_hours:.3f} h, "
+            f"P(any abort) {self.failure_fraction:.3f}"
         )
 
 
@@ -299,6 +379,82 @@ class ServicePolicyEvaluator:
             reused=reused,
             start_ages=start_ages,
             expected_failure_fraction=expected,
+            backend=backend,
+        )
+
+
+    def cluster_config(
+        self,
+        *,
+        pool_size: int | None = None,
+        hot_spare: bool = True,
+        checkpoint_interval: float | None = None,
+    ) -> ClusterConfig:
+        """Map the service configuration onto the cluster kernel's knobs.
+
+        ``pool_size`` defaults to the service's ``max_vms``.  When
+        checkpointing is on and no interval is given, the fixed interval
+        is the Young-Daly optimum for the configuration's checkpoint
+        cost against the lifetime law's mean — the batched stand-in for
+        the controller's per-job DP plans, which have no fixed-interval
+        equivalent.
+        """
+        interval = checkpoint_interval
+        if interval is None and self.config.use_checkpointing:
+            interval = young_daly_interval(
+                max(self.config.checkpoint_cost, 1e-6), self.dist.mean()
+            )
+        return ClusterConfig(
+            pool_size=pool_size or self.config.max_vms,
+            use_reuse_policy=self.config.use_reuse_policy,
+            reuse_criterion="conditional",
+            hot_spare=hot_spare,
+            checkpoint_interval=interval,
+            checkpoint_cost=self.config.checkpoint_cost,
+        )
+
+    def evaluate_cluster(
+        self,
+        jobs,
+        *,
+        n_replications: int = 256,
+        seed: int | np.random.Generator | None = 0,
+        backend: str = "vectorized",
+        pool_size: int | None = None,
+        hot_spare: bool = True,
+        checkpoint_interval: float | None = None,
+        max_events: int = 1_000_000,
+    ) -> ClusterEvaluation:
+        """Score the configuration over whole-cluster bag replications.
+
+        ``jobs`` is the bag — :class:`GangJob` entries or
+        ``(work_hours, width)`` tuples.  Each replication simulates the
+        full Section 5 scenario (FIFO gang queue, Eq. 8 reuse
+        refreshes, hot-spare substitution, checkpoint restarts) through
+        the backend-selection API, so a policy grid scores at vectorized
+        speed with the event-driven :class:`ClusterManager` path as the
+        oracle (same seed, identical outcomes within 1e-9).
+        """
+        bag = tuple(j if isinstance(j, GangJob) else GangJob(*j) for j in jobs)
+        cluster_cfg = self.cluster_config(
+            pool_size=pool_size,
+            hot_spare=hot_spare,
+            checkpoint_interval=checkpoint_interval,
+        )
+        outcomes = run_cluster_replications(
+            self.dist,
+            bag,
+            config=cluster_cfg,
+            n_replications=n_replications,
+            seed=seed,
+            backend=backend,
+            max_events=max_events,
+        )
+        return ClusterEvaluation(
+            config=self.config,
+            cluster_config=cluster_cfg,
+            jobs=bag,
+            outcomes=outcomes,
             backend=backend,
         )
 

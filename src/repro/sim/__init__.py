@@ -11,13 +11,22 @@ Replaces the paper's live Google Cloud deployment:
   completion/failure callbacks,
 * :mod:`repro.sim.runner` -- job execution with checkpoint/restart,
 * :mod:`repro.sim.vectorized` -- batched NumPy Monte-Carlo kernels,
+* :mod:`repro.sim.cluster_vectorized` -- lockstep gang-scheduling
+  kernel for whole-cluster replication sweeps,
 * :mod:`repro.sim.backend` -- event/vectorized backend selection for
-  replication sweeps (see README.md in this package).
+  single-job and cluster replication sweeps (see README.md in this
+  package).
 
 Time unit is **hours** throughout, matching the modeling layer.
 """
 
-from repro.sim.backend import ReplicationOutcomes, run_replications
+from repro.sim.backend import (
+    ClusterOutcomes,
+    ReplicationOutcomes,
+    run_cluster_replications,
+    run_replications,
+)
+from repro.sim.cluster_vectorized import ClusterConfig, GangJob
 from repro.sim.engine import Simulator
 from repro.sim.events import (
     EventLog,
@@ -34,7 +43,11 @@ from repro.sim.vm import SimVM, VMState
 from repro.sim.cluster import ClusterManager, SimJob
 
 __all__ = [
+    "ClusterConfig",
+    "ClusterOutcomes",
+    "GangJob",
     "ReplicationOutcomes",
+    "run_cluster_replications",
     "run_replications",
     "Simulator",
     "EventLog",

@@ -41,7 +41,13 @@ from repro.sim.engine import EventHandle, Simulator
 from repro.sim.vectorized import conditional_quantiles, simulate_plan_vectorized
 from repro.utils.validation import check_nonnegative, check_positive
 
-__all__ = ["ReplicationOutcomes", "run_replications", "BACKENDS"]
+__all__ = [
+    "ReplicationOutcomes",
+    "run_replications",
+    "ClusterOutcomes",
+    "run_cluster_replications",
+    "BACKENDS",
+]
 
 #: Valid values for the ``backend`` argument.
 BACKENDS = ("event", "vectorized")
@@ -107,22 +113,39 @@ class ReplicationOutcomes:
 
 
 class _RoundUniforms:
-    """Lazily materialised round-protocol uniforms for the event backend.
+    """Lazily materialised round-protocol uniforms, shared by backends.
 
     Rounds are generated in order, each as one ``rng.random(n)`` row, so
-    the generator is consumed exactly as the vectorized kernel consumes
-    it; replication ``i`` reads column ``i`` of each row it needs.
+    every consumer advances the generator identically; replication ``i``
+    reads column ``i`` of each row it needs — scalar (:meth:`value`, the
+    event paths) or gathered per-replication (:meth:`gather`, the
+    cluster kernel, where draw counters differ across replications).
     """
 
     def __init__(self, rng: np.random.Generator, n: int):
         self._rng = rng
         self._n = n
-        self._rows: list[np.ndarray] = []
+        self._buf = np.empty((0, n))
+        self._filled = 0
+
+    def _materialise(self, rounds: int) -> None:
+        while self._filled < rounds:
+            if self._filled >= self._buf.shape[0]:
+                grown = np.empty((max(4, 2 * self._buf.shape[0]), self._n))
+                grown[: self._filled] = self._buf[: self._filled]
+                self._buf = grown
+            self._buf[self._filled] = self._rng.random(self._n)
+            self._filled += 1
 
     def value(self, replication: int, round_index: int) -> float:
-        while len(self._rows) <= round_index:
-            self._rows.append(self._rng.random(self._n))
-        return float(self._rows[round_index][replication])
+        self._materialise(round_index + 1)
+        return float(self._buf[round_index, replication])
+
+    def gather(self, replications: np.ndarray, round_indices: np.ndarray) -> np.ndarray:
+        """``value`` over aligned index vectors, in one fancy-index pass."""
+        if round_indices.size:
+            self._materialise(int(round_indices.max()) + 1)
+        return self._buf[round_indices, replications]
 
 
 class _EventReplication:
@@ -364,3 +387,411 @@ def run_replications(
         n_rounds=n_rounds,
         backend=backend,
     )
+
+
+# ----------------------------------------------------------------------
+# Cluster-scale sweeps: N whole-cluster (bag-of-gangs) replications
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ClusterOutcomes:
+    """Per-replication results of one :func:`run_cluster_replications` sweep.
+
+    Attributes
+    ----------
+    makespan:
+        Hours from submission (t = 0) to the bag's last job completion,
+        shape ``(n,)``.
+    wasted_hours:
+        Hours of segment work (including in-flight checkpoint writes)
+        lost to gang preemptions, summed over all job aborts.
+    completed_jobs:
+        Jobs finished per replication (the bag size once a sweep
+        terminates).
+    n_job_failures:
+        Gang aborts (a job losing a VM mid-attempt), per replication.
+    n_preemptions:
+        VM deaths observed before the bag finished (idle VMs included).
+    vm_hours:
+        Billable VM hours: every VM from boot to its death, refresh
+        termination, or the bag's completion time.
+    n_events:
+        Discrete events (deaths + segment completions) processed; equal
+        across backends by construction.
+    n_draws:
+        Lifetime uniforms consumed per replication under the cluster
+        round protocol.
+    n_rounds:
+        Lockstep rounds the batch needed (= max of ``n_events``).
+    backend:
+        Which backend produced the arrays.
+    """
+
+    makespan: np.ndarray
+    wasted_hours: np.ndarray
+    completed_jobs: np.ndarray
+    n_job_failures: np.ndarray
+    n_preemptions: np.ndarray
+    vm_hours: np.ndarray
+    n_events: np.ndarray
+    n_draws: np.ndarray
+    n_rounds: int
+    backend: str
+
+    @property
+    def n_replications(self) -> int:
+        return int(self.makespan.size)
+
+    @property
+    def mean_makespan(self) -> float:
+        return float(self.makespan.mean())
+
+    @property
+    def mean_wasted_hours(self) -> float:
+        return float(self.wasted_hours.mean())
+
+    @property
+    def mean_vm_hours(self) -> float:
+        return float(self.vm_hours.mean())
+
+    @property
+    def failure_fraction(self) -> float:
+        """Fraction of replications with at least one gang abort."""
+        return float(np.mean(self.n_job_failures > 0))
+
+    def mean_cost(self, price_per_hour: float) -> float:
+        """Mean billed cost of one cluster run at the given hourly price."""
+        return self.mean_vm_hours * check_nonnegative(
+            "price_per_hour", price_per_hour
+        )
+
+
+class _ClusterReplication:
+    """One cluster run driven through the real :class:`ClusterManager`.
+
+    This is the reference semantics for the batched kernel
+    (:mod:`repro.sim.cluster_vectorized`): the FIFO gang scheduler, job
+    executions, and callbacks are the production classes; only VM
+    lifetimes come from the shared round protocol instead of a
+    :class:`~repro.sim.cloud.CloudProvider`, so that both backends
+    consume the generator identically.  Policy hooks mirror the batch
+    service: Eq. 8 suitability filtering in the node selector, stall
+    refreshes that terminate the oldest unsuitable idle VM for a fresh
+    boot, hot-spare substitution of dead nodes, and a fixed-interval
+    checkpoint planner.
+    """
+
+    def __init__(
+        self,
+        dist: LifetimeDistribution,
+        jobs,
+        config,
+        uniforms: _RoundUniforms,
+        replication: int,
+        max_events: int,
+    ):
+        from repro.policies.scheduling import ModelReusePolicy, SchedulingDecision
+        from repro.sim.cluster import ClusterManager, SimJob
+        from repro.sim.events import EventLog, JobFailed
+        from repro.sim.vm import SimVM
+
+        self._SimVM = SimVM
+        self._SimJob = SimJob
+        self._JobFailed = JobFailed
+        self._REUSE = SchedulingDecision.REUSE
+        self.dist = dist
+        self.jobs = jobs
+        self.cfg = config
+        self.uniforms = uniforms
+        self.replication = replication
+        self.max_events = max_events
+        self.policy = (
+            ModelReusePolicy(dist, criterion=config.reuse_criterion)
+            if config.use_reuse_policy
+            else None
+        )
+        self.sim = Simulator()
+        self.log = EventLog()
+        self.cluster = ClusterManager(
+            self.sim,
+            log=self.log,
+            node_selector=self._select_nodes,
+            checkpoint_planner=self._plan_checkpoints,
+            checkpoint_cost=config.checkpoint_cost,
+        )
+        self.cluster.on_queue_stalled.append(self._on_stall)
+        self.vms: list = []
+        self._death_handles: dict[int, EventHandle] = {}
+        self.draws = 0
+        self.preemptions = 0
+        self._stalled = False
+
+    # -- policy hooks ---------------------------------------------------
+    def _suitable(self, job, free):
+        if self.policy is None:
+            return list(free)
+        T = max(job.remaining_hours, 1e-6)
+        now = self.sim.now
+        return [
+            vm
+            for vm in free
+            if self.policy.decide(T, vm.age(now)) is self._REUSE
+        ]
+
+    def _select_nodes(self, job, free):
+        suitable = self._suitable(job, free)
+        if len(suitable) < job.width:
+            return None
+        return suitable[: job.width]
+
+    def _plan_checkpoints(self, job, start_age):
+        tau = self.cfg.checkpoint_interval
+        if tau is None:
+            return None
+        # Enough tau-segments to cover the attempt; JobExecution clips
+        # the plan to the exact remaining hours.
+        n_seg = int(np.ceil(job.remaining_hours / tau)) + 1
+        return [tau] * n_seg
+
+    # -- VM lifecycle under the round protocol --------------------------
+    def _boot(self):
+        u = self.uniforms.value(self.replication, self.draws)
+        self.draws += 1
+        lifetime = float(self.dist.ppf(u))
+        vm = self._SimVM(
+            vm_id=len(self.vms),
+            vm_type="cluster-mc",
+            zone="mc",
+            launch_time=self.sim.now,
+            preemptible=True,
+            hourly_price=0.0,
+        )
+        self.vms.append(vm)
+        self._death_handles[vm.vm_id] = self.sim.schedule(
+            lifetime, lambda v=vm: self._die(v)
+        )
+        return vm
+
+    def _die(self, vm) -> None:
+        if not vm.alive:
+            return
+        vm.mark_preempted(self.sim.now)
+        self.preemptions += 1
+        if self.cfg.hot_spare:
+            # Substitute before the cluster reacts: the dead idle VM
+            # leaves the pool and a fresh spare joins (giving the queue
+            # first crack at it), then the abort path runs.
+            if any(v.vm_id == vm.vm_id for v in self.cluster.free_nodes()):
+                self.cluster.remove_node(vm)
+            self.cluster.add_node(self._boot())
+        for cb in list(vm.on_preempt):
+            cb(vm, self.sim.now)
+
+    # -- stall refresh (the service's policy-rejection path) -------------
+    def _on_stall(self, job, n_free) -> None:
+        self._stalled = True
+
+    def _drain_stalls(self) -> None:
+        """Refresh/boot one VM at a time while the queue head is stuck."""
+        while self._stalled:
+            self._stalled = False
+            job = self.cluster.queue_head()
+            if job is None:
+                return
+            free = self.cluster.free_nodes()
+            suitable = self._suitable(job, free)
+            if len(suitable) >= job.width:
+                self.cluster.try_schedule()
+                continue
+            suitable_ids = {vm.vm_id for vm in suitable}
+            unsuitable = [vm for vm in free if vm.vm_id not in suitable_ids]
+            n_alive = len(free) + len(self.cluster.busy_nodes())
+            n_empty = self.cfg.pool_size - n_alive
+            if len(free) + n_empty < job.width:
+                return  # wait for completions to release gang nodes
+            if unsuitable:
+                victim = unsuitable[0]  # oldest (launch, id) rejected VM
+                self.cluster.remove_node(victim)
+                handle = self._death_handles.pop(victim.vm_id, None)
+                if handle is not None:
+                    handle.cancel()
+                victim.mark_terminated(self.sim.now)
+            # add_node recurses into try_schedule, re-flagging the stall
+            # if the head is still stuck.
+            self.cluster.add_node(self._boot())
+
+    # -- drive ------------------------------------------------------------
+    def run(self):
+        n_jobs = len(self.jobs)
+        for _ in range(self.cfg.pool_size):
+            self.cluster.add_node(self._boot())
+        for k, gj in enumerate(self.jobs):
+            self.cluster.submit(
+                self._SimJob(job_id=k, work_hours=gj.work_hours, width=gj.width)
+            )
+        self._drain_stalls()
+        while len(self.cluster.completed) < n_jobs:
+            if self.sim.events_processed >= self.max_events:
+                raise RuntimeError(
+                    f"replication {self.replication} unfinished after "
+                    f"{self.max_events} events; the bag cannot finish under "
+                    "this lifetime law / configuration"
+                )
+            if not self.sim.step():
+                raise RuntimeError(
+                    "cluster replication drained before the bag finished"
+                )
+            self._drain_stalls()
+        end = self.sim.now
+        wasted = sum(ev.lost_hours for ev in self.log.of_type(self._JobFailed))
+        failures = sum(job.failures for job in self.cluster.completed)
+        vm_hours = sum(vm.age(end) for vm in self.vms)
+        return (
+            end,
+            wasted,
+            len(self.cluster.completed),
+            failures,
+            self.preemptions,
+            vm_hours,
+            self.sim.events_processed,
+            self.draws,
+        )
+
+
+def _simulate_cluster_event(
+    dist: LifetimeDistribution,
+    jobs,
+    config,
+    *,
+    n_replications: int,
+    rng: np.random.Generator,
+    max_events: int,
+) -> dict[str, np.ndarray | int]:
+    uniforms = _RoundUniforms(rng, n_replications)
+    n = int(n_replications)
+    makespan = np.zeros(n)
+    wasted = np.zeros(n)
+    completed = np.zeros(n, dtype=np.int64)
+    failures = np.zeros(n, dtype=np.int64)
+    preemptions = np.zeros(n, dtype=np.int64)
+    vm_hours = np.zeros(n)
+    events = np.zeros(n, dtype=np.int64)
+    draws = np.zeros(n, dtype=np.int64)
+    for i in range(n):
+        rep = _ClusterReplication(dist, jobs, config, uniforms, i, max_events)
+        (
+            makespan[i],
+            wasted[i],
+            completed[i],
+            failures[i],
+            preemptions[i],
+            vm_hours[i],
+            events[i],
+            draws[i],
+        ) = rep.run()
+    return {
+        "makespan": makespan,
+        "wasted_hours": wasted,
+        "completed_jobs": completed,
+        "n_job_failures": failures,
+        "n_preemptions": preemptions,
+        "vm_hours": vm_hours,
+        "n_events": events,
+        "n_draws": draws,
+        "n_rounds": int(events.max()) if n else 0,
+    }
+
+
+def run_cluster_replications(
+    dist: LifetimeDistribution,
+    jobs,
+    *,
+    config=None,
+    n_replications: int = 1000,
+    seed: int | np.random.Generator | None = 0,
+    backend: str = "vectorized",
+    max_events: int = 1_000_000,
+    **config_kwargs,
+) -> ClusterOutcomes:
+    """Simulate ``n_replications`` whole-cluster bag runs under ``dist``.
+
+    Each replication is one Section 5 service scenario: the bag's gang
+    jobs are submitted FIFO at ``t = 0`` to a cluster of
+    ``config.pool_size`` preemptible VMs and run — through preemptions,
+    Eq. 8 reuse refreshes, hot-spare substitution, and checkpoint
+    restarts — until every job completes.  See
+    :mod:`repro.sim.cluster_vectorized` for the cluster round protocol
+    both backends share.
+
+    Parameters
+    ----------
+    dist:
+        Lifetime law of the pool VMs.
+    jobs:
+        The bag: a sequence of :class:`~repro.sim.cluster_vectorized.GangJob`
+        (or ``(work_hours, width)`` tuples).
+    config:
+        A :class:`~repro.sim.cluster_vectorized.ClusterConfig`;
+        alternatively pass its fields as keyword arguments
+        (``pool_size=16, hot_spare=False, ...``).
+    seed:
+        Root seed (or generator) for the cluster round protocol;
+        identical seeds give identical per-replication outcomes on both
+        backends (within 1e-9 hours).
+    backend:
+        ``"vectorized"`` (default) or ``"event"`` — the event path
+        drives the real :class:`~repro.sim.cluster.ClusterManager` per
+        replication and is the semantics oracle.
+    max_events:
+        Safety cap on processed events per replication before declaring
+        the bag unfinishable.
+
+    Returns
+    -------
+    ClusterOutcomes
+        Per-replication makespan / wasted hours / completion counts /
+        preemption counts / VM hours.
+    """
+    from repro.sim.cluster_vectorized import (
+        ClusterConfig,
+        GangJob,
+        simulate_cluster_vectorized,
+    )
+
+    if backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    if config is not None and config_kwargs:
+        raise ValueError("pass either config or its fields as kwargs, not both")
+    if config is None:
+        config = ClusterConfig(**config_kwargs)
+    bag = [j if isinstance(j, GangJob) else GangJob(*j) for j in jobs]
+    if not bag:
+        raise ValueError("jobs must be non-empty")
+    widest = max(j.width for j in bag)
+    if widest > config.pool_size:
+        raise ValueError(
+            f"job width {widest} exceeds pool_size {config.pool_size}"
+        )
+    if n_replications < 0:
+        raise ValueError(f"n_replications must be >= 0, got {n_replications}")
+    check_positive("max_events", max_events)
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    if backend == "vectorized":
+        raw = simulate_cluster_vectorized(
+            dist,
+            bag,
+            config,
+            n_replications=int(n_replications),
+            rng=rng,
+            max_events=int(max_events),
+        )
+    else:
+        raw = _simulate_cluster_event(
+            dist,
+            bag,
+            config,
+            n_replications=int(n_replications),
+            rng=rng,
+            max_events=int(max_events),
+        )
+    return ClusterOutcomes(backend=backend, **raw)

@@ -91,7 +91,24 @@ def _no_checkpoints(job: SimJob, start_age: float) -> list[float] | None:
 
 
 class ClusterManager:
-    """FIFO gang scheduler over a dynamic pool of preemptible nodes."""
+    """FIFO gang scheduler over a dynamic pool of preemptible nodes.
+
+    Head-of-line semantics
+    ----------------------
+    The queue is strict FIFO by default: when the selector cannot place
+    the *head* job (e.g. a wide gang waiting for nodes), no job behind it
+    starts either, exactly like Slurm's default FIFO scheduler — a stuck
+    wide job blocks arbitrarily narrow ones (pinned by
+    ``tests/test_cluster_scheduling.py``).  Pass ``backfill=True`` for
+    opportunistic backfill: jobs behind a stuck head may start on nodes
+    the head cannot use.  This is *unreserved* backfill (no start-time
+    guarantee for the head), so a steady stream of narrow jobs can starve
+    a wide one; callers that need fairness must throttle submissions.
+
+    ``on_queue_stalled`` fires once per scheduling pass for the stuck
+    head job (regardless of how many nodes are free — a selector that
+    returns an empty list stalls the head just like ``None``).
+    """
 
     def __init__(
         self,
@@ -101,12 +118,14 @@ class ClusterManager:
         node_selector: NodeSelector = _default_selector,
         checkpoint_planner: CheckpointPlanner = _no_checkpoints,
         checkpoint_cost: float = 1.0 / 60.0,
+        backfill: bool = False,
     ):
         self.sim = sim
         self.log = log if log is not None else EventLog()
         self.node_selector = node_selector
         self.checkpoint_planner = checkpoint_planner
         self.checkpoint_cost = checkpoint_cost
+        self.backfill = backfill
         self._free: dict[int, SimVM] = {}
         self._busy: dict[int, SimVM] = {}
         self._queue: list[SimJob] = []
@@ -144,6 +163,10 @@ class ClusterManager:
     def queue_length(self) -> int:
         return len(self._queue)
 
+    def queue_head(self) -> SimJob | None:
+        """The job next in line (None when the queue is empty)."""
+        return self._queue[0] if self._queue else None
+
     # -- job queue --------------------------------------------------------
     def submit(self, job: SimJob) -> None:
         if job.state is not JobState.PENDING:
@@ -153,22 +176,42 @@ class ClusterManager:
         self.try_schedule()
 
     def try_schedule(self) -> None:
-        """Start queued jobs while the selector yields node sets (FIFO)."""
-        while self._queue:
-            job = self._queue[0]
+        """Start queued jobs while the selector yields node sets (FIFO).
+
+        Strict FIFO stops at the first job the selector cannot place
+        (head-of-line blocking); with ``backfill`` the scan continues
+        past stuck jobs.  ``on_queue_stalled`` fires for the stuck head
+        whether the selector deferred with ``None`` or an empty list —
+        callbacks may register nodes (recursing into this method), in
+        which case the scan restarts from the new head.
+        """
+        scan = 0
+        while scan < len(self._queue):
+            job = self._queue[scan]
             free = self.free_nodes()
             selected = self.node_selector(job, free)
             if not selected:
-                if len(free) < job.width or selected is None:
+                if scan == 0:
                     for cb in list(self.on_queue_stalled):
                         cb(job, len(free))
-                return
+                    if self._queue and self._queue[0] is not job:
+                        # A callback unblocked the head (e.g. by adding
+                        # nodes, which recurses here); rescan from the top.
+                        scan = 0
+                        continue
+                if not self.backfill:
+                    return
+                scan += 1
+                continue
             if len(selected) != job.width:
                 raise RuntimeError(
                     f"selector returned {len(selected)} nodes for width {job.width}"
                 )
-            self._queue.pop(0)
+            self._queue.pop(scan)
             self._start(job, selected)
+            # No scan reset: the pool only shrank, so jobs already skipped
+            # over cannot have become startable; the next queued job has
+            # shifted into this index.
 
     def _start(self, job: SimJob, vms: list[SimVM]) -> None:
         for vm in vms:

@@ -1,0 +1,449 @@
+"""Batched gang-scheduling kernel: N whole-cluster runs in lockstep.
+
+:func:`repro.sim.vectorized.simulate_plan_vectorized` batches *single
+jobs*; this module batches the paper's Section 5 scenario end to end — a
+bag of gang-scheduled jobs competing for a fixed pool of preemptible
+VMs, with FIFO head-of-line queueing, Eq. 8 reuse decisions, hot-spare
+substitution of dead nodes, and fixed-interval checkpoint restart.  All
+``n_replications`` independent cluster runs advance together over
+*queue-event rounds*: each round every still-active replication pops and
+processes exactly one pending event (a VM death or a segment
+completion) with NumPy masks across the replication axis, instead of
+one Python event loop per replication.
+
+The event-driven reference for this kernel is
+:func:`repro.sim.backend.run_cluster_replications` with
+``backend="event"``, which drives the real
+:class:`repro.sim.cluster.ClusterManager` per replication; the
+cross-backend cluster equivalence suite pins the two to 1e-9 hours.
+
+Cluster round protocol (shared with the event backend)
+------------------------------------------------------
+*Randomness.*  Only VM lifetimes consume randomness.  Draw ``k`` of
+replication ``i`` is column ``i`` of the ``k``-th ``rng.random(n)`` row
+(rows materialised lazily, in order), mapped through ``dist.ppf`` —
+the same lazy row table the single-job protocol uses, so a draw is a
+function of ``(seed, i, k)`` alone.  Per replication, draws happen in
+boot order: the initial pool (pool slots ``0..P-1`` at ``t = 0``), then
+every replacement/refresh boot in event order (ties in slot order).
+
+*Event ordering.*  Within a replication, pending events are processed
+in ``(time, insertion sequence)`` order — exactly the
+:class:`repro.sim.engine.Simulator` heap contract.  The kernel assigns
+every scheduled event (a boot's death event, a segment launch's
+completion event) a per-replication sequence number in the same order
+the event harness schedules them, so simultaneous events (e.g. two
+identical jobs finishing in the same instant) resolve identically on
+both backends.
+
+*Scheduling.*  Strict FIFO with head-of-line blocking (no backfill): a
+requeued (preempted) job returns to the queue head.  A job starts when
+``width`` *suitable* free VMs exist — all free VMs when the reuse
+policy is off, else the free VMs whose Eq. 8 decision
+(:meth:`ModelReusePolicy.decide_pairs` on the job's remaining hours) is
+REUSE — and takes the oldest suitable ones (launch time, then boot
+order).  When the head stalls but ``suitable + unsuitable-free + empty
+pool slots >= width``, the cluster *refreshes* one VM at a time — the
+oldest unsuitable free VM is terminated and replaced by a fresh boot
+(or an empty pool slot boots, when no unsuitable VM remains) — retrying
+the queue between refreshes, until the head starts or capacity runs
+out.
+
+*Hot-spare substitution.*  With ``hot_spare=True`` a dead VM (busy or
+idle) is immediately replaced by a fresh boot, keeping the pool at
+``pool_size``; with ``False`` dead VMs leave empty slots that only the
+stall-refresh path re-boots on demand.
+
+*Checkpoint restart.*  ``checkpoint_interval`` hours of work between
+checkpoint writes (each costing ``checkpoint_cost`` hours, final
+segment unchecked), clipped to the attempt's remaining work exactly as
+:meth:`repro.sim.runner.JobExecution._clip_segments` does; ``None``
+runs each attempt as one unchecked segment.  A gang preemption loses
+the work past the last durable checkpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.distributions.base import LifetimeDistribution
+from repro.policies.scheduling import ModelReusePolicy
+from repro.utils.validation import check_nonnegative, check_positive
+
+__all__ = ["GangJob", "ClusterConfig", "simulate_cluster_vectorized"]
+
+#: Sentinel sequence number larger than any the kernel can assign.
+_SEQ_INF = np.iinfo(np.int64).max
+#: Residual-work threshold below which a segment is final (the
+#: ``JobExecution._clip_segments`` tolerance).
+_RESIDUAL = 1e-12
+
+
+@dataclass(frozen=True)
+class GangJob:
+    """One bag member: ``work_hours`` of computation on ``width`` gang nodes."""
+
+    work_hours: float
+    width: int = 1
+
+    def __post_init__(self) -> None:
+        check_positive("work_hours", self.work_hours)
+        if self.width < 1:
+            raise ValueError(f"width must be >= 1, got {self.width}")
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Knobs of one batched cluster run (see the module docstring).
+
+    Attributes
+    ----------
+    pool_size:
+        Number of pool slots (the service's ``max_vms``); every job's
+        width must fit.
+    use_reuse_policy:
+        Filter free VMs through the Eq. 8 decision (True) or accept any
+        free VM, memoryless-style (False).
+    reuse_criterion:
+        :class:`ModelReusePolicy` criterion; the batch service uses
+        ``"conditional"``.
+    hot_spare:
+        Replace dead VMs immediately (True) or let the pool shrink and
+        re-boot slots on demand at stall time (False).
+    checkpoint_interval:
+        Work hours between checkpoint writes; ``None`` disables
+        checkpointing.
+    checkpoint_cost:
+        Hours per checkpoint write.
+    """
+
+    pool_size: int = 8
+    use_reuse_policy: bool = True
+    reuse_criterion: str = "conditional"
+    hot_spare: bool = True
+    checkpoint_interval: float | None = None
+    checkpoint_cost: float = 1.0 / 60.0
+
+    def __post_init__(self) -> None:
+        check_positive("pool_size", self.pool_size)
+        if self.checkpoint_interval is not None:
+            check_positive("checkpoint_interval", self.checkpoint_interval)
+        check_nonnegative("checkpoint_cost", self.checkpoint_cost)
+
+
+class _ClusterKernel:
+    """Array state and phase operations of the lockstep cluster sweep."""
+
+    def __init__(
+        self,
+        dist: LifetimeDistribution,
+        jobs: Sequence[GangJob],
+        config: ClusterConfig,
+        n_replications: int,
+        rng: np.random.Generator,
+        max_events: int,
+    ):
+        self.dist = dist
+        self.cfg = config
+        self.n = int(n_replications)
+        self.max_events = int(max_events)
+        # The same lazy row table the event paths use, so both backends
+        # consume the generator identically by construction.
+        from repro.sim.backend import _RoundUniforms
+
+        self.policy = (
+            ModelReusePolicy(dist, criterion=config.reuse_criterion)
+            if config.use_reuse_policy
+            else None
+        )
+        self.table = _RoundUniforms(rng, self.n)
+
+        n, P = self.n, config.pool_size
+        S = P + 1  # one spare column for the dead-busy-VM transient
+        J = len(jobs)
+        self.P, self.S, self.J = P, S, J
+        self.width = np.asarray([j.width for j in jobs], dtype=np.int64)
+        self.work = np.asarray([j.work_hours for j in jobs], dtype=float)
+
+        self.now = np.zeros(n)
+        self.evseq = np.zeros(n, dtype=np.int64)
+        self.draw_k = np.zeros(n, dtype=np.int64)
+        self.births = np.zeros(n, dtype=np.int64)
+        # VM columns (storage slots; ordering is always (launch, birth)).
+        self.alive = np.zeros((n, S), dtype=bool)
+        self.launch = np.zeros((n, S))
+        self.death = np.full((n, S), np.inf)
+        self.dseq = np.full((n, S), _SEQ_INF, dtype=np.int64)
+        self.birth = np.full((n, S), -1, dtype=np.int64)
+        self.vm_job = np.full((n, S), -1, dtype=np.int64)
+        # Job state.
+        self.qkey = np.broadcast_to(np.arange(J, dtype=float), (n, J)).copy()
+        self.head_key = np.full(n, -1.0)  # next requeue-at-head key
+        self.progress = np.zeros((n, J))
+        self.ctime = np.full((n, J), np.inf)
+        self.cseq = np.full((n, J), _SEQ_INF, dtype=np.int64)
+        self.sstart = np.zeros((n, J))
+        self.seg_take = np.zeros((n, J))
+        self.seg_after = np.zeros((n, J))
+        # Outcomes.
+        self.makespan = np.zeros(n)
+        self.wasted = np.zeros(n)
+        self.done_count = np.zeros(n, dtype=np.int64)
+        self.failures = np.zeros(n, dtype=np.int64)
+        self.preemptions = np.zeros(n, dtype=np.int64)
+        self.vm_hours = np.zeros(n)
+        self.events = np.zeros(n, dtype=np.int64)
+
+    # -- primitive operations (all take a row-index array) --------------
+    def _boot(self, rr: np.ndarray) -> None:
+        """Boot one fresh VM per row: draw a lifetime, fill an empty column."""
+        u = self.table.gather(rr, self.draw_k[rr])
+        self.draw_k[rr] += 1
+        life = np.asarray(self.dist.ppf(u), dtype=float)
+        empty = ~self.alive[rr] & (self.vm_job[rr] == -1)
+        if not empty.any(axis=1).all():
+            raise RuntimeError("no reusable VM column; pool invariant violated")
+        col = np.argmax(empty, axis=1)  # first reusable column
+        self.launch[rr, col] = self.now[rr]
+        self.death[rr, col] = self.now[rr] + life
+        self.dseq[rr, col] = self.evseq[rr]
+        self.evseq[rr] += 1
+        self.birth[rr, col] = self.births[rr]
+        self.births[rr] += 1
+        self.alive[rr, col] = True
+        self.vm_job[rr, col] = -1
+
+    def _launch_segment(self, rr: np.ndarray, jj: np.ndarray, left: np.ndarray) -> None:
+        """Schedule the next segment of ``left`` remaining attempt hours."""
+        tau = self.cfg.checkpoint_interval
+        take = left if tau is None else np.minimum(tau, left)
+        after = left - take
+        final = after <= _RESIDUAL
+        dur = take + np.where(final, 0.0, self.cfg.checkpoint_cost)
+        self.sstart[rr, jj] = self.now[rr]
+        self.ctime[rr, jj] = self.now[rr] + dur
+        self.cseq[rr, jj] = self.evseq[rr]
+        self.evseq[rr] += 1
+        self.seg_take[rr, jj] = take
+        self.seg_after[rr, jj] = after
+
+    def _head_state(self, rr: np.ndarray):
+        """Queue head + pool suitability for each row; drops queue-less rows.
+
+        Returns ``(rr, head, w, suit, free)`` restricted to rows with a
+        non-empty queue.
+        """
+        qk = self.qkey[rr]
+        head = np.argmin(qk, axis=1)
+        has = qk[np.arange(rr.size), head] < np.inf
+        rr, head = rr[has], head[has]
+        if not rr.size:
+            return rr, head, None, None, None
+        w = self.width[head]
+        free = self.alive[rr] & (self.vm_job[rr] == -1)
+        if self.policy is not None:
+            T = np.maximum(
+                np.maximum(self.work[head] - self.progress[rr, head], 0.0), 1e-6
+            )
+            ages = np.maximum(self.now[rr][:, None] - self.launch[rr], 0.0)
+            suit = free & self.policy.decide_pairs(T[:, None], ages)
+        else:
+            suit = free
+        return rr, head, w, suit, free
+
+    def _oldest(self, mask: np.ndarray, rr: np.ndarray) -> np.ndarray:
+        """Column order by (launch, birth) with non-``mask`` columns last."""
+        lm = np.where(mask, self.launch[rr], np.inf)
+        bm = np.where(mask, self.birth[rr], np.iinfo(np.int64).max)
+        by_birth = np.argsort(bm, axis=1, kind="stable")
+        l_sorted = np.take_along_axis(lm, by_birth, axis=1)
+        by_launch = np.argsort(l_sorted, axis=1, kind="stable")
+        return np.take_along_axis(by_birth, by_launch, axis=1)
+
+    def _attempt_starts(self, rr: np.ndarray) -> None:
+        """FIFO start wave: start queue heads while suitable VMs suffice."""
+        while rr.size:
+            rr, head, w, suit, _ = self._head_state(rr)
+            if not rr.size:
+                return
+            ok = suit.sum(axis=1) >= w
+            rr, head, w, suit = rr[ok], head[ok], w[ok], suit[ok]
+            if not rr.size:
+                return
+            order = self._oldest(suit, rr)
+            pos = np.arange(self.S)[None, :] < w[:, None]
+            sel = np.zeros((rr.size, self.S), dtype=bool)
+            np.put_along_axis(sel, order, pos, axis=1)
+            self.vm_job[rr] = np.where(sel, head[:, None], self.vm_job[rr])
+            self.qkey[rr, head] = np.inf
+            left = np.maximum(self.work[head] - self.progress[rr, head], 0.0)
+            self._launch_segment(rr, head, left)
+            # Loop: the next queue head may start in the same instant.
+
+    def _refresh_loop(self, rr: np.ndarray) -> None:
+        """Stall handling: refresh/boot one VM at a time until unstuck."""
+        while rr.size:
+            rr, head, w, suit, free = self._head_state(rr)
+            if not rr.size:
+                return
+            n_suit = suit.sum(axis=1)
+            unsuitable = free & ~suit
+            n_unsuit = unsuitable.sum(axis=1)
+            n_empty = self.P - self.alive[rr].sum(axis=1)
+            need = (n_suit < w) & (n_suit + n_unsuit + n_empty >= w)
+            rr, unsuitable, n_unsuit = rr[need], unsuitable[need], n_unsuit[need]
+            if not rr.size:
+                return
+            # Terminate the oldest unsuitable free VM where one exists...
+            has_u = n_unsuit > 0
+            ru = rr[has_u]
+            if ru.size:
+                col = self._oldest(unsuitable[has_u], ru)[:, 0]
+                self.vm_hours[ru] += self.now[ru] - self.launch[ru, col]
+                self.alive[ru, col] = False
+                self.dseq[ru, col] = _SEQ_INF
+                self._boot(ru)
+            # ...else re-boot an empty pool slot.
+            rb = rr[~has_u]
+            if rb.size:
+                self._boot(rb)
+            self._attempt_starts(rr)
+
+    # -- event rounds ----------------------------------------------------
+    def _process_deaths(self, rr: np.ndarray, col: np.ndarray) -> None:
+        self.alive[rr, col] = False
+        self.dseq[rr, col] = _SEQ_INF
+        self.vm_hours[rr] += self.death[rr, col] - self.launch[rr, col]
+        self.preemptions[rr] += 1
+        jd = self.vm_job[rr, col]
+        if self.cfg.hot_spare:
+            # A fresh replacement boots immediately (the dead busy VM's
+            # column stays held until the abort below releases it), then
+            # the queue gets a crack at the replacement — exactly the
+            # harness's add_node -> try_schedule ordering.
+            self._boot(rr)
+            self._attempt_starts(rr)
+        busy = jd >= 0
+        rb, jb, cb = rr[busy], jd[busy], col[busy]
+        if rb.size:
+            # Gang abort: waste the current segment, requeue at the
+            # head, release the surviving gang members.
+            self.wasted[rb] += self.now[rb] - self.sstart[rb, jb]
+            self.failures[rb] += 1
+            self.ctime[rb, jb] = np.inf
+            self.cseq[rb, jb] = _SEQ_INF
+            self.qkey[rb, jb] = self.head_key[rb]
+            self.head_key[rb] -= 1.0
+            gang = self.vm_job[rb] == jb[:, None]
+            self.vm_job[rb] = np.where(gang, -1, self.vm_job[rb])
+            self._attempt_starts(rb)
+        self._refresh_loop(rr if self.cfg.hot_spare else rb)
+
+    def _process_completions(self, rr: np.ndarray, jj: np.ndarray) -> None:
+        take = self.seg_take[rr, jj]
+        self.progress[rr, jj] = np.minimum(self.progress[rr, jj] + take, self.work[jj])
+        after = self.seg_after[rr, jj]
+        more = after > _RESIDUAL
+        rc, jc = rr[more], jj[more]
+        if rc.size:  # checkpoint written; next segment in the same instant
+            self._launch_segment(rc, jc, after[more])
+        rf, jf = rr[~more], jj[~more]
+        if rf.size:
+            self.ctime[rf, jf] = np.inf
+            self.cseq[rf, jf] = _SEQ_INF
+            gang = self.vm_job[rf] == jf[:, None]
+            self.vm_job[rf] = np.where(gang, -1, self.vm_job[rf])
+            self.done_count[rf] += 1
+            finished = self.done_count[rf] == self.J
+            self.makespan[rf[finished]] = self.now[rf[finished]]
+            still = rf[~finished]
+            if still.size:
+                self._attempt_starts(still)
+                self._refresh_loop(still)
+
+    def run(self) -> int:
+        n_rounds = 0
+        # t = 0: boot the pool (draws in slot order), submit the bag FIFO.
+        init = np.arange(self.n)
+        if init.size:
+            for _ in range(self.P):
+                self._boot(init)
+            self._attempt_starts(init)
+            self._refresh_loop(init)
+        active = np.flatnonzero(self.done_count < self.J) if self.n else init
+        while active.size:
+            if np.any(self.events[active] >= self.max_events):
+                raise RuntimeError(
+                    f"{active.size} replications unfinished after "
+                    f"{self.max_events} events; the bag cannot finish under "
+                    "this lifetime law / configuration"
+                )
+            times = np.concatenate(
+                [
+                    np.where(self.alive[active], self.death[active], np.inf),
+                    self.ctime[active],
+                ],
+                axis=1,
+            )
+            seqs = np.concatenate([self.dseq[active], self.cseq[active]], axis=1)
+            tmin = times.min(axis=1)
+            if not np.all(np.isfinite(tmin)):
+                raise RuntimeError(
+                    "cluster sweep deadlocked: a replication has pending "
+                    "jobs but no pending events"
+                )
+            tie = times == tmin[:, None]
+            pick = np.argmin(np.where(tie, seqs, _SEQ_INF), axis=1)
+            self.now[active] = tmin
+            self.events[active] += 1
+            is_death = pick < self.S
+            rd = active[is_death]
+            if rd.size:
+                self._process_deaths(rd, pick[is_death])
+            rc = active[~is_death]
+            if rc.size:
+                self._process_completions(rc, pick[~is_death] - self.S)
+            active = active[self.done_count[active] < self.J]
+            n_rounds += 1
+        # Bill VMs still alive at each replication's makespan.
+        if self.n:
+            live_hours = np.where(
+                self.alive, self.makespan[:, None] - self.launch, 0.0
+            )
+            self.vm_hours += live_hours.sum(axis=1)
+        return n_rounds
+
+
+def simulate_cluster_vectorized(
+    dist: LifetimeDistribution,
+    jobs: Sequence[GangJob],
+    config: ClusterConfig,
+    *,
+    n_replications: int,
+    rng: np.random.Generator,
+    max_events: int = 1_000_000,
+) -> dict[str, np.ndarray | int]:
+    """Run ``n_replications`` lockstep cluster sweeps (see module docstring).
+
+    Argument validation lives in
+    :func:`repro.sim.backend.run_cluster_replications`; this kernel
+    assumes a validated ``config`` and job widths within the pool.
+    Returns the raw per-replication arrays keyed by outcome name plus
+    the round count.
+    """
+    kernel = _ClusterKernel(dist, jobs, config, n_replications, rng, max_events)
+    n_rounds = kernel.run()
+    return {
+        "makespan": kernel.makespan,
+        "wasted_hours": kernel.wasted,
+        "completed_jobs": kernel.done_count,
+        "n_job_failures": kernel.failures,
+        "n_preemptions": kernel.preemptions,
+        "vm_hours": kernel.vm_hours,
+        "n_events": kernel.events,
+        "n_draws": kernel.draw_k,
+        "n_rounds": n_rounds,
+    }

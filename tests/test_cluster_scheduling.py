@@ -1,0 +1,138 @@
+"""FIFO head-of-line semantics and backfill in ClusterManager.
+
+The gang scheduler's queue discipline was previously implicit; these
+tests pin it down (see the ClusterManager docstring):
+
+* strict FIFO by default — a stuck wide job blocks narrower ones;
+* ``backfill=True`` lets jobs behind a stuck head start on nodes the
+  head cannot use (unreserved backfill: no guarantee for the head);
+* ``on_queue_stalled`` fires for the stuck head whether the selector
+  defers with ``None`` or an empty list.
+"""
+
+import pytest
+
+from repro.sim.cluster import ClusterManager, JobState, SimJob
+from repro.sim.engine import Simulator
+from repro.sim.vm import SimVM
+
+
+def make_vm(vm_id, launch_time=0.0):
+    return SimVM(
+        vm_id=vm_id,
+        vm_type="t",
+        zone="z",
+        launch_time=launch_time,
+        preemptible=True,
+        hourly_price=0.0,
+    )
+
+
+def cluster_with_nodes(n, **kwargs):
+    sim = Simulator()
+    cluster = ClusterManager(sim, **kwargs)
+    for k in range(n):
+        cluster.add_node(make_vm(k))
+    return sim, cluster
+
+
+class TestHeadOfLine:
+    def test_stuck_wide_job_blocks_narrow_ones(self):
+        """Strict FIFO: the width-3 head starves the width-1 job behind it."""
+        sim, cluster = cluster_with_nodes(2)
+        wide = SimJob(job_id=0, work_hours=1.0, width=3)
+        narrow = SimJob(job_id=1, work_hours=1.0, width=1)
+        cluster.submit(wide)
+        cluster.submit(narrow)
+        assert wide.state is JobState.PENDING
+        assert narrow.state is JobState.PENDING
+        assert cluster.queue_length == 2
+        assert cluster.queue_head() is wide
+        # Free nodes exist, but FIFO refuses to leapfrog the head.
+        assert len(cluster.free_nodes()) == 2
+
+    def test_backfill_starts_narrow_jobs_past_stuck_head(self):
+        sim, cluster = cluster_with_nodes(2, backfill=True)
+        wide = SimJob(job_id=0, work_hours=1.0, width=3)
+        narrow = SimJob(job_id=1, work_hours=1.0, width=1)
+        narrow2 = SimJob(job_id=2, work_hours=1.0, width=1)
+        cluster.submit(wide)
+        cluster.submit(narrow)
+        cluster.submit(narrow2)
+        assert wide.state is JobState.PENDING
+        assert narrow.state is JobState.RUNNING
+        assert narrow2.state is JobState.RUNNING
+        assert cluster.queue_head() is wide
+
+    def test_backfill_preserves_fifo_among_startable_jobs(self):
+        """Backfill scans in queue order: the earlier narrow job wins the
+        last free node."""
+        sim, cluster = cluster_with_nodes(1, backfill=True)
+        cluster.submit(SimJob(job_id=0, work_hours=1.0, width=2))
+        first = SimJob(job_id=1, work_hours=1.0, width=1)
+        second = SimJob(job_id=2, work_hours=1.0, width=1)
+        cluster.submit(first)
+        cluster.submit(second)
+        assert first.state is JobState.RUNNING
+        assert second.state is JobState.PENDING
+
+    def test_head_runs_once_nodes_arrive(self):
+        """Head-of-line blocking ends as soon as enough nodes register."""
+        sim, cluster = cluster_with_nodes(2)
+        wide = SimJob(job_id=0, work_hours=1.0, width=3)
+        narrow = SimJob(job_id=1, work_hours=1.0, width=1)
+        cluster.submit(wide)
+        cluster.submit(narrow)
+        cluster.add_node(make_vm(99))
+        assert wide.state is JobState.RUNNING
+        # With 3 nodes taken by the head, the narrow job keeps waiting.
+        assert narrow.state is JobState.PENDING
+
+
+class TestStallCallback:
+    def test_stall_fires_for_stuck_head_only(self):
+        sim, cluster = cluster_with_nodes(2)
+        stalls = []
+        cluster.on_queue_stalled.append(lambda job, n_free: stalls.append((job.job_id, n_free)))
+        cluster.submit(SimJob(job_id=0, work_hours=1.0, width=3))
+        cluster.submit(SimJob(job_id=1, work_hours=1.0, width=1))
+        # One stall per scheduling pass, always for the head; the narrow
+        # job behind it never reports.
+        assert stalls == [(0, 2), (0, 2)]
+
+    def test_stall_fires_when_selector_returns_empty_list(self):
+        """An empty-list defer stalls the head exactly like None
+        (previously this fell through silently when nodes were free)."""
+        sim = Simulator()
+        cluster = ClusterManager(sim, node_selector=lambda job, free: [])
+        stalls = []
+        cluster.on_queue_stalled.append(lambda job, n_free: stalls.append(job.job_id))
+        cluster.add_node(make_vm(0))
+        cluster.add_node(make_vm(1))
+        cluster.submit(SimJob(job_id=7, work_hours=1.0, width=1))
+        assert stalls == [7]
+
+    def test_stall_callback_may_unblock_head_synchronously(self):
+        """A callback that registers nodes recurses into try_schedule;
+        the scan restarts cleanly and the head starts exactly once."""
+        sim = Simulator()
+        cluster = ClusterManager(sim)
+        fed = []
+
+        def feed(job, n_free):
+            if not fed:
+                fed.append(True)
+                cluster.add_node(make_vm(42))
+
+        cluster.on_queue_stalled.append(feed)
+        job = SimJob(job_id=0, work_hours=1.0, width=1)
+        cluster.submit(job)
+        assert job.state is JobState.RUNNING
+        assert job.attempts == 1
+
+    def test_queue_head_accessor(self):
+        sim, cluster = cluster_with_nodes(0)
+        assert cluster.queue_head() is None
+        job = SimJob(job_id=0, work_hours=1.0, width=1)
+        cluster.submit(job)
+        assert cluster.queue_head() is job

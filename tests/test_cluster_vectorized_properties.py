@@ -1,0 +1,189 @@
+"""Property-based invariants of the cluster kernel and gang scheduler.
+
+Four families, per the cluster-kernel issue:
+
+* conservation — queued + running + completed jobs always partition the
+  submitted bag, at every event boundary of a ClusterManager run;
+* exclusivity — no VM ever belongs to two gang executions at once;
+* pool monotonicity — under a never-failing lifetime law, adding pool
+  VMs never increases the bag makespan (FIFO gang scheduling has no
+  Graham-style anomaly without precedence constraints);
+* zero waste — under a never-failing law nothing is ever lost: no
+  preemptions, no job failures, no wasted hours, on both backends.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distributions.base import LifetimeDistribution
+from repro.sim.backend import run_cluster_replications
+from repro.sim.cluster import ClusterManager, SimJob
+from repro.sim.engine import Simulator
+from repro.sim.vm import SimVM
+
+
+class FarFutureLifetime(LifetimeDistribution):
+    """All mass on ``[H, H+1]`` — no VM dies within any test horizon."""
+
+    def __init__(self, horizon: float = 1e6):
+        super().__init__()
+        self.H = horizon
+        self.t_max = horizon + 1.0
+
+    def cdf(self, t):
+        t_arr = np.asarray(t, dtype=float)
+        out = np.clip(t_arr - self.H, 0.0, 1.0)
+        return out if out.ndim else float(out)
+
+    def pdf(self, t):
+        t_arr = np.asarray(t, dtype=float)
+        inside = (t_arr >= self.H) & (t_arr <= self.H + 1.0)
+        out = np.where(inside, 1.0, 0.0)
+        return out if out.ndim else float(out)
+
+
+# -- strategies ---------------------------------------------------------
+job_lists = st.lists(
+    st.tuples(
+        st.floats(0.1, 3.0, allow_nan=False, allow_infinity=False),
+        st.integers(1, 3),
+    ),
+    min_size=1,
+    max_size=8,
+)
+death_lists = st.lists(st.floats(0.05, 8.0), min_size=3, max_size=6)
+
+
+def _scripted_cluster(deaths, jobs):
+    """A ClusterManager over VMs with scripted preemption times."""
+    sim = Simulator()
+    cluster = ClusterManager(sim)
+    vms = []
+    for k, death in enumerate(deaths):
+        vm = SimVM(
+            vm_id=k,
+            vm_type="t",
+            zone="z",
+            launch_time=0.0,
+            preemptible=True,
+            hourly_price=0.0,
+        )
+        vms.append(vm)
+
+        def die(v=vm):
+            if v.alive:
+                v.mark_preempted(sim.now)
+                for cb in list(v.on_preempt):
+                    cb(v, sim.now)
+
+        sim.schedule(death, die)
+        cluster.add_node(vm)
+    sim_jobs = [
+        SimJob(job_id=j, work_hours=w, width=min(width, len(deaths)))
+        for j, (w, width) in enumerate(jobs)
+    ]
+    for job in sim_jobs:
+        cluster.submit(job)
+    return sim, cluster, sim_jobs
+
+
+class TestClusterManagerInvariants:
+    @given(deaths=death_lists, jobs=job_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_conservation_at_every_event(self, deaths, jobs):
+        """queued + running + completed == submitted, at every boundary."""
+        sim, cluster, sim_jobs = _scripted_cluster(deaths, jobs)
+        for _ in range(10_000):
+            running = len(cluster._executions)
+            assert cluster.queue_length + running + len(cluster.completed) == len(
+                sim_jobs
+            )
+            if not sim.step():
+                break
+        else:
+            pytest.fail("scripted cluster did not drain")
+
+    @given(deaths=death_lists, jobs=job_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_no_vm_runs_two_gangs(self, deaths, jobs):
+        """Gang executions never share a VM; busy set matches the gangs."""
+        sim, cluster, _ = _scripted_cluster(deaths, jobs)
+        for _ in range(10_000):
+            claimed = [
+                vm.vm_id for ex in cluster._executions.values() for vm in ex.vms
+            ]
+            assert len(claimed) == len(set(claimed))
+            busy_ids = {vm.vm_id for vm in cluster.busy_nodes()}
+            # Every busy node is claimed by exactly one live execution
+            # (a just-dead gang member leaves the busy set first).
+            assert busy_ids <= set(claimed)
+            if not sim.step():
+                break
+
+
+class TestNeverFailingLaw:
+    @given(
+        jobs=job_lists,
+        pool=st.integers(3, 6),
+        extra=st.integers(1, 3),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_makespan_monotone_in_pool_size(self, jobs, pool, extra):
+        """More pool VMs never lengthen the bag under a failure-free law."""
+        dist = FarFutureLifetime()
+        small = run_cluster_replications(
+            dist, jobs, pool_size=pool, use_reuse_policy=False, n_replications=1
+        )
+        large = run_cluster_replications(
+            dist,
+            jobs,
+            pool_size=pool + extra,
+            use_reuse_policy=False,
+            n_replications=1,
+        )
+        assert large.makespan[0] <= small.makespan[0] + 1e-9
+
+    @given(jobs=job_lists, tau=st.one_of(st.none(), st.floats(0.2, 1.0)))
+    @settings(max_examples=25, deadline=None)
+    def test_zero_waste_without_failures(self, jobs, tau):
+        """A never-failing law loses nothing, on both backends."""
+        dist = FarFutureLifetime()
+        for backend in ("event", "vectorized"):
+            out = run_cluster_replications(
+                dist,
+                jobs,
+                pool_size=4,
+                checkpoint_interval=tau,
+                n_replications=2,
+                backend=backend,
+            )
+            assert np.all(out.wasted_hours == 0.0)
+            assert np.all(out.n_job_failures == 0)
+            assert np.all(out.n_preemptions == 0)
+            assert np.all(out.completed_jobs == len(jobs))
+
+    def test_sequential_bag_makespan_closed_form(self):
+        """Width-=-pool jobs serialise: makespan is the exact work sum."""
+        dist = FarFutureLifetime()
+        jobs = [(1.5, 2), (2.0, 2), (0.5, 2)]
+        out = run_cluster_replications(
+            dist, jobs, pool_size=2, n_replications=3, seed=0
+        )
+        np.testing.assert_allclose(out.makespan, 4.0, atol=1e-12)
+        # Two VMs each billed for the whole run.
+        np.testing.assert_allclose(out.vm_hours, 8.0, atol=1e-12)
+
+    def test_checkpoint_writes_extend_makespan_deterministically(self):
+        """Fixed-interval checkpointing adds exactly (#writes) * cost."""
+        dist = FarFutureLifetime()
+        out = run_cluster_replications(
+            dist,
+            [(2.0, 1)],
+            pool_size=1,
+            checkpoint_interval=0.5,
+            checkpoint_cost=0.1,
+            n_replications=1,
+        )
+        # 4 segments of 0.5h -> 3 non-final checkpoint writes.
+        np.testing.assert_allclose(out.makespan, 2.0 + 3 * 0.1, atol=1e-12)

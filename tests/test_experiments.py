@@ -333,6 +333,48 @@ class TestFig9:
         assert np.all(result.runtime_increase_pct >= 0.0)
 
 
+class TestFig9MonteCarlo:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_fig9.run_monte_carlo(
+            n_jobs=12, pool_size=8, n_replications=24, seed=5
+        )
+
+    def test_backends_agree_exactly(self):
+        """The fig9-mc event path IS the Fig. 9 service semantics (the
+        real ClusterManager loop); the vectorized sweep must reproduce
+        its per-replication outcomes at matched seeds."""
+        kwargs = dict(n_jobs=8, pool_size=8, n_replications=6, seed=5)
+        ev = exp_fig9.run_monte_carlo(backend="event", **kwargs)
+        ve = exp_fig9.run_monte_carlo(backend="vectorized", **kwargs)
+        for a, b in zip(ev.apps, ve.apps):
+            np.testing.assert_allclose(
+                b.outcomes.makespan, a.outcomes.makespan, rtol=0.0, atol=1e-9
+            )
+            np.testing.assert_allclose(
+                b.outcomes.vm_hours, a.outcomes.vm_hours, rtol=0.0, atol=1e-9
+            )
+            np.testing.assert_array_equal(
+                b.outcomes.n_preemptions, a.outcomes.n_preemptions
+            )
+            assert b.cost_per_job == pytest.approx(a.cost_per_job, rel=1e-9)
+
+    def test_cost_reduction_consistent_with_event_fig9(self, result):
+        """Same headline as the event-driven Fig. 9: cheaper than
+        on-demand, under the 4.7x price-discount ceiling."""
+        for app in result.apps:
+            assert app.cost_per_job < app.on_demand_cost_per_job
+            assert 1.0 < app.reduction_factor < 4.75
+
+    def test_slowdown_cloud_shape(self, result):
+        assert np.all(result.runtime_increase_pct >= 0.0)
+        assert result.preemption_counts.size == 24
+
+    def test_report_renders(self, result):
+        text = exp_fig9.report_monte_carlo(result)
+        assert "Monte Carlo" in text and "per preemption" in text
+
+
 class TestParamsTable:
     @pytest.fixture(scope="class")
     def result(self):
@@ -360,7 +402,7 @@ class TestRegistry:
     def test_all_experiments_registered(self):
         expected = {
             "fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-            "fig4-mc", "fig5-mc", "fig6-mc", "fig7-mc", "fig8-mc",
+            "fig4-mc", "fig5-mc", "fig6-mc", "fig7-mc", "fig8-mc", "fig9-mc",
             "checkpoint-schedule", "params-table",
         }
         assert set(EXPERIMENTS) == expected

@@ -190,3 +190,71 @@ class TestControllerHook:
         np.testing.assert_array_equal(
             hook.outcomes.makespan, standalone.outcomes.makespan
         )
+
+
+class TestEvaluateCluster:
+    """The cluster-scale entry point over run_cluster_replications."""
+
+    BAG = [(0.8, 1), (0.5, 2), (1.2, 1), (0.3, 2)]
+
+    def test_backends_agree(self, reference_dist):
+        ev = ServicePolicyEvaluator(reference_dist, ServiceConfig(max_vms=4))
+        event = ev.evaluate_cluster(self.BAG, n_replications=6, seed=3, backend="event")
+        vec = ev.evaluate_cluster(self.BAG, n_replications=6, seed=3, backend="vectorized")
+        np.testing.assert_allclose(
+            vec.outcomes.makespan, event.outcomes.makespan, rtol=0.0, atol=1e-9
+        )
+        np.testing.assert_allclose(
+            vec.outcomes.wasted_hours,
+            event.outcomes.wasted_hours,
+            rtol=0.0,
+            atol=1e-9,
+        )
+        np.testing.assert_array_equal(
+            vec.outcomes.n_job_failures, event.outcomes.n_job_failures
+        )
+
+    def test_config_mapping(self, reference_dist):
+        cfg = ServiceConfig(max_vms=6, use_reuse_policy=False, use_checkpointing=True)
+        ev = ServicePolicyEvaluator(reference_dist, cfg)
+        ccfg = ev.cluster_config()
+        assert ccfg.pool_size == 6
+        assert not ccfg.use_reuse_policy
+        # Young-Daly default interval against the law's mean lifetime.
+        expected = np.sqrt(2.0 * cfg.checkpoint_cost * reference_dist.mean())
+        assert ccfg.checkpoint_interval == pytest.approx(expected)
+        assert ccfg.checkpoint_cost == cfg.checkpoint_cost
+
+    def test_explicit_interval_overrides_default(self, reference_dist):
+        cfg = ServiceConfig(use_checkpointing=True)
+        ev = ServicePolicyEvaluator(reference_dist, cfg)
+        assert ev.cluster_config(checkpoint_interval=0.25).checkpoint_interval == 0.25
+
+    def test_metrics_and_summary(self, reference_dist):
+        ev = ServicePolicyEvaluator(reference_dist, ServiceConfig(max_vms=4))
+        res = ev.evaluate_cluster(self.BAG, n_replications=8, seed=0)
+        assert res.n_replications == 8
+        assert res.total_work_hours == pytest.approx(0.8 + 1.0 + 1.2 + 0.6)
+        assert res.mean_makespan > 0.0
+        assert res.mean_cost_per_job(1.0) == pytest.approx(
+            res.outcomes.mean_vm_hours / 4
+        )
+        factor = res.cost_reduction_factor(0.2, 1.0)
+        assert factor > 0.0
+        assert "pool=4" in res.summary()
+
+    def test_reachable_from_controller_hook(self):
+        from repro.sim.cloud import CloudProvider
+        from repro.sim.engine import Simulator
+        from repro.sim.rng import RandomStreams
+        from repro.traces.catalog import default_catalog
+
+        sim = Simulator()
+        cloud = CloudProvider(sim, default_catalog(), RandomStreams(0))
+        model = default_catalog().distribution("n1-highcpu-16", "us-east1-b")
+        service = BatchComputingService(sim, cloud, model, ServiceConfig(max_vms=4))
+        res = service.policy_evaluator().evaluate_cluster(
+            self.BAG, n_replications=4, seed=1
+        )
+        assert res.cluster_config.pool_size == 4
+        assert (res.outcomes.completed_jobs == len(self.BAG)).all()
