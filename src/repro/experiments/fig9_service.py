@@ -18,8 +18,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.service.api import BagRequest, JobRequest
-from repro.service.controller import BatchComputingService, ServiceConfig
-from repro.sim.backend import ClusterOutcomes, run_cluster_replications
+from repro.service.controller import MASTER_VM_TYPE, BatchComputingService, ServiceConfig
+from repro.sim.backend import ServiceOutcomes, run_service_replications
 from repro.sim.cloud import CloudProvider
 from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
@@ -204,7 +204,7 @@ class AppMonteCarlo:
     """Replicated panel (a) entry for one application."""
 
     name: str
-    outcomes: ClusterOutcomes
+    outcomes: ServiceOutcomes
     cost_per_job: float
     on_demand_cost_per_job: float
     reduction_factor: float
@@ -232,34 +232,40 @@ def run_monte_carlo(
     seed: int = 5,
     backend: str = "vectorized",
 ) -> Fig9MonteCarloResult:
-    """Fig. 9 via the batched cluster kernel instead of single runs.
+    """Fig. 9 via the batched *service* kernel instead of single runs.
 
     Where :func:`run` replays the full event-driven service once per
-    seed, this sweeps ``n_replications`` whole-cluster bag runs per
+    seed, this sweeps ``n_replications`` end-to-end service runs per
     application through
-    :func:`repro.sim.backend.run_cluster_replications` (reuse policy
-    on, hot-spare substitution, no checkpointing — the panel (a)
-    configuration), so panel (a) costs come with Monte-Carlo error bars
-    and panel (b) regresses the slowdown-vs-preemptions cloud over every
-    replication rather than a handful of seeds.  The master node is not
-    billed (both deployments would pay it identically).
+    :func:`repro.sim.backend.run_service_replications` — the same
+    controller semantics :func:`run` exercises (cold start, deficit
+    provisioning, Eq. 8 reuse on the bag estimate, hot-spare retention
+    timers, billed on-demand master, no checkpointing), so panel (a)
+    costs come with Monte-Carlo error bars and panel (b) regresses the
+    slowdown-vs-preemptions cloud over every replication rather than a
+    handful of seeds.  The event backend drives the real
+    :class:`BatchComputingService` and gives identical per-replication
+    outcomes at matched seeds.
     """
     catalog = default_catalog()
     spec = catalog.spec(vm_type)
+    master_rate = catalog.spec(MASTER_VM_TYPE).on_demand_price
     dist = catalog.distribution(vm_type, "us-central1-c")
     apps = []
     for k, (name, hours, width) in enumerate(APPLICATIONS):
-        outcomes = run_cluster_replications(
+        outcomes = run_service_replications(
             dist,
             [(hours, width)] * n_jobs,
-            pool_size=pool_size,
+            max_vms=pool_size,
             use_reuse_policy=True,
-            hot_spare=True,
+            run_master=True,
             n_replications=n_replications,
             seed=seed + k,
             backend=backend,
         )
-        cost_per_job = outcomes.mean_cost(spec.preemptible_price) / n_jobs
+        cost_per_job = (
+            outcomes.mean_cost(spec.preemptible_price, master_rate) / n_jobs
+        )
         od_per_job = hours * width * spec.on_demand_price
         apps.append(
             AppMonteCarlo(

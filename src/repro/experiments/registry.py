@@ -119,7 +119,7 @@ EXPERIMENTS: dict[str, Experiment] = {
         ),
         Experiment(
             "fig9-mc",
-            "Fig. 9 over batched whole-cluster replications (both backends)",
+            "Fig. 9 over batched end-to-end service replications (both backends)",
             fig9_service.run_monte_carlo,
             fig9_service.report_monte_carlo,
         ),

@@ -14,6 +14,7 @@ from repro.service.costs import CostModel, on_demand_baseline_cost
 from repro.service.database import MetadataStore
 from repro.service.evaluate import (
     PolicyEvaluation,
+    ServiceEvaluation,
     ServicePolicyEvaluator,
     sweep_configurations,
 )
@@ -32,6 +33,7 @@ __all__ = [
     "on_demand_baseline_cost",
     "MetadataStore",
     "PolicyEvaluation",
+    "ServiceEvaluation",
     "ServicePolicyEvaluator",
     "ServiceMetrics",
     "sweep_configurations",

@@ -38,10 +38,20 @@ class BagOfJobs:
         self.observed_runtimes.append(float(uninterrupted_hours))
 
     def estimated_runtime(self) -> float:
-        """Best current estimate of a member job's run time (hours)."""
+        """Best current estimate of a member job's run time (hours).
+
+        The trailing mean is accumulated with a plain sequential sum in
+        completion order: the estimate feeds Eq. 8 scheduling decisions,
+        and the batched service kernel
+        (:mod:`repro.sim.service_vectorized`) reproduces the identical
+        float operations so both backends see bit-equal estimates.
+        """
         if self.observed_runtimes:
             tail = self.observed_runtimes[-self.window :]
-            return float(np.mean(tail))
+            total = 0.0
+            for value in tail:
+                total += value
+            return total / len(tail)
         return float(self.request.jobs[0].work_hours)
 
     def runtime_cv(self) -> float:

@@ -21,6 +21,7 @@ callback architecture as the paper's Slurm-integrated service.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -35,7 +36,7 @@ from repro.service.database import MetadataStore
 from repro.service.metrics import ServiceMetrics
 from repro.sim.cloud import CloudProvider
 from repro.sim.cluster import ClusterManager, JobState, SimJob
-from repro.sim.engine import Simulator
+from repro.sim.engine import EventHandle, Simulator
 from repro.sim.vm import SimVM
 from repro.utils.validation import check_nonnegative, check_positive
 
@@ -66,12 +67,23 @@ class ServiceConfig:
         Hours per checkpoint write (paper evaluation: 1 minute).
     checkpoint_step:
         DP work-step granularity in hours.
+    checkpoint_interval:
+        Fixed-interval checkpointing mode: write a checkpoint every
+        this many work hours (Young-Daly style) instead of running the
+        DP planner.  Takes precedence over ``use_checkpointing`` when
+        both are set; this is the mode the batched service kernel
+        (:func:`repro.sim.backend.run_service_replications`) models.
     hot_spare_hours:
         Idle retention window for stable VMs (paper: 1 hour).
     provision_latency:
         Boot delay for new worker VMs, in hours.
     run_master:
         Launch the 2-CPU on-demand master node (billed).
+    backfill:
+        Unreserved backfill in the cluster queue: jobs behind a stuck
+        head may start on nodes the head cannot use (see
+        :class:`repro.sim.cluster.ClusterManager`).  Default is the
+        paper's strict FIFO.
     max_attempts_per_job:
         Safety valve against jobs that can never finish.
     """
@@ -83,15 +95,19 @@ class ServiceConfig:
     use_checkpointing: bool = False
     checkpoint_cost: float = 1.0 / 60.0
     checkpoint_step: float = 0.1
+    checkpoint_interval: float | None = None
     hot_spare_hours: float = 1.0
     provision_latency: float = 0.0
     run_master: bool = True
+    backfill: bool = False
     max_attempts_per_job: int = 1000
 
     def __post_init__(self) -> None:
         check_positive("max_vms", self.max_vms)
         check_nonnegative("checkpoint_cost", self.checkpoint_cost)
         check_positive("checkpoint_step", self.checkpoint_step)
+        if self.checkpoint_interval is not None:
+            check_positive("checkpoint_interval", self.checkpoint_interval)
         check_positive("hot_spare_hours", self.hot_spare_hours)
         check_nonnegative("provision_latency", self.provision_latency)
 
@@ -124,7 +140,7 @@ class BatchComputingService:
         self.store = MetadataStore()
         self.bags: dict[int, BagOfJobs] = {}
         self._provisioning = 0
-        self._spare_timers: dict[int, object] = {}
+        self._spare_timers: dict[int, EventHandle] = {}
         self._master: SimVM | None = None
         # The service uses the survival-conditioned reuse criterion: the
         # literal Eq. 8 form rejects stable aged VMs for short jobs,
@@ -143,6 +159,7 @@ class BatchComputingService:
             node_selector=self._select_nodes,
             checkpoint_planner=self._plan_checkpoints,
             checkpoint_cost=self.config.checkpoint_cost,
+            backfill=self.config.backfill,
         )
         self.cluster.on_job_complete.append(self._job_completed)
         self.cluster.on_job_failed.append(self._job_failed)
@@ -208,10 +225,21 @@ class BatchComputingService:
             suitable = list(free)
         if len(suitable) < job.width:
             return None
-        return suitable[: job.width]
+        selected = suitable[: job.width]
+        for vm in selected:
+            self._cancel_spare_timer(vm.vm_id)
+        return selected
 
     def _plan_checkpoints(self, job: SimJob, start_age: float) -> list[float] | None:
-        if self._ckpt is None or not getattr(job, "checkpointable", True):
+        if not getattr(job, "checkpointable", True):
+            return None
+        tau = self.config.checkpoint_interval
+        if tau is not None:
+            # Fixed-interval mode: enough tau-segments to cover the
+            # attempt; JobExecution clips to the exact remaining hours.
+            n_seg = int(math.ceil(job.remaining_hours / tau)) + 1
+            return [tau] * n_seg
+        if self._ckpt is None:
             return None
         remaining = job.remaining_hours
         if remaining < self.config.checkpoint_step:
@@ -233,12 +261,26 @@ class BatchComputingService:
             )
 
     def _node_idle(self, vm: SimVM) -> None:
-        """Hot-spare bookkeeping when a node has no work."""
+        """Hot-spare bookkeeping when a node has no work.
+
+        At most one live timer exists per VM: going idle again resets
+        the retention window (the stale timer is cancelled rather than
+        left to fire against a VM that re-idled later), and the timer is
+        cancelled whenever the VM starts work, is terminated, or dies —
+        so a pending timer always refers to the VM's *current* idle
+        spell.
+        """
         if self.cluster.queue_length > 0:
             return  # it will be picked up by try_schedule
+        self._cancel_spare_timer(vm.vm_id)
         hold = self.config.hot_spare_hours
         handle = self.sim.schedule(hold, lambda: self._reap_spare(vm.vm_id))
         self._spare_timers[vm.vm_id] = handle
+
+    def _cancel_spare_timer(self, vm_id: int) -> None:
+        handle = self._spare_timers.pop(vm_id, None)
+        if handle is not None:
+            handle.cancel()
 
     def _reap_spare(self, vm_id: int) -> None:
         self._spare_timers.pop(vm_id, None)
@@ -263,6 +305,7 @@ class BatchComputingService:
             # job placed there now would be better off on a fresh VM.
             for vm in free:
                 if vm not in suitable:
+                    self._cancel_spare_timer(vm.vm_id)
                     self.cluster.remove_node(vm)
                     self.cloud.terminate(vm)
         else:
@@ -278,6 +321,9 @@ class BatchComputingService:
     def _boot_worker(self) -> None:
         self._provisioning -= 1
         vm = self.cloud.launch(self.config.vm_type, self.config.zone, preemptible=True)
+        # An idle VM's death must clear its retention timer (runs before
+        # the cluster's preemption handler, appended at add_node).
+        vm.on_preempt.append(lambda v, now: self._cancel_spare_timer(v.vm_id))
         self.cluster.add_node(vm)
 
     # ------------------------------------------------------------------
@@ -298,6 +344,7 @@ class BatchComputingService:
     def shutdown(self) -> None:
         """Terminate all service VMs (workers, spares, master)."""
         for vm in list(self.cluster.free_nodes()):
+            self._cancel_spare_timer(vm.vm_id)
             self.cluster.remove_node(vm)
             self.cloud.terminate(vm)
         if self._master is not None and self._master.alive:

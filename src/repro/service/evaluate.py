@@ -72,15 +72,19 @@ from repro.service.controller import ServiceConfig
 from repro.sim.backend import (
     ClusterOutcomes,
     ReplicationOutcomes,
+    ServiceOutcomes,
     run_cluster_replications,
     run_replications,
+    run_service_replications,
 )
 from repro.sim.cluster_vectorized import ClusterConfig, GangJob
+from repro.sim.service_vectorized import ServiceBatchConfig
 from repro.utils.validation import check_nonnegative, check_positive
 
 __all__ = [
     "PolicyEvaluation",
     "ClusterEvaluation",
+    "ServiceEvaluation",
     "ServicePolicyEvaluator",
     "sweep_configurations",
 ]
@@ -255,6 +259,82 @@ class ClusterEvaluation:
         )
 
 
+@dataclass(frozen=True)
+class ServiceEvaluation:
+    """Scored outcome of one full-service (bag + configuration) sweep.
+
+    The highest-fidelity evaluation mode: each replication is one
+    complete :class:`BatchComputingService` run — cold start, lazy
+    deficit provisioning under ``provision_latency``, Eq. 8 filtering
+    on the evolving bag runtime estimate, hot-spare retention timers,
+    master billing — through
+    :func:`repro.sim.backend.run_service_replications`, so the
+    ``ServiceReport`` quantities (cost-reduction factor, on-demand
+    baseline, preemptions, makespan) come with Monte-Carlo error bars.
+    """
+
+    config: ServiceConfig
+    batch_config: ServiceBatchConfig
+    jobs: tuple[GangJob, ...]
+    outcomes: ServiceOutcomes
+    backend: str
+
+    @property
+    def n_replications(self) -> int:
+        return self.outcomes.n_replications
+
+    @property
+    def mean_makespan(self) -> float:
+        return self.outcomes.mean_makespan
+
+    @property
+    def mean_wasted_hours(self) -> float:
+        return self.outcomes.mean_wasted_hours
+
+    @property
+    def failure_fraction(self) -> float:
+        """Fraction of service runs that saw at least one gang abort."""
+        return self.outcomes.failure_fraction
+
+    @property
+    def total_work_hours(self) -> float:
+        """Ideal VM-hours of the bag (work x gang width, summed)."""
+        return self.outcomes.total_work_hours
+
+    def mean_cost_per_job(
+        self, preemptible_rate: float, master_rate: float = 0.0
+    ) -> float:
+        """Mean billed service-run cost per bag member."""
+        return self.outcomes.mean_cost(preemptible_rate, master_rate) / len(self.jobs)
+
+    def cost_reduction_factor(
+        self,
+        preemptible_rate: float,
+        on_demand_rate: float,
+        master_rate: float = 0.0,
+    ) -> float:
+        """Mean Fig. 9a metric: on-demand baseline over mean billed cost."""
+        check_positive("preemptible_rate", preemptible_rate)
+        check_nonnegative("on_demand_rate", on_demand_rate)
+        spend = self.outcomes.mean_cost(preemptible_rate, master_rate)
+        baseline = self.outcomes.on_demand_baseline(on_demand_rate)
+        return baseline / spend if spend > 0 else float("inf")
+
+    def summary(self) -> str:
+        flags = (
+            f"reuse={'on' if self.batch_config.use_reuse_policy else 'off'} "
+            f"ckpt={'on' if self.batch_config.checkpoint_interval else 'off'} "
+            f"lat={self.batch_config.provision_latency:g}h "
+            f"fleet={self.batch_config.max_vms}"
+        )
+        return (
+            f"[{flags}] {len(self.jobs)} jobs x n={self.n_replications} "
+            f"({self.backend}): E[makespan] {self.mean_makespan:.3f} h, "
+            f"E[waste] {self.mean_wasted_hours:.3f} h, "
+            f"P(any abort) {self.failure_fraction:.3f}"
+        )
+
+
 class ServicePolicyEvaluator:
     """Monte-Carlo scorer for one (lifetime law, service configuration).
 
@@ -413,6 +493,76 @@ class ServicePolicyEvaluator:
             checkpoint_cost=self.config.checkpoint_cost,
         )
 
+    def service_batch_config(
+        self,
+        *,
+        checkpoint_interval: float | None = None,
+    ) -> ServiceBatchConfig:
+        """Map the service configuration onto the service kernel's knobs.
+
+        The mapping is one-to-one (the kernel models the controller's
+        own semantics) except for checkpointing: the controller's
+        per-job DP plans have no batched equivalent, so when
+        ``use_checkpointing`` is on and no fixed interval is given the
+        Young-Daly optimum for the configuration's checkpoint cost
+        stands in — the same substitution :meth:`cluster_config` makes.
+        """
+        interval = (
+            checkpoint_interval
+            if checkpoint_interval is not None
+            else self.config.checkpoint_interval
+        )
+        if interval is None and self.config.use_checkpointing:
+            interval = young_daly_interval(
+                max(self.config.checkpoint_cost, 1e-6), self.dist.mean()
+            )
+        return ServiceBatchConfig.from_service_config(
+            self.config, checkpoint_interval=interval
+        )
+
+    def evaluate_service(
+        self,
+        jobs,
+        *,
+        n_replications: int = 256,
+        seed: int | np.random.Generator | None = 0,
+        backend: str = "vectorized",
+        checkpoint_interval: float | None = None,
+        max_events: int = 1_000_000,
+    ) -> ServiceEvaluation:
+        """Score the configuration over full end-to-end service runs.
+
+        ``jobs`` is the bag — :class:`GangJob` entries or
+        ``(work_hours, width)`` tuples.  Each replication replays the
+        complete Fig. 3 controller loop (cold start, deficit
+        provisioning with boot latency, bag-estimate Eq. 8 filtering,
+        hot-spare retention, master billing, optional backfill) through
+        the backend-selection API; the event path drives the real
+        :class:`BatchComputingService` and is the oracle (same seed,
+        identical outcomes within 1e-9).  This supersedes
+        :meth:`evaluate_cluster` whenever controller effects —
+        provisioning latency, master cost, estimation feedback — are
+        part of the question.
+        """
+        bag = tuple(j if isinstance(j, GangJob) else GangJob(*j) for j in jobs)
+        batch_cfg = self.service_batch_config(checkpoint_interval=checkpoint_interval)
+        outcomes = run_service_replications(
+            self.dist,
+            bag,
+            config=batch_cfg,
+            n_replications=n_replications,
+            seed=seed,
+            backend=backend,
+            max_events=max_events,
+        )
+        return ServiceEvaluation(
+            config=self.config,
+            batch_config=batch_cfg,
+            jobs=bag,
+            outcomes=outcomes,
+            backend=backend,
+        )
+
     def evaluate_cluster(
         self,
         jobs,
@@ -434,6 +584,11 @@ class ServicePolicyEvaluator:
         the backend-selection API, so a policy grid scores at vectorized
         speed with the event-driven :class:`ClusterManager` path as the
         oracle (same seed, identical outcomes within 1e-9).
+
+        This scores a *pre-booted pool* (the cluster kernel's model);
+        for the controller's own cold-start semantics — deficit
+        provisioning, boot latency, master billing, bag-estimate
+        feedback — use :meth:`evaluate_service`.
         """
         bag = tuple(j if isinstance(j, GangJob) else GangJob(*j) for j in jobs)
         cluster_cfg = self.cluster_config(

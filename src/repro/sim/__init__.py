@@ -13,9 +13,11 @@ Replaces the paper's live Google Cloud deployment:
 * :mod:`repro.sim.vectorized` -- batched NumPy Monte-Carlo kernels,
 * :mod:`repro.sim.cluster_vectorized` -- lockstep gang-scheduling
   kernel for whole-cluster replication sweeps,
+* :mod:`repro.sim.service_vectorized` -- lockstep full-service kernel
+  (provisioning latency, master billing, bag estimation, backfill),
 * :mod:`repro.sim.backend` -- event/vectorized backend selection for
-  single-job and cluster replication sweeps (see README.md in this
-  package).
+  single-job, cluster, and service replication sweeps (see README.md
+  in this package).
 
 Time unit is **hours** throughout, matching the modeling layer.
 """
@@ -23,10 +25,13 @@ Time unit is **hours** throughout, matching the modeling layer.
 from repro.sim.backend import (
     ClusterOutcomes,
     ReplicationOutcomes,
+    ServiceOutcomes,
     run_cluster_replications,
     run_replications,
+    run_service_replications,
 )
 from repro.sim.cluster_vectorized import ClusterConfig, GangJob
+from repro.sim.service_vectorized import ServiceBatchConfig
 from repro.sim.engine import Simulator
 from repro.sim.events import (
     EventLog,
@@ -47,8 +52,11 @@ __all__ = [
     "ClusterOutcomes",
     "GangJob",
     "ReplicationOutcomes",
+    "ServiceBatchConfig",
+    "ServiceOutcomes",
     "run_cluster_replications",
     "run_replications",
+    "run_service_replications",
     "Simulator",
     "EventLog",
     "JobCompleted",

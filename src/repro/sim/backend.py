@@ -46,6 +46,8 @@ __all__ = [
     "run_replications",
     "ClusterOutcomes",
     "run_cluster_replications",
+    "ServiceOutcomes",
+    "run_service_replications",
     "BACKENDS",
 ]
 
@@ -518,6 +520,7 @@ class _ClusterReplication:
             node_selector=self._select_nodes,
             checkpoint_planner=self._plan_checkpoints,
             checkpoint_cost=config.checkpoint_cost,
+            backfill=config.backfill,
         )
         self.cluster.on_queue_stalled.append(self._on_stall)
         self.vms: list = []
@@ -795,3 +798,405 @@ def run_cluster_replications(
             max_events=int(max_events),
         )
     return ClusterOutcomes(backend=backend, **raw)
+
+
+# ----------------------------------------------------------------------
+# Service-scale sweeps: N full BatchComputingService runs
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ServiceOutcomes:
+    """Per-replication results of one :func:`run_service_replications` sweep.
+
+    ``ServiceReport``-shaped arrays: everything
+    :meth:`repro.service.controller.BatchComputingService.report`
+    derives — cost-reduction factor, on-demand baseline, preemption
+    count, makespan — is available per replication, with prices applied
+    by the caller so one sweep scores any rate sheet.
+
+    Attributes
+    ----------
+    makespan:
+        Hours from submission (t = 0) to the bag's last completion.
+    wasted_hours:
+        Segment hours lost to gang preemptions, summed per replication.
+    completed_jobs:
+        Jobs finished (the bag size once a sweep terminates).
+    n_job_failures:
+        Gang aborts per replication.
+    n_preemptions:
+        Worker-VM deaths observed before the bag finished.
+    vm_hours:
+        Billable *worker* hours: every worker from boot to its death,
+        termination (stall refresh or idle reap), or the makespan.
+    master_hours:
+        Billable master hours (= makespan under ``run_master``, else 0).
+    n_events:
+        Engine events processed (deaths + completions + boots + reaps);
+        equal across backends by construction.
+    n_draws:
+        Lifetime uniforms consumed (one per worker boot event).
+    n_rounds:
+        Lockstep rounds the batch needed (= max of ``n_events``).
+    total_work_hours:
+        Ideal VM-hours of the bag (work x gang width, summed) — the
+        on-demand baseline's work term.
+    backend:
+        Which backend produced the arrays.
+    """
+
+    makespan: np.ndarray
+    wasted_hours: np.ndarray
+    completed_jobs: np.ndarray
+    n_job_failures: np.ndarray
+    n_preemptions: np.ndarray
+    vm_hours: np.ndarray
+    master_hours: np.ndarray
+    n_events: np.ndarray
+    n_draws: np.ndarray
+    n_rounds: int
+    total_work_hours: float
+    backend: str
+
+    @property
+    def n_replications(self) -> int:
+        return int(self.makespan.size)
+
+    @property
+    def mean_makespan(self) -> float:
+        return float(self.makespan.mean())
+
+    @property
+    def mean_wasted_hours(self) -> float:
+        return float(self.wasted_hours.mean())
+
+    @property
+    def mean_vm_hours(self) -> float:
+        return float(self.vm_hours.mean())
+
+    @property
+    def failure_fraction(self) -> float:
+        """Fraction of service runs with at least one gang abort."""
+        return float(np.mean(self.n_job_failures > 0))
+
+    def total_cost(
+        self, preemptible_rate: float, master_rate: float = 0.0
+    ) -> np.ndarray:
+        """Per-replication billed cost: workers + (optionally) the master."""
+        check_nonnegative("preemptible_rate", preemptible_rate)
+        check_nonnegative("master_rate", master_rate)
+        return self.vm_hours * preemptible_rate + self.master_hours * master_rate
+
+    def mean_cost(self, preemptible_rate: float, master_rate: float = 0.0) -> float:
+        """Mean billed cost of one service run at the given rates."""
+        if self.n_replications == 0:
+            return 0.0
+        return float(self.total_cost(preemptible_rate, master_rate).mean())
+
+    def on_demand_baseline(self, on_demand_rate: float) -> float:
+        """The conventional-deployment counterfactual (no master, no waste)."""
+        return self.total_work_hours * check_nonnegative(
+            "on_demand_rate", on_demand_rate
+        )
+
+    def cost_reduction_factor(
+        self,
+        preemptible_rate: float,
+        on_demand_rate: float,
+        master_rate: float = 0.0,
+    ) -> np.ndarray:
+        """Per-replication Fig. 9a metric: baseline over billed cost."""
+        check_positive("preemptible_rate", preemptible_rate)
+        baseline = self.on_demand_baseline(on_demand_rate)
+        spend = self.total_cost(preemptible_rate, master_rate)
+        return np.where(spend > 0.0, baseline / np.where(spend > 0.0, spend, 1.0), np.inf)
+
+
+class _RoundProtocolCloud:
+    """CloudProvider-shaped shim drawing worker lifetimes from the table.
+
+    The real :class:`~repro.sim.cloud.CloudProvider` samples lifetimes
+    from per-VM named streams; for cross-backend sweeps the lifetimes
+    must come from the shared round protocol instead, drawn at boot
+    time in event order.  The master (non-preemptible) draws nothing
+    and schedules nothing, exactly like the kernel.  No advance-warning
+    events are scheduled: they would perturb the processed-event count
+    without affecting the service's proactive policies.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        dist: LifetimeDistribution,
+        uniforms: _RoundUniforms,
+        replication: int,
+    ):
+        from repro.sim.events import EventLog
+
+        self.sim = sim
+        self.dist = dist
+        self.uniforms = uniforms
+        self.replication = replication
+        self.log = EventLog()
+        self.workers: list = []
+        self.draws = 0
+        self.n_preempted = 0
+        self._next_id = 0
+        self._handles: dict[int, EventHandle] = {}
+
+    def launch(self, vm_type: str, zone: str = "mc", *, preemptible: bool = True):
+        from repro.sim.vm import SimVM
+
+        vm = SimVM(
+            vm_id=self._next_id,
+            vm_type=vm_type,
+            zone=zone,
+            launch_time=self.sim.now,
+            preemptible=preemptible,
+            hourly_price=0.0,
+        )
+        self._next_id += 1
+        if preemptible:
+            u = self.uniforms.value(self.replication, self.draws)
+            self.draws += 1
+            lifetime = float(self.dist.ppf(u))
+            self.workers.append(vm)
+            self._handles[vm.vm_id] = self.sim.schedule(
+                lifetime, lambda v=vm: self._die(v)
+            )
+        return vm
+
+    def terminate(self, vm) -> None:
+        if not vm.alive:
+            return
+        handle = self._handles.pop(vm.vm_id, None)
+        if handle is not None:
+            handle.cancel()
+        vm.mark_terminated(self.sim.now)
+
+    def _die(self, vm) -> None:
+        if not vm.alive:
+            return
+        self._handles.pop(vm.vm_id, None)
+        vm.mark_preempted(self.sim.now)
+        self.n_preempted += 1
+        for cb in list(vm.on_preempt):
+            cb(vm, self.sim.now)
+
+
+class _ServiceReplication:
+    """One service run driven through the real ``BatchComputingService``.
+
+    The controller, cluster manager, bag estimator, hot-spare timers,
+    and provisioning loop are the production classes; only the cloud is
+    swapped for the round-protocol shim so both backends consume the
+    generator identically.  This is the reference semantics for
+    :mod:`repro.sim.service_vectorized`.
+    """
+
+    def __init__(self, dist, jobs, config, uniforms, replication, max_events):
+        # The oracle deliberately reaches down into the service layer —
+        # it IS the service; the vectorized kernel stays sim-pure.
+        from repro.service.controller import BatchComputingService, ServiceConfig
+
+        self.sim = Simulator()
+        self.cloud = _RoundProtocolCloud(self.sim, dist, uniforms, replication)
+        self.jobs = jobs
+        self.config = config
+        self.max_events = int(max_events)
+        service_config = ServiceConfig(
+            vm_type="service-mc",
+            zone="mc",
+            max_vms=config.max_vms,
+            use_reuse_policy=config.use_reuse_policy,
+            use_checkpointing=False,
+            checkpoint_cost=config.checkpoint_cost,
+            checkpoint_interval=config.checkpoint_interval,
+            hot_spare_hours=config.hot_spare_hours,
+            provision_latency=config.provision_latency,
+            run_master=config.run_master,
+            backfill=config.backfill,
+            max_attempts_per_job=config.max_attempts_per_job,
+        )
+        self.svc = BatchComputingService(self.sim, self.cloud, dist, service_config)
+
+    def run(self):
+        from repro.service.api import BagRequest, JobRequest
+        from repro.sim.events import JobFailed
+
+        bag = BagRequest(
+            jobs=[
+                JobRequest(work_hours=j.work_hours, width=j.width) for j in self.jobs
+            ],
+            name="service-mc",
+        )
+        bid = self.svc.submit_bag(bag)
+        # The estimate window is a per-bag knob; no completions have
+        # landed during submission, so setting it here is exact.
+        self.svc.bags[bid].window = self.config.estimate_window
+        self.svc.run_until_bag_done(bid, max_events=self.max_events)
+        end = self.sim.now
+        wasted = sum(ev.lost_hours for ev in self.cloud.log.of_type(JobFailed))
+        failures = sum(job.failures for job in self.svc.cluster.completed)
+        worker_hours = sum(vm.age(end) for vm in self.cloud.workers)
+        return (
+            end,
+            wasted,
+            len(self.svc.cluster.completed),
+            failures,
+            self.cloud.n_preempted,
+            worker_hours,
+            end if self.config.run_master else 0.0,
+            self.sim.events_processed,
+            self.cloud.draws,
+        )
+
+
+def _simulate_service_event(
+    dist: LifetimeDistribution,
+    jobs,
+    config,
+    *,
+    n_replications: int,
+    rng: np.random.Generator,
+    max_events: int,
+) -> dict[str, np.ndarray | int]:
+    uniforms = _RoundUniforms(rng, n_replications)
+    n = int(n_replications)
+    makespan = np.zeros(n)
+    wasted = np.zeros(n)
+    completed = np.zeros(n, dtype=np.int64)
+    failures = np.zeros(n, dtype=np.int64)
+    preemptions = np.zeros(n, dtype=np.int64)
+    vm_hours = np.zeros(n)
+    master_hours = np.zeros(n)
+    events = np.zeros(n, dtype=np.int64)
+    draws = np.zeros(n, dtype=np.int64)
+    for i in range(n):
+        rep = _ServiceReplication(dist, jobs, config, uniforms, i, max_events)
+        (
+            makespan[i],
+            wasted[i],
+            completed[i],
+            failures[i],
+            preemptions[i],
+            vm_hours[i],
+            master_hours[i],
+            events[i],
+            draws[i],
+        ) = rep.run()
+    return {
+        "makespan": makespan,
+        "wasted_hours": wasted,
+        "completed_jobs": completed,
+        "n_job_failures": failures,
+        "n_preemptions": preemptions,
+        "vm_hours": vm_hours,
+        "master_hours": master_hours,
+        "n_events": events,
+        "n_draws": draws,
+        "n_rounds": int(events.max()) if n else 0,
+    }
+
+
+def run_service_replications(
+    dist: LifetimeDistribution,
+    jobs,
+    *,
+    config=None,
+    n_replications: int = 1000,
+    seed: int | np.random.Generator | None = 0,
+    backend: str = "vectorized",
+    max_events: int = 1_000_000,
+    **config_kwargs,
+) -> ServiceOutcomes:
+    """Simulate ``n_replications`` full batch-service runs under ``dist``.
+
+    Each replication is one end-to-end Section 5 service run: the bag
+    is submitted at t = 0 to a *cold* service (no workers yet), which
+    provisions its preemptible fleet on demand with ``provision_latency``
+    boot delay, filters placements through the Eq. 8 reuse policy on
+    the evolving bag runtime estimate, retains idle workers as hot
+    spares for ``hot_spare_hours``, bills a non-preemptible master for
+    the makespan, and runs until every job completes.  See
+    :mod:`repro.sim.service_vectorized` for the service round protocol
+    both backends share.
+
+    Parameters
+    ----------
+    dist:
+        Lifetime law of the worker VMs.
+    jobs:
+        The bag: a sequence of
+        :class:`~repro.sim.cluster_vectorized.GangJob` (or
+        ``(work_hours, width)`` tuples).
+    config:
+        A :class:`~repro.sim.service_vectorized.ServiceBatchConfig`,
+        *or* a :class:`repro.service.controller.ServiceConfig` (its
+        policy-content fields are converted; DP checkpointing —
+        ``use_checkpointing`` without ``checkpoint_interval`` — is
+        event-only and rejected).  Alternatively pass the batch-config
+        fields as keyword arguments (``max_vms=16, backfill=True, ...``).
+    seed:
+        Root seed (or generator) for the service round protocol;
+        identical seeds give identical per-replication outcomes on both
+        backends (within 1e-9 hours).
+    backend:
+        ``"vectorized"`` (default) or ``"event"`` — the event path
+        drives the real
+        :class:`~repro.service.controller.BatchComputingService` per
+        replication and is the semantics oracle.
+    max_events:
+        Safety cap on processed events per replication.
+
+    Returns
+    -------
+    ServiceOutcomes
+        ``ServiceReport``-shaped per-replication arrays (makespan,
+        waste, preemptions, worker/master hours) with cost and
+        cost-reduction-factor helpers.
+    """
+    from repro.sim.cluster_vectorized import GangJob
+    from repro.sim.service_vectorized import (
+        ServiceBatchConfig,
+        simulate_service_vectorized,
+    )
+
+    if backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    if config is not None and config_kwargs:
+        raise ValueError("pass either config or its fields as kwargs, not both")
+    if config is None:
+        config = ServiceBatchConfig(**config_kwargs)
+    elif hasattr(config, "vm_type"):  # a service-layer ServiceConfig
+        config = ServiceBatchConfig.from_service_config(config)
+    bag = [j if isinstance(j, GangJob) else GangJob(*j) for j in jobs]
+    if not bag:
+        raise ValueError("jobs must be non-empty")
+    widest = max(j.width for j in bag)
+    if widest > config.max_vms:
+        raise ValueError(f"job width {widest} exceeds max_vms {config.max_vms}")
+    if n_replications < 0:
+        raise ValueError(f"n_replications must be >= 0, got {n_replications}")
+    check_positive("max_events", max_events)
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    if backend == "vectorized":
+        raw = simulate_service_vectorized(
+            dist,
+            bag,
+            config,
+            n_replications=int(n_replications),
+            rng=rng,
+            max_events=int(max_events),
+        )
+    else:
+        raw = _simulate_service_event(
+            dist,
+            bag,
+            config,
+            n_replications=int(n_replications),
+            rng=rng,
+            max_events=int(max_events),
+        )
+    total_work = float(sum(j.work_hours * j.width for j in bag))
+    return ServiceOutcomes(backend=backend, total_work_hours=total_work, **raw)

@@ -36,7 +36,10 @@ the event harness schedules them, so simultaneous events (e.g. two
 identical jobs finishing in the same instant) resolve identically on
 both backends.
 
-*Scheduling.*  Strict FIFO with head-of-line blocking (no backfill): a
+*Scheduling.*  Strict FIFO with head-of-line blocking by default (with
+``backfill=True``, jobs behind a stuck head may start on suitable VMs
+the head cannot use, scanned in queue order — unreserved, exactly the
+:class:`~repro.sim.cluster.ClusterManager` flag): a
 requeued (preempted) job returns to the queue head.  A job starts when
 ``width`` *suitable* free VMs exist — all free VMs when the reuse
 policy is off, else the free VMs whose Eq. 8 decision
@@ -113,6 +116,11 @@ class ClusterConfig:
     hot_spare:
         Replace dead VMs immediately (True) or let the pool shrink and
         re-boot slots on demand at stall time (False).
+    backfill:
+        Unreserved backfill (the :class:`ClusterManager` flag): jobs
+        behind a stuck head may start on suitable VMs the head cannot
+        use, scanned in queue order.  No start-time reservation for the
+        head, exactly like the event path.  Default is strict FIFO.
     checkpoint_interval:
         Work hours between checkpoint writes; ``None`` disables
         checkpointing.
@@ -124,6 +132,7 @@ class ClusterConfig:
     use_reuse_policy: bool = True
     reuse_criterion: str = "conditional"
     hot_spare: bool = True
+    backfill: bool = False
     checkpoint_interval: float | None = None
     checkpoint_cost: float = 1.0 / 60.0
 
@@ -134,7 +143,43 @@ class ClusterConfig:
         check_nonnegative("checkpoint_cost", self.checkpoint_cost)
 
 
-class _ClusterKernel:
+class _LockstepKernel:
+    """Primitives shared by the lockstep kernels (cluster and service).
+
+    These two helpers *are* the cross-backend event-ordering contract —
+    segment durations/finality exactly as ``JobExecution`` clips them,
+    VM ordering by ``(launch, birth)`` exactly as ``free_nodes()``
+    sorts — so they live in one place.  Subclasses provide the array
+    state (``now``, ``evseq``, ``launch``, ``birth``, ``sstart``,
+    ``ctime``, ``cseq``, ``seg_take``, ``seg_after``, ``S``) and a
+    ``cfg`` with ``checkpoint_interval`` / ``checkpoint_cost``.
+    """
+
+    def _launch_segment(self, rr: np.ndarray, jj: np.ndarray, left: np.ndarray) -> None:
+        """Schedule the next segment of ``left`` remaining attempt hours."""
+        tau = self.cfg.checkpoint_interval
+        take = left if tau is None else np.minimum(tau, left)
+        after = left - take
+        final = after <= _RESIDUAL
+        dur = take + np.where(final, 0.0, self.cfg.checkpoint_cost)
+        self.sstart[rr, jj] = self.now[rr]
+        self.ctime[rr, jj] = self.now[rr] + dur
+        self.cseq[rr, jj] = self.evseq[rr]
+        self.evseq[rr] += 1
+        self.seg_take[rr, jj] = take
+        self.seg_after[rr, jj] = after
+
+    def _oldest(self, mask: np.ndarray, rr: np.ndarray) -> np.ndarray:
+        """Column order by (launch, birth) with non-``mask`` columns last."""
+        lm = np.where(mask, self.launch[rr], np.inf)
+        bm = np.where(mask, self.birth[rr], np.iinfo(np.int64).max)
+        by_birth = np.argsort(bm, axis=1, kind="stable")
+        l_sorted = np.take_along_axis(lm, by_birth, axis=1)
+        by_launch = np.argsort(l_sorted, axis=1, kind="stable")
+        return np.take_along_axis(by_birth, by_launch, axis=1)
+
+
+class _ClusterKernel(_LockstepKernel):
     """Array state and phase operations of the lockstep cluster sweep."""
 
     def __init__(
@@ -216,20 +261,6 @@ class _ClusterKernel:
         self.alive[rr, col] = True
         self.vm_job[rr, col] = -1
 
-    def _launch_segment(self, rr: np.ndarray, jj: np.ndarray, left: np.ndarray) -> None:
-        """Schedule the next segment of ``left`` remaining attempt hours."""
-        tau = self.cfg.checkpoint_interval
-        take = left if tau is None else np.minimum(tau, left)
-        after = left - take
-        final = after <= _RESIDUAL
-        dur = take + np.where(final, 0.0, self.cfg.checkpoint_cost)
-        self.sstart[rr, jj] = self.now[rr]
-        self.ctime[rr, jj] = self.now[rr] + dur
-        self.cseq[rr, jj] = self.evseq[rr]
-        self.evseq[rr] += 1
-        self.seg_take[rr, jj] = take
-        self.seg_after[rr, jj] = after
-
     def _head_state(self, rr: np.ndarray):
         """Queue head + pool suitability for each row; drops queue-less rows.
 
@@ -254,34 +285,73 @@ class _ClusterKernel:
             suit = free
         return rr, head, w, suit, free
 
-    def _oldest(self, mask: np.ndarray, rr: np.ndarray) -> np.ndarray:
-        """Column order by (launch, birth) with non-``mask`` columns last."""
-        lm = np.where(mask, self.launch[rr], np.inf)
-        bm = np.where(mask, self.birth[rr], np.iinfo(np.int64).max)
-        by_birth = np.argsort(bm, axis=1, kind="stable")
-        l_sorted = np.take_along_axis(lm, by_birth, axis=1)
-        by_launch = np.argsort(l_sorted, axis=1, kind="stable")
-        return np.take_along_axis(by_birth, by_launch, axis=1)
+    def _start_job(self, rr: np.ndarray, jj: np.ndarray, suit: np.ndarray) -> None:
+        """Start job ``jj`` on its ``width`` oldest suitable VMs per row."""
+        w = self.width[jj]
+        order = self._oldest(suit, rr)
+        pos = np.arange(self.S)[None, :] < w[:, None]
+        sel = np.zeros((rr.size, self.S), dtype=bool)
+        np.put_along_axis(sel, order, pos, axis=1)
+        self.vm_job[rr] = np.where(sel, jj[:, None], self.vm_job[rr])
+        self.qkey[rr, jj] = np.inf
+        left = np.maximum(self.work[jj] - self.progress[rr, jj], 0.0)
+        self._launch_segment(rr, jj, left)
 
     def _attempt_starts(self, rr: np.ndarray) -> None:
-        """FIFO start wave: start queue heads while suitable VMs suffice."""
+        """One scheduling pass: FIFO head starts, then optional backfill."""
+        stuck: list[np.ndarray] = []
         while rr.size:
             rr, head, w, suit, _ = self._head_state(rr)
             if not rr.size:
-                return
+                break
             ok = suit.sum(axis=1) >= w
-            rr, head, w, suit = rr[ok], head[ok], w[ok], suit[ok]
+            if self.cfg.backfill:
+                stuck.append(rr[~ok])
+            rr, head, suit = rr[ok], head[ok], suit[ok]
+            if not rr.size:
+                break
+            self._start_job(rr, head, suit)
+            # Loop: the next queue head may start in the same instant.
+        if self.cfg.backfill and stuck:
+            blocked = np.concatenate(stuck)
+            if blocked.size:
+                self._backfill_scan(blocked)
+
+    def _backfill_scan(self, rr: np.ndarray) -> None:
+        """Start jobs behind a stuck head, in queue order (unreserved).
+
+        Mirrors the ``ClusterManager.try_schedule`` scan past the stuck
+        head: each iteration starts, per row, the lowest-queue-key job
+        whose per-job Eq. 8 suitability count covers its width.  Picking
+        the minimum startable key repeatedly is equivalent to the
+        event path's single forward scan because started jobs only
+        consume VMs — a job unstartable when the scan would have reached
+        it stays unstartable afterwards.  The stuck head is excluded by
+        the same width filter that stalled it.
+        """
+        while rr.size:
+            free = self.alive[rr] & (self.vm_job[rr] == -1)
+            queued = np.isfinite(self.qkey[rr])
+            if self.policy is not None:
+                T = np.maximum(
+                    np.maximum(self.work[None, :] - self.progress[rr], 0.0), 1e-6
+                )
+                ages = np.maximum(self.now[rr][:, None] - self.launch[rr], 0.0)
+                suit3 = free[:, None, :] & self.policy.decide_pairs(
+                    T[:, :, None], ages[:, None, :]
+                )
+            else:
+                suit3 = np.broadcast_to(
+                    free[:, None, :], (rr.size, self.J, self.S)
+                ).copy()
+            startable = queued & (suit3.sum(axis=2) >= self.width[None, :])
+            has = startable.any(axis=1)
+            rr, startable, suit3 = rr[has], startable[has], suit3[has]
             if not rr.size:
                 return
-            order = self._oldest(suit, rr)
-            pos = np.arange(self.S)[None, :] < w[:, None]
-            sel = np.zeros((rr.size, self.S), dtype=bool)
-            np.put_along_axis(sel, order, pos, axis=1)
-            self.vm_job[rr] = np.where(sel, head[:, None], self.vm_job[rr])
-            self.qkey[rr, head] = np.inf
-            left = np.maximum(self.work[head] - self.progress[rr, head], 0.0)
-            self._launch_segment(rr, head, left)
-            # Loop: the next queue head may start in the same instant.
+            jkey = np.where(startable, self.qkey[rr], np.inf)
+            jc = np.argmin(jkey, axis=1)
+            self._start_job(rr, jc, suit3[np.arange(rr.size), jc])
 
     def _refresh_loop(self, rr: np.ndarray) -> None:
         """Stall handling: refresh/boot one VM at a time until unstuck."""

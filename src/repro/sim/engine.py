@@ -107,10 +107,10 @@ class Simulator:
         if time < self._now:
             raise ValueError(f"cannot run backwards ({time} < {self._now})")
         for _ in range(max_events):
-            if not self._queue:
-                break
-            nxt = self._queue[0]
-            if nxt.time > time:
+            # peek past cancelled heads: a cancelled event at <= time
+            # must not let step() run a live event scheduled after it.
+            nxt = self.peek_next_time()
+            if nxt is None or nxt > time:
                 break
             self.step()
         else:

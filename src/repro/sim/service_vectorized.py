@@ -1,0 +1,613 @@
+"""Batched end-to-end service kernel: N full controller runs in lockstep.
+
+:mod:`repro.sim.cluster_vectorized` batches a *pre-booted* cluster;
+this module batches the paper's complete Section 5 **service** — the
+behaviour of :class:`repro.service.controller.BatchComputingService`
+driving a :class:`~repro.sim.cluster.ClusterManager` on a simulated
+cloud — so Fig. 9-style sweeps (cost-reduction factor, master billing,
+provisioning latency) run at 10k+ replications.  The event-driven
+reference is :func:`repro.sim.backend.run_service_replications` with
+``backend="event"``, which instantiates the *real* controller per
+replication; the cross-backend service equivalence suite pins the two
+to 1e-9 hours with exact event/draw/preemption counts.
+
+What the kernel reproduces, event for event
+-------------------------------------------
+* **Lazy deficit provisioning.**  The service starts with zero workers.
+  Whenever the queue head stalls, the controller launches
+  ``min(width - suitable - provisioning, max_vms - alive -
+  provisioning)`` fresh workers, each joining the free pool
+  ``provision_latency`` hours later (a scheduled boot event that draws
+  the VM's lifetime at fire time).
+* **Eq. 8 filtering on the bag estimate.**  Node selection and stall
+  handling use the *bag-level runtime estimate*
+  (:meth:`BatchComputingService._estimate_length`): the trailing
+  sequential-sum mean of the last ``estimate_window`` completed
+  members' declared hours, starting from the first job's declaration.
+  Both backends compute the identical float sequence
+  (:meth:`repro.service.bag.BagOfJobs.estimated_runtime`).
+* **Terminate-all-unsuitable stalls.**  When the head stalls with the
+  reuse policy on, every Eq. 8-rejected idle VM is terminated at once
+  (the controller's ``_queue_stalled``), *then* the deficit is
+  provisioned — unlike the cluster kernel's one-at-a-time refresh.
+* **Idle retention (hot spare) timers.**  A VM released with an empty
+  queue schedules a reap event ``hot_spare_hours`` later; the timer is
+  cancelled when the VM starts work, dies, or is terminated, and the
+  reap no-ops when the queue is non-empty at fire time.
+* **Master billing.**  A non-preemptible master VM (no lifetime draw)
+  is billed for the whole makespan when ``run_master`` is set.
+* **Queue discipline.**  Strict FIFO with head-of-line blocking, or the
+  controller's opt-in unreserved ``backfill``; preempted jobs requeue
+  at the head; gang semantics as in the cluster kernel.
+* **Fixed-interval checkpointing.**  ``checkpoint_interval`` mirrors
+  ``ServiceConfig.checkpoint_interval`` (the DP planner has no batched
+  equivalent and stays event-only).
+
+Service round protocol
+----------------------
+Randomness and event ordering follow the cluster round protocol
+(:mod:`repro.sim.cluster_vectorized`): only worker-VM lifetimes consume
+uniforms (one draw per boot *event*, in fire order; the master draws
+nothing), and all pending events — VM deaths, segment completions,
+worker boots, idle reaps — carry per-replication ``(time, insertion
+sequence)`` keys assigned in exactly the order the event harness calls
+``Simulator.schedule``, so simultaneous events resolve identically on
+both backends and processed-event counts agree exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distributions.base import LifetimeDistribution
+from repro.policies.scheduling import ModelReusePolicy
+from repro.sim.cluster_vectorized import _LockstepKernel
+from repro.utils.validation import check_nonnegative, check_positive
+
+__all__ = ["ServiceBatchConfig", "simulate_service_vectorized"]
+
+#: Sentinel sequence number larger than any the kernel can assign.
+_SEQ_INF = np.iinfo(np.int64).max
+#: Residual-work threshold below which a segment is final (the
+#: ``JobExecution._clip_segments`` tolerance).
+_RESIDUAL = 1e-12
+
+
+@dataclass(frozen=True)
+class ServiceBatchConfig:
+    """Knobs of one batched service run (see the module docstring).
+
+    The fields mirror the policy content of
+    :class:`repro.service.controller.ServiceConfig` — the layer-clean
+    subset the kernel needs (no VM type / zone: prices are applied to
+    the outcome arrays by the caller).
+    :func:`repro.sim.backend.run_service_replications` also accepts a
+    ``ServiceConfig`` directly and converts it.
+
+    Attributes
+    ----------
+    max_vms:
+        Worker-fleet cap; every job's width must fit.
+    use_reuse_policy:
+        Eq. 8 filtering (conditional criterion, like the controller) on
+        node selection and stall refreshes; False = memoryless.
+    hot_spare_hours:
+        Idle retention window before a spare worker is reaped.
+    provision_latency:
+        Boot delay between launching a worker and it joining the pool.
+    run_master:
+        Bill a non-preemptible master for the makespan.
+    backfill:
+        Unreserved backfill past a stuck queue head (the
+        ``ClusterManager`` flag); default strict FIFO.
+    checkpoint_interval:
+        Fixed-interval checkpointing (hours of work per checkpoint);
+        ``None`` runs each attempt as one unchecked segment.
+    checkpoint_cost:
+        Hours per checkpoint write.
+    estimate_window:
+        Trailing-completion window of the bag runtime estimate
+        (:class:`repro.service.bag.BagOfJobs` uses 16).
+    max_attempts_per_job:
+        Mirror of the controller's safety valve: a job aborting with
+        this many attempts raises.
+    """
+
+    max_vms: int = 8
+    use_reuse_policy: bool = True
+    hot_spare_hours: float = 1.0
+    provision_latency: float = 0.0
+    run_master: bool = True
+    backfill: bool = False
+    checkpoint_interval: float | None = None
+    checkpoint_cost: float = 1.0 / 60.0
+    estimate_window: int = 16
+    max_attempts_per_job: int = 1000
+
+    def __post_init__(self) -> None:
+        check_positive("max_vms", self.max_vms)
+        check_positive("hot_spare_hours", self.hot_spare_hours)
+        check_nonnegative("provision_latency", self.provision_latency)
+        if self.checkpoint_interval is not None:
+            check_positive("checkpoint_interval", self.checkpoint_interval)
+        check_nonnegative("checkpoint_cost", self.checkpoint_cost)
+        check_positive("estimate_window", self.estimate_window)
+        check_positive("max_attempts_per_job", self.max_attempts_per_job)
+
+    @classmethod
+    def from_service_config(
+        cls, config, *, checkpoint_interval: float | None = None
+    ) -> "ServiceBatchConfig":
+        """Build from a service-layer ``ServiceConfig`` (duck-typed, so
+        the sim layer never imports the service layer).
+
+        The single mapping site for every entry point that accepts a
+        ``ServiceConfig``.  ``checkpoint_interval`` overrides the
+        config's own; DP checkpointing (``use_checkpointing`` with no
+        fixed interval resolved) has no batched equivalent and is
+        rejected — callers wanting a stand-in resolve one first (see
+        ``ServicePolicyEvaluator.service_batch_config``).
+        """
+        interval = (
+            checkpoint_interval
+            if checkpoint_interval is not None
+            else config.checkpoint_interval
+        )
+        if config.use_checkpointing and interval is None:
+            raise ValueError(
+                "DP checkpoint planning is event-only; set "
+                "ServiceConfig.checkpoint_interval for the batched service kernel"
+            )
+        return cls(
+            max_vms=config.max_vms,
+            use_reuse_policy=config.use_reuse_policy,
+            hot_spare_hours=config.hot_spare_hours,
+            provision_latency=config.provision_latency,
+            run_master=config.run_master,
+            backfill=config.backfill,
+            checkpoint_interval=interval,
+            checkpoint_cost=config.checkpoint_cost,
+            max_attempts_per_job=config.max_attempts_per_job,
+        )
+
+
+class _ServiceKernel(_LockstepKernel):
+    """Array state and phase operations of the lockstep service sweep."""
+
+    def __init__(
+        self,
+        dist: LifetimeDistribution,
+        jobs,
+        config: ServiceBatchConfig,
+        n_replications: int,
+        rng: np.random.Generator,
+        max_events: int,
+    ):
+        self.dist = dist
+        self.cfg = config
+        self.n = int(n_replications)
+        self.max_events = int(max_events)
+        from repro.sim.backend import _RoundUniforms
+
+        # The controller always uses the survival-conditioned criterion.
+        self.policy = (
+            ModelReusePolicy(dist, criterion="conditional")
+            if config.use_reuse_policy
+            else None
+        )
+        self.table = _RoundUniforms(rng, self.n)
+
+        n = self.n
+        S = B = config.max_vms  # worker columns / pending-boot slots
+        J = len(jobs)
+        self.S, self.B, self.J = S, B, J
+        self.width = np.asarray([j.width for j in jobs], dtype=np.int64)
+        self.work = np.asarray([j.work_hours for j in jobs], dtype=float)
+
+        self.now = np.zeros(n)
+        self.evseq = np.zeros(n, dtype=np.int64)
+        self.draw_k = np.zeros(n, dtype=np.int64)
+        self.births = np.zeros(n, dtype=np.int64)
+        # Worker-VM columns (ordering is always (launch, birth)).
+        self.alive = np.zeros((n, S), dtype=bool)
+        self.launch = np.zeros((n, S))
+        self.death = np.full((n, S), np.inf)
+        self.dseq = np.full((n, S), _SEQ_INF, dtype=np.int64)
+        self.birth = np.full((n, S), -1, dtype=np.int64)
+        self.vm_job = np.full((n, S), -1, dtype=np.int64)
+        # Idle-retention (reap) timers: at most one per live idle VM.
+        self.reap_time = np.full((n, S), np.inf)
+        self.reap_seq = np.full((n, S), _SEQ_INF, dtype=np.int64)
+        # Pending worker boots.
+        self.btime = np.full((n, B), np.inf)
+        self.bseq = np.full((n, B), _SEQ_INF, dtype=np.int64)
+        self.provisioning = np.zeros(n, dtype=np.int64)
+        # Job state.
+        self.qkey = np.broadcast_to(np.arange(J, dtype=float), (n, J)).copy()
+        self.head_key = np.full(n, -1.0)  # next requeue-at-head key
+        self.progress = np.zeros((n, J))
+        self.ctime = np.full((n, J), np.inf)
+        self.cseq = np.full((n, J), _SEQ_INF, dtype=np.int64)
+        self.sstart = np.zeros((n, J))
+        self.seg_take = np.zeros((n, J))
+        self.seg_after = np.zeros((n, J))
+        self.attempts = np.zeros((n, J), dtype=np.int64)
+        # Bag runtime estimate (sequential-sum trailing mean).
+        W = config.estimate_window
+        self.est = np.full(n, self.work[0] if J else 0.0)
+        self.buf = np.zeros((n, W))
+        self.buf_pos = np.zeros(n, dtype=np.int64)
+        self.buf_len = np.zeros(n, dtype=np.int64)
+        # Outcomes.
+        self.makespan = np.zeros(n)
+        self.wasted = np.zeros(n)
+        self.done_count = np.zeros(n, dtype=np.int64)
+        self.failures = np.zeros(n, dtype=np.int64)
+        self.preemptions = np.zeros(n, dtype=np.int64)
+        self.vm_hours = np.zeros(n)
+        self.master_hours = np.zeros(n)
+        self.events = np.zeros(n, dtype=np.int64)
+
+    # -- primitive operations (all take a row-index array) --------------
+    def _schedule_boots(self, rr: np.ndarray, k: np.ndarray) -> None:
+        """Schedule ``k`` worker boots per row at ``now + latency``."""
+        kmax = int(k.max()) if k.size else 0
+        for t in range(kmax):
+            sub = rr[k > t]
+            empty = self.bseq[sub] == _SEQ_INF
+            if not empty.any(axis=1).all():
+                raise RuntimeError("no free boot slot; provisioning invariant violated")
+            slot = np.argmax(empty, axis=1)
+            self.btime[sub, slot] = self.now[sub] + self.cfg.provision_latency
+            self.bseq[sub, slot] = self.evseq[sub]
+            self.evseq[sub] += 1
+        self.provisioning[rr] += k
+
+    def _suitability(self, rr: np.ndarray):
+        """(free, suitable) masks under the bag-estimate Eq. 8 filter."""
+        free = self.alive[rr] & (self.vm_job[rr] == -1)
+        if self.policy is None:
+            return free, free
+        T = np.maximum(self.est[rr], 1e-6)
+        ages = np.maximum(self.now[rr][:, None] - self.launch[rr], 0.0)
+        return free, free & self.policy.decide_pairs(T[:, None], ages)
+
+    def _head_state(self, rr: np.ndarray):
+        """Queue head + suitability per row; drops queue-less rows."""
+        qk = self.qkey[rr]
+        head = np.argmin(qk, axis=1)
+        has = qk[np.arange(rr.size), head] < np.inf
+        rr, head = rr[has], head[has]
+        if not rr.size:
+            return rr, head, None, None, None
+        free, suit = self._suitability(rr)
+        return rr, head, self.width[head], suit, free
+
+    def _start_job(self, rr: np.ndarray, jj: np.ndarray, suit: np.ndarray) -> None:
+        """Start job ``jj`` on its ``width`` oldest suitable VMs per row."""
+        w = self.width[jj]
+        order = self._oldest(suit, rr)
+        pos = np.arange(self.S)[None, :] < w[:, None]
+        sel = np.zeros((rr.size, self.S), dtype=bool)
+        np.put_along_axis(sel, order, pos, axis=1)
+        # Starting work cancels the VMs' retention timers
+        # (the controller's _select_nodes hygiene).
+        self.reap_time[rr] = np.where(sel, np.inf, self.reap_time[rr])
+        self.reap_seq[rr] = np.where(sel, _SEQ_INF, self.reap_seq[rr])
+        self.vm_job[rr] = np.where(sel, jj[:, None], self.vm_job[rr])
+        self.qkey[rr, jj] = np.inf
+        self.attempts[rr, jj] += 1
+        left = np.maximum(self.work[jj] - self.progress[rr, jj], 0.0)
+        self._launch_segment(rr, jj, left)
+
+    def _schedule_pass(self, rr: np.ndarray) -> None:
+        """One ``try_schedule`` invocation: head starts, stall, backfill."""
+        stuck: list[np.ndarray] = []
+        while rr.size:
+            rr, head, w, suit, _ = self._head_state(rr)
+            if not rr.size:
+                break
+            ok = suit.sum(axis=1) >= w
+            stuck.append(rr[~ok])
+            rr, head, suit = rr[ok], head[ok], suit[ok]
+            if not rr.size:
+                break
+            self._start_job(rr, head, suit)
+            # Loop: the next queue head may start in the same instant.
+        if stuck:
+            blocked = np.concatenate(stuck)
+            if blocked.size:
+                self._stall_actions(blocked)
+                if self.cfg.backfill:
+                    self._backfill_scan(blocked)
+
+    def _stall_actions(self, rr: np.ndarray) -> None:
+        """The controller's ``_queue_stalled``: terminate-all + provision.
+
+        Fires once per scheduling pass for the stuck head: every
+        Eq. 8-rejected idle VM is terminated (its lifetime event
+        cancelled, hours billed), then the head's worker deficit is
+        provisioned within the ``max_vms`` headroom.
+        """
+        rr, head, w, suit, free = self._head_state(rr)
+        if not rr.size:
+            return
+        if self.policy is not None:
+            unsuit = free & ~suit
+            kill = unsuit.any(axis=1)
+            rk = rr[kill]
+            if rk.size:
+                u = unsuit[kill]
+                self.vm_hours[rk] += np.where(
+                    u, self.now[rk][:, None] - self.launch[rk], 0.0
+                ).sum(axis=1)
+                self.alive[rk] &= ~u
+                self.dseq[rk] = np.where(u, _SEQ_INF, self.dseq[rk])
+                self.reap_time[rk] = np.where(u, np.inf, self.reap_time[rk])
+                self.reap_seq[rk] = np.where(u, _SEQ_INF, self.reap_seq[rk])
+        n_suit = suit.sum(axis=1)
+        n_alive = self.alive[rr].sum(axis=1)
+        deficit = w - n_suit - self.provisioning[rr]
+        headroom = self.cfg.max_vms - n_alive - self.provisioning[rr]
+        k = np.clip(np.minimum(deficit, headroom), 0, None)
+        self._schedule_boots(rr, k)
+
+    def _backfill_scan(self, rr: np.ndarray) -> None:
+        """Start jobs behind the stuck head in queue order (unreserved).
+
+        All bag members share one estimate-based suitability mask, so
+        the scan is the cluster kernel's with a row-uniform filter; the
+        stuck head is excluded by the same width test that stalled it.
+        """
+        while rr.size:
+            _, suit = self._suitability(rr)
+            n_s = suit.sum(axis=1)
+            queued = np.isfinite(self.qkey[rr])
+            startable = queued & (self.width[None, :] <= n_s[:, None])
+            has = startable.any(axis=1)
+            rr, startable, suit = rr[has], startable[has], suit[has]
+            if not rr.size:
+                return
+            jkey = np.where(startable, self.qkey[rr], np.inf)
+            jc = np.argmin(jkey, axis=1)
+            self._start_job(rr, jc, suit)
+
+    def _record_completion(self, rr: np.ndarray, jj: np.ndarray) -> None:
+        """Push the job's declared hours into the bag estimate.
+
+        Reproduces ``BagOfJobs.estimated_runtime`` bit for bit: the
+        trailing ``estimate_window`` values are summed sequentially in
+        completion order, then divided by the window length.
+        """
+        W = self.cfg.estimate_window
+        pos = self.buf_pos[rr]
+        self.buf[rr, pos] = self.work[jj]
+        self.buf_pos[rr] = (pos + 1) % W
+        self.buf_len[rr] = np.minimum(self.buf_len[rr] + 1, W)
+        k = self.buf_len[rr]
+        start = np.where(k < W, 0, self.buf_pos[rr])
+        total = np.zeros(rr.size)
+        for t in range(W):
+            vals = self.buf[rr, (start + t) % W]
+            total = np.where(t < k, total + vals, total)
+        self.est[rr] = total / k
+
+    # -- event rounds ----------------------------------------------------
+    def _process_deaths(self, rr: np.ndarray, col: np.ndarray) -> None:
+        self.alive[rr, col] = False
+        self.dseq[rr, col] = _SEQ_INF
+        self.vm_hours[rr] += self.death[rr, col] - self.launch[rr, col]
+        self.preemptions[rr] += 1
+        # Death cancels the VM's retention timer.
+        self.reap_time[rr, col] = np.inf
+        self.reap_seq[rr, col] = _SEQ_INF
+        jd = self.vm_job[rr, col]
+        busy = jd >= 0
+        rb, jb = rr[busy], jd[busy]
+        if rb.size:
+            # Gang abort: waste the segment, requeue at the head,
+            # release the survivors; idle deaths need nothing more
+            # (no rescheduling pass — the cluster only drops the node).
+            if np.any(self.attempts[rb, jb] >= self.cfg.max_attempts_per_job):
+                raise RuntimeError(
+                    f"a job exceeded {self.cfg.max_attempts_per_job} attempts"
+                )
+            self.wasted[rb] += self.now[rb] - self.sstart[rb, jb]
+            self.failures[rb] += 1
+            self.ctime[rb, jb] = np.inf
+            self.cseq[rb, jb] = _SEQ_INF
+            self.qkey[rb, jb] = self.head_key[rb]
+            self.head_key[rb] -= 1.0
+            gang = self.vm_job[rb] == jb[:, None]
+            self.vm_job[rb] = np.where(gang, -1, self.vm_job[rb])
+            self._schedule_pass(rb)
+
+    def _schedule_reaps(self, rr: np.ndarray, released: np.ndarray) -> None:
+        """Retention timers for a released gang, in (launch, birth) order."""
+        order = self._oldest(released, rr)
+        ranks = np.zeros((rr.size, self.S), dtype=np.int64)
+        np.put_along_axis(
+            ranks,
+            order,
+            np.broadcast_to(np.arange(self.S)[None, :], (rr.size, self.S)),
+            axis=1,
+        )
+        seqs = self.evseq[rr][:, None] + ranks
+        self.reap_seq[rr] = np.where(released, seqs, self.reap_seq[rr])
+        self.reap_time[rr] = np.where(
+            released,
+            self.now[rr][:, None] + self.cfg.hot_spare_hours,
+            self.reap_time[rr],
+        )
+        self.evseq[rr] += released.sum(axis=1)
+
+    def _process_completions(self, rr: np.ndarray, jj: np.ndarray) -> None:
+        take = self.seg_take[rr, jj]
+        self.progress[rr, jj] = np.minimum(self.progress[rr, jj] + take, self.work[jj])
+        after = self.seg_after[rr, jj]
+        more = after > _RESIDUAL
+        rc, jc = rr[more], jj[more]
+        if rc.size:  # checkpoint written; next segment in the same instant
+            self._launch_segment(rc, jc, after[more])
+        rf, jf = rr[~more], jj[~more]
+        if rf.size:
+            self.ctime[rf, jf] = np.inf
+            self.cseq[rf, jf] = _SEQ_INF
+            gang = self.vm_job[rf] == jf[:, None]
+            self.vm_job[rf] = np.where(gang, -1, self.vm_job[rf])
+            # Release order: idle timers first (queue empty only), then
+            # the estimate update, then the scheduling pass — exactly
+            # _job_completed's release -> callbacks -> try_schedule.
+            qempty = ~np.isfinite(self.qkey[rf]).any(axis=1)
+            rq = rf[qempty]
+            if rq.size:
+                self._schedule_reaps(rq, gang[qempty])
+            self._record_completion(rf, jf)
+            self.done_count[rf] += 1
+            finished = self.done_count[rf] == self.J
+            self.makespan[rf[finished]] = self.now[rf[finished]]
+            still = rf[~finished]
+            if still.size:
+                self._schedule_pass(still)
+
+    def _process_boots(self, rr: np.ndarray, slot: np.ndarray) -> None:
+        """A provisioned worker joins: draw its lifetime, add the node."""
+        self.btime[rr, slot] = np.inf
+        self.bseq[rr, slot] = _SEQ_INF
+        self.provisioning[rr] -= 1
+        u = self.table.gather(rr, self.draw_k[rr])
+        self.draw_k[rr] += 1
+        life = np.asarray(self.dist.ppf(u), dtype=float)
+        empty = ~self.alive[rr] & (self.vm_job[rr] == -1)
+        if not empty.any(axis=1).all():
+            raise RuntimeError("no reusable VM column; fleet invariant violated")
+        col = np.argmax(empty, axis=1)  # first reusable column
+        self.launch[rr, col] = self.now[rr]
+        self.death[rr, col] = self.now[rr] + life
+        self.dseq[rr, col] = self.evseq[rr]
+        self.evseq[rr] += 1
+        self.birth[rr, col] = self.births[rr]
+        self.births[rr] += 1
+        self.alive[rr, col] = True
+        self.vm_job[rr, col] = -1
+        self._schedule_pass(rr)  # add_node -> try_schedule
+
+    def _process_reaps(self, rr: np.ndarray, col: np.ndarray) -> None:
+        """An idle-retention timer fires: terminate if still warranted."""
+        self.reap_time[rr, col] = np.inf
+        self.reap_seq[rr, col] = _SEQ_INF
+        # By the timer invariant the VM is alive and idle; the reap
+        # no-ops when the queue is non-empty (the controller's check).
+        qempty = ~np.isfinite(self.qkey[rr]).any(axis=1)
+        rt, ct = rr[qempty], col[qempty]
+        if rt.size:
+            self.vm_hours[rt] += self.now[rt] - self.launch[rt, ct]
+            self.alive[rt, ct] = False
+            self.dseq[rt, ct] = _SEQ_INF
+
+    def run(self) -> int:
+        n_rounds = 0
+        init = np.arange(self.n)
+        if init.size and self.J:
+            # t = 0 submission: every submit stalls the empty pool, but
+            # only the first provisions (deficit = head width, capped).
+            k0 = np.full(self.n, min(int(self.width[0]), self.cfg.max_vms))
+            self._schedule_boots(init, k0)
+        active = np.flatnonzero(self.done_count < self.J) if self.n else init
+        while active.size:
+            if np.any(self.events[active] >= self.max_events):
+                raise RuntimeError(
+                    f"{active.size} replications unfinished after "
+                    f"{self.max_events} events; the bag cannot finish under "
+                    "this lifetime law / configuration"
+                )
+            times = np.concatenate(
+                [
+                    np.where(self.alive[active], self.death[active], np.inf),
+                    self.ctime[active],
+                    self.btime[active],
+                    self.reap_time[active],
+                ],
+                axis=1,
+            )
+            seqs = np.concatenate(
+                [
+                    self.dseq[active],
+                    self.cseq[active],
+                    self.bseq[active],
+                    self.reap_seq[active],
+                ],
+                axis=1,
+            )
+            tmin = times.min(axis=1)
+            if not np.all(np.isfinite(tmin)):
+                raise RuntimeError(
+                    "service sweep deadlocked: a replication has pending "
+                    "jobs but no pending events"
+                )
+            tie = times == tmin[:, None]
+            pick = np.argmin(np.where(tie, seqs, _SEQ_INF), axis=1)
+            self.now[active] = tmin
+            self.events[active] += 1
+            S, J, B = self.S, self.J, self.B
+            is_death = pick < S
+            is_comp = (pick >= S) & (pick < S + J)
+            is_boot = (pick >= S + J) & (pick < S + J + B)
+            is_reap = pick >= S + J + B
+            rd = active[is_death]
+            if rd.size:
+                self._process_deaths(rd, pick[is_death])
+            rc = active[is_comp]
+            if rc.size:
+                self._process_completions(rc, pick[is_comp] - S)
+            rb = active[is_boot]
+            if rb.size:
+                self._process_boots(rb, pick[is_boot] - S - J)
+            rp = active[is_reap]
+            if rp.size:
+                self._process_reaps(rp, pick[is_reap] - S - J - B)
+            active = active[self.done_count[active] < self.J]
+            n_rounds += 1
+        if self.n:
+            # Bill workers still alive at the makespan; pending boots
+            # never fire (the run stops at the bag's last completion).
+            live = np.where(self.alive, self.makespan[:, None] - self.launch, 0.0)
+            self.vm_hours += live.sum(axis=1)
+            if self.cfg.run_master:
+                self.master_hours = self.makespan.copy()
+        return n_rounds
+
+
+def simulate_service_vectorized(
+    dist: LifetimeDistribution,
+    jobs,
+    config: ServiceBatchConfig,
+    *,
+    n_replications: int,
+    rng: np.random.Generator,
+    max_events: int = 1_000_000,
+) -> dict[str, np.ndarray | int]:
+    """Run ``n_replications`` lockstep service sweeps (see module docstring).
+
+    Argument validation lives in
+    :func:`repro.sim.backend.run_service_replications`; this kernel
+    assumes a validated ``config`` and job widths within ``max_vms``.
+    Returns the raw per-replication arrays keyed by outcome name plus
+    the round count.
+    """
+    kernel = _ServiceKernel(dist, jobs, config, n_replications, rng, max_events)
+    n_rounds = kernel.run()
+    return {
+        "makespan": kernel.makespan,
+        "wasted_hours": kernel.wasted,
+        "completed_jobs": kernel.done_count,
+        "n_job_failures": kernel.failures,
+        "n_preemptions": kernel.preemptions,
+        "vm_hours": kernel.vm_hours,
+        "master_hours": kernel.master_hours,
+        "n_events": kernel.events,
+        "n_draws": kernel.draw_k,
+        "n_rounds": n_rounds,
+    }

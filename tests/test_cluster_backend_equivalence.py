@@ -39,6 +39,10 @@ CONFIGS = {
     "ckpt": dict(pool_size=4, hot_spare=True, checkpoint_interval=0.4),
     "ckpt-cold": dict(pool_size=4, hot_spare=False, checkpoint_interval=0.4),
     "pool6": dict(pool_size=6, hot_spare=True),
+    "backfill": dict(pool_size=4, backfill=True),
+    "backfill-cold-ckpt": dict(
+        pool_size=4, backfill=True, hot_spare=False, checkpoint_interval=0.4
+    ),
 }
 
 
@@ -101,6 +105,31 @@ class TestEquivalenceGrid:
                 seed,
                 pool_size=4,
                 reuse_criterion="paper",
+            )
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("bag", BAGS.values(), ids=BAGS.keys())
+    def test_backfill_bag_shapes(self, reference_dist, seed, bag):
+        """Backfill coverage (previously event-only): the kernel's
+        queue-order scan past a stuck head must match the real
+        ClusterManager's ``backfill=True`` discipline, per-job Eq. 8
+        suitability included."""
+        assert_equivalent(
+            *run_both(reference_dist, bag, seed, pool_size=4, backfill=True)
+        )
+
+    @pytest.mark.parametrize("seed", [0, 2])
+    def test_backfill_memoryless_exponential(self, seed):
+        dist = ExponentialDistribution(rate=0.7)
+        assert_equivalent(
+            *run_both(
+                dist,
+                BAGS["mixed"],
+                seed,
+                pool_size=4,
+                backfill=True,
+                use_reuse_policy=False,
             )
         )
 

@@ -136,3 +136,67 @@ class TestStallCallback:
         job = SimJob(job_id=0, work_hours=1.0, width=1)
         cluster.submit(job)
         assert cluster.queue_head() is job
+
+
+class TestBackfillDiscipline:
+    """Deeper backfill semantics (the cases the equivalence tier sweeps
+    statistically, pinned here deterministically)."""
+
+    def test_requeued_head_still_blocks_without_backfill(self):
+        """A preempted job returns to the *head*; strict FIFO keeps
+        later jobs parked behind it even when nodes free up."""
+        sim, cluster = cluster_with_nodes(2)
+        wide = SimJob(job_id=0, work_hours=1.0, width=2)
+        narrow = SimJob(job_id=1, work_hours=1.0, width=1)
+        cluster.submit(wide)
+        cluster.submit(narrow)
+        assert wide.state is JobState.RUNNING
+        # Preempt one gang member: the wide job aborts and requeues at
+        # the head; the surviving node cannot serve the narrow job.
+        victim = cluster.busy_nodes()[0]
+        victim.mark_preempted(sim.now)
+        for cb in list(victim.on_preempt):
+            cb(victim, sim.now)
+        assert wide.state is JobState.PENDING
+        assert cluster.queue_head() is wide
+        assert narrow.state is JobState.PENDING
+        assert len(cluster.free_nodes()) == 1
+
+    def test_requeued_head_is_backfilled_past(self):
+        """Same scenario with backfill: the survivor picks up the
+        narrow job while the wide head waits for a replacement."""
+        sim, cluster = cluster_with_nodes(2, backfill=True)
+        wide = SimJob(job_id=0, work_hours=1.0, width=2)
+        narrow = SimJob(job_id=1, work_hours=1.0, width=1)
+        cluster.submit(wide)  # starts on both nodes before narrow arrives
+        cluster.submit(narrow)
+        assert wide.state is JobState.RUNNING
+        victim = cluster.busy_nodes()[0]
+        victim.mark_preempted(sim.now)
+        for cb in list(victim.on_preempt):
+            cb(victim, sim.now)
+        assert wide.state is JobState.PENDING
+        assert cluster.queue_head() is wide
+        assert narrow.state is JobState.RUNNING
+
+    def test_backfill_scan_skips_wide_starts_later_narrow(self):
+        """The scan passes over *every* job it cannot place, not just
+        the head: job 1 (width 2) is skipped, job 2 (width 1) starts."""
+        sim, cluster = cluster_with_nodes(1, backfill=True)
+        cluster.submit(SimJob(job_id=0, work_hours=1.0, width=3))
+        skipped = SimJob(job_id=1, work_hours=1.0, width=2)
+        started = SimJob(job_id=2, work_hours=1.0, width=1)
+        cluster.submit(skipped)
+        cluster.submit(started)
+        assert skipped.state is JobState.PENDING
+        assert started.state is JobState.RUNNING
+
+    def test_stall_fires_once_for_head_under_backfill(self):
+        sim, cluster = cluster_with_nodes(1, backfill=True)
+        stalls = []
+        cluster.on_queue_stalled.append(lambda job, n_free: stalls.append(job.job_id))
+        cluster.submit(SimJob(job_id=0, work_hours=1.0, width=2))
+        cluster.submit(SimJob(job_id=1, work_hours=1.0, width=1))
+        # One stall per scheduling pass, always for the head — never for
+        # the backfilled job behind it.
+        assert stalls == [0, 0]

@@ -197,3 +197,134 @@ class TestServiceEndToEnd:
             reports.append(svc.report(bid))
         assert reports[0].metrics.total_cost == reports[1].metrics.total_cost
         assert reports[0].makespan_hours == reports[1].makespan_hours
+
+
+class TestEstimateLength:
+    """Regression tests for BatchComputingService._estimate_length: the
+    bag estimate feeds every Eq. 8 decision (and the batched service
+    kernel reproduces it bit for bit), so its convergence and its
+    standalone-job fallback are pinned here."""
+
+    def _service_with_bag(self, jobs):
+        sim, cloud, svc = make_service(seed=50)
+        bid = svc.submit_bag(BagRequest(jobs=jobs))
+        return svc, bid
+
+    def test_estimate_starts_at_first_declared_hours(self):
+        svc, bid = self._service_with_bag(
+            [JobRequest(work_hours=2.0), JobRequest(work_hours=0.5)]
+        )
+        job = svc.store.jobs_in_bag(bid)[1]
+        # No completions yet: the *first* job's declaration, not job 1's.
+        assert svc._estimate_length(job) == 2.0
+
+    def test_estimate_converges_to_trailing_mean(self):
+        svc, bid = self._service_with_bag([JobRequest(work_hours=2.0)] * 4)
+        job = svc.store.jobs_in_bag(bid)[0]
+        for v in (1.0, 1.2, 1.4):
+            svc.bags[bid].record_completion(v)
+        assert svc._estimate_length(job) == pytest.approx(1.2)
+
+    def test_estimate_window_truncates(self):
+        svc, bid = self._service_with_bag([JobRequest(work_hours=5.0)] * 2)
+        bag = svc.bags[bid]
+        bag.window = 3
+        for v in (9.0, 9.0, 1.0, 2.0, 3.0):
+            bag.record_completion(v)
+        job = svc.store.jobs_in_bag(bid)[0]
+        assert svc._estimate_length(job) == pytest.approx(2.0)
+
+    def test_sequential_sum_contract(self):
+        """estimated_runtime is a plain left-to-right sum over the tail
+        divided by its length — the float sequence the vectorized
+        service kernel replays exactly."""
+        bag = BagOfJobs(bag_id=0, request=BagRequest(jobs=[JobRequest(work_hours=1.0)]))
+        values = [0.1, 0.7, 1.3, 0.2, 2.9, 0.4]
+        for v in values:
+            bag.record_completion(v)
+        total = 0.0
+        for v in values[-bag.window :]:
+            total += v
+        assert bag.estimated_runtime() == total / len(values)
+
+    def test_standalone_job_uses_own_declared_hours(self):
+        """The empty-bag / standalone path: no bag state, no estimate."""
+        sim, cloud, svc = make_service(seed=51)
+        bid = svc.submit_bag(BagRequest(jobs=[JobRequest(work_hours=2.0)]))
+        svc.bags[bid].record_completion(0.25)  # bag history must not leak
+        solo = SimJob(job_id=svc.store.new_job_id(), work_hours=7.0, bag_id=None)
+        assert svc._estimate_length(solo) == 7.0
+
+
+class TestSpareTimerHygiene:
+    def test_reuse_resets_retention_window(self):
+        """A VM that idles, works again, and re-idles is retained for a
+        full window from its *latest* idle point; previously the stale
+        first timer reaped it early."""
+        from repro.sim.backend import _RoundProtocolCloud, _RoundUniforms
+        from repro.sim.engine import Simulator
+        from test_cluster_vectorized_properties import FarFutureLifetime
+
+        import numpy as np
+
+        sim = Simulator()
+        dist = FarFutureLifetime()
+        cloud = _RoundProtocolCloud(
+            sim, dist, _RoundUniforms(np.random.default_rng(0), 1), 0
+        )
+        svc = BatchComputingService(
+            sim,
+            cloud,
+            dist,
+            ServiceConfig(
+                max_vms=2, use_reuse_policy=False, hot_spare_hours=1.0,
+                run_master=False,
+            ),
+        )
+        svc.submit_job(JobRequest(work_hours=0.3))
+        # Second job arrives at t=0.5, while the worker idles (timer at 1.3).
+        sim.schedule(0.5, lambda: svc.submit_job(JobRequest(work_hours=0.3)))
+        sim.run_until(1.5)
+        # Old behavior: the stale 1.3 timer reaps the re-used worker.
+        # New: the timer was cancelled when the worker restarted at 0.5;
+        # retention now runs from the second idling (0.8) to 1.8.
+        assert len(svc.cluster.free_nodes()) == 1
+        sim.run_until(2.0)
+        assert len(svc.cluster.free_nodes()) == 0
+
+
+class TestServiceModes:
+    def test_fixed_interval_checkpoint_mode(self):
+        """ServiceConfig.checkpoint_interval switches the planner to
+        Young-Daly-style fixed segments (the batched kernel's mode)."""
+        from repro.sim.events import CheckpointWritten
+
+        sim, cloud, svc = make_service(seed=52, checkpoint_interval=0.5)
+        job = SimJob(job_id=999, work_hours=1.7, width=1)
+        job.checkpointable = True
+        plan = svc._plan_checkpoints(job, 0.0)
+        assert plan is not None and set(plan) == {0.5}
+        bid = svc.submit_bag(BagRequest(jobs=[JobRequest(work_hours=1.2)] * 3))
+        svc.run_until_bag_done(bid)
+        assert svc.bag_status(bid).done
+        assert cloud.log.count(CheckpointWritten) > 0
+
+    def test_fixed_interval_takes_precedence_over_dp(self):
+        sim, cloud, svc = make_service(
+            seed=53, use_checkpointing=True, checkpoint_interval=0.4
+        )
+        job = SimJob(job_id=998, work_hours=2.0, width=1)
+        job.checkpointable = True
+        assert set(svc._plan_checkpoints(job, 0.0)) == {0.4}
+
+    def test_backfill_passthrough_and_completion(self):
+        sim, cloud, svc = make_service(seed=54, backfill=True)
+        assert svc.cluster.backfill
+        bid = svc.submit_bag(
+            BagRequest(
+                jobs=[JobRequest(work_hours=0.4, width=3)]
+                + [JobRequest(work_hours=0.2)] * 6
+            )
+        )
+        svc.run_until_bag_done(bid)
+        assert svc.bag_status(bid).done

@@ -258,3 +258,78 @@ class TestEvaluateCluster:
         )
         assert res.cluster_config.pool_size == 4
         assert (res.outcomes.completed_jobs == len(self.BAG)).all()
+
+
+class TestEvaluateService:
+    """The full-controller entry point over run_service_replications."""
+
+    BAG = [(0.8, 1), (0.5, 2), (1.2, 1), (0.3, 2)]
+
+    def test_backends_agree(self, reference_dist):
+        ev = ServicePolicyEvaluator(
+            reference_dist, ServiceConfig(max_vms=4, provision_latency=0.1)
+        )
+        event = ev.evaluate_service(self.BAG, n_replications=6, seed=3, backend="event")
+        vec = ev.evaluate_service(
+            self.BAG, n_replications=6, seed=3, backend="vectorized"
+        )
+        np.testing.assert_allclose(
+            vec.outcomes.makespan, event.outcomes.makespan, rtol=0.0, atol=1e-9
+        )
+        np.testing.assert_allclose(
+            vec.outcomes.vm_hours, event.outcomes.vm_hours, rtol=0.0, atol=1e-9
+        )
+        np.testing.assert_array_equal(
+            vec.outcomes.n_preemptions, event.outcomes.n_preemptions
+        )
+
+    def test_batch_config_mapping(self, reference_dist):
+        cfg = ServiceConfig(
+            max_vms=6,
+            use_reuse_policy=False,
+            use_checkpointing=True,
+            provision_latency=0.2,
+            backfill=True,
+            run_master=False,
+        )
+        ev = ServicePolicyEvaluator(reference_dist, cfg)
+        bcfg = ev.service_batch_config()
+        assert bcfg.max_vms == 6
+        assert not bcfg.use_reuse_policy
+        assert bcfg.provision_latency == 0.2
+        assert bcfg.backfill and not bcfg.run_master
+        # DP has no batched equivalent: the Young-Daly interval stands in.
+        expected = np.sqrt(2.0 * cfg.checkpoint_cost * reference_dist.mean())
+        assert bcfg.checkpoint_interval == pytest.approx(expected)
+
+    def test_explicit_interval_passthrough(self, reference_dist):
+        ev = ServicePolicyEvaluator(
+            reference_dist, ServiceConfig(checkpoint_interval=0.3)
+        )
+        assert ev.service_batch_config().checkpoint_interval == 0.3
+
+    def test_metrics_and_summary(self, reference_dist):
+        ev = ServicePolicyEvaluator(reference_dist, ServiceConfig(max_vms=4))
+        res = ev.evaluate_service(self.BAG, n_replications=8, seed=0)
+        assert res.n_replications == 8
+        assert res.total_work_hours == pytest.approx(0.8 + 1.0 + 1.2 + 0.6)
+        assert res.mean_makespan > 0.0
+        assert res.mean_cost_per_job(1.0) == pytest.approx(
+            res.outcomes.mean_cost(1.0) / 4
+        )
+        # Master billing shows up in the factor: pricier master => lower.
+        cheap = res.cost_reduction_factor(0.2, 1.0, master_rate=0.0)
+        dear = res.cost_reduction_factor(0.2, 1.0, master_rate=0.5)
+        assert 0.0 < dear < cheap
+        assert "lat=0" in res.summary() and "fleet=4" in res.summary()
+
+    def test_reachable_from_controller_hook(self):
+        sim = Simulator()
+        cloud = CloudProvider(sim, default_catalog(), RandomStreams(0))
+        model = default_catalog().distribution("n1-highcpu-16", "us-east1-b")
+        service = BatchComputingService(sim, cloud, model, ServiceConfig(max_vms=4))
+        res = service.policy_evaluator().evaluate_service(
+            self.BAG, n_replications=4, seed=1
+        )
+        assert res.batch_config.max_vms == 4
+        assert (res.outcomes.completed_jobs == len(self.BAG)).all()

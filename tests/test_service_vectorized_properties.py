@@ -1,0 +1,189 @@
+"""Properties of the batched service kernel (run_service_replications).
+
+Four families, per the service-kernel issue:
+
+* master billing — the master is billed for exactly the makespan, so
+  total cost dominates ``makespan x master_rate``;
+* never-failing law — nothing is lost (no preemptions, aborts, waste)
+  and the cost-reduction factor stays above 1 at the paper's ~4.7x
+  price discount;
+* latency-0 reduction — with no provisioning latency and no failures
+  the service's lazy cold-start provisioning reaches exactly the
+  cluster kernel's FIFO schedule over a pre-booted pool, replication
+  by replication (billing differs by design: the service boots fewer
+  VMs and reaps idle spares, so only the *makespan* reduces);
+* backfill — never increases the makespan on the width-homogeneous
+  grids here, and lowers the mean under preemption pressure; one test
+  documents the known exception (unreserved backfill may delay a
+  stuck wide head, and with it the bag).
+"""
+
+import numpy as np
+import pytest
+
+from test_cluster_vectorized_properties import FarFutureLifetime
+
+from repro.sim.backend import run_cluster_replications, run_service_replications
+
+#: Grids shared by the properties below (width <= 3 fits every fleet).
+GRID_BAGS = {
+    "narrow": [(2.0, 1), (1.5, 1), (0.5, 1), (2.5, 1), (1.0, 1)],
+    "mixed": [(2.0, 1), (1.5, 2), (0.5, 3), (2.5, 1), (1.0, 2), (0.25, 1)],
+    "wide3": [(1.0, 3), (2.0, 3), (1.5, 3), (0.5, 2)],
+}
+
+
+@pytest.fixture(scope="module")
+def never_failing():
+    return FarFutureLifetime()
+
+
+class TestMasterBilling:
+    def test_master_billed_for_exact_makespan(self, reference_dist):
+        out = run_service_replications(
+            reference_dist, GRID_BAGS["mixed"], max_vms=4, n_replications=16, seed=0
+        )
+        np.testing.assert_array_equal(out.master_hours, out.makespan)
+
+    def test_no_master_mode_bills_nothing(self, reference_dist):
+        out = run_service_replications(
+            reference_dist,
+            GRID_BAGS["mixed"],
+            max_vms=4,
+            run_master=False,
+            n_replications=16,
+            seed=0,
+        )
+        assert np.all(out.master_hours == 0.0)
+
+    def test_total_cost_dominates_master_term(self, reference_dist):
+        """total_cost >= makespan x master_rate, replication by replication."""
+        out = run_service_replications(
+            reference_dist, GRID_BAGS["mixed"], max_vms=4, n_replications=16, seed=1
+        )
+        master_rate = 0.07
+        cost = out.total_cost(0.2, master_rate)
+        assert np.all(cost >= out.makespan * master_rate - 1e-12)
+
+
+class TestNeverFailingLaw:
+    @pytest.mark.parametrize("bag", GRID_BAGS.values(), ids=GRID_BAGS.keys())
+    def test_zero_waste(self, never_failing, bag):
+        for backend in ("event", "vectorized"):
+            out = run_service_replications(
+                never_failing,
+                bag,
+                max_vms=3,
+                n_replications=3,
+                seed=0,
+                backend=backend,
+            )
+            assert np.all(out.n_preemptions == 0)
+            assert np.all(out.n_job_failures == 0)
+            assert np.all(out.wasted_hours == 0.0)
+            assert np.all(out.completed_jobs == len(bag))
+
+    @pytest.mark.parametrize("bag", GRID_BAGS.values(), ids=GRID_BAGS.keys())
+    def test_cost_reduction_factor_above_one(self, never_failing, bag):
+        """At the paper's ~4.7x discount, a never-failing fleet beats
+        on-demand even with master billing and idle-spare overhead."""
+        out = run_service_replications(
+            never_failing,
+            bag,
+            max_vms=3,
+            hot_spare_hours=0.5,
+            n_replications=3,
+            seed=0,
+        )
+        crf = out.cost_reduction_factor(1.0 / 4.7, 1.0, master_rate=0.03)
+        assert np.all(crf >= 1.0)
+
+    @pytest.mark.parametrize("bag", GRID_BAGS.values(), ids=GRID_BAGS.keys())
+    @pytest.mark.parametrize("max_vms", [3, 4])
+    def test_latency_zero_reduces_to_cluster_kernel(
+        self, never_failing, bag, max_vms
+    ):
+        """PR 3 reduction: no latency + no failures -> the cold-start
+        service reaches the pre-booted pool's FIFO schedule exactly."""
+        svc = run_service_replications(
+            never_failing,
+            bag,
+            max_vms=max_vms,
+            use_reuse_policy=False,
+            n_replications=4,
+            seed=0,
+        )
+        cluster = run_cluster_replications(
+            never_failing,
+            bag,
+            pool_size=max_vms,
+            use_reuse_policy=False,
+            n_replications=4,
+            seed=0,
+        )
+        np.testing.assert_array_equal(svc.makespan, cluster.makespan)
+        np.testing.assert_array_equal(svc.completed_jobs, cluster.completed_jobs)
+        np.testing.assert_array_equal(svc.n_job_failures, cluster.n_job_failures)
+
+    @pytest.mark.parametrize("bag", GRID_BAGS.values(), ids=GRID_BAGS.keys())
+    def test_latency_monotonicity(self, never_failing, bag):
+        """Slower boots never finish the bag earlier (no failures)."""
+        spans = [
+            run_service_replications(
+                never_failing,
+                bag,
+                max_vms=3,
+                use_reuse_policy=False,
+                provision_latency=latency,
+                n_replications=2,
+                seed=0,
+            ).makespan
+            for latency in (0.0, 0.1, 0.5)
+        ]
+        assert np.all(spans[0] <= spans[1] + 1e-12)
+        assert np.all(spans[1] <= spans[2] + 1e-12)
+
+
+class TestBackfill:
+    @pytest.mark.parametrize("bag", GRID_BAGS.values(), ids=GRID_BAGS.keys())
+    def test_never_increases_makespan_on_grids(self, never_failing, bag):
+        """On these width-profiles backfill only fills idle VMs the
+        stuck head cannot use; the deterministic schedules tie."""
+        fifo = run_service_replications(
+            never_failing, bag, max_vms=3, n_replications=2, seed=0
+        )
+        back = run_service_replications(
+            never_failing, bag, max_vms=3, backfill=True, n_replications=2, seed=0
+        )
+        assert np.all(back.makespan <= fifo.makespan + 1e-12)
+
+    def test_lowers_mean_makespan_under_preemptions(self, reference_dist):
+        """With failures requeueing gangs at the head, backfill keeps
+        narrow jobs flowing: the paired mean makespan drops."""
+        fifo = run_service_replications(
+            reference_dist, GRID_BAGS["mixed"], max_vms=4, n_replications=64, seed=1
+        )
+        back = run_service_replications(
+            reference_dist,
+            GRID_BAGS["mixed"],
+            max_vms=4,
+            backfill=True,
+            n_replications=64,
+            seed=1,
+        )
+        assert back.mean_makespan < fifo.mean_makespan
+
+    def test_unreserved_backfill_may_delay_the_head(self, never_failing):
+        """Documented exception: with no reservation, a narrow job can
+        grab the VM a stuck wide head was waiting for, postponing the
+        head — and here the whole bag.  This pins the *unreserved*
+        semantics (ClusterManager docstring) rather than a safety
+        property backfill does not have."""
+        bag = [(2.5, 1), (0.25, 1), (1.75, 2), (0.3, 1), (2.0, 2), (0.5, 1), (1.0, 1)]
+        fifo = run_service_replications(
+            never_failing, bag, max_vms=3, n_replications=1, seed=0
+        )
+        back = run_service_replications(
+            never_failing, bag, max_vms=3, backfill=True, n_replications=1, seed=0
+        )
+        assert back.makespan[0] > fifo.makespan[0]
