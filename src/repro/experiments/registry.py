@@ -20,6 +20,7 @@ from repro.experiments import (
     fig7_sensitivity,
     fig8_checkpointing,
     fig9_service,
+    fig9_tenants,
     params_table,
 )
 
@@ -122,6 +123,12 @@ EXPERIMENTS: dict[str, Experiment] = {
             "Fig. 9 over batched end-to-end service replications (both backends)",
             fig9_service.run_monte_carlo,
             fig9_service.report_monte_carlo,
+        ),
+        Experiment(
+            "fig9-tenants",
+            "Multi-tenant traffic: tenant count x arrival rate x policy sweep",
+            fig9_tenants.run,
+            fig9_tenants.report,
         ),
         Experiment(
             "checkpoint-schedule",

@@ -9,13 +9,19 @@ abstraction for scientific parameter sweeps.
 
 from repro.service.api import BagRequest, BagStatus, JobRequest, JobStatus
 from repro.service.bag import BagOfJobs
-from repro.service.controller import BatchComputingService, ServiceConfig, ServiceReport
+from repro.service.controller import (
+    BatchComputingService,
+    ProvisioningLivelockError,
+    ServiceConfig,
+    ServiceReport,
+)
 from repro.service.costs import CostModel, on_demand_baseline_cost
 from repro.service.database import MetadataStore
 from repro.service.evaluate import (
     PolicyEvaluation,
     ServiceEvaluation,
     ServicePolicyEvaluator,
+    TenantEvaluation,
     sweep_configurations,
 )
 from repro.service.metrics import ServiceMetrics
@@ -27,8 +33,10 @@ __all__ = [
     "JobStatus",
     "BagOfJobs",
     "BatchComputingService",
+    "ProvisioningLivelockError",
     "ServiceConfig",
     "ServiceReport",
+    "TenantEvaluation",
     "CostModel",
     "on_demand_baseline_cost",
     "MetadataStore",

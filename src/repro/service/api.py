@@ -31,17 +31,29 @@ class JobRequest:
     checkpointable:
         Whether the application supports checkpoint/restart (the paper's
         MD applications did not; LULESH-style ones do).
+    queue_key:
+        Optional scheduling priority (lower runs first, >= 0) for
+        clusters in keyed-queue mode — the multi-tenant front end's
+        inter-tenant policies ride on this.  Ignored under plain FIFO
+        queueing.  Negative keys are reserved for the cluster's
+        requeue-at-head handling of preempted jobs and are rejected.
     """
 
     work_hours: float
     width: int = 1
     name: str = ""
     checkpointable: bool = True
+    queue_key: float | None = None
 
     def __post_init__(self) -> None:
         check_positive("work_hours", self.work_hours)
         if self.width < 1:
             raise ValueError(f"width must be >= 1, got {self.width}")
+        if self.queue_key is not None and self.queue_key < 0:
+            raise ValueError(
+                f"queue_key must be >= 0 (negative keys are reserved for "
+                f"requeued preempted jobs), got {self.queue_key}"
+            )
 
 
 @dataclass(frozen=True)

@@ -37,10 +37,16 @@ from repro.service.metrics import ServiceMetrics
 from repro.sim.cloud import CloudProvider
 from repro.sim.cluster import ClusterManager, JobState, SimJob
 from repro.sim.engine import EventHandle, Simulator
+from repro.sim.service_vectorized import ProvisioningLivelockError
 from repro.sim.vm import SimVM
 from repro.utils.validation import check_nonnegative, check_positive
 
-__all__ = ["ServiceConfig", "ServiceReport", "BatchComputingService"]
+__all__ = [
+    "ServiceConfig",
+    "ServiceReport",
+    "BatchComputingService",
+    "ProvisioningLivelockError",
+]
 
 #: Machine type of the shared Slurm master (2-CPU non-preemptible VM).
 MASTER_VM_TYPE = "n1-highcpu-2"
@@ -86,6 +92,11 @@ class ServiceConfig:
         paper's strict FIFO.
     max_attempts_per_job:
         Safety valve against jobs that can never finish.
+    livelock_threshold:
+        Consecutive queue-stall rounds that terminated policy-rejected
+        idle workers, with no job start or completion in between,
+        before :class:`ProvisioningLivelockError` is raised (the
+        terminate/provision churn guardrail).
     """
 
     vm_type: str = "n1-highcpu-16"
@@ -101,9 +112,11 @@ class ServiceConfig:
     run_master: bool = True
     backfill: bool = False
     max_attempts_per_job: int = 1000
+    livelock_threshold: int = 500
 
     def __post_init__(self) -> None:
         check_positive("max_vms", self.max_vms)
+        check_positive("livelock_threshold", self.livelock_threshold)
         check_nonnegative("checkpoint_cost", self.checkpoint_cost)
         check_positive("checkpoint_step", self.checkpoint_step)
         if self.checkpoint_interval is not None:
@@ -142,6 +155,11 @@ class BatchComputingService:
         self._provisioning = 0
         self._spare_timers: dict[int, EventHandle] = {}
         self._master: SimVM | None = None
+        #: Dynamic worker-fleet cap (<= config.max_vms).  The static
+        #: config value by default; the multi-tenant front end resizes
+        #: it between bags (elastic fleet sizing).
+        self.fleet_cap = self.config.max_vms
+        self._fruitless_stalls = 0
         # The service uses the survival-conditioned reuse criterion: the
         # literal Eq. 8 form rejects stable aged VMs for short jobs,
         # causing fresh-VM churn (see ModelReusePolicy.criterion docs).
@@ -199,6 +217,8 @@ class BatchComputingService:
         )
         # Stash checkpointability on the job object for the planner hook.
         job.checkpointable = request.checkpointable  # type: ignore[attr-defined]
+        if request.queue_key is not None:
+            job.queue_key = float(request.queue_key)  # type: ignore[attr-defined]
         self.store.register_job(job, request.name)
         self.cluster.submit(job)
         return job.job_id
@@ -228,6 +248,7 @@ class BatchComputingService:
         selected = suitable[: job.width]
         for vm in selected:
             self._cancel_spare_timer(vm.vm_id)
+        self._fruitless_stalls = 0  # a job is starting: real progress
         return selected
 
     def _plan_checkpoints(self, job: SimJob, start_age: float) -> list[float] | None:
@@ -251,6 +272,7 @@ class BatchComputingService:
     # Event handlers
     # ------------------------------------------------------------------
     def _job_completed(self, job: SimJob) -> None:
+        self._fruitless_stalls = 0
         if job.bag_id is not None:
             self.bags[job.bag_id].record_completion(job.work_hours)
 
@@ -303,16 +325,32 @@ class BatchComputingService:
             ]
             # Policy-rejected idle VMs are released: the model says any
             # job placed there now would be better off on a fresh VM.
+            terminated = 0
             for vm in free:
                 if vm not in suitable:
                     self._cancel_spare_timer(vm.vm_id)
                     self.cluster.remove_node(vm)
                     self.cloud.terminate(vm)
+                    terminated += 1
+            if terminated:
+                # Guardrail for the terminate/provision churn pathology:
+                # stall rounds that keep rejecting and replacing idle
+                # workers, with no job ever starting, are livelock.
+                self._fruitless_stalls += 1
+                if self._fruitless_stalls >= self.config.livelock_threshold:
+                    raise ProvisioningLivelockError(
+                        f"{self._fruitless_stalls} consecutive queue stalls "
+                        "terminated policy-rejected idle workers without any "
+                        "job starting or completing; the reuse policy rejects "
+                        "every VM age under this lifetime law (see "
+                        "ServiceConfig.livelock_threshold) — use a "
+                        "bathtub-shaped law or disable use_reuse_policy"
+                    )
         else:
             suitable = free
         alive_workers = len(self.cluster.free_nodes()) + len(self.cluster.busy_nodes())
         deficit = job.width - len(suitable) - self._provisioning
-        headroom = self.config.max_vms - alive_workers - self._provisioning
+        headroom = self.fleet_cap - alive_workers - self._provisioning
         to_launch = min(deficit, headroom)
         for _ in range(max(to_launch, 0)):
             self._provisioning += 1

@@ -73,18 +73,22 @@ from repro.sim.backend import (
     ClusterOutcomes,
     ReplicationOutcomes,
     ServiceOutcomes,
+    TenantOutcomes,
     run_cluster_replications,
     run_replications,
     run_service_replications,
+    run_tenant_replications,
 )
 from repro.sim.cluster_vectorized import ClusterConfig, GangJob
 from repro.sim.service_vectorized import ServiceBatchConfig
+from repro.sim.tenancy_vectorized import TenancyConfig
 from repro.utils.validation import check_nonnegative, check_positive
 
 __all__ = [
     "PolicyEvaluation",
     "ClusterEvaluation",
     "ServiceEvaluation",
+    "TenantEvaluation",
     "ServicePolicyEvaluator",
     "sweep_configurations",
 ]
@@ -335,6 +339,68 @@ class ServiceEvaluation:
         )
 
 
+@dataclass(frozen=True)
+class TenantEvaluation:
+    """Scored outcome of one multi-tenant traffic sweep.
+
+    The traffic-serving evaluation mode: each replication replays the
+    whole traffic trace through the full controller semantics plus the
+    tenancy layer (inter-tenant scheduling, admission, elastic fleet
+    sizing) via :func:`repro.sim.backend.run_tenant_replications`; see
+    :func:`repro.traffic.metrics.tenant_report` for the per-tenant SLO
+    aggregation of :attr:`outcomes`.
+    """
+
+    config: ServiceConfig
+    tenancy_config: TenancyConfig
+    outcomes: TenantOutcomes
+    backend: str
+
+    @property
+    def n_replications(self) -> int:
+        return self.outcomes.n_replications
+
+    @property
+    def mean_makespan(self) -> float:
+        return self.outcomes.mean_makespan
+
+    @property
+    def mean_wait_hours(self) -> float:
+        """Mean queueing delay over all admitted jobs and replications."""
+        return self.outcomes.mean_wait_hours
+
+    @property
+    def admitted_fraction(self) -> float:
+        return float(self.outcomes.admitted_fraction.mean())
+
+    def cost_reduction_factor(
+        self,
+        preemptible_rate: float,
+        on_demand_rate: float,
+        master_rate: float = 0.0,
+    ) -> float:
+        """Mean Fig. 9a metric over the admitted workload."""
+        crf = self.outcomes.cost_reduction_factor(
+            preemptible_rate, on_demand_rate, master_rate
+        )
+        return float(crf.mean()) if crf.size else float("inf")
+
+    def summary(self) -> str:
+        cfg = self.tenancy_config
+        flags = (
+            f"sched={cfg.scheduling} "
+            f"cap={'-' if cfg.admission_cap is None else cfg.admission_cap} "
+            f"elastic={'-' if cfg.elastic_vms_per_bag is None else cfg.elastic_vms_per_bag} "
+            f"fleet={cfg.max_vms}"
+        )
+        return (
+            f"[{flags}] {self.outcomes.n_jobs} jobs x "
+            f"{self.outcomes.n_tenants} tenants x n={self.n_replications} "
+            f"({self.backend}): E[wait] {self.mean_wait_hours:.3f} h, "
+            f"admitted {100 * self.admitted_fraction:.0f}%"
+        )
+
+
 class ServicePolicyEvaluator:
     """Monte-Carlo scorer for one (lifetime law, service configuration).
 
@@ -463,6 +529,41 @@ class ServicePolicyEvaluator:
         )
 
 
+    @staticmethod
+    def _as_bag(jobs) -> tuple[GangJob, ...]:
+        """Normalise a jobs argument (``GangJob`` s or tuples) to a bag."""
+        return tuple(j if isinstance(j, GangJob) else GangJob(*j) for j in jobs)
+
+    def _run_sweep(
+        self,
+        runner,
+        payload,
+        config,
+        *,
+        n_replications,
+        seed,
+        backend,
+        max_events,
+    ):
+        """The one backend/seed plumbing site for every sweep front end.
+
+        ``runner`` is one of the :mod:`repro.sim.backend` replication
+        entry points; ``payload`` its scenario argument (a bag or a
+        traffic trace).  Keeping the forwarding here means the cluster,
+        service, and tenancy front ends cannot drift apart in how they
+        thread the evaluator's lifetime law and the caller's
+        replication/seed/backend knobs.
+        """
+        return runner(
+            self.dist,
+            payload,
+            config=config,
+            n_replications=n_replications,
+            seed=seed,
+            backend=backend,
+            max_events=max_events,
+        )
+
     def cluster_config(
         self,
         *,
@@ -544,12 +645,12 @@ class ServicePolicyEvaluator:
         provisioning latency, master cost, estimation feedback — are
         part of the question.
         """
-        bag = tuple(j if isinstance(j, GangJob) else GangJob(*j) for j in jobs)
+        bag = self._as_bag(jobs)
         batch_cfg = self.service_batch_config(checkpoint_interval=checkpoint_interval)
-        outcomes = run_service_replications(
-            self.dist,
+        outcomes = self._run_sweep(
+            run_service_replications,
             bag,
-            config=batch_cfg,
+            batch_cfg,
             n_replications=n_replications,
             seed=seed,
             backend=backend,
@@ -590,16 +691,16 @@ class ServicePolicyEvaluator:
         provisioning, boot latency, master billing, bag-estimate
         feedback — use :meth:`evaluate_service`.
         """
-        bag = tuple(j if isinstance(j, GangJob) else GangJob(*j) for j in jobs)
+        bag = self._as_bag(jobs)
         cluster_cfg = self.cluster_config(
             pool_size=pool_size,
             hot_spare=hot_spare,
             checkpoint_interval=checkpoint_interval,
         )
-        outcomes = run_cluster_replications(
-            self.dist,
+        outcomes = self._run_sweep(
+            run_cluster_replications,
             bag,
-            config=cluster_cfg,
+            cluster_cfg,
             n_replications=n_replications,
             seed=seed,
             backend=backend,
@@ -609,6 +710,111 @@ class ServicePolicyEvaluator:
             config=self.config,
             cluster_config=cluster_cfg,
             jobs=bag,
+            outcomes=outcomes,
+            backend=backend,
+        )
+
+    def tenancy_config(
+        self,
+        *,
+        scheduling: str = "fifo",
+        tenant_weights=None,
+        admission_cap: int | None = None,
+        elastic_vms_per_bag: int | None = None,
+        checkpoint_interval: float | None = None,
+        estimate_window: int = 16,
+    ) -> TenancyConfig:
+        """Map the service configuration onto the tenancy kernel's knobs.
+
+        The service-kernel subset follows
+        :meth:`service_batch_config` (including the Young-Daly
+        fixed-interval stand-in when ``use_checkpointing`` is on); the
+        tenancy-specific knobs — scheduling policy, weights, admission
+        cap, elastic sizing — are passed through.  ``backfill`` has no
+        tenancy equivalent (inter-tenant policies own the queue order)
+        and is rejected, exactly like the live
+        :class:`~repro.traffic.multitenant.MultiTenantService`.
+        """
+        if self.config.backfill:
+            raise ValueError(
+                "backfill is incompatible with inter-tenant scheduling; "
+                "pick a tenancy scheduling policy instead"
+            )
+        interval = (
+            checkpoint_interval
+            if checkpoint_interval is not None
+            else self.config.checkpoint_interval
+        )
+        if interval is None and self.config.use_checkpointing:
+            interval = young_daly_interval(
+                max(self.config.checkpoint_cost, 1e-6), self.dist.mean()
+            )
+        return TenancyConfig(
+            max_vms=self.config.max_vms,
+            use_reuse_policy=self.config.use_reuse_policy,
+            hot_spare_hours=self.config.hot_spare_hours,
+            provision_latency=self.config.provision_latency,
+            run_master=self.config.run_master,
+            checkpoint_interval=interval,
+            checkpoint_cost=self.config.checkpoint_cost,
+            estimate_window=estimate_window,
+            max_attempts_per_job=self.config.max_attempts_per_job,
+            livelock_threshold=self.config.livelock_threshold,
+            scheduling=scheduling,
+            tenant_weights=tenant_weights,
+            admission_cap=admission_cap,
+            elastic_vms_per_bag=elastic_vms_per_bag,
+        )
+
+    def evaluate_tenants(
+        self,
+        traffic,
+        *,
+        n_replications: int = 256,
+        seed: int | np.random.Generator | None = 0,
+        backend: str = "vectorized",
+        scheduling: str = "fifo",
+        tenant_weights=None,
+        admission_cap: int | None = None,
+        elastic_vms_per_bag: int | None = None,
+        checkpoint_interval: float | None = None,
+        estimate_window: int = 16,
+        max_events: int = 1_000_000,
+    ) -> TenantEvaluation:
+        """Score the configuration over multi-tenant traffic runs.
+
+        ``traffic`` is a sequence of
+        :class:`~repro.sim.tenancy_vectorized.BagSubmission` s (or
+        ``(tenant, time, jobs)`` triples), typically one
+        :func:`repro.traffic.arrivals.sample_traffic` draw.  Each
+        replication serves the whole trace on a shared fleet under the
+        chosen inter-tenant scheduling policy; the event path drives
+        the real :class:`~repro.traffic.multitenant.MultiTenantService`
+        and is the oracle (same seed, identical outcomes within 1e-9).
+        This is the top of the evaluation-mode ladder: use it whenever
+        the question involves *traffic* — contention across tenants,
+        admission, fairness — rather than a single bag.
+        """
+        cfg = self.tenancy_config(
+            scheduling=scheduling,
+            tenant_weights=tenant_weights,
+            admission_cap=admission_cap,
+            elastic_vms_per_bag=elastic_vms_per_bag,
+            checkpoint_interval=checkpoint_interval,
+            estimate_window=estimate_window,
+        )
+        outcomes = self._run_sweep(
+            run_tenant_replications,
+            traffic,
+            cfg,
+            n_replications=n_replications,
+            seed=seed,
+            backend=backend,
+            max_events=max_events,
+        )
+        return TenantEvaluation(
+            config=self.config,
+            tenancy_config=cfg,
             outcomes=outcomes,
             backend=backend,
         )

@@ -15,9 +15,12 @@ Replaces the paper's live Google Cloud deployment:
   kernel for whole-cluster replication sweeps,
 * :mod:`repro.sim.service_vectorized` -- lockstep full-service kernel
   (provisioning latency, master billing, bag estimation, backfill),
+* :mod:`repro.sim.tenancy_vectorized` -- lockstep multi-tenant traffic
+  kernel (bag arrivals, inter-tenant scheduling, admission, elastic
+  fleet sizing),
 * :mod:`repro.sim.backend` -- event/vectorized backend selection for
-  single-job, cluster, and service replication sweeps (see README.md
-  in this package).
+  single-job, cluster, service, and tenant replication sweeps (see
+  README.md in this package).
 
 Time unit is **hours** throughout, matching the modeling layer.
 """
@@ -26,12 +29,15 @@ from repro.sim.backend import (
     ClusterOutcomes,
     ReplicationOutcomes,
     ServiceOutcomes,
+    TenantOutcomes,
     run_cluster_replications,
     run_replications,
     run_service_replications,
+    run_tenant_replications,
 )
 from repro.sim.cluster_vectorized import ClusterConfig, GangJob
 from repro.sim.service_vectorized import ServiceBatchConfig
+from repro.sim.tenancy_vectorized import BagSubmission, TenancyConfig
 from repro.sim.engine import Simulator
 from repro.sim.events import (
     EventLog,
@@ -48,15 +54,19 @@ from repro.sim.vm import SimVM, VMState
 from repro.sim.cluster import ClusterManager, SimJob
 
 __all__ = [
+    "BagSubmission",
     "ClusterConfig",
     "ClusterOutcomes",
     "GangJob",
     "ReplicationOutcomes",
     "ServiceBatchConfig",
     "ServiceOutcomes",
+    "TenancyConfig",
+    "TenantOutcomes",
     "run_cluster_replications",
     "run_replications",
     "run_service_replications",
+    "run_tenant_replications",
     "Simulator",
     "EventLog",
     "JobCompleted",

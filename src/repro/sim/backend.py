@@ -48,6 +48,8 @@ __all__ = [
     "run_cluster_replications",
     "ServiceOutcomes",
     "run_service_replications",
+    "TenantOutcomes",
+    "run_tenant_replications",
     "BACKENDS",
 ]
 
@@ -804,8 +806,37 @@ def run_cluster_replications(
 # Service-scale sweeps: N full BatchComputingService runs
 # ----------------------------------------------------------------------
 
+class _BilledSweepMixin:
+    """Billing arithmetic shared by the service- and tenant-scale
+    outcome types: both expose ``vm_hours`` / ``master_hours`` arrays
+    and an ``on_demand_baseline``, so the rate validation and the
+    zero-spend convention (spend 0 with a positive baseline -> inf)
+    live in exactly one place.
+    """
+
+    def total_cost(
+        self, preemptible_rate: float, master_rate: float = 0.0
+    ) -> np.ndarray:
+        """Per-replication billed cost: workers + (optionally) the master."""
+        check_nonnegative("preemptible_rate", preemptible_rate)
+        check_nonnegative("master_rate", master_rate)
+        return self.vm_hours * preemptible_rate + self.master_hours * master_rate
+
+    def cost_reduction_factor(
+        self,
+        preemptible_rate: float,
+        on_demand_rate: float,
+        master_rate: float = 0.0,
+    ) -> np.ndarray:
+        """Per-replication Fig. 9a metric: baseline over billed cost."""
+        check_positive("preemptible_rate", preemptible_rate)
+        baseline = self.on_demand_baseline(on_demand_rate)
+        spend = self.total_cost(preemptible_rate, master_rate)
+        return np.where(spend > 0.0, baseline / np.where(spend > 0.0, spend, 1.0), np.inf)
+
+
 @dataclass(frozen=True)
-class ServiceOutcomes:
+class ServiceOutcomes(_BilledSweepMixin):
     """Per-replication results of one :func:`run_service_replications` sweep.
 
     ``ServiceReport``-shaped arrays: everything
@@ -879,14 +910,6 @@ class ServiceOutcomes:
         """Fraction of service runs with at least one gang abort."""
         return float(np.mean(self.n_job_failures > 0))
 
-    def total_cost(
-        self, preemptible_rate: float, master_rate: float = 0.0
-    ) -> np.ndarray:
-        """Per-replication billed cost: workers + (optionally) the master."""
-        check_nonnegative("preemptible_rate", preemptible_rate)
-        check_nonnegative("master_rate", master_rate)
-        return self.vm_hours * preemptible_rate + self.master_hours * master_rate
-
     def mean_cost(self, preemptible_rate: float, master_rate: float = 0.0) -> float:
         """Mean billed cost of one service run at the given rates."""
         if self.n_replications == 0:
@@ -898,18 +921,6 @@ class ServiceOutcomes:
         return self.total_work_hours * check_nonnegative(
             "on_demand_rate", on_demand_rate
         )
-
-    def cost_reduction_factor(
-        self,
-        preemptible_rate: float,
-        on_demand_rate: float,
-        master_rate: float = 0.0,
-    ) -> np.ndarray:
-        """Per-replication Fig. 9a metric: baseline over billed cost."""
-        check_positive("preemptible_rate", preemptible_rate)
-        baseline = self.on_demand_baseline(on_demand_rate)
-        spend = self.total_cost(preemptible_rate, master_rate)
-        return np.where(spend > 0.0, baseline / np.where(spend > 0.0, spend, 1.0), np.inf)
 
 
 class _RoundProtocolCloud:
@@ -984,6 +995,50 @@ class _RoundProtocolCloud:
             cb(vm, self.sim.now)
 
 
+def _oracle_service_config(config, vm_type: str, *, backfill: bool):
+    """Map a batch/tenancy kernel config onto the live ``ServiceConfig``.
+
+    The one place the event oracles translate kernel knobs into
+    controller knobs — a field added to the mapping lands in every
+    oracle at once instead of drifting between copies.
+    """
+    from repro.service.controller import ServiceConfig
+
+    return ServiceConfig(
+        vm_type=vm_type,
+        zone="mc",
+        max_vms=config.max_vms,
+        use_reuse_policy=config.use_reuse_policy,
+        use_checkpointing=False,
+        checkpoint_cost=config.checkpoint_cost,
+        checkpoint_interval=config.checkpoint_interval,
+        hot_spare_hours=config.hot_spare_hours,
+        provision_latency=config.provision_latency,
+        run_master=config.run_master,
+        backfill=backfill,
+        max_attempts_per_job=config.max_attempts_per_job,
+        livelock_threshold=config.livelock_threshold,
+    )
+
+
+def _oracle_run_scalars(sim, cloud, cluster, *, run_master: bool):
+    """The ServiceOutcomes-shaped scalars of one finished oracle run."""
+    from repro.sim.events import JobFailed
+
+    end = sim.now
+    return (
+        end,
+        sum(ev.lost_hours for ev in cloud.log.of_type(JobFailed)),
+        len(cluster.completed),
+        sum(job.failures for job in cluster.completed),
+        cloud.n_preempted,
+        sum(vm.age(end) for vm in cloud.workers),
+        end if run_master else 0.0,
+        sim.events_processed,
+        cloud.draws,
+    )
+
+
 class _ServiceReplication:
     """One service run driven through the real ``BatchComputingService``.
 
@@ -997,32 +1052,20 @@ class _ServiceReplication:
     def __init__(self, dist, jobs, config, uniforms, replication, max_events):
         # The oracle deliberately reaches down into the service layer —
         # it IS the service; the vectorized kernel stays sim-pure.
-        from repro.service.controller import BatchComputingService, ServiceConfig
+        from repro.service.controller import BatchComputingService
 
         self.sim = Simulator()
         self.cloud = _RoundProtocolCloud(self.sim, dist, uniforms, replication)
         self.jobs = jobs
         self.config = config
         self.max_events = int(max_events)
-        service_config = ServiceConfig(
-            vm_type="service-mc",
-            zone="mc",
-            max_vms=config.max_vms,
-            use_reuse_policy=config.use_reuse_policy,
-            use_checkpointing=False,
-            checkpoint_cost=config.checkpoint_cost,
-            checkpoint_interval=config.checkpoint_interval,
-            hot_spare_hours=config.hot_spare_hours,
-            provision_latency=config.provision_latency,
-            run_master=config.run_master,
-            backfill=config.backfill,
-            max_attempts_per_job=config.max_attempts_per_job,
+        service_config = _oracle_service_config(
+            config, "service-mc", backfill=config.backfill
         )
         self.svc = BatchComputingService(self.sim, self.cloud, dist, service_config)
 
     def run(self):
         from repro.service.api import BagRequest, JobRequest
-        from repro.sim.events import JobFailed
 
         bag = BagRequest(
             jobs=[
@@ -1035,20 +1078,8 @@ class _ServiceReplication:
         # landed during submission, so setting it here is exact.
         self.svc.bags[bid].window = self.config.estimate_window
         self.svc.run_until_bag_done(bid, max_events=self.max_events)
-        end = self.sim.now
-        wasted = sum(ev.lost_hours for ev in self.cloud.log.of_type(JobFailed))
-        failures = sum(job.failures for job in self.svc.cluster.completed)
-        worker_hours = sum(vm.age(end) for vm in self.cloud.workers)
-        return (
-            end,
-            wasted,
-            len(self.svc.cluster.completed),
-            failures,
-            self.cloud.n_preempted,
-            worker_hours,
-            end if self.config.run_master else 0.0,
-            self.sim.events_processed,
-            self.cloud.draws,
+        return _oracle_run_scalars(
+            self.sim, self.cloud, self.svc.cluster, run_master=self.config.run_master
         )
 
 
@@ -1200,3 +1231,355 @@ def run_service_replications(
         )
     total_work = float(sum(j.work_hours * j.width for j in bag))
     return ServiceOutcomes(backend=backend, total_work_hours=total_work, **raw)
+
+
+# ----------------------------------------------------------------------
+# Tenant-scale sweeps: N multi-tenant traffic runs
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TenantOutcomes(_BilledSweepMixin):
+    """Per-replication results of one :func:`run_tenant_replications` sweep.
+
+    Beyond the :class:`ServiceOutcomes`-style scalars, per-job timing
+    arrays (aligned with the flattened traffic order) expose the SLO
+    surface: waits, turnarounds, and per-tenant aggregations are all
+    derived views over equivalence-pinned data.  See
+    :mod:`repro.traffic.metrics` for the report layer.
+
+    Attributes
+    ----------
+    makespan:
+        Hours from t = 0 to the last processed traffic event per
+        replication (final completion, or a trailing arrival).
+    wasted_hours, n_job_failures, n_preemptions, vm_hours, master_hours,
+    n_events, n_draws, n_rounds, backend:
+        As in :class:`ServiceOutcomes`.
+    completed_jobs:
+        Jobs finished per replication (equals that replication's
+        admitted count once the sweep terminates).
+    admitted:
+        Per-(replication, job) admission outcome, shape ``(n, J)``;
+        rejected bags leave their jobs ``False``.
+    start_times, finish_times:
+        First gang start / completion hour per (replication, job);
+        ``nan`` where not admitted.
+    job_tenant, job_arrival, job_work, job_width:
+        Static per-job traffic metadata, shape ``(J,)``.
+    n_tenants:
+        Tenant count of the traffic.
+    """
+
+    makespan: np.ndarray
+    wasted_hours: np.ndarray
+    completed_jobs: np.ndarray
+    n_job_failures: np.ndarray
+    n_preemptions: np.ndarray
+    vm_hours: np.ndarray
+    master_hours: np.ndarray
+    n_events: np.ndarray
+    n_draws: np.ndarray
+    admitted: np.ndarray
+    start_times: np.ndarray
+    finish_times: np.ndarray
+    job_tenant: np.ndarray
+    job_arrival: np.ndarray
+    job_work: np.ndarray
+    job_width: np.ndarray
+    n_tenants: int
+    n_rounds: int
+    backend: str
+
+    @property
+    def n_replications(self) -> int:
+        return int(self.makespan.size)
+
+    @property
+    def n_jobs(self) -> int:
+        return int(self.job_tenant.size)
+
+    @property
+    def mean_makespan(self) -> float:
+        return float(self.makespan.mean())
+
+    @property
+    def wait_times(self) -> np.ndarray:
+        """Arrival-to-start queueing delay per (replication, job); nan
+        where the job was rejected."""
+        return self.start_times - self.job_arrival[None, :]
+
+    @property
+    def turnaround_times(self) -> np.ndarray:
+        """Arrival-to-completion response time per (replication, job)."""
+        return self.finish_times - self.job_arrival[None, :]
+
+    @property
+    def mean_wait_hours(self) -> float:
+        """Pooled mean queueing delay over all admitted jobs (nan when
+        nothing was admitted)."""
+        waits = self.wait_times
+        return float(np.nanmean(waits)) if np.isfinite(waits).any() else float("nan")
+
+    @property
+    def admitted_fraction(self) -> np.ndarray:
+        """Fraction of submitted jobs admitted, per replication."""
+        if self.n_jobs == 0:
+            return np.ones(self.n_replications)
+        return self.admitted.mean(axis=1)
+
+    def on_demand_baseline(self, on_demand_rate: float) -> np.ndarray:
+        """Per-replication conventional-deployment counterfactual.
+
+        Unlike the single-bag sweeps the baseline varies per
+        replication: only *admitted* work would have run on demand.
+        """
+        check_nonnegative("on_demand_rate", on_demand_rate)
+        ideal = self.job_work * self.job_width
+        return (self.admitted * ideal[None, :]).sum(axis=1) * on_demand_rate
+
+
+class _TenantReplication:
+    """One traffic run driven through the real ``MultiTenantService``.
+
+    The front end, controller, cluster manager, and keyed queue are the
+    production classes; only the cloud is swapped for the
+    round-protocol shim so both backends consume the generator
+    identically.  This is the reference semantics for
+    :mod:`repro.sim.tenancy_vectorized`.
+    """
+
+    def __init__(self, dist, traffic, n_tenants, config, uniforms, replication, max_events):
+        from repro.traffic.multitenant import MultiTenantService
+
+        self.sim = Simulator()
+        self.cloud = _RoundProtocolCloud(self.sim, dist, uniforms, replication)
+        self.max_events = int(max_events)
+        service_config = _oracle_service_config(config, "tenant-mc", backfill=False)
+        self.mts = MultiTenantService(
+            self.sim,
+            self.cloud,
+            dist,
+            service_config,
+            n_tenants=n_tenants,
+            scheduling=config.scheduling,
+            tenant_weights=config.tenant_weights,
+            admission_cap=config.admission_cap,
+            elastic_vms_per_bag=config.elastic_vms_per_bag,
+            estimate_window=config.estimate_window,
+        )
+        self.mts.submit_traffic(traffic)
+
+    def run(self):
+        # Drive through the front end's own entry point: one copy of
+        # the finished/step/cap loop, exercised by its own tests too.
+        self.mts.run(max_events=self.max_events)
+        records = self.mts.records
+        J = len(records)
+        admitted = np.fromiter((r.admitted for r in records), dtype=bool, count=J)
+        starts = np.full(J, np.nan)
+        finishes = np.full(J, np.nan)
+        for k, rec in enumerate(records):
+            if rec.admitted and rec.job is not None:
+                starts[k] = rec.job.start_time
+                finishes[k] = rec.job.finish_time
+        scalars = _oracle_run_scalars(
+            self.sim,
+            self.cloud,
+            self.mts.service.cluster,
+            run_master=self.mts.service.config.run_master,
+        )
+        return (*scalars, admitted, starts, finishes)
+
+
+def _simulate_tenancy_event(
+    dist: LifetimeDistribution,
+    traffic,
+    n_tenants: int,
+    config,
+    *,
+    n_replications: int,
+    rng: np.random.Generator,
+    max_events: int,
+) -> dict[str, np.ndarray | int]:
+    uniforms = _RoundUniforms(rng, n_replications)
+    n = int(n_replications)
+    J = sum(len(s.jobs) for s in traffic)
+    makespan = np.zeros(n)
+    wasted = np.zeros(n)
+    completed = np.zeros(n, dtype=np.int64)
+    failures = np.zeros(n, dtype=np.int64)
+    preemptions = np.zeros(n, dtype=np.int64)
+    vm_hours = np.zeros(n)
+    master_hours = np.zeros(n)
+    events = np.zeros(n, dtype=np.int64)
+    draws = np.zeros(n, dtype=np.int64)
+    admitted = np.zeros((n, J), dtype=bool)
+    starts = np.full((n, J), np.nan)
+    finishes = np.full((n, J), np.nan)
+    for i in range(n):
+        rep = _TenantReplication(
+            dist, traffic, n_tenants, config, uniforms, i, max_events
+        )
+        (
+            makespan[i],
+            wasted[i],
+            completed[i],
+            failures[i],
+            preemptions[i],
+            vm_hours[i],
+            master_hours[i],
+            events[i],
+            draws[i],
+            admitted[i],
+            starts[i],
+            finishes[i],
+        ) = rep.run()
+    return {
+        "makespan": makespan,
+        "wasted_hours": wasted,
+        "completed_jobs": completed,
+        "n_job_failures": failures,
+        "n_preemptions": preemptions,
+        "vm_hours": vm_hours,
+        "master_hours": master_hours,
+        "n_events": events,
+        "n_draws": draws,
+        "admitted": admitted,
+        "start_times": starts,
+        "finish_times": finishes,
+        "n_rounds": int(events.max()) if n else 0,
+    }
+
+
+def run_tenant_replications(
+    dist: LifetimeDistribution,
+    traffic,
+    *,
+    config=None,
+    n_tenants: int | None = None,
+    n_replications: int = 1000,
+    seed: int | np.random.Generator | None = 0,
+    backend: str = "vectorized",
+    max_events: int = 1_000_000,
+    **config_kwargs,
+) -> TenantOutcomes:
+    """Simulate ``n_replications`` multi-tenant traffic runs under ``dist``.
+
+    Each replication serves the *same* traffic — a sequence of
+    :class:`~repro.sim.tenancy_vectorized.BagSubmission` s (or
+    ``(tenant, time, jobs)`` triples), typically sampled once by
+    :func:`repro.traffic.arrivals.sample_traffic` — on one shared
+    preemptible fleet through the full controller semantics (deficit
+    provisioning with boot latency, per-bag Eq. 8 estimates, hot-spare
+    retention, master billing) plus the tenancy layer: inter-tenant
+    scheduling policy, per-tenant admission, elastic fleet sizing.
+    Replications differ only in VM-lifetime draws, consumed under the
+    tenancy round protocol shared by both backends (see
+    :mod:`repro.sim.tenancy_vectorized`).
+
+    Parameters
+    ----------
+    dist:
+        Lifetime law of the worker VMs.
+    traffic:
+        The scenario input; normalised (stably time-sorted) before use.
+    config:
+        A :class:`~repro.sim.tenancy_vectorized.TenancyConfig`;
+        alternatively pass its fields as keyword arguments
+        (``max_vms=16, scheduling="fair", ...``).
+    n_tenants:
+        Tenant count; inferred from the traffic when omitted.
+    seed:
+        Root seed (or generator) for the tenancy round protocol;
+        identical seeds give identical per-replication outcomes on both
+        backends (within 1e-9 hours).
+    backend:
+        ``"vectorized"`` (default) or ``"event"`` — the event path
+        drives the real
+        :class:`~repro.traffic.multitenant.MultiTenantService` per
+        replication and is the semantics oracle.
+    max_events:
+        Safety cap on processed events per replication.
+
+    Returns
+    -------
+    TenantOutcomes
+        Per-replication scalars plus per-(replication, job) admission
+        and timing arrays for the SLO metrics layer.
+    """
+    from repro.sim.tenancy_vectorized import (
+        TenancyConfig,
+        normalize_traffic,
+        simulate_tenancy_vectorized,
+    )
+
+    if backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    if config is not None and config_kwargs:
+        raise ValueError("pass either config or its fields as kwargs, not both")
+    if config is None:
+        config = TenancyConfig(**config_kwargs)
+    traffic = normalize_traffic(traffic)
+    if not traffic:
+        raise ValueError("traffic must be non-empty")
+    inferred = max(s.tenant for s in traffic) + 1
+    T = inferred if n_tenants is None else int(n_tenants)
+    if T < inferred:
+        raise ValueError(
+            f"n_tenants={T} but the traffic references tenant {inferred - 1}"
+        )
+    if config.tenant_weights is not None and len(config.tenant_weights) < T:
+        raise ValueError("tenant_weights must cover every tenant in the traffic")
+    widest = max(j.width for s in traffic for j in s.jobs)
+    if widest > config.max_vms:
+        raise ValueError(f"job width {widest} exceeds max_vms {config.max_vms}")
+    if config.elastic_vms_per_bag is not None and config.elastic_vms_per_bag < widest:
+        raise ValueError(
+            f"elastic_vms_per_bag {config.elastic_vms_per_bag} cannot cover "
+            f"the widest job ({widest}); a lone active bag would deadlock"
+        )
+    if n_replications < 0:
+        raise ValueError(f"n_replications must be >= 0, got {n_replications}")
+    check_positive("max_events", max_events)
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    if backend == "vectorized":
+        raw = simulate_tenancy_vectorized(
+            dist,
+            traffic,
+            T,
+            config,
+            n_replications=int(n_replications),
+            rng=rng,
+            max_events=int(max_events),
+        )
+    else:
+        raw = _simulate_tenancy_event(
+            dist,
+            traffic,
+            T,
+            config,
+            n_replications=int(n_replications),
+            rng=rng,
+            max_events=int(max_events),
+        )
+    job_tenant = np.asarray(
+        [s.tenant for s in traffic for _ in s.jobs], dtype=np.int64
+    )
+    job_arrival = np.asarray(
+        [s.time for s in traffic for _ in s.jobs], dtype=float
+    )
+    job_work = np.asarray(
+        [j.work_hours for s in traffic for j in s.jobs], dtype=float
+    )
+    job_width = np.asarray(
+        [j.width for s in traffic for j in s.jobs], dtype=np.int64
+    )
+    return TenantOutcomes(
+        backend=backend,
+        n_tenants=T,
+        job_tenant=job_tenant,
+        job_arrival=job_arrival,
+        job_work=job_work,
+        job_width=job_width,
+        **raw,
+    )

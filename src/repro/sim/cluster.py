@@ -126,6 +126,9 @@ class ClusterManager:
         self.checkpoint_planner = checkpoint_planner
         self.checkpoint_cost = checkpoint_cost
         self.backfill = backfill
+        self._keyed = False
+        self._requeue_key = -1.0
+        self._submit_seq = 0
         self._free: dict[int, SimVM] = {}
         self._busy: dict[int, SimVM] = {}
         self._queue: list[SimJob] = []
@@ -168,11 +171,38 @@ class ClusterManager:
         return self._queue[0] if self._queue else None
 
     # -- job queue --------------------------------------------------------
+    def enable_keyed_queue(self) -> None:
+        """Switch the queue from FIFO to priority-key order.
+
+        Queued jobs are kept in ascending ``job.queue_key`` order (FIFO
+        among equal keys); requeued preempted jobs receive decreasing
+        negative keys, preserving the requeue-at-head contract.  Jobs
+        submitted without a key get their submission index, so a purely
+        unkeyed workload still behaves FIFO.  The multi-tenant service
+        front end (:mod:`repro.traffic.multitenant`) uses this to run
+        its inter-tenant scheduling policies through the unmodified
+        gang-scheduling core.  Must be enabled while the queue is empty.
+        """
+        if self._queue:
+            raise RuntimeError("cannot enable keyed queueing on a non-empty queue")
+        self._keyed = True
+
     def submit(self, job: SimJob) -> None:
         if job.state is not JobState.PENDING:
             raise ValueError(f"job {job.job_id} is {job.state.value}")
         job.submit_time = self.sim.now if job.submit_time == 0.0 else job.submit_time
-        self._queue.append(job)
+        if self._keyed:
+            key = getattr(job, "queue_key", None)
+            if key is None:
+                key = float(self._submit_seq)
+                job.queue_key = key  # type: ignore[attr-defined]
+            self._submit_seq += 1
+            idx = len(self._queue)
+            while idx > 0 and getattr(self._queue[idx - 1], "queue_key") > key:
+                idx -= 1
+            self._queue.insert(idx, job)
+        else:
+            self._queue.append(job)
         self.try_schedule()
 
     def try_schedule(self) -> None:
@@ -270,7 +300,12 @@ class ClusterManager:
         self.log.record(
             JobFailed(time=self.sim.now, job_id=job.job_id, vm_id=dead_vm.vm_id, lost_hours=lost)
         )
-        # Failed job returns to the head of the queue (it was oldest).
+        # Failed job returns to the head of the queue (it was oldest);
+        # under keyed queueing it gets the next decreasing negative key
+        # so later submissions cannot outrank it.
+        if self._keyed:
+            job.queue_key = self._requeue_key  # type: ignore[attr-defined]
+            self._requeue_key -= 1.0
         self._queue.insert(0, job)
         # Release the whole gang: the dead VM leaves the busy set, the
         # survivors return to the free pool.

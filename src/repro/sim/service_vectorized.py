@@ -66,7 +66,28 @@ from repro.policies.scheduling import ModelReusePolicy
 from repro.sim.cluster_vectorized import _LockstepKernel
 from repro.utils.validation import check_nonnegative, check_positive
 
-__all__ = ["ServiceBatchConfig", "simulate_service_vectorized"]
+__all__ = [
+    "ProvisioningLivelockError",
+    "ServiceBatchConfig",
+    "simulate_service_vectorized",
+]
+
+
+class ProvisioningLivelockError(RuntimeError):
+    """The service is churning terminate/provision cycles without progress.
+
+    Raised — by the live :class:`~repro.service.controller.BatchComputingService`
+    and by the batched service/tenancy kernels alike — when
+    ``livelock_threshold`` consecutive queue-stall rounds each terminated
+    policy-rejected idle workers (and provisioned replacements) without
+    any job starting or completing in between.  This is the documented
+    pathology of ``provision_latency > 0`` with the reuse policy on under
+    lifetime laws whose conditional Eq. 8 criterion rejects *every* age
+    (uniform, exponential — no infant-mortality window): each staggered
+    boot is rejected on evaluation, terminated, and replaced, forever.
+    Failing fast tells the caller to use a bathtub-shaped law or disable
+    the reuse policy.
+    """
 
 #: Sentinel sequence number larger than any the kernel can assign.
 _SEQ_INF = np.iinfo(np.int64).max
@@ -113,6 +134,12 @@ class ServiceBatchConfig:
     max_attempts_per_job:
         Mirror of the controller's safety valve: a job aborting with
         this many attempts raises.
+    livelock_threshold:
+        Mirror of the controller's terminate/provision churn guardrail:
+        this many consecutive stall rounds that terminated
+        policy-rejected workers, with no job start or completion in
+        between, raise :class:`ProvisioningLivelockError` on both
+        backends.
     """
 
     max_vms: int = 8
@@ -125,6 +152,7 @@ class ServiceBatchConfig:
     checkpoint_cost: float = 1.0 / 60.0
     estimate_window: int = 16
     max_attempts_per_job: int = 1000
+    livelock_threshold: int = 500
 
     def __post_init__(self) -> None:
         check_positive("max_vms", self.max_vms)
@@ -135,6 +163,7 @@ class ServiceBatchConfig:
         check_nonnegative("checkpoint_cost", self.checkpoint_cost)
         check_positive("estimate_window", self.estimate_window)
         check_positive("max_attempts_per_job", self.max_attempts_per_job)
+        check_positive("livelock_threshold", self.livelock_threshold)
 
     @classmethod
     def from_service_config(
@@ -170,6 +199,7 @@ class ServiceBatchConfig:
             checkpoint_interval=interval,
             checkpoint_cost=config.checkpoint_cost,
             max_attempts_per_job=config.max_attempts_per_job,
+            livelock_threshold=config.livelock_threshold,
         )
 
 
@@ -234,6 +264,9 @@ class _ServiceKernel(_LockstepKernel):
         self.seg_take = np.zeros((n, J))
         self.seg_after = np.zeros((n, J))
         self.attempts = np.zeros((n, J), dtype=np.int64)
+        # Livelock guardrail: consecutive stall rounds that terminated
+        # rejected workers with no job start/completion in between.
+        self.stall_strikes = np.zeros(n, dtype=np.int64)
         # Bag runtime estimate (sequential-sum trailing mean).
         W = config.estimate_window
         self.est = np.full(n, self.work[0] if J else 0.0)
@@ -292,6 +325,7 @@ class _ServiceKernel(_LockstepKernel):
         pos = np.arange(self.S)[None, :] < w[:, None]
         sel = np.zeros((rr.size, self.S), dtype=bool)
         np.put_along_axis(sel, order, pos, axis=1)
+        self.stall_strikes[rr] = 0  # a job is starting: real progress
         # Starting work cancels the VMs' retention timers
         # (the controller's _select_nodes hygiene).
         self.reap_time[rr] = np.where(sel, np.inf, self.reap_time[rr])
@@ -347,12 +381,31 @@ class _ServiceKernel(_LockstepKernel):
                 self.dseq[rk] = np.where(u, _SEQ_INF, self.dseq[rk])
                 self.reap_time[rk] = np.where(u, np.inf, self.reap_time[rk])
                 self.reap_seq[rk] = np.where(u, _SEQ_INF, self.reap_seq[rk])
+                self._count_stall_strikes(rk)
         n_suit = suit.sum(axis=1)
         n_alive = self.alive[rr].sum(axis=1)
         deficit = w - n_suit - self.provisioning[rr]
-        headroom = self.cfg.max_vms - n_alive - self.provisioning[rr]
+        headroom = self._fleet_cap(rr) - n_alive - self.provisioning[rr]
         k = np.clip(np.minimum(deficit, headroom), 0, None)
         self._schedule_boots(rr, k)
+
+    def _fleet_cap(self, rr: np.ndarray) -> np.ndarray:
+        """Provisioning cap per row — static here; the tenancy kernel
+        overrides this with its elastic-in-active-bags cap."""
+        return np.full(rr.size, self.cfg.max_vms, dtype=np.int64)
+
+    def _count_stall_strikes(self, rk: np.ndarray) -> None:
+        """The controller's churn guardrail over the rows that just
+        terminated rejected workers in a stall round."""
+        self.stall_strikes[rk] += 1
+        if np.any(self.stall_strikes[rk] >= self.cfg.livelock_threshold):
+            raise ProvisioningLivelockError(
+                f"{self.cfg.livelock_threshold} consecutive queue stalls "
+                "terminated policy-rejected idle workers without any job "
+                "starting or completing; the reuse policy rejects every VM "
+                "age under this lifetime law — use a bathtub-shaped law or "
+                "disable use_reuse_policy"
+            )
 
     def _backfill_scan(self, rr: np.ndarray) -> None:
         """Start jobs behind the stuck head in queue order (unreserved).
@@ -464,6 +517,7 @@ class _ServiceKernel(_LockstepKernel):
             rq = rf[qempty]
             if rq.size:
                 self._schedule_reaps(rq, gang[qempty])
+            self.stall_strikes[rf] = 0
             self._record_completion(rf, jf)
             self.done_count[rf] += 1
             finished = self.done_count[rf] == self.J

@@ -1,0 +1,621 @@
+"""Batched multi-tenant traffic kernel: N service-with-traffic runs in lockstep.
+
+:mod:`repro.sim.service_vectorized` batches one bag submitted at t = 0;
+this module batches the layer above it — many tenants submitting bags
+*over time* to one shared preemptible fleet, under a pluggable
+inter-tenant scheduling policy, per-tenant admission control, and
+elastic fleet sizing.  It is the kernel behind
+:func:`repro.sim.backend.run_tenant_replications`; the event-driven
+reference drives the real
+:class:`repro.traffic.multitenant.MultiTenantService` (a front end over
+:class:`repro.service.controller.BatchComputingService`) per
+replication, and the cross-backend tenancy equivalence suite pins the
+two to 1e-9 hours with exact event/draw/preemption counts.
+
+What the kernel adds on top of the service kernel
+-------------------------------------------------
+* **Bag arrivals as events.**  The traffic — a sequence of
+  :class:`BagSubmission` s, each a (tenant, time, jobs) triple sampled
+  upstream by :mod:`repro.traffic.arrivals` — is *fixed input* shared
+  by every replication; replications differ only in VM-lifetime draws.
+  Each submission is one scheduled arrival event; in the event backend
+  these are the first ``K`` events scheduled (insertion sequences
+  ``0..K-1``), so the kernel numbers them identically and every later
+  event starts from sequence ``K``.
+* **Inter-tenant scheduling as a static total order.**  The pluggable
+  policies (``"fifo"``, ``"fair"`` round-robin, ``"weighted"`` stride)
+  all reduce to one precomputed priority key per job
+  (:func:`assign_queue_keys`); at any instant the queue is the set of
+  arrived, unstarted jobs ordered by key (requeued preempted jobs keep
+  the head, exactly like the single-bag kernels).  Both backends
+  consume the *same* key array, so policy logic cannot diverge.
+* **Per-tenant admission.**  ``admission_cap`` bounds a tenant's
+  unfinished admitted jobs: a bag whose size would exceed the cap at
+  arrival is rejected whole (its jobs never enter the queue).
+* **Per-bag runtime estimates.**  Every admitted bag carries its own
+  trailing-window estimate (the ``BagOfJobs`` sequential sum), and the
+  Eq. 8 reuse filter evaluates the queue head against *its* bag's
+  estimate — tenants do not pollute each other's estimates.
+* **Elastic fleet sizing.**  With ``elastic_vms_per_bag`` set, the
+  provisioning headroom cap is ``min(max_vms, elastic_vms_per_bag x
+  active bags)`` (at least 1) instead of the static ``max_vms``;
+  downsizing happens naturally through idle-retention reaps.
+
+Tenancy round protocol
+----------------------
+Randomness and event ordering follow the service round protocol
+(:mod:`repro.sim.service_vectorized`): only worker-VM lifetimes consume
+uniforms (one draw per boot event, in fire order), and all pending
+events — arrivals, VM deaths, segment completions, worker boots, idle
+reaps — resolve in per-replication ``(time, insertion sequence)``
+order.  Backfill has no tenancy equivalent (inter-tenant policies
+replace it) and is not part of the configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distributions.base import LifetimeDistribution
+from repro.sim.cluster_vectorized import GangJob
+from repro.sim.service_vectorized import _SEQ_INF, _RESIDUAL, _ServiceKernel
+from repro.utils.validation import check_nonnegative, check_positive
+
+__all__ = [
+    "BagSubmission",
+    "TenancyConfig",
+    "SCHEDULING_POLICIES",
+    "assign_queue_keys",
+    "queue_key",
+    "normalize_traffic",
+    "simulate_tenancy_vectorized",
+]
+
+#: Inter-tenant scheduling policies understood by the tenancy layer.
+SCHEDULING_POLICIES = ("fifo", "fair", "weighted")
+
+
+@dataclass(frozen=True)
+class BagSubmission:
+    """One traffic item: tenant ``tenant`` submits ``jobs`` at ``time``.
+
+    Defined here (sim layer) so both the kernel and the traffic layer
+    can share it without the sim layer importing upward; the arrival
+    processes of :mod:`repro.traffic.arrivals` produce these.
+    """
+
+    tenant: int
+    time: float
+    jobs: tuple[GangJob, ...]
+
+    def __post_init__(self) -> None:
+        if self.tenant < 0:
+            raise ValueError(f"tenant must be >= 0, got {self.tenant}")
+        check_nonnegative("time", self.time)
+        if not self.jobs:
+            raise ValueError("a bag submission must contain at least one job")
+        object.__setattr__(
+            self,
+            "jobs",
+            tuple(j if isinstance(j, GangJob) else GangJob(*j) for j in self.jobs),
+        )
+
+
+@dataclass(frozen=True)
+class TenancyConfig:
+    """Knobs of one batched multi-tenant run (see the module docstring).
+
+    The service-kernel subset (fleet, reuse, retention, latency,
+    master, checkpointing, estimation) keeps the exact
+    :class:`~repro.sim.service_vectorized.ServiceBatchConfig` meanings;
+    the tenancy additions are:
+
+    Attributes
+    ----------
+    scheduling:
+        Inter-tenant queue order: ``"fifo"`` (global submission order),
+        ``"fair"`` (round-robin across tenants by per-tenant job
+        index), or ``"weighted"`` (stride scheduling —
+        ``(k + 1) / weight`` virtual finish times).
+    tenant_weights:
+        Per-tenant weights for ``"weighted"`` (ignored otherwise);
+        defaults to all-1.
+    admission_cap:
+        Maximum unfinished admitted jobs a tenant may hold; a bag that
+        would exceed it at arrival is rejected whole.  ``None`` admits
+        everything.
+    elastic_vms_per_bag:
+        Elastic fleet sizing: provisioning cap
+        ``min(max_vms, elastic_vms_per_bag x active bags)`` (>= 1).
+        ``None`` keeps the static ``max_vms`` cap.  Must cover the
+        widest job so a lone active bag can always run.
+    """
+
+    max_vms: int = 8
+    use_reuse_policy: bool = True
+    hot_spare_hours: float = 1.0
+    provision_latency: float = 0.0
+    run_master: bool = True
+    checkpoint_interval: float | None = None
+    checkpoint_cost: float = 1.0 / 60.0
+    estimate_window: int = 16
+    max_attempts_per_job: int = 1000
+    livelock_threshold: int = 500
+    scheduling: str = "fifo"
+    tenant_weights: tuple[float, ...] | None = None
+    admission_cap: int | None = None
+    elastic_vms_per_bag: int | None = None
+
+    def __post_init__(self) -> None:
+        check_positive("max_vms", self.max_vms)
+        check_positive("hot_spare_hours", self.hot_spare_hours)
+        check_nonnegative("provision_latency", self.provision_latency)
+        if self.checkpoint_interval is not None:
+            check_positive("checkpoint_interval", self.checkpoint_interval)
+        check_nonnegative("checkpoint_cost", self.checkpoint_cost)
+        check_positive("estimate_window", self.estimate_window)
+        check_positive("max_attempts_per_job", self.max_attempts_per_job)
+        check_positive("livelock_threshold", self.livelock_threshold)
+        if self.scheduling not in SCHEDULING_POLICIES:
+            raise ValueError(
+                f"scheduling must be one of {SCHEDULING_POLICIES}, "
+                f"got {self.scheduling!r}"
+            )
+        if self.tenant_weights is not None:
+            object.__setattr__(
+                self, "tenant_weights", tuple(float(w) for w in self.tenant_weights)
+            )
+            if any(w <= 0.0 for w in self.tenant_weights):
+                raise ValueError("tenant_weights must be > 0")
+        if self.admission_cap is not None:
+            check_positive("admission_cap", self.admission_cap)
+        if self.elastic_vms_per_bag is not None:
+            check_positive("elastic_vms_per_bag", self.elastic_vms_per_bag)
+
+
+def queue_key(
+    scheduling: str,
+    tenant: int,
+    tenant_job_index: int,
+    n_tenants: int,
+    weights: tuple[float, ...] | None = None,
+) -> float:
+    """Priority key of one job under a tenancy scheduling policy.
+
+    Lower keys run first; ties (possible under ``"weighted"``) resolve
+    in submission order on both backends.  The pure scalar form — the
+    online counterpart of :func:`assign_queue_keys`, used by the live
+    :class:`~repro.traffic.multitenant.MultiTenantService` so that
+    event-path keys are bit-identical to the kernel's precomputed ones.
+
+    ``tenant_job_index`` is the job's index within *everything the
+    tenant has ever submitted* (admitted or not): rejected bags still
+    consume indices, keeping the key a pure function of the traffic.
+    """
+    if scheduling == "fifo":
+        raise ValueError("fifo keys are global submission indices; use assign_queue_keys")
+    if scheduling == "fair":
+        return float(tenant_job_index * n_tenants + tenant)
+    if scheduling == "weighted":
+        w = 1.0 if weights is None else float(weights[tenant])
+        return float(tenant_job_index + 1) / w
+    raise ValueError(f"unknown scheduling policy {scheduling!r}")
+
+
+def assign_queue_keys(
+    job_tenants: np.ndarray,
+    scheduling: str,
+    n_tenants: int,
+    weights: tuple[float, ...] | None = None,
+) -> np.ndarray:
+    """Priority keys for all jobs of a traffic trace, in submission order.
+
+    ``job_tenants`` is the flat per-job tenant index array (traffic
+    sorted by time, bags flattened in order).  Returns a float key per
+    job; lower runs first.  All keys are >= 0, so requeued preempted
+    jobs (negative head keys) always outrank them.
+    """
+    tenants = np.asarray(job_tenants, dtype=np.int64)
+    if scheduling not in SCHEDULING_POLICIES:
+        raise ValueError(
+            f"scheduling must be one of {SCHEDULING_POLICIES}, got {scheduling!r}"
+        )
+    if scheduling == "fifo":
+        return np.arange(tenants.size, dtype=float)
+    # Within-tenant submission index k: 0, 1, 2, ... per tenant.
+    k = np.zeros(tenants.size, dtype=np.int64)
+    counts = np.zeros(max(n_tenants, 1), dtype=np.int64)
+    for i, t in enumerate(tenants):
+        k[i] = counts[t]
+        counts[t] += 1
+    if scheduling == "fair":
+        return (k * n_tenants + tenants).astype(float)
+    w = np.ones(n_tenants) if weights is None else np.asarray(weights, dtype=float)
+    return (k + 1).astype(float) / w[tenants]
+
+
+def normalize_traffic(traffic) -> tuple[BagSubmission, ...]:
+    """Canonical traffic: ``BagSubmission`` s, stably sorted by time.
+
+    Accepts ``BagSubmission`` objects or ``(tenant, time, jobs)``
+    triples; every entry point (both backends, the live service front
+    end) must normalise through here so job order — and therefore key
+    assignment and tie-breaking — is identical everywhere.
+    """
+    subs = [
+        s if isinstance(s, BagSubmission) else BagSubmission(*s) for s in traffic
+    ]
+    order = sorted(range(len(subs)), key=lambda i: (subs[i].time, i))
+    return tuple(subs[i] for i in order)
+
+
+def _flatten_traffic(traffic: tuple[BagSubmission, ...]):
+    """Flat per-job / per-bag arrays of a normalised traffic trace."""
+    job_tenant: list[int] = []
+    work: list[float] = []
+    width: list[int] = []
+    bag_lo: list[int] = []
+    bag_hi: list[int] = []
+    for sub in traffic:
+        bag_lo.append(len(work))
+        for j in sub.jobs:
+            job_tenant.append(sub.tenant)
+            work.append(j.work_hours)
+            width.append(j.width)
+        bag_hi.append(len(work))
+    return {
+        "job_tenant": np.asarray(job_tenant, dtype=np.int64),
+        "work": np.asarray(work, dtype=float),
+        "width": np.asarray(width, dtype=np.int64),
+        "bag_tenant": np.asarray([s.tenant for s in traffic], dtype=np.int64),
+        "bag_time": np.asarray([s.time for s in traffic], dtype=float),
+        "bag_lo": np.asarray(bag_lo, dtype=np.int64),
+        "bag_hi": np.asarray(bag_hi, dtype=np.int64),
+    }
+
+
+class _TenancyKernel(_ServiceKernel):
+    """Array state and phase operations of the lockstep tenancy sweep.
+
+    Inherits the service kernel's fleet/boot/reap/death machinery and
+    overrides queueing (arrival-gated static keys), estimation
+    (per-bag), stall handling (per-head estimate + elastic cap), and
+    the run loop (arrival events, per-row finish times).
+    """
+
+    def __init__(
+        self,
+        dist: LifetimeDistribution,
+        traffic: tuple[BagSubmission, ...],
+        n_tenants: int,
+        config: TenancyConfig,
+        n_replications: int,
+        rng: np.random.Generator,
+        max_events: int,
+    ):
+        flat = _flatten_traffic(traffic)
+        jobs = [GangJob(h, int(w)) for h, w in zip(flat["work"], flat["width"])]
+        super().__init__(dist, jobs, config, n_replications, rng, max_events)
+        n, J = self.n, self.J
+        self.T = int(n_tenants)
+        self.K = len(traffic)
+        self.job_tenant = flat["job_tenant"]
+        self.bag_of = np.zeros(J, dtype=np.int64)
+        for k in range(self.K):
+            self.bag_of[flat["bag_lo"][k] : flat["bag_hi"][k]] = k
+        self.bag_tenant = flat["bag_tenant"]
+        self.bag_lo = flat["bag_lo"]
+        self.bag_hi = flat["bag_hi"]
+        self.bag_size = self.bag_hi - self.bag_lo
+        self.atime = flat["bag_time"]
+        self.keys = assign_queue_keys(
+            self.job_tenant, config.scheduling, self.T, config.tenant_weights
+        )
+        # Jobs are queue-invisible until their arrival event fires.
+        self.qkey[:] = np.inf
+        # Arrival events carry insertion sequences 0..K-1; everything
+        # scheduled afterwards starts at K (the event path schedules
+        # all arrivals before any other event exists).
+        self.evseq[:] = self.K
+        self.aptr = np.zeros(n, dtype=np.int64)
+        # Per-bag runtime estimates (each bag its own BagOfJobs).
+        W = config.estimate_window
+        first_work = np.array(
+            [self.work[lo] for lo in self.bag_lo], dtype=float
+        ) if self.K else np.zeros(0)
+        self.est = np.broadcast_to(first_work, (n, self.K)).copy()
+        self.buf = np.zeros((n, self.K, W))
+        self.buf_pos = np.zeros((n, self.K), dtype=np.int64)
+        self.buf_len = np.zeros((n, self.K), dtype=np.int64)
+        # Tenancy bookkeeping.
+        self.admitted = np.zeros((n, J), dtype=bool)
+        self.admitted_total = np.zeros(n, dtype=np.int64)
+        self.adm_tenant = np.zeros((n, self.T), dtype=np.int64)
+        self.done_tenant = np.zeros((n, self.T), dtype=np.int64)
+        self.bag_done = np.zeros((n, self.K), dtype=np.int64)
+        self.active_bags = np.zeros(n, dtype=np.int64)
+        self.first_start = np.full((n, J), np.nan)
+        self.finish = np.full((n, J), np.nan)
+
+    # -- tenancy-aware policy plumbing -----------------------------------
+    def _fleet_cap(self, rr: np.ndarray) -> np.ndarray:
+        """Provisioning cap per row: static, or elastic in active bags."""
+        e = self.cfg.elastic_vms_per_bag
+        if e is None:
+            return np.full(rr.size, self.cfg.max_vms, dtype=np.int64)
+        return np.minimum(
+            self.cfg.max_vms, np.maximum(e * self.active_bags[rr], 1)
+        )
+
+    def _suitability_for(self, rr: np.ndarray, jj: np.ndarray):
+        """(free, suitable) masks under the *head job's bag* estimate.
+
+        Named apart from the base ``_suitability(rr)`` (whose row-wide
+        single-bag estimate is meaningless here): the per-job form is
+        the only one the tenancy kernel may use.
+        """
+        free = self.alive[rr] & (self.vm_job[rr] == -1)
+        if self.policy is None:
+            return free, free
+        T = np.maximum(self.est[rr, self.bag_of[jj]], 1e-6)
+        ages = np.maximum(self.now[rr][:, None] - self.launch[rr], 0.0)
+        return free, free & self.policy.decide_pairs(T[:, None], ages)
+
+    def _suitability(self, rr: np.ndarray):
+        raise NotImplementedError(
+            "tenancy suitability is per-job (bag estimates differ); "
+            "use _suitability_for"
+        )
+
+    def _backfill_scan(self, rr: np.ndarray) -> None:
+        raise NotImplementedError(
+            "backfill has no tenancy equivalent; inter-tenant policies "
+            "own the queue order"
+        )
+
+    def _head_state(self, rr: np.ndarray):
+        qk = self.qkey[rr]
+        head = np.argmin(qk, axis=1)
+        has = qk[np.arange(rr.size), head] < np.inf
+        rr, head = rr[has], head[has]
+        if not rr.size:
+            return rr, head, None, None, None
+        free, suit = self._suitability_for(rr, head)
+        return rr, head, self.width[head], suit, free
+
+    def _start_job(self, rr: np.ndarray, jj: np.ndarray, suit: np.ndarray) -> None:
+        fresh = self.attempts[rr, jj] == 0
+        rf = rr[fresh]
+        if rf.size:
+            self.first_start[rf, jj[fresh]] = self.now[rf]
+        super()._start_job(rr, jj, suit)
+
+    def _schedule_pass(self, rr: np.ndarray) -> None:
+        """One ``try_schedule``: start heads by key order, stall once.
+
+        No backfill branch: inter-tenant policies own the queue order.
+        """
+        stuck: list[np.ndarray] = []
+        while rr.size:
+            rr, head, w, suit, _ = self._head_state(rr)
+            if not rr.size:
+                break
+            ok = suit.sum(axis=1) >= w
+            stuck.append(rr[~ok])
+            rr, head, suit = rr[ok], head[ok], suit[ok]
+            if not rr.size:
+                break
+            self._start_job(rr, head, suit)
+        if stuck:
+            blocked = np.concatenate(stuck)
+            if blocked.size:
+                self._stall_actions(blocked)
+
+    # _stall_actions is inherited: the head's per-bag estimate flows in
+    # through the _head_state override, the elastic cap through
+    # _fleet_cap — the terminate/bill/provision block stays one copy.
+
+    def _record_completion(self, rr: np.ndarray, jj: np.ndarray) -> None:
+        """The per-bag ``BagOfJobs.estimated_runtime`` sequential sum."""
+        W = self.cfg.estimate_window
+        b = self.bag_of[jj]
+        pos = self.buf_pos[rr, b]
+        self.buf[rr, b, pos] = self.work[jj]
+        self.buf_pos[rr, b] = (pos + 1) % W
+        self.buf_len[rr, b] = np.minimum(self.buf_len[rr, b] + 1, W)
+        k = self.buf_len[rr, b]
+        start = np.where(k < W, 0, self.buf_pos[rr, b])
+        total = np.zeros(rr.size)
+        for t in range(W):
+            vals = self.buf[rr, b, (start + t) % W]
+            total = np.where(t < k, total + vals, total)
+        self.est[rr, b] = total / k
+
+    # -- event rounds ----------------------------------------------------
+    def _process_arrivals(self, rr: np.ndarray) -> None:
+        """Bag arrival events: admission, key activation, submit stalls."""
+        ks = self.aptr[rr]
+        self.aptr[rr] += 1
+        for k in np.unique(ks):
+            rk = rr[ks == k]
+            t = int(self.bag_tenant[k])
+            lo, hi = int(self.bag_lo[k]), int(self.bag_hi[k])
+            m = hi - lo
+            if self.cfg.admission_cap is not None:
+                unfinished = self.adm_tenant[rk, t] - self.done_tenant[rk, t]
+                admit = unfinished + m <= self.cfg.admission_cap
+            else:
+                admit = np.ones(rk.size, dtype=bool)
+            ra = rk[admit]
+            if not ra.size:
+                continue
+            self.adm_tenant[ra, t] += m
+            self.admitted_total[ra] += m
+            self.admitted[ra, lo:hi] = True
+            self.active_bags[ra] += 1
+            # One cluster.submit -> try_schedule per bag member, in
+            # declaration order — exactly the controller's submit_bag.
+            for j in range(lo, hi):
+                self.qkey[ra, j] = self.keys[j]
+                self._schedule_pass(ra)
+
+    def _process_completions(self, rr: np.ndarray, jj: np.ndarray) -> None:
+        take = self.seg_take[rr, jj]
+        self.progress[rr, jj] = np.minimum(self.progress[rr, jj] + take, self.work[jj])
+        after = self.seg_after[rr, jj]
+        more = after > _RESIDUAL
+        rc, jc = rr[more], jj[more]
+        if rc.size:  # checkpoint written; next segment in the same instant
+            self._launch_segment(rc, jc, after[more])
+        rf, jf = rr[~more], jj[~more]
+        if rf.size:
+            self.ctime[rf, jf] = np.inf
+            self.cseq[rf, jf] = _SEQ_INF
+            gang = self.vm_job[rf] == jf[:, None]
+            self.vm_job[rf] = np.where(gang, -1, self.vm_job[rf])
+            # Release order matches _job_completed: idle (reap) timers,
+            # then the bag-estimate update and tenant bookkeeping, then
+            # the scheduling pass.
+            qempty = ~np.isfinite(self.qkey[rf]).any(axis=1)
+            rq = rf[qempty]
+            if rq.size:
+                self._schedule_reaps(rq, gang[qempty])
+            self.stall_strikes[rf] = 0
+            self._record_completion(rf, jf)
+            self.finish[rf, jf] = self.now[rf]
+            self.done_count[rf] += 1
+            self.done_tenant[rf, self.job_tenant[jf]] += 1
+            b = self.bag_of[jf]
+            self.bag_done[rf, b] += 1
+            ended = self.bag_done[rf, b] == self.bag_size[b]
+            self.active_bags[rf[ended]] -= 1
+            self._schedule_pass(rf)
+
+    def run(self) -> int:
+        n_rounds = 0
+        active = (
+            np.flatnonzero(
+                (self.aptr < self.K)
+                | (self.done_count < self.admitted_total)
+            )
+            if self.n
+            else np.zeros(0, dtype=np.int64)
+        )
+        while active.size:
+            if np.any(self.events[active] >= self.max_events):
+                raise RuntimeError(
+                    f"{active.size} replications unfinished after "
+                    f"{self.max_events} events; the traffic cannot finish "
+                    "under this lifetime law / configuration"
+                )
+            arr_time = np.where(
+                self.aptr[active] < self.K,
+                self.atime[np.minimum(self.aptr[active], self.K - 1)],
+                np.inf,
+            )
+            times = np.concatenate(
+                [
+                    np.where(self.alive[active], self.death[active], np.inf),
+                    self.ctime[active],
+                    self.btime[active],
+                    self.reap_time[active],
+                    arr_time[:, None],
+                ],
+                axis=1,
+            )
+            seqs = np.concatenate(
+                [
+                    self.dseq[active],
+                    self.cseq[active],
+                    self.bseq[active],
+                    self.reap_seq[active],
+                    self.aptr[active][:, None],
+                ],
+                axis=1,
+            )
+            tmin = times.min(axis=1)
+            if not np.all(np.isfinite(tmin)):
+                raise RuntimeError(
+                    "tenancy sweep deadlocked: a replication has pending "
+                    "work but no pending events"
+                )
+            tie = times == tmin[:, None]
+            pick = np.argmin(np.where(tie, seqs, _SEQ_INF), axis=1)
+            self.now[active] = tmin
+            self.events[active] += 1
+            S, J, B = self.S, self.J, self.B
+            is_death = pick < S
+            is_comp = (pick >= S) & (pick < S + J)
+            is_boot = (pick >= S + J) & (pick < S + J + B)
+            is_reap = (pick >= S + J + B) & (pick < S + J + B + S)
+            is_arr = pick >= S + J + B + S
+            rd = active[is_death]
+            if rd.size:
+                self._process_deaths(rd, pick[is_death])
+            rc = active[is_comp]
+            if rc.size:
+                self._process_completions(rc, pick[is_comp] - S)
+            rb = active[is_boot]
+            if rb.size:
+                self._process_boots(rb, pick[is_boot] - S - J)
+            rp = active[is_reap]
+            if rp.size:
+                self._process_reaps(rp, pick[is_reap] - S - J - B)
+            ra = active[is_arr]
+            if ra.size:
+                self._process_arrivals(ra)
+            fin = (self.aptr[active] == self.K) & (
+                self.done_count[active] == self.admitted_total[active]
+            )
+            self.makespan[active[fin]] = self.now[active[fin]]
+            active = active[~fin]
+            n_rounds += 1
+        if self.n:
+            # Bill workers still alive at each row's finish time; pending
+            # boots and reaps never fire (the run stops with the traffic).
+            live = np.where(self.alive, self.makespan[:, None] - self.launch, 0.0)
+            self.vm_hours += live.sum(axis=1)
+            if self.cfg.run_master:
+                self.master_hours = self.makespan.copy()
+        return n_rounds
+
+
+def simulate_tenancy_vectorized(
+    dist: LifetimeDistribution,
+    traffic,
+    n_tenants: int,
+    config: TenancyConfig,
+    *,
+    n_replications: int,
+    rng: np.random.Generator,
+    max_events: int = 1_000_000,
+) -> dict[str, np.ndarray | int]:
+    """Run ``n_replications`` lockstep multi-tenant sweeps.
+
+    Argument validation lives in
+    :func:`repro.sim.backend.run_tenant_replications`; this kernel
+    assumes normalised traffic and a validated config.  Returns the raw
+    per-replication arrays keyed by outcome name plus the round count.
+    """
+    traffic = normalize_traffic(traffic)
+    kernel = _TenancyKernel(
+        dist, traffic, n_tenants, config, n_replications, rng, max_events
+    )
+    n_rounds = kernel.run()
+    return {
+        "makespan": kernel.makespan,
+        "wasted_hours": kernel.wasted,
+        "completed_jobs": kernel.done_count,
+        "n_job_failures": kernel.failures,
+        "n_preemptions": kernel.preemptions,
+        "vm_hours": kernel.vm_hours,
+        "master_hours": kernel.master_hours,
+        "n_events": kernel.events,
+        "n_draws": kernel.draw_k,
+        "admitted": kernel.admitted,
+        "start_times": kernel.first_start,
+        "finish_times": kernel.finish,
+        "n_rounds": n_rounds,
+    }

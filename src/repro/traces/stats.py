@@ -15,7 +15,13 @@ import numpy as np
 
 from repro.traces.schema import PreemptionRecord, PreemptionTrace
 
-__all__ = ["GroupStats", "trace_summary", "group_summary", "lifetimes_by"]
+__all__ = [
+    "GroupStats",
+    "trace_summary",
+    "group_summary",
+    "lifetimes_by",
+    "demand_profile",
+]
 
 
 @dataclass(frozen=True)
@@ -90,3 +96,40 @@ def group_summary(
     return {
         k: GroupStats.from_lifetimes(v) for k, v in lifetimes_by(trace, key).items()
     }
+
+
+def demand_profile(trace: PreemptionTrace) -> np.ndarray:
+    """Relative cloud-demand intensity per (day-of-week, hour), mean 1.
+
+    The Section 3 observations tie short preemptible lifetimes to high
+    spare-capacity demand (weekday daytime); inverting the per-context
+    mean lifetime therefore gives a demand proxy the traffic layer can
+    modulate arrival rates with
+    (:meth:`repro.traffic.arrivals.WeeklyRateCurve.from_trace`).
+
+    Records are grouped by the generator's launch contexts — (weekend,
+    night) with night = launch hour in [20, 8) — and each context's
+    weight is ``mean lifetime over all records / mean lifetime in the
+    context``; contexts with no records fall back to weight 1.  Returns
+    a ``(7, 24)`` array normalised to mean 1 over the week.
+    """
+    def context(r: PreemptionRecord) -> tuple[bool, bool]:
+        night = r.launch_hour >= 20.0 or r.launch_hour < 8.0
+        return (r.day_of_week >= 5, night)
+
+    groups = lifetimes_by(trace, context)
+    overall = np.concatenate(list(groups.values())) if groups else np.zeros(0)
+    profile = np.ones((7, 24))
+    if overall.size == 0:
+        return profile
+    overall_mean = float(overall.mean())
+    for (weekend, night), lifetimes in groups.items():
+        if lifetimes.size == 0:
+            continue
+        weight = overall_mean / float(lifetimes.mean())
+        days = range(5, 7) if weekend else range(0, 5)
+        hours = [h for h in range(24) if (h >= 20 or h < 8) == night]
+        for d in days:
+            for h in hours:
+                profile[d, h] = weight
+    return profile / profile.mean()

@@ -1,0 +1,63 @@
+"""Multi-tenant traffic: arrivals, admission, shared-fleet scheduling.
+
+The layer above the Section 5 controller — where the system serves
+*traffic* (many tenants submitting bags over time) instead of replaying
+one bag:
+
+* :mod:`repro.traffic.arrivals` -- arrival processes (Poisson, diurnal
+  rate curves derived from trace statistics, bursty MMPP) and job-mix
+  sampling into :class:`~repro.sim.tenancy_vectorized.BagSubmission`
+  traffic traces,
+* :mod:`repro.traffic.multitenant` -- the live
+  :class:`MultiTenantService` front end over
+  :class:`~repro.service.controller.BatchComputingService` (pluggable
+  inter-tenant scheduling, admission control, elastic fleet sizing);
+  the event-path oracle of the batched tenancy kernel,
+* :mod:`repro.traffic.metrics` -- per-tenant SLO metrics (wait,
+  bounded slowdown, cost-reduction factor, Jain fairness).
+
+Batched sweeps run through
+:func:`repro.sim.backend.run_tenant_replications`; the ``fig9-tenants``
+registry experiment sweeps tenant count x arrival rate x policy.
+"""
+
+from repro.sim.tenancy_vectorized import (
+    BagSubmission,
+    TenancyConfig,
+    SCHEDULING_POLICIES,
+)
+from repro.traffic.arrivals import (
+    DiurnalProcess,
+    JobMix,
+    MMPPProcess,
+    PoissonProcess,
+    TenantSpec,
+    WeeklyRateCurve,
+    sample_traffic,
+)
+from repro.traffic.metrics import (
+    TenantReport,
+    bounded_slowdown,
+    jain_fairness_index,
+    tenant_report,
+)
+from repro.traffic.multitenant import MultiTenantService, TenantJobRecord
+
+__all__ = [
+    "BagSubmission",
+    "TenancyConfig",
+    "SCHEDULING_POLICIES",
+    "DiurnalProcess",
+    "JobMix",
+    "MMPPProcess",
+    "PoissonProcess",
+    "TenantSpec",
+    "WeeklyRateCurve",
+    "sample_traffic",
+    "TenantReport",
+    "bounded_slowdown",
+    "jain_fairness_index",
+    "tenant_report",
+    "MultiTenantService",
+    "TenantJobRecord",
+]

@@ -1,0 +1,355 @@
+"""Arrival processes: tenants submitting bags over time.
+
+The ROADMAP's "heavy traffic" layer needs *workload generators*: who
+submits how much, when.  This module provides the three arrival shapes
+the scheduling literature leans on (cf. the accasim-style workload
+simulators):
+
+* :class:`PoissonProcess` — homogeneous Poisson arrivals (rate bags/h),
+* :class:`DiurnalProcess` — inhomogeneous Poisson driven by a weekly
+  rate curve (:class:`WeeklyRateCurve`), derivable from the Section 3
+  trace analysis via :meth:`WeeklyRateCurve.from_trace` (busy weekday
+  daytime hours — where preemption pressure is highest — submit more),
+* :class:`MMPPProcess` — a 2-state Markov-modulated Poisson process for
+  bursty traffic (quiet/burst regimes with exponential sojourns).
+
+Each tenant pairs an arrival process with a :class:`JobMix` describing
+the bag contents (lognormal job-length mixes over a width distribution,
+"shapes"-style heterogeneity); :func:`sample_traffic` turns a set of
+:class:`TenantSpec` s into one deterministic, time-sorted sequence of
+:class:`~repro.sim.tenancy_vectorized.BagSubmission` s — the *fixed
+scenario input* that :func:`repro.sim.backend.run_tenant_replications`
+replays on both backends (traffic randomness is sampled here, once;
+the Monte-Carlo axis is VM lifetimes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.sim.cluster_vectorized import GangJob
+from repro.sim.tenancy_vectorized import BagSubmission, normalize_traffic
+from repro.traces.schema import PreemptionTrace
+from repro.traces.stats import demand_profile
+from repro.utils.validation import check_nonnegative, check_positive
+
+__all__ = [
+    "WeeklyRateCurve",
+    "PoissonProcess",
+    "DiurnalProcess",
+    "MMPPProcess",
+    "JobMix",
+    "TenantSpec",
+    "sample_traffic",
+]
+
+#: Hours in the weekly cycle the diurnal curve repeats over.
+WEEK_HOURS = 168
+
+
+@dataclass(frozen=True)
+class WeeklyRateCurve:
+    """Piecewise-constant arrival rate over a repeating 168-hour week.
+
+    ``hourly_rates[h]`` is the rate (bags/hour) during week-hour ``h``
+    (hour 0 = Monday 00:00, matching the trace schema's
+    ``day_of_week``/``launch_hour`` conventions).
+    """
+
+    hourly_rates: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.hourly_rates) != WEEK_HOURS:
+            raise ValueError(
+                f"hourly_rates must have {WEEK_HOURS} entries, "
+                f"got {len(self.hourly_rates)}"
+            )
+        rates = tuple(float(r) for r in self.hourly_rates)
+        if any(r < 0.0 for r in rates):
+            raise ValueError("hourly rates must be >= 0")
+        if not any(r > 0.0 for r in rates):
+            raise ValueError("at least one hourly rate must be > 0")
+        object.__setattr__(self, "hourly_rates", rates)
+
+    @classmethod
+    def from_trace(
+        cls, trace: PreemptionTrace, base_rate: float
+    ) -> "WeeklyRateCurve":
+        """Rate curve proportional to the trace's demand profile.
+
+        ``base_rate`` is the *week-average* rate; each hour is scaled by
+        :func:`repro.traces.stats.demand_profile` (mean 1 over the
+        week), so high-demand contexts — weekday daytime, where
+        observed lifetimes are shortest — submit proportionally more.
+        """
+        check_positive("base_rate", base_rate)
+        profile = demand_profile(trace)  # (7, 24), mean 1
+        return cls(tuple(float(base_rate * profile[d, h]) for d in range(7) for h in range(24)))
+
+    @classmethod
+    def flat(cls, rate: float) -> "WeeklyRateCurve":
+        check_positive("rate", rate)
+        return cls((float(rate),) * WEEK_HOURS)
+
+    def rate_at(self, t: float) -> float:
+        """Instantaneous rate at absolute hour ``t`` (t = 0 is Monday 00:00)."""
+        check_nonnegative("t", t)
+        return self.hourly_rates[int(t % WEEK_HOURS)]
+
+    def integrate(self, horizon: float) -> float:
+        """Cumulative intensity ``Lambda(horizon)`` = expected arrivals."""
+        check_nonnegative("horizon", horizon)
+        rates = np.asarray(self.hourly_rates)
+        full_weeks, rem = divmod(horizon, float(WEEK_HOURS))
+        total = full_weeks * rates.sum()
+        whole, frac = divmod(rem, 1.0)
+        whole = int(whole)
+        total += rates[:whole].sum()
+        if frac > 0.0:
+            total += rates[whole % WEEK_HOURS] * frac
+        return float(total)
+
+
+class PoissonProcess:
+    """Homogeneous Poisson arrivals at ``rate`` bags/hour."""
+
+    def __init__(self, rate: float):
+        self.rate = check_positive("rate", rate)
+
+    def sample_times(self, horizon: float, rng: np.random.Generator) -> np.ndarray:
+        check_nonnegative("horizon", horizon)
+        times = []
+        t = 0.0
+        while True:
+            t += rng.exponential(1.0 / self.rate)
+            if t >= horizon:
+                break
+            times.append(t)
+        return np.asarray(times, dtype=float)
+
+
+class DiurnalProcess:
+    """Inhomogeneous Poisson arrivals driven by a :class:`WeeklyRateCurve`.
+
+    Sampled by inversion of the integrated rate: unit-exponential
+    increments in ``Lambda``-space map back to arrival times through the
+    piecewise-linear cumulative intensity, so the draw sequence (and
+    thus reproducibility) depends only on the generator state.
+    """
+
+    def __init__(self, curve: WeeklyRateCurve, *, start_hour: float = 0.0):
+        self.curve = curve
+        self.start_hour = check_nonnegative("start_hour", start_hour)
+        # Inversion table: Lambda at bin edges.  All _invert arithmetic
+        # uses these edges (and their final value as the week total) so
+        # a cumulative-intensity coordinate can never float past the
+        # last edge into a trailing zero-rate bin.
+        self._rates = np.asarray(curve.hourly_rates)
+        self._edges = np.concatenate([[0.0], np.cumsum(self._rates)])
+
+    def sample_times(self, horizon: float, rng: np.random.Generator) -> np.ndarray:
+        check_nonnegative("horizon", horizon)
+        times = []
+        offset = self.start_hour
+        target = 0.0  # cumulative-intensity coordinate of the next arrival
+        consumed = self.curve.integrate(offset)
+        total = self.curve.integrate(offset + horizon)
+        while True:
+            target += rng.exponential(1.0)
+            lam = consumed + target
+            if lam >= total:
+                break
+            t = self._invert(lam) - offset
+            if t >= horizon:  # float slack between integrate() and the table
+                break
+            times.append(t)
+        return np.asarray(times, dtype=float)
+
+    def _invert(self, lam: float) -> float:
+        """Absolute hour ``t`` with ``Lambda(t) = lam`` (piecewise linear)."""
+        week_total = float(self._edges[-1])
+        weeks, lam_rem = divmod(lam, week_total)
+        # lam_rem < week_total, so the located bin always carries mass:
+        # a zero-rate bin has a zero-width edge interval that cannot
+        # contain lam_rem (searchsorted skips past it).
+        h = int(np.searchsorted(self._edges, lam_rem, side="right") - 1)
+        h = min(h, WEEK_HOURS - 1)
+        while self._rates[h] == 0.0 and h + 1 < WEEK_HOURS:  # defensive
+            h += 1
+        frac = (lam_rem - self._edges[h]) / self._rates[h]
+        return float(weeks * WEEK_HOURS + h + frac)
+
+
+class MMPPProcess:
+    """2-state Markov-modulated Poisson process (bursty arrivals).
+
+    The process alternates exponential sojourns in a quiet state (rate
+    ``rate_low``, mean sojourn ``sojourn_low`` hours) and a burst state
+    (``rate_high`` / ``sojourn_high``); within a sojourn arrivals are
+    homogeneous Poisson at the state's rate.
+    """
+
+    def __init__(
+        self,
+        rate_low: float,
+        rate_high: float,
+        *,
+        sojourn_low: float = 8.0,
+        sojourn_high: float = 1.0,
+        start_high: bool = False,
+    ):
+        self.rate_low = check_nonnegative("rate_low", rate_low)
+        self.rate_high = check_positive("rate_high", rate_high)
+        self.sojourn_low = check_positive("sojourn_low", sojourn_low)
+        self.sojourn_high = check_positive("sojourn_high", sojourn_high)
+        self.start_high = bool(start_high)
+
+    def sample_times(self, horizon: float, rng: np.random.Generator) -> np.ndarray:
+        check_nonnegative("horizon", horizon)
+        times = []
+        t = 0.0
+        high = self.start_high
+        while t < horizon:
+            mean = self.sojourn_high if high else self.sojourn_low
+            rate = self.rate_high if high else self.rate_low
+            end = min(t + rng.exponential(mean), horizon)
+            if rate > 0.0:
+                s = t
+                while True:
+                    s += rng.exponential(1.0 / rate)
+                    if s >= end:
+                        break
+                    times.append(s)
+            t = end
+            high = not high
+        return np.asarray(times, dtype=float)
+
+
+@dataclass(frozen=True)
+class JobMix:
+    """Heterogeneous bag contents: a lognormal length mix over gang widths.
+
+    Attributes
+    ----------
+    mean_hours:
+        Mean job length of the mix.
+    cv:
+        Coefficient of variation of the lognormal length law (0 pins
+        every job to ``mean_hours``).
+    widths:
+        Gang widths jobs may request.
+    width_weights:
+        Sampling weights over ``widths`` (uniform when ``None``).
+    jobs_per_bag:
+        Inclusive ``(lo, hi)`` range of bag sizes.
+    min_hours:
+        Lower clip on sampled lengths (keeps jobs strictly positive).
+    """
+
+    mean_hours: float = 1.0
+    cv: float = 0.4
+    widths: tuple[int, ...] = (1,)
+    width_weights: tuple[float, ...] | None = None
+    jobs_per_bag: tuple[int, int] = (2, 5)
+    min_hours: float = 0.05
+
+    def __post_init__(self) -> None:
+        check_positive("mean_hours", self.mean_hours)
+        check_nonnegative("cv", self.cv)
+        check_positive("min_hours", self.min_hours)
+        if not self.widths or any(w < 1 for w in self.widths):
+            raise ValueError("widths must be a non-empty tuple of ints >= 1")
+        lo, hi = self.jobs_per_bag
+        if lo < 1 or hi < lo:
+            raise ValueError(f"jobs_per_bag must satisfy 1 <= lo <= hi, got {self.jobs_per_bag}")
+        if self.width_weights is not None:
+            if len(self.width_weights) != len(self.widths):
+                raise ValueError("width_weights must align with widths")
+            if any(w < 0 for w in self.width_weights) or sum(self.width_weights) <= 0:
+                raise ValueError("width_weights must be >= 0 and sum > 0")
+
+    @classmethod
+    def from_profile(cls, profile, **overrides) -> "JobMix":
+        """Build a mix from a workload runtime profile.
+
+        ``profile`` is a
+        :class:`repro.workloads.profiles.RuntimeProfile` (or anything
+        with ``mean_hours``/``cv``/``widths``/``jobs_per_bag``);
+        keyword overrides replace individual fields, e.g.
+        ``JobMix.from_profile(application_profile("lulesh"),
+        jobs_per_bag=(2, 4))``.
+        """
+        fields = dict(
+            mean_hours=profile.mean_hours,
+            cv=profile.cv,
+            widths=tuple(profile.widths),
+            jobs_per_bag=tuple(profile.jobs_per_bag),
+        )
+        fields.update(overrides)
+        return cls(**fields)
+
+    def sample_bag(self, rng: np.random.Generator) -> tuple[GangJob, ...]:
+        lo, hi = self.jobs_per_bag
+        m = int(rng.integers(lo, hi + 1))
+        if self.cv > 0.0:
+            sigma = float(np.sqrt(np.log1p(self.cv**2)))
+            mu = float(np.log(self.mean_hours)) - 0.5 * sigma**2
+            hours = np.exp(rng.normal(mu, sigma, size=m))
+        else:
+            hours = np.full(m, self.mean_hours)
+        hours = np.maximum(hours, self.min_hours)
+        if len(self.widths) > 1:
+            p = None
+            if self.width_weights is not None:
+                w = np.asarray(self.width_weights, dtype=float)
+                p = w / w.sum()
+            widths = rng.choice(np.asarray(self.widths), size=m, p=p)
+        else:
+            widths = np.full(m, self.widths[0], dtype=np.int64)
+        return tuple(GangJob(float(h), int(w)) for h, w in zip(hours, widths))
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant: a name, an arrival process, a job mix, and a weight.
+
+    ``weight`` feeds the ``"weighted"`` inter-tenant scheduling policy
+    (stride scheduling); it is ignored by ``"fifo"`` and ``"fair"``.
+    """
+
+    name: str
+    arrivals: PoissonProcess | DiurnalProcess | MMPPProcess
+    mix: JobMix
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive("weight", self.weight)
+
+
+def sample_traffic(
+    tenants: Sequence[TenantSpec],
+    horizon: float,
+    *,
+    seed: int | np.random.Generator | None = 0,
+) -> tuple[BagSubmission, ...]:
+    """Sample every tenant's submissions over ``[0, horizon)`` hours.
+
+    One generator serves all tenants in declaration order (arrival
+    times first, then each bag's contents), so the traffic is a pure
+    function of ``(tenants, horizon, seed)``.  Returns submissions
+    normalised the way the backends require — stably sorted by time.
+    """
+    check_positive("horizon", horizon)
+    if not tenants:
+        raise ValueError("tenants must be non-empty")
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    submissions: list[BagSubmission] = []
+    for idx, spec in enumerate(tenants):
+        for t in spec.arrivals.sample_times(float(horizon), rng):
+            submissions.append(
+                BagSubmission(tenant=idx, time=float(t), jobs=spec.mix.sample_bag(rng))
+            )
+    return normalize_traffic(submissions)

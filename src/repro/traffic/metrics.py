@@ -1,0 +1,189 @@
+"""Per-tenant SLO metrics over multi-tenant sweep outcomes.
+
+Derived views over the equivalence-pinned arrays of
+:class:`repro.sim.backend.TenantOutcomes` — any metric here agrees
+across backends by construction.  The vocabulary follows the
+workload-management literature (and the paper's Fig. 9 economics):
+
+* **wait** — arrival-to-first-start queueing delay,
+* **bounded slowdown** — ``max(turnaround / max(work, tau), 1)`` with
+  the conventional 0.1 h interactivity threshold ``tau``,
+* **cost-reduction factor** — on-demand baseline over billed cost,
+  attributed to tenants in proportion to their gang occupancy
+  (``(finish - start) x width``) so heavy or failure-prone tenants
+  carry their share of the waste,
+* **Jain fairness index** — ``(sum x)^2 / (n sum x^2)`` over per-tenant
+  mean waits (1 = perfectly even queueing across tenants).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.backend import TenantOutcomes
+from repro.utils.validation import check_nonnegative, check_positive
+
+__all__ = [
+    "BSLD_THRESHOLD_HOURS",
+    "TenantReport",
+    "bounded_slowdown",
+    "jain_fairness_index",
+    "tenant_report",
+]
+
+#: Conventional interactivity threshold of the bounded-slowdown metric.
+BSLD_THRESHOLD_HOURS = 0.1
+
+
+def bounded_slowdown(
+    turnaround: np.ndarray,
+    work_hours: np.ndarray,
+    *,
+    threshold: float = BSLD_THRESHOLD_HOURS,
+) -> np.ndarray:
+    """Elementwise ``max(turnaround / max(work, threshold), 1)``.
+
+    ``nan`` entries (rejected jobs) propagate.
+    """
+    check_positive("threshold", threshold)
+    denom = np.maximum(np.asarray(work_hours, dtype=float), threshold)
+    return np.maximum(np.asarray(turnaround, dtype=float) / denom, 1.0)
+
+
+def jain_fairness_index(values) -> float:
+    """Jain's index over non-negative per-tenant values (nan-skipped).
+
+    1 when all tenants see identical values, ``1/n`` in the most
+    skewed case; 1.0 for an empty or all-nan input (nothing unfair).
+    """
+    x = np.asarray(values, dtype=float)
+    x = x[np.isfinite(x)]
+    if x.size == 0:
+        return 1.0
+    if np.any(x < 0.0):
+        raise ValueError("fairness values must be >= 0")
+    total_sq = float(x.sum()) ** 2
+    denom = x.size * float((x**2).sum())
+    if denom == 0.0:
+        return 1.0
+    return total_sq / denom
+
+
+@dataclass(frozen=True)
+class TenantReport:
+    """Per-tenant SLO aggregation of one tenancy sweep.
+
+    Every per-tenant array has shape ``(n_tenants,)``, averaged over
+    replications and that tenant's admitted jobs (``nan`` for a tenant
+    with no admitted jobs).
+    """
+
+    n_tenants: int
+    n_replications: int
+    submitted_jobs: np.ndarray
+    mean_admitted_jobs: np.ndarray
+    mean_wait_hours: np.ndarray
+    mean_bounded_slowdown: np.ndarray
+    mean_occupancy_hours: np.ndarray
+    cost_reduction_factor: np.ndarray
+    wait_fairness: float
+    backend: str
+
+    def summary(self) -> str:
+        lines = [
+            f"tenants={self.n_tenants} n={self.n_replications} "
+            f"({self.backend}): wait-fairness {self.wait_fairness:.3f}"
+        ]
+        for t in range(self.n_tenants):
+            lines.append(
+                f"  tenant {t}: submitted {int(self.submitted_jobs[t])}, "
+                f"admitted {self.mean_admitted_jobs[t]:.1f}, "
+                f"E[wait] {self.mean_wait_hours[t]:.3f} h, "
+                f"E[bsld] {self.mean_bounded_slowdown[t]:.2f}, "
+                f"CRF {self.cost_reduction_factor[t]:.2f}"
+            )
+        return "\n".join(lines)
+
+
+def tenant_report(
+    outcomes: TenantOutcomes,
+    *,
+    preemptible_rate: float = 0.2,
+    on_demand_rate: float = 1.0,
+    master_rate: float = 0.0,
+    bsld_threshold: float = BSLD_THRESHOLD_HOURS,
+) -> TenantReport:
+    """Aggregate a tenancy sweep into per-tenant SLO numbers.
+
+    Cost attribution: each replication's billed cost (workers + master
+    at the given rates) is split across tenants in proportion to their
+    gang occupancy ``(finish - start) x width`` summed over admitted
+    jobs; a tenant's cost-reduction factor is its on-demand baseline
+    (admitted ideal work at ``on_demand_rate``) over its mean share.
+    """
+    check_nonnegative("preemptible_rate", preemptible_rate)
+    check_nonnegative("on_demand_rate", on_demand_rate)
+    check_nonnegative("master_rate", master_rate)
+    T = outcomes.n_tenants
+    n = outcomes.n_replications
+    waits = outcomes.wait_times
+    bsld = bounded_slowdown(
+        outcomes.turnaround_times, outcomes.job_work[None, :], threshold=bsld_threshold
+    )
+    occupancy = (
+        (outcomes.finish_times - outcomes.start_times)
+        * outcomes.job_width[None, :]
+    )
+    cost = outcomes.total_cost(preemptible_rate, master_rate)
+    ideal = outcomes.job_work * outcomes.job_width
+
+    submitted = np.zeros(T)
+    mean_admitted = np.zeros(T)
+    mean_wait = np.full(T, np.nan)
+    mean_bsld = np.full(T, np.nan)
+    mean_occ = np.full(T, np.nan)
+    crf = np.full(T, np.nan)
+    occ_by_tenant = np.zeros((max(n, 1), T))
+    for t in range(T):
+        jobs_t = outcomes.job_tenant == t
+        submitted[t] = int(jobs_t.sum())
+        if not jobs_t.any() or n == 0:
+            continue
+        adm = outcomes.admitted[:, jobs_t]
+        mean_admitted[t] = float(adm.sum(axis=1).mean())
+        w = waits[:, jobs_t]
+        if np.isfinite(w).any():
+            mean_wait[t] = float(np.nanmean(w))
+            mean_bsld[t] = float(np.nanmean(bsld[:, jobs_t]))
+            mean_occ[t] = float(np.nansum(occupancy[:, jobs_t], axis=1).mean())
+        occ_by_tenant[:, t] = np.nansum(occupancy[:, jobs_t], axis=1)
+    if n:
+        occ_total = occ_by_tenant.sum(axis=1)
+        safe_total = np.where(occ_total > 0.0, occ_total, 1.0)
+        share = np.where(
+            occ_total[:, None] > 0.0, occ_by_tenant / safe_total[:, None], 0.0
+        )
+        tenant_cost = (share * cost[:, None]).mean(axis=0)
+        for t in range(T):
+            jobs_t = outcomes.job_tenant == t
+            baseline = float(
+                (outcomes.admitted[:, jobs_t] * ideal[None, jobs_t]).sum(axis=1).mean()
+            ) * on_demand_rate
+            if tenant_cost[t] > 0.0:
+                crf[t] = baseline / tenant_cost[t]
+            elif baseline > 0.0:
+                crf[t] = np.inf
+    return TenantReport(
+        n_tenants=T,
+        n_replications=n,
+        submitted_jobs=submitted,
+        mean_admitted_jobs=mean_admitted,
+        mean_wait_hours=mean_wait,
+        mean_bounded_slowdown=mean_bsld,
+        mean_occupancy_hours=mean_occ,
+        cost_reduction_factor=crf,
+        wait_fairness=jain_fairness_index(mean_wait),
+        backend=outcomes.backend,
+    )

@@ -1,0 +1,296 @@
+"""Multi-tenant front end over the batch computing service.
+
+One shared :class:`~repro.service.controller.BatchComputingService`
+fleet serves *traffic* — many tenants submitting bags over time —
+instead of replaying a single bag.  The front end adds the three
+tenancy concerns on top of the unmodified controller:
+
+* **Inter-tenant scheduling** — ``"fifo"`` / ``"fair"`` round-robin /
+  ``"weighted"`` stride policies, realised as per-job priority keys
+  (:func:`repro.sim.tenancy_vectorized.queue_key`) on the cluster's
+  keyed queue, so the gang-scheduling core, Eq. 8 reuse filtering, and
+  stall provisioning stay exactly the controller's.
+* **Admission control** — ``admission_cap`` bounds a tenant's
+  unfinished admitted jobs; an oversize bag is rejected whole at
+  arrival.
+* **Elastic fleet sizing** — with ``elastic_vms_per_bag`` the
+  controller's provisioning cap (``BatchComputingService.fleet_cap``)
+  tracks ``min(max_vms, elastic x active bags)`` between bag arrivals
+  and completions; downsizing happens through idle-retention reaps.
+
+Each tenant keeps per-bag runtime estimates (the controller's
+``BagOfJobs`` machinery is already per-bag), so Eq. 8 reuse decisions
+are per-tenant by construction.
+
+This class is the *event-path semantics oracle* for the batched
+tenancy kernel (:mod:`repro.sim.tenancy_vectorized`):
+:func:`repro.sim.backend.run_tenant_replications` with
+``backend="event"`` drives one instance per replication, and the
+cross-backend tenancy equivalence suite pins both to 1e-9 hours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.distributions.base import LifetimeDistribution
+from repro.service.api import BagRequest, JobRequest
+from repro.service.controller import BatchComputingService, ServiceConfig
+from repro.sim.cluster import SimJob
+from repro.sim.engine import Simulator
+from repro.sim.tenancy_vectorized import (
+    SCHEDULING_POLICIES,
+    normalize_traffic,
+    queue_key,
+)
+from repro.utils.validation import check_positive
+
+__all__ = ["TenantJobRecord", "MultiTenantService"]
+
+
+@dataclass
+class TenantJobRecord:
+    """Front-end bookkeeping for one scheduled job (admitted or not)."""
+
+    tenant: int
+    arrival: float
+    work_hours: float
+    width: int
+    queue_key: float
+    admitted: bool = False
+    job: SimJob | None = field(default=None, repr=False)
+
+    @property
+    def start_time(self) -> float | None:
+        return None if self.job is None else self.job.start_time
+
+    @property
+    def finish_time(self) -> float | None:
+        return None if self.job is None else self.job.finish_time
+
+    @property
+    def wait_hours(self) -> float | None:
+        """Queueing delay from arrival to first gang start."""
+        if self.job is None or self.job.start_time is None:
+            return None
+        return self.job.start_time - self.arrival
+
+
+class MultiTenantService:
+    """Traffic-serving front end over one :class:`BatchComputingService`.
+
+    Parameters
+    ----------
+    sim, cloud, lifetime_model, config:
+        Forwarded to the wrapped controller.  ``config.backfill`` must
+        stay off: inter-tenant policies own the queue order.
+    n_tenants:
+        Number of tenants (tenant ids are ``0..n_tenants-1``).
+    scheduling:
+        ``"fifo"``, ``"fair"``, or ``"weighted"`` (see
+        :mod:`repro.sim.tenancy_vectorized`).
+    tenant_weights:
+        Stride weights for ``"weighted"``; all-1 when ``None``.
+    admission_cap:
+        Max unfinished admitted jobs per tenant (``None`` = admit all).
+    elastic_vms_per_bag:
+        Elastic fleet sizing increment (``None`` = static
+        ``config.max_vms`` cap).
+    estimate_window:
+        Trailing-completion window of every bag's runtime estimate.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cloud,
+        lifetime_model: LifetimeDistribution,
+        config: ServiceConfig | None = None,
+        *,
+        n_tenants: int,
+        scheduling: str = "fifo",
+        tenant_weights=None,
+        admission_cap: int | None = None,
+        elastic_vms_per_bag: int | None = None,
+        estimate_window: int = 16,
+    ):
+        config = config or ServiceConfig()
+        if config.backfill:
+            raise ValueError(
+                "backfill is incompatible with inter-tenant scheduling; "
+                "pick a tenancy scheduling policy instead"
+            )
+        if scheduling not in SCHEDULING_POLICIES:
+            raise ValueError(
+                f"scheduling must be one of {SCHEDULING_POLICIES}, got {scheduling!r}"
+            )
+        check_positive("n_tenants", n_tenants)
+        if admission_cap is not None:
+            check_positive("admission_cap", admission_cap)
+        if elastic_vms_per_bag is not None:
+            check_positive("elastic_vms_per_bag", elastic_vms_per_bag)
+        check_positive("estimate_window", estimate_window)
+        self.sim = sim
+        self.service = BatchComputingService(sim, cloud, lifetime_model, config)
+        self.service.cluster.enable_keyed_queue()
+        self.n_tenants = int(n_tenants)
+        self.scheduling = scheduling
+        self.tenant_weights = (
+            None if tenant_weights is None else tuple(float(w) for w in tenant_weights)
+        )
+        if self.tenant_weights is not None:
+            if len(self.tenant_weights) < self.n_tenants:
+                raise ValueError("tenant_weights must cover every tenant")
+            if any(w <= 0.0 for w in self.tenant_weights):
+                raise ValueError("tenant_weights must be > 0")
+        self.admission_cap = admission_cap
+        self.elastic_vms_per_bag = elastic_vms_per_bag
+        self.estimate_window = int(estimate_window)
+        #: All scheduled jobs in submission-schedule order (the global
+        #: job order the batched kernel uses), admitted or not.
+        self.records: list[TenantJobRecord] = []
+        self._global_seq = 0
+        self._tenant_job_seq = [0] * self.n_tenants
+        self._admitted = np.zeros(self.n_tenants, dtype=np.int64)
+        self._done = np.zeros(self.n_tenants, dtype=np.int64)
+        self.rejected_bags = np.zeros(self.n_tenants, dtype=np.int64)
+        self._pending_arrivals = 0
+        self._bags_active = 0
+        self._bag_tenant: dict[int, int] = {}
+        self._bag_remaining: dict[int, int] = {}
+        self._update_fleet_cap()
+        self.service.cluster.on_job_complete.append(self._job_completed)
+
+    # ------------------------------------------------------------------
+    # Traffic intake
+    # ------------------------------------------------------------------
+    def submit_traffic(self, traffic) -> None:
+        """Schedule every bag submission of a traffic trace.
+
+        ``traffic`` is normalised (time-sorted) first so arrival events
+        enter the simulator — and therefore tie-break — in exactly the
+        order the batched kernel numbers them.
+        """
+        for sub in normalize_traffic(traffic):
+            self.schedule_bag(sub.tenant, sub.time, sub.jobs)
+
+    def schedule_bag(self, tenant: int, time: float, jobs) -> None:
+        """Schedule one bag arrival at absolute hour ``time``.
+
+        Priority keys are assigned now (a pure function of the traffic
+        so far — rejected bags still consume per-tenant indices); the
+        admission decision happens when the arrival event fires.
+        """
+        if not 0 <= tenant < self.n_tenants:
+            raise ValueError(f"tenant must be in [0, {self.n_tenants}), got {tenant}")
+        recs = []
+        for j in jobs:
+            work, width = (j.work_hours, j.width) if hasattr(j, "work_hours") else j
+            if self.scheduling == "fifo":
+                key = float(self._global_seq)
+            else:
+                key = queue_key(
+                    self.scheduling,
+                    tenant,
+                    self._tenant_job_seq[tenant],
+                    self.n_tenants,
+                    self.tenant_weights,
+                )
+            self._global_seq += 1
+            self._tenant_job_seq[tenant] += 1
+            rec = TenantJobRecord(
+                tenant=tenant,
+                arrival=float(time),
+                work_hours=float(work),
+                width=int(width),
+                queue_key=key,
+            )
+            recs.append(rec)
+            self.records.append(rec)
+        self._pending_arrivals += 1
+        self.sim.schedule_at(float(time), lambda: self._arrive(tenant, recs))
+
+    # ------------------------------------------------------------------
+    # Arrival / completion handlers
+    # ------------------------------------------------------------------
+    def _arrive(self, tenant: int, recs: list[TenantJobRecord]) -> None:
+        self._pending_arrivals -= 1
+        m = len(recs)
+        if self.admission_cap is not None:
+            unfinished = int(self._admitted[tenant] - self._done[tenant])
+            if unfinished + m > self.admission_cap:
+                self.rejected_bags[tenant] += 1
+                return
+        self._admitted[tenant] += m
+        self._bags_active += 1
+        self._update_fleet_cap()
+        request = BagRequest(
+            jobs=[
+                JobRequest(
+                    work_hours=r.work_hours, width=r.width, queue_key=r.queue_key
+                )
+                for r in recs
+            ],
+            name=f"tenant-{tenant}",
+        )
+        bag_id = self.service.submit_bag(request)
+        self.service.bags[bag_id].window = self.estimate_window
+        self._bag_tenant[bag_id] = tenant
+        self._bag_remaining[bag_id] = m
+        for rec, job in zip(recs, self.service.store.jobs_in_bag(bag_id)):
+            rec.admitted = True
+            rec.job = job
+
+    def _job_completed(self, job: SimJob) -> None:
+        tenant = self._bag_tenant.get(job.bag_id)
+        if tenant is None:
+            return
+        self._done[tenant] += 1
+        self._bag_remaining[job.bag_id] -= 1
+        if self._bag_remaining[job.bag_id] == 0:
+            del self._bag_remaining[job.bag_id]
+            self._bags_active -= 1
+            self._update_fleet_cap()
+
+    def _update_fleet_cap(self) -> None:
+        if self.elastic_vms_per_bag is None:
+            return
+        self.service.fleet_cap = min(
+            self.service.config.max_vms,
+            max(self.elastic_vms_per_bag * self._bags_active, 1),
+        )
+
+    # ------------------------------------------------------------------
+    # Drive / inspect
+    # ------------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        """All arrivals processed and every admitted job completed."""
+        return self._pending_arrivals == 0 and int(self._admitted.sum()) == int(
+            self._done.sum()
+        )
+
+    def run(self, *, max_events: int = 5_000_000) -> None:
+        """Drive the simulator until the traffic is fully served."""
+        for _ in range(max_events):
+            if self.finished:
+                return
+            if not self.sim.step():
+                raise RuntimeError("simulation drained before the traffic finished")
+        raise RuntimeError(f"exceeded {max_events} events")
+
+    def tenant_unfinished(self, tenant: int) -> int:
+        """Admitted-but-incomplete job count for one tenant."""
+        return int(self._admitted[tenant] - self._done[tenant])
+
+    def admitted_jobs(self, tenant: int | None = None) -> int:
+        if tenant is None:
+            return int(self._admitted.sum())
+        return int(self._admitted[tenant])
+
+    def completed_jobs(self, tenant: int | None = None) -> int:
+        if tenant is None:
+            return int(self._done.sum())
+        return int(self._done[tenant])

@@ -15,18 +15,29 @@ sleep loops:
 * :mod:`repro.workloads.lulesh` -- 1-D Lagrangian shock hydrodynamics
   (Sod problem with artificial viscosity), standing in for LULESH,
 * :mod:`repro.workloads.synthetic` -- a tunable busy-work job for
-  harness tests.
+  harness tests,
+* :mod:`repro.workloads.profiles` -- the applications' declared
+  runtime/width profiles, consumed by the multi-tenant traffic layer's
+  job mixes.
 """
 
 from repro.workloads.base import CheckpointableWorkload, WorkloadCheckpoint, run_workload
+from repro.workloads.profiles import (
+    APPLICATION_PROFILES,
+    RuntimeProfile,
+    application_profile,
+)
 from repro.workloads.nanoconfinement import NanoconfinementMD
 from repro.workloads.shapes import ShapeRelaxation
 from repro.workloads.lulesh import LagrangianShock1D
 from repro.workloads.synthetic import SyntheticJob
 
 __all__ = [
+    "APPLICATION_PROFILES",
     "CheckpointableWorkload",
+    "RuntimeProfile",
     "WorkloadCheckpoint",
+    "application_profile",
     "run_workload",
     "NanoconfinementMD",
     "ShapeRelaxation",

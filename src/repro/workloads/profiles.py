@@ -1,0 +1,81 @@
+"""Canonical runtime profiles of the paper's applications.
+
+The Section 6 evaluation runs three applications whose clean runtimes
+and gang widths the paper reports (Nanoconfinement 14 min on 4 nodes,
+Shapes 9 min on 4, LULESH 12.5 min on 8 — widths scaled to the
+simulated fleet type, as in :mod:`repro.experiments.fig9_service`).
+Within a bag, "jobs show little variation in their running time"
+(Section 5), so each profile carries a small coefficient of variation.
+
+The traffic layer samples heterogeneous bags from these via
+:meth:`repro.traffic.arrivals.JobMix.from_profile`, so multi-tenant
+scenarios can be cast as "tenant A streams Shapes sweeps, tenant B
+streams LULESH sweeps" instead of abstract length mixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_nonnegative, check_positive
+
+__all__ = ["RuntimeProfile", "APPLICATION_PROFILES", "application_profile"]
+
+
+@dataclass(frozen=True)
+class RuntimeProfile:
+    """Declared runtime shape of one application's bag members.
+
+    Attributes
+    ----------
+    name:
+        Application identifier.
+    mean_hours:
+        Clean (uninterrupted) runtime of one parameter point.
+    cv:
+        Within-bag runtime coefficient of variation (small, per the
+        paper's bag-homogeneity observation).
+    widths:
+        Gang widths the application runs at.
+    jobs_per_bag:
+        Typical parameter-sweep sizes submitted at once.
+    """
+
+    name: str
+    mean_hours: float
+    cv: float
+    widths: tuple[int, ...]
+    jobs_per_bag: tuple[int, int] = (4, 12)
+
+    def __post_init__(self) -> None:
+        check_positive("mean_hours", self.mean_hours)
+        check_nonnegative("cv", self.cv)
+        if not self.widths or any(w < 1 for w in self.widths):
+            raise ValueError("widths must be a non-empty tuple of ints >= 1")
+        lo, hi = self.jobs_per_bag
+        if lo < 1 or hi < lo:
+            raise ValueError(
+                f"jobs_per_bag must satisfy 1 <= lo <= hi, got {self.jobs_per_bag}"
+            )
+
+
+#: The paper's three applications (runtimes/widths as in fig9_service).
+APPLICATION_PROFILES: dict[str, RuntimeProfile] = {
+    p.name: p
+    for p in (
+        RuntimeProfile("nanoconfinement", 14.0 / 60.0, 0.05, (4,)),
+        RuntimeProfile("shapes", 9.0 / 60.0, 0.05, (4,)),
+        RuntimeProfile("lulesh", 12.5 / 60.0, 0.08, (8,)),
+        # A laptop-scale synthetic stand-in for harness tests: narrow,
+        # more variable, submitted in small bags.
+        RuntimeProfile("synthetic", 0.5, 0.3, (1, 2), (2, 6)),
+    )
+}
+
+
+def application_profile(name: str) -> RuntimeProfile:
+    try:
+        return APPLICATION_PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(APPLICATION_PROFILES))
+        raise KeyError(f"unknown application {name!r}; known: {known}") from None

@@ -375,6 +375,62 @@ class TestFig9MonteCarlo:
         assert "Monte Carlo" in text and "per preemption" in text
 
 
+class TestFig9Tenants:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments import fig9_tenants
+
+        return fig9_tenants.run(
+            tenant_counts=(2,),
+            arrival_rates=(0.5,),
+            policies=("fifo", "fair"),
+            horizon=4.0,
+            n_replications=10,
+            seed=0,
+        )
+
+    def test_sweep_covers_grid(self, result):
+        assert {(p.n_tenants, p.scheduling) for p in result} == {
+            (2, "fifo"),
+            (2, "fair"),
+        }
+
+    def test_metrics_sane(self, result):
+        for p in result:
+            assert p.mean_wait_hours >= 0.0
+            assert p.mean_bounded_slowdown >= 1.0
+            assert 0.0 < p.wait_fairness <= 1.0
+            assert 0.0 < p.admitted_fraction <= 1.0
+            assert p.cost_reduction_factor > 0.0
+
+    def test_policies_are_paired_on_identical_traffic(self, result):
+        by_policy = {p.scheduling: p for p in result}
+        assert by_policy["fifo"].n_jobs == by_policy["fair"].n_jobs
+
+    def test_backends_agree(self):
+        from repro.experiments import fig9_tenants
+
+        kwargs = dict(
+            tenant_counts=(2,),
+            arrival_rates=(0.5,),
+            policies=("fair",),
+            horizon=3.0,
+            n_replications=4,
+            seed=1,
+        )
+        ev = fig9_tenants.run(backend="event", **kwargs)
+        ve = fig9_tenants.run(backend="vectorized", **kwargs)
+        for a, b in zip(ev, ve):
+            assert b.mean_makespan == pytest.approx(a.mean_makespan, abs=1e-9)
+            assert b.mean_wait_hours == pytest.approx(a.mean_wait_hours, abs=1e-9)
+
+    def test_report_renders(self, result):
+        from repro.experiments import fig9_tenants
+
+        text = fig9_tenants.report(result)
+        assert "tenants" in text and "fairness" in text and "fifo" in text
+
+
 class TestParamsTable:
     @pytest.fixture(scope="class")
     def result(self):
@@ -403,7 +459,7 @@ class TestRegistry:
         expected = {
             "fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
             "fig4-mc", "fig5-mc", "fig6-mc", "fig7-mc", "fig8-mc", "fig9-mc",
-            "checkpoint-schedule", "params-table",
+            "fig9-tenants", "checkpoint-schedule", "params-table",
         }
         assert set(EXPERIMENTS) == expected
 

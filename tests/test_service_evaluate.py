@@ -333,3 +333,95 @@ class TestEvaluateService:
         )
         assert res.batch_config.max_vms == 4
         assert (res.outcomes.completed_jobs == len(self.BAG)).all()
+
+
+class TestEvaluateTenants:
+    """The traffic-serving entry point over run_tenant_replications."""
+
+    TRAFFIC = [
+        (0, 0.0, [(0.6, 1), (0.4, 1)]),
+        (1, 0.3, [(0.5, 2)]),
+        (0, 1.0, [(0.3, 1)]),
+    ]
+
+    def test_backends_agree(self, reference_dist):
+        ev = ServicePolicyEvaluator(reference_dist, ServiceConfig(max_vms=3))
+        event = ev.evaluate_tenants(
+            self.TRAFFIC, n_replications=5, seed=2, backend="event", scheduling="fair"
+        )
+        vec = ev.evaluate_tenants(
+            self.TRAFFIC,
+            n_replications=5,
+            seed=2,
+            backend="vectorized",
+            scheduling="fair",
+        )
+        np.testing.assert_allclose(
+            vec.outcomes.makespan, event.outcomes.makespan, rtol=0.0, atol=1e-9
+        )
+        np.testing.assert_allclose(
+            vec.outcomes.start_times, event.outcomes.start_times, rtol=0.0, atol=1e-9
+        )
+        np.testing.assert_array_equal(vec.outcomes.admitted, event.outcomes.admitted)
+
+    def test_tenancy_config_mapping(self, reference_dist):
+        cfg = ServiceConfig(
+            max_vms=6,
+            use_reuse_policy=False,
+            use_checkpointing=True,
+            provision_latency=0.2,
+            run_master=False,
+        )
+        ev = ServicePolicyEvaluator(reference_dist, cfg)
+        tcfg = ev.tenancy_config(
+            scheduling="weighted",
+            tenant_weights=(1.0, 2.0),
+            admission_cap=5,
+            elastic_vms_per_bag=3,
+        )
+        assert tcfg.max_vms == 6
+        assert not tcfg.use_reuse_policy
+        assert tcfg.provision_latency == 0.2
+        assert not tcfg.run_master
+        assert tcfg.scheduling == "weighted"
+        assert tcfg.tenant_weights == (1.0, 2.0)
+        assert tcfg.admission_cap == 5 and tcfg.elastic_vms_per_bag == 3
+        # DP has no batched equivalent: the Young-Daly interval stands in.
+        expected = np.sqrt(2.0 * cfg.checkpoint_cost * reference_dist.mean())
+        assert tcfg.checkpoint_interval == pytest.approx(expected)
+
+    def test_metrics_and_summary(self, reference_dist):
+        ev = ServicePolicyEvaluator(reference_dist, ServiceConfig(max_vms=3))
+        res = ev.evaluate_tenants(
+            self.TRAFFIC, n_replications=8, seed=0, admission_cap=8
+        )
+        assert res.n_replications == 8
+        assert res.admitted_fraction == 1.0
+        assert res.mean_wait_hours >= 0.0
+        assert res.cost_reduction_factor(0.2, 1.0) > 0.0
+        text = res.summary()
+        assert "sched=fifo" in text and "cap=8" in text
+
+    def test_shared_plumbing_matches_direct_call(self, reference_dist):
+        """The evaluator front end is pure plumbing over the backend
+        entry point: same config, same seed => identical arrays."""
+        from repro.sim.backend import run_tenant_replications
+
+        ev = ServicePolicyEvaluator(reference_dist, ServiceConfig(max_vms=3))
+        res = ev.evaluate_tenants(self.TRAFFIC, n_replications=4, seed=7)
+        direct = run_tenant_replications(
+            reference_dist,
+            self.TRAFFIC,
+            config=ev.tenancy_config(),
+            n_replications=4,
+            seed=7,
+        )
+        np.testing.assert_array_equal(res.outcomes.makespan, direct.makespan)
+        np.testing.assert_array_equal(res.outcomes.n_draws, direct.n_draws)
+
+    def test_backfill_rejected_like_the_live_front_end(self, reference_dist):
+        ev = ServicePolicyEvaluator(
+            reference_dist, ServiceConfig(max_vms=3, backfill=True)
+        )
+        with pytest.raises(ValueError, match="backfill"):
+            ev.evaluate_tenants(self.TRAFFIC, n_replications=2)

@@ -1,0 +1,183 @@
+"""The provisioning-livelock guardrail (PR 4's documented pathology).
+
+With ``provision_latency > 0`` and the reuse policy on, lifetime laws
+whose conditional Eq. 8 criterion rejects every positive age (uniform:
+the conditional residual life shrinks with age, so any aged VM loses to
+a fresh one for short jobs) drive the controller into terminate/
+provision churn: staggered boots keep arriving one at a time, age while
+the next boot is in flight, get rejected and terminated, forever.  The
+controller must fail fast with ``ProvisioningLivelockError`` instead of
+spinning to the event cap.
+"""
+
+import numpy as np
+import pytest
+
+from repro.distributions.uniform import UniformLifetimeDistribution
+from repro.service.api import BagRequest, JobRequest
+from repro.service.controller import (
+    BatchComputingService,
+    ProvisioningLivelockError,
+    ServiceConfig,
+)
+from repro.sim.backend import _RoundProtocolCloud, _RoundUniforms
+from repro.sim.engine import Simulator
+
+
+def make_service(dist, config, *, seed=0):
+    sim = Simulator()
+    cloud = _RoundProtocolCloud(
+        sim, dist, _RoundUniforms(np.random.default_rng(seed), 1), 0
+    )
+    return sim, BatchComputingService(sim, cloud, dist, config)
+
+
+#: A support so long nothing dies inside the test window: the churn is
+#: pure policy behaviour, not preemption noise.
+LONG_UNIFORM = UniformLifetimeDistribution(1000.0)
+
+
+class TestLivelockGuardrail:
+    def test_staggered_boot_churn_raises(self):
+        """The deterministic construction: a width-1 job occupies the
+        first boot; the width-2 job behind it then sees exactly one
+        age-0 VM per provisioning round (boots staggered by the
+        latency), terminates the aged survivor, and reprovisions —
+        forever, absent the guardrail."""
+        config = ServiceConfig(
+            max_vms=2,
+            provision_latency=0.5,
+            use_reuse_policy=True,
+            run_master=False,
+            livelock_threshold=50,
+        )
+        sim, svc = make_service(LONG_UNIFORM, config)
+        bag_id = svc.submit_bag(
+            BagRequest(jobs=[JobRequest(0.1, 1), JobRequest(0.1, 2)])
+        )
+        with pytest.raises(ProvisioningLivelockError, match="use_reuse_policy"):
+            svc.run_until_bag_done(bag_id, max_events=100_000)
+
+    def test_error_is_a_runtime_error(self):
+        assert issubclass(ProvisioningLivelockError, RuntimeError)
+
+    def test_same_scenario_without_reuse_policy_finishes(self):
+        config = ServiceConfig(
+            max_vms=2,
+            provision_latency=0.5,
+            use_reuse_policy=False,
+            run_master=False,
+            livelock_threshold=50,
+        )
+        sim, svc = make_service(LONG_UNIFORM, config)
+        bag_id = svc.submit_bag(
+            BagRequest(jobs=[JobRequest(0.1, 1), JobRequest(0.1, 2)])
+        )
+        svc.run_until_bag_done(bag_id, max_events=100_000)
+        assert svc.bag_done(bag_id)
+
+    def test_same_scenario_without_latency_finishes(self):
+        """With latency 0 all boots of a round land in the same instant
+        at age 0, so the gang gathers and the guardrail stays quiet."""
+        config = ServiceConfig(
+            max_vms=2,
+            provision_latency=0.0,
+            use_reuse_policy=True,
+            run_master=False,
+            livelock_threshold=50,
+        )
+        sim, svc = make_service(LONG_UNIFORM, config)
+        bag_id = svc.submit_bag(
+            BagRequest(jobs=[JobRequest(0.1, 1), JobRequest(0.1, 2)])
+        )
+        svc.run_until_bag_done(bag_id, max_events=100_000)
+        assert svc.bag_done(bag_id)
+
+    def test_bathtub_law_with_latency_finishes(self, reference_dist):
+        """The paper's law has an infant-mortality window, so aged
+        stable VMs are reusable and the same scenario completes."""
+        config = ServiceConfig(
+            max_vms=2,
+            provision_latency=0.5,
+            use_reuse_policy=True,
+            run_master=False,
+            livelock_threshold=50,
+        )
+        sim, svc = make_service(reference_dist, config)
+        bag_id = svc.submit_bag(
+            BagRequest(jobs=[JobRequest(0.1, 1), JobRequest(0.1, 2)])
+        )
+        svc.run_until_bag_done(bag_id, max_events=100_000)
+        assert svc.bag_done(bag_id)
+
+    def test_progress_resets_counter(self):
+        """Stall-terminations interleaved with real job starts must not
+        accumulate toward the threshold: a healthy-but-churny workload
+        under a tiny threshold still completes when every churn episode
+        ends in a start."""
+        config = ServiceConfig(
+            max_vms=2,
+            provision_latency=0.5,
+            use_reuse_policy=True,
+            run_master=False,
+            livelock_threshold=3,
+        )
+        sim, svc = make_service(LONG_UNIFORM, config)
+        # Width-1 jobs only: every stall round ends with the fresh boot
+        # starting the head job, resetting the counter each time.
+        bag_id = svc.submit_bag(BagRequest(jobs=[JobRequest(0.1, 1)] * 6))
+        svc.run_until_bag_done(bag_id, max_events=100_000)
+        assert svc.bag_done(bag_id)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(livelock_threshold=0)
+
+
+class TestGuardrailOnBothBackends:
+    """The batched kernels mirror the guardrail, so the pathological
+    configuration fails fast identically through the backend API."""
+
+    def test_service_sweep_raises_on_both(self):
+        from repro.sim.backend import run_service_replications
+
+        for backend in ("event", "vectorized"):
+            with pytest.raises(ProvisioningLivelockError):
+                run_service_replications(
+                    LONG_UNIFORM,
+                    [(0.1, 1), (0.1, 2)],
+                    max_vms=2,
+                    provision_latency=0.5,
+                    run_master=False,
+                    livelock_threshold=50,
+                    n_replications=2,
+                    backend=backend,
+                    max_events=100_000,
+                )
+
+    def test_tenant_sweep_raises_on_both(self):
+        from repro.sim.backend import run_tenant_replications
+
+        for backend in ("event", "vectorized"):
+            with pytest.raises(ProvisioningLivelockError):
+                run_tenant_replications(
+                    LONG_UNIFORM,
+                    [(0, 0.0, [(0.1, 1), (0.1, 2)])],
+                    max_vms=2,
+                    provision_latency=0.5,
+                    run_master=False,
+                    livelock_threshold=50,
+                    n_replications=2,
+                    backend=backend,
+                    max_events=100_000,
+                )
+
+    def test_threshold_forwarded_from_service_config(self):
+        """ServiceBatchConfig.from_service_config carries the knob."""
+        from repro.service.controller import ServiceConfig
+        from repro.sim.service_vectorized import ServiceBatchConfig
+
+        cfg = ServiceBatchConfig.from_service_config(
+            ServiceConfig(livelock_threshold=7)
+        )
+        assert cfg.livelock_threshold == 7

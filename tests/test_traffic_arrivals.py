@@ -1,0 +1,306 @@
+"""Arrival processes, job mixes, and the diurnal trace-to-rate pipeline.
+
+Covers the satellite requirement on ``traces.generator``/``traces.stats``
+as consumed by the traffic layer: demand profiles derived from generated
+traces, rate-curve integration, and seeded reproducibility end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.tenancy_vectorized import BagSubmission
+from repro.traces.generator import TraceGenerator
+from repro.traces.stats import demand_profile
+from repro.traffic.arrivals import (
+    DiurnalProcess,
+    JobMix,
+    MMPPProcess,
+    PoissonProcess,
+    TenantSpec,
+    WeeklyRateCurve,
+    sample_traffic,
+)
+
+
+@pytest.fixture(scope="module")
+def study_trace():
+    # The night/weekend ground-truth contrast is a few percent of the
+    # mean lifetime, so the profile needs a decent sample to resolve it.
+    return TraceGenerator(seed=7).launch_batch(2500, "n1-highcpu-16")
+
+
+class TestDemandProfile:
+    def test_shape_and_normalisation(self, study_trace):
+        profile = demand_profile(study_trace)
+        assert profile.shape == (7, 24)
+        assert profile.min() > 0.0
+        assert profile.mean() == pytest.approx(1.0)
+
+    def test_weekday_daytime_exceeds_weekend_night(self, study_trace):
+        """Short weekday-daytime lifetimes = high demand (Observations 1-4)."""
+        profile = demand_profile(study_trace)
+        weekday_day = profile[:5, 8:20].mean()
+        weekend_night = profile[5:, list(range(0, 8)) + list(range(20, 24))].mean()
+        assert weekday_day > weekend_night
+
+    def test_empty_trace_flat(self):
+        trace = TraceGenerator(seed=0).launch_batch(0, "n1-highcpu-16")
+        np.testing.assert_allclose(demand_profile(trace), 1.0)
+
+
+class TestWeeklyRateCurve:
+    def test_flat_curve_integration(self):
+        curve = WeeklyRateCurve.flat(0.5)
+        assert curve.integrate(168.0) == pytest.approx(0.5 * 168)
+        assert curve.integrate(1.5) == pytest.approx(0.75)
+        assert curve.rate_at(200.0) == 0.5  # wraps over the week
+
+    def test_from_trace_preserves_weekly_average(self, study_trace):
+        """The demand profile has mean 1, so the week integral matches the
+        base rate exactly — the rate-curve integration contract the
+        diurnal process relies on."""
+        curve = WeeklyRateCurve.from_trace(study_trace, base_rate=2.0)
+        assert curve.integrate(168.0) == pytest.approx(2.0 * 168, rel=1e-12)
+
+    def test_from_trace_modulates_by_context(self, study_trace):
+        curve = WeeklyRateCurve.from_trace(study_trace, base_rate=1.0)
+        rates = np.asarray(curve.hourly_rates)
+        weekday_noon = rates[12]  # Monday 12:00
+        weekend_night = rates[5 * 24 + 2]  # Saturday 02:00
+        assert weekday_noon > weekend_night
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="168"):
+            WeeklyRateCurve((1.0,) * 10)
+        with pytest.raises(ValueError, match=">= 0"):
+            WeeklyRateCurve((-1.0,) + (1.0,) * 167)
+        with pytest.raises(ValueError, match="> 0"):
+            WeeklyRateCurve((0.0,) * 168)
+
+
+class TestArrivalProcesses:
+    def test_poisson_rate_and_bounds(self):
+        rng = np.random.default_rng(0)
+        times = PoissonProcess(2.0).sample_times(500.0, rng)
+        assert times.size == pytest.approx(1000, rel=0.15)
+        assert (times >= 0).all() and (times < 500.0).all()
+        assert (np.diff(times) > 0).all()
+
+    def test_diurnal_mean_count_matches_integral(self, study_trace):
+        curve = WeeklyRateCurve.from_trace(study_trace, base_rate=1.5)
+        proc = DiurnalProcess(curve)
+        rng = np.random.default_rng(1)
+        counts = [proc.sample_times(168.0, rng).size for _ in range(30)]
+        assert np.mean(counts) == pytest.approx(curve.integrate(168.0), rel=0.1)
+
+    def test_diurnal_concentrates_in_high_rate_hours(self):
+        rates = [0.01] * 168
+        for d in range(5):
+            for h in range(8, 20):
+                rates[d * 24 + h] = 3.0  # weekday daytime only
+        proc = DiurnalProcess(WeeklyRateCurve(tuple(rates)))
+        times = proc.sample_times(168.0, np.random.default_rng(2))
+        week_hour = times % 168
+        day, hour = week_hour // 24, week_hour % 24
+        daytime = (day < 5) & (hour >= 8) & (hour < 20)
+        assert daytime.mean() > 0.95
+
+    def test_diurnal_start_hour_offset(self):
+        rates = [0.0] * 168
+        rates[10] = 5.0  # all mass in week-hour [10, 11)
+        proc = DiurnalProcess(WeeklyRateCurve(tuple(rates)), start_hour=10.0)
+        times = proc.sample_times(1.0, np.random.default_rng(3))
+        assert times.size > 0
+        assert (times < 1.0).all()  # the active bin is now at t = 0
+
+    def test_mmpp_burstier_than_poisson(self):
+        rng = np.random.default_rng(4)
+        mmpp = MMPPProcess(0.2, 20.0, sojourn_low=5.0, sojourn_high=0.5)
+        bursty = mmpp.sample_times(2000.0, rng)
+        rate = bursty.size / 2000.0
+        poisson = PoissonProcess(max(rate, 1e-9)).sample_times(
+            2000.0, np.random.default_rng(4)
+        )
+
+        def cv2(t):
+            gaps = np.diff(t)
+            return np.var(gaps) / np.mean(gaps) ** 2
+
+        assert cv2(bursty) > 2.0 * cv2(poisson)
+
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: PoissonProcess(1.0),
+            lambda: DiurnalProcess(WeeklyRateCurve.flat(1.0)),
+            lambda: MMPPProcess(0.5, 4.0),
+        ],
+        ids=["poisson", "diurnal", "mmpp"],
+    )
+    def test_seeded_reproducibility(self, make):
+        a = make().sample_times(50.0, np.random.default_rng(9))
+        b = make().sample_times(50.0, np.random.default_rng(9))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestJobMix:
+    def test_bag_shape_and_bounds(self):
+        mix = JobMix(
+            mean_hours=1.0,
+            cv=0.5,
+            widths=(1, 2, 4),
+            width_weights=(2.0, 1.0, 1.0),
+            jobs_per_bag=(2, 6),
+            min_hours=0.1,
+        )
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            bag = mix.sample_bag(rng)
+            assert 2 <= len(bag) <= 6
+            for job in bag:
+                assert job.work_hours >= 0.1
+                assert job.width in (1, 2, 4)
+
+    def test_zero_cv_pins_lengths(self):
+        mix = JobMix(mean_hours=0.7, cv=0.0, jobs_per_bag=(3, 3))
+        bag = mix.sample_bag(np.random.default_rng(1))
+        assert all(j.work_hours == pytest.approx(0.7) for j in bag)
+
+    def test_mean_hours_respected(self):
+        mix = JobMix(mean_hours=1.3, cv=0.4, jobs_per_bag=(5, 5), min_hours=1e-6)
+        rng = np.random.default_rng(2)
+        hours = [j.work_hours for _ in range(400) for j in mix.sample_bag(rng)]
+        assert np.mean(hours) == pytest.approx(1.3, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JobMix(widths=())
+        with pytest.raises(ValueError):
+            JobMix(jobs_per_bag=(3, 2))
+        with pytest.raises(ValueError):
+            JobMix(widths=(1, 2), width_weights=(1.0,))
+
+
+class TestSampleTraffic:
+    def _tenants(self):
+        return [
+            TenantSpec(
+                name="steady",
+                arrivals=PoissonProcess(1.0),
+                mix=JobMix(mean_hours=0.5, jobs_per_bag=(1, 2)),
+            ),
+            TenantSpec(
+                name="bursty",
+                arrivals=MMPPProcess(0.2, 5.0),
+                mix=JobMix(mean_hours=0.8, widths=(1, 2), jobs_per_bag=(2, 3)),
+                weight=2.0,
+            ),
+        ]
+
+    def test_sorted_and_typed(self):
+        traffic = sample_traffic(self._tenants(), 20.0, seed=0)
+        assert all(isinstance(s, BagSubmission) for s in traffic)
+        times = [s.time for s in traffic]
+        assert times == sorted(times)
+        assert {s.tenant for s in traffic} <= {0, 1}
+
+    def test_seeded_reproducibility(self):
+        a = sample_traffic(self._tenants(), 20.0, seed=5)
+        b = sample_traffic(self._tenants(), 20.0, seed=5)
+        assert a == b
+        c = sample_traffic(self._tenants(), 20.0, seed=6)
+        assert a != c
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            sample_traffic([], 10.0)
+        with pytest.raises(ValueError):
+            sample_traffic(self._tenants(), 0.0)
+
+    def test_feeds_tenant_sweep(self, reference_dist):
+        """End-to-end: generated trace -> diurnal curve -> traffic ->
+        batched sweep (the satellite's integration path)."""
+        from repro.sim.backend import run_tenant_replications
+
+        trace = TraceGenerator(seed=3).launch_batch(200, "n1-highcpu-16")
+        curve = WeeklyRateCurve.from_trace(trace, base_rate=1.0)
+        tenants = [
+            TenantSpec(
+                name="diurnal",
+                arrivals=DiurnalProcess(curve, start_hour=9.0),
+                mix=JobMix(mean_hours=0.4, jobs_per_bag=(1, 2)),
+            )
+        ]
+        traffic = sample_traffic(tenants, 8.0, seed=0)
+        if not traffic:
+            pytest.skip("no arrivals drawn in the window")
+        out = run_tenant_replications(
+            reference_dist, traffic, n_replications=4, seed=0, max_vms=4
+        )
+        assert (out.completed_jobs == out.admitted.sum(axis=1)).all()
+
+
+class TestApplicationProfiles:
+    def test_paper_applications_present(self):
+        from repro.workloads.profiles import APPLICATION_PROFILES, application_profile
+
+        assert {"nanoconfinement", "shapes", "lulesh"} <= set(APPLICATION_PROFILES)
+        assert application_profile("shapes").mean_hours == pytest.approx(9.0 / 60.0)
+        with pytest.raises(KeyError, match="known"):
+            application_profile("minesweeper")
+
+    def test_jobmix_from_profile(self):
+        from repro.workloads.profiles import application_profile
+
+        profile = application_profile("lulesh")
+        mix = JobMix.from_profile(profile, jobs_per_bag=(2, 3))
+        assert mix.mean_hours == profile.mean_hours
+        assert mix.widths == (8,)
+        assert mix.jobs_per_bag == (2, 3)
+        bag = mix.sample_bag(np.random.default_rng(0))
+        assert 2 <= len(bag) <= 3
+        assert all(j.width == 8 for j in bag)
+
+    def test_profile_traffic_through_sweep(self, reference_dist):
+        """Application-profiled tenants through the tenancy backend."""
+        from repro.sim.backend import run_tenant_replications
+        from repro.workloads.profiles import application_profile
+
+        tenants = [
+            TenantSpec(
+                name=app,
+                arrivals=PoissonProcess(1.5),
+                mix=JobMix.from_profile(
+                    application_profile(app), jobs_per_bag=(1, 2)
+                ),
+            )
+            for app in ("nanoconfinement", "shapes")
+        ]
+        traffic = sample_traffic(tenants, 3.0, seed=1)
+        if not traffic:
+            pytest.skip("no arrivals drawn in the window")
+        out = run_tenant_replications(
+            reference_dist, traffic, n_replications=3, seed=0, max_vms=4,
+            scheduling="fair",
+        )
+        assert (out.completed_jobs == out.admitted.sum(axis=1)).all()
+
+
+class TestDiurnalEdgeCases:
+    def test_trailing_zero_rate_bins_do_not_crash(self):
+        """A draw landing in the float gap between integrate()'s pairwise
+        sum and the inversion table's cumsum must not walk past the last
+        (zero-rate) bin (regression: IndexError at h=168)."""
+        curve = WeeklyRateCurve(tuple([0.1] * 167 + [0.0]))
+        proc = DiurnalProcess(curve)
+        for seed in range(20):
+            times = proc.sample_times(168.0, np.random.default_rng(seed))
+            assert (times < 168.0).all()
+
+    def test_all_mass_in_one_bin(self):
+        rates = [0.0] * 168
+        rates[50] = 4.0
+        proc = DiurnalProcess(WeeklyRateCurve(tuple(rates)))
+        times = proc.sample_times(336.0, np.random.default_rng(1))
+        week_hour = times % 168
+        assert ((week_hour >= 50.0) & (week_hour < 51.0)).all()

@@ -1,0 +1,111 @@
+"""Per-tenant SLO metric derivations (waits, bounded slowdown, fairness,
+cost attribution) over tenancy sweep outcomes."""
+
+import numpy as np
+import pytest
+
+from repro.sim.backend import run_tenant_replications
+from repro.traffic.metrics import (
+    bounded_slowdown,
+    jain_fairness_index,
+    tenant_report,
+)
+
+
+class TestPrimitives:
+    def test_bounded_slowdown_floor_and_threshold(self):
+        bsld = bounded_slowdown(
+            np.array([0.05, 1.0, 2.0]), np.array([1.0, 1.0, 0.01])
+        )
+        # Short turnaround floors at 1; tiny jobs divide by the threshold.
+        np.testing.assert_allclose(bsld, [1.0, 1.0, 20.0])
+
+    def test_bounded_slowdown_propagates_nan(self):
+        out = bounded_slowdown(np.array([np.nan]), np.array([1.0]))
+        assert np.isnan(out[0])
+
+    def test_jain_bounds(self):
+        assert jain_fairness_index([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+        assert jain_fairness_index([1.0, 0.0, 0.0]) == pytest.approx(1.0 / 3.0)
+        assert jain_fairness_index([]) == 1.0
+        assert jain_fairness_index([np.nan, 2.0, 2.0]) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            jain_fairness_index([-1.0, 1.0])
+
+
+class TestTenantReport:
+    @pytest.fixture(scope="class")
+    def outcomes(self, reference_dist):
+        traffic = [
+            (0, 0.0, [(0.5, 1)] * 2),
+            (1, 0.2, [(0.8, 2)]),
+            (0, 1.0, [(0.3, 1)]),
+        ]
+        return run_tenant_replications(
+            reference_dist, traffic, n_replications=16, seed=0, max_vms=3
+        )
+
+    def test_shapes_and_counts(self, outcomes):
+        rep = tenant_report(outcomes)
+        assert rep.n_tenants == 2
+        np.testing.assert_array_equal(rep.submitted_jobs, [3, 1])
+        np.testing.assert_allclose(rep.mean_admitted_jobs, [3.0, 1.0])
+        assert rep.mean_wait_hours.shape == (2,)
+        assert np.isfinite(rep.mean_wait_hours).all()
+        assert (rep.mean_bounded_slowdown >= 1.0).all()
+        assert 0.0 < rep.wait_fairness <= 1.0
+
+    def test_cost_attribution_sums_to_total(self, outcomes):
+        """Occupancy shares partition each replication's billed cost, so
+        per-tenant mean costs recover the overall mean cost."""
+        rep = tenant_report(outcomes, preemptible_rate=0.2, master_rate=0.05)
+        ideal = outcomes.job_work * outcomes.job_width
+        baselines = np.array(
+            [
+                float(
+                    (outcomes.admitted[:, outcomes.job_tenant == t]
+                     * ideal[None, outcomes.job_tenant == t]).sum(axis=1).mean()
+                )
+                for t in range(2)
+            ]
+        )
+        tenant_costs = baselines / rep.cost_reduction_factor
+        total = outcomes.total_cost(0.2, 0.05).mean()
+        assert tenant_costs.sum() == pytest.approx(total, rel=1e-9)
+
+    def test_backends_agree_on_report(self, reference_dist):
+        traffic = [(0, 0.0, [(0.5, 1)]), (1, 0.1, [(0.4, 1)])]
+        reports = []
+        for backend in ("event", "vectorized"):
+            out = run_tenant_replications(
+                reference_dist, traffic, n_replications=4, seed=3,
+                backend=backend, max_vms=2,
+            )
+            reports.append(tenant_report(out))
+        a, b = reports
+        np.testing.assert_allclose(a.mean_wait_hours, b.mean_wait_hours, atol=1e-9)
+        np.testing.assert_allclose(
+            a.cost_reduction_factor, b.cost_reduction_factor, rtol=1e-9
+        )
+        assert a.wait_fairness == pytest.approx(b.wait_fairness, abs=1e-12)
+
+    def test_summary_renders(self, outcomes):
+        text = tenant_report(outcomes).summary()
+        assert "tenant 0" in text and "tenant 1" in text
+        assert "wait-fairness" in text
+
+    def test_rejected_tenant_has_nan_wait(self, reference_dist):
+        traffic = [
+            (0, 0.0, [(4.0, 1)] * 2),
+            (1, 0.1, [(0.5, 1)] * 3),  # rejected: cap 2 already full? no — own tenant
+            (0, 0.1, [(0.5, 1)] * 2),  # rejected: tenant 0 already holds 2
+        ]
+        out = run_tenant_replications(
+            reference_dist, traffic, n_replications=4, seed=0,
+            max_vms=2, admission_cap=2,
+        )
+        # Tenant 1's bag of 3 exceeds the cap outright -> never admitted.
+        assert not out.admitted[:, out.job_tenant == 1].any()
+        rep = tenant_report(out)
+        assert np.isnan(rep.mean_wait_hours[1])
+        assert np.isfinite(rep.mean_wait_hours[0])

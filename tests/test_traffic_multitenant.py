@@ -1,0 +1,274 @@
+"""Behavioural tests of the live MultiTenantService front end.
+
+The cross-backend suite (test_tenancy_backend_equivalence.py) pins the
+front end against the batched kernel; these tests pin its *semantics*
+directly — admission, inter-tenant ordering, elastic fleet sizing, the
+keyed cluster queue, and per-tenant bookkeeping.
+"""
+
+import numpy as np
+import pytest
+
+from repro.service.controller import ServiceConfig
+from repro.sim.backend import _RoundProtocolCloud, _RoundUniforms
+from repro.sim.cluster import ClusterManager, SimJob
+from repro.sim.engine import Simulator
+from repro.sim.tenancy_vectorized import (
+    BagSubmission,
+    TenancyConfig,
+    assign_queue_keys,
+    normalize_traffic,
+    queue_key,
+)
+from repro.traffic.multitenant import MultiTenantService
+
+
+def make_service(dist, config=None, *, n=1, seed=0, **kwargs):
+    sim = Simulator()
+    cloud = _RoundProtocolCloud(sim, dist, _RoundUniforms(np.random.default_rng(seed), n), 0)
+    mts = MultiTenantService(
+        sim, cloud, dist, config or ServiceConfig(run_master=False), **kwargs
+    )
+    return sim, mts
+
+
+class TestQueueKeys:
+    def test_fifo_keys_are_global_indices(self):
+        tenants = np.array([0, 1, 0, 2])
+        np.testing.assert_array_equal(
+            assign_queue_keys(tenants, "fifo", 3), [0.0, 1.0, 2.0, 3.0]
+        )
+
+    def test_fair_keys_round_robin(self):
+        tenants = np.array([0, 0, 0, 1, 1])
+        keys = assign_queue_keys(tenants, "fair", 2)
+        # tenant 1's first job (key 1) outranks tenant 0's second (key 2).
+        np.testing.assert_array_equal(keys, [0.0, 2.0, 4.0, 1.0, 3.0])
+
+    def test_weighted_keys_stride(self):
+        tenants = np.array([0, 0, 1, 1])
+        keys = assign_queue_keys(tenants, "weighted", 2, weights=(2.0, 1.0))
+        np.testing.assert_allclose(keys, [0.5, 1.0, 1.0, 2.0])
+
+    def test_scalar_matches_batch(self):
+        tenants = np.array([0, 1, 0, 2, 1, 0])
+        for policy in ("fair", "weighted"):
+            batch = assign_queue_keys(tenants, policy, 3, weights=(2.0, 1.0, 3.0))
+            seen = [0, 0, 0]
+            for i, t in enumerate(tenants):
+                scalar = queue_key(policy, int(t), seen[t], 3, (2.0, 1.0, 3.0))
+                assert scalar == batch[i]
+                seen[t] += 1
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="scheduling"):
+            assign_queue_keys(np.array([0]), "lottery", 1)
+
+
+class TestKeyedClusterQueue:
+    def _cluster(self):
+        sim = Simulator()
+        cluster = ClusterManager(sim, node_selector=lambda job, free: None)
+        cluster.enable_keyed_queue()
+        return sim, cluster
+
+    def test_orders_by_key_fifo_among_equals(self):
+        _, cluster = self._cluster()
+        jobs = [SimJob(job_id=i, work_hours=1.0) for i in range(4)]
+        for job, key in zip(jobs, [2.0, 1.0, 1.0, 0.5]):
+            job.queue_key = key
+            cluster.submit(job)
+        order = [cluster._queue[i].job_id for i in range(4)]
+        assert order == [3, 1, 2, 0]
+
+    def test_unkeyed_jobs_fall_back_to_submission_order(self):
+        _, cluster = self._cluster()
+        for i in range(3):
+            cluster.submit(SimJob(job_id=i, work_hours=1.0))
+        assert [j.job_id for j in cluster._queue] == [0, 1, 2]
+
+    def test_enable_on_nonempty_queue_rejected(self):
+        sim = Simulator()
+        cluster = ClusterManager(sim, node_selector=lambda job, free: None)
+        cluster.submit(SimJob(job_id=0, work_hours=1.0))
+        with pytest.raises(RuntimeError, match="non-empty"):
+            cluster.enable_keyed_queue()
+
+
+class TestNormalizeTraffic:
+    def test_stable_sort_and_conversion(self):
+        traffic = normalize_traffic(
+            [(1, 2.0, [(1.0, 1)]), (0, 1.0, [(0.5, 1)]), (2, 2.0, [(0.3, 1)])]
+        )
+        assert [s.tenant for s in traffic] == [0, 1, 2]
+        assert all(isinstance(s, BagSubmission) for s in traffic)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one job"):
+            normalize_traffic([(0, 1.0, [])])
+        with pytest.raises(ValueError, match="tenant"):
+            normalize_traffic([(-1, 1.0, [(1.0, 1)])])
+
+
+class TestMultiTenantService:
+    def test_admission_cap_rejects_whole_bags(self, reference_dist):
+        sim, mts = make_service(
+            reference_dist, n_tenants=2, admission_cap=3,
+            config=ServiceConfig(run_master=False, max_vms=2),
+        )
+        mts.submit_traffic(
+            [
+                (0, 0.0, [(5.0, 1)] * 3),   # fills tenant 0's cap
+                (0, 0.1, [(0.5, 1)]),       # rejected: 3 unfinished + 1 > 3
+                (1, 0.1, [(0.5, 1)] * 3),   # tenant 1 unaffected
+            ]
+        )
+        mts.run()
+        assert mts.rejected_bags[0] == 1
+        assert mts.rejected_bags[1] == 0
+        assert mts.admitted_jobs(0) == 3
+        assert mts.admitted_jobs(1) == 3
+        rejected = [r for r in mts.records if not r.admitted]
+        assert len(rejected) == 1 and rejected[0].tenant == 0
+
+    def test_fair_policy_interleaves_tenants(self, reference_dist):
+        """With one worker, fair share alternates tenants even though
+        tenant 0 submitted everything first."""
+        sim, mts = make_service(
+            reference_dist, n_tenants=2, scheduling="fair",
+            config=ServiceConfig(run_master=False, max_vms=1),
+        )
+        mts.submit_traffic(
+            [
+                (0, 0.0, [(0.5, 1)] * 3),
+                (1, 0.01, [(0.5, 1)] * 3),
+            ]
+        )
+        mts.run()
+        started = sorted(
+            (r.start_time, r.tenant) for r in mts.records if r.admitted
+        )
+        order = [t for _, t in started]
+        assert order == [0, 1, 0, 1, 0, 1]
+
+    def test_fifo_policy_serves_in_submission_order(self, reference_dist):
+        sim, mts = make_service(
+            reference_dist, n_tenants=2, scheduling="fifo",
+            config=ServiceConfig(run_master=False, max_vms=1),
+        )
+        mts.submit_traffic(
+            [(0, 0.0, [(0.5, 1)] * 3), (1, 0.01, [(0.5, 1)] * 3)]
+        )
+        mts.run()
+        started = sorted(
+            (r.start_time, r.tenant) for r in mts.records if r.admitted
+        )
+        assert [t for _, t in started] == [0, 0, 0, 1, 1, 1]
+
+    def test_weighted_policy_favours_heavy_tenant(self, reference_dist):
+        sim, mts = make_service(
+            reference_dist, n_tenants=2, scheduling="weighted",
+            tenant_weights=(1.0, 4.0),
+            config=ServiceConfig(run_master=False, max_vms=1),
+        )
+        mts.submit_traffic(
+            [(0, 0.0, [(0.5, 1)] * 2), (1, 0.01, [(0.5, 1)] * 4)]
+        )
+        mts.run()
+        started = sorted(
+            (r.start_time, r.tenant) for r in mts.records if r.admitted
+        )
+        # t0's first job starts before t1 arrives; after that the stride
+        # keys (t0: 2.0 left; t1: 0.25, 0.5, 0.75, 1.0) put all of the
+        # heavy tenant's jobs ahead of t0's second.
+        assert [t for _, t in started] == [0, 1, 1, 1, 1, 0]
+
+    def test_elastic_fleet_cap_tracks_active_bags(self, reference_dist):
+        sim, mts = make_service(
+            reference_dist, n_tenants=2, elastic_vms_per_bag=2,
+            config=ServiceConfig(run_master=False, max_vms=8),
+        )
+        assert mts.service.fleet_cap == 1  # no active bags yet
+        mts.submit_traffic(
+            [(0, 0.0, [(0.4, 1)] * 2), (1, 0.1, [(0.4, 1)] * 2)]
+        )
+        caps = []
+        while not mts.finished:
+            sim.step()
+            caps.append(mts.service.fleet_cap)
+        assert max(caps) == 4  # two active bags x 2
+        assert mts.service.fleet_cap == 1  # back to the floor when drained
+
+    def test_per_tenant_estimates_are_isolated(self, reference_dist):
+        """Tenant 1's long jobs must not inflate tenant 0's estimate:
+        each bag keeps its own BagOfJobs."""
+        sim, mts = make_service(
+            reference_dist, n_tenants=2,
+            config=ServiceConfig(run_master=False, max_vms=4),
+        )
+        mts.submit_traffic(
+            [(0, 0.0, [(0.2, 1)] * 3), (1, 0.0, [(3.0, 1)] * 2)]
+        )
+        mts.run()
+        bags = mts.service.bags
+        estimates = {
+            mts._bag_tenant[bid]: bag.estimated_runtime()
+            for bid, bag in bags.items()
+        }
+        assert estimates[0] == pytest.approx(0.2)
+        assert estimates[1] == pytest.approx(3.0)
+
+    def test_backfill_config_rejected(self, reference_dist):
+        with pytest.raises(ValueError, match="backfill"):
+            make_service(
+                reference_dist,
+                config=ServiceConfig(backfill=True),
+                n_tenants=1,
+            )
+
+    def test_wait_and_bookkeeping(self, reference_dist):
+        sim, mts = make_service(
+            reference_dist, n_tenants=1,
+            config=ServiceConfig(run_master=False, max_vms=2),
+        )
+        mts.schedule_bag(0, 1.5, [(0.5, 1), (0.5, 1)])
+        mts.run()
+        assert mts.finished
+        assert mts.completed_jobs() == 2
+        assert mts.tenant_unfinished(0) == 0
+        for rec in mts.records:
+            assert rec.wait_hours is not None and rec.wait_hours >= 0.0
+            assert rec.finish_time >= rec.start_time >= rec.arrival
+
+    def test_invalid_tenant_rejected(self, reference_dist):
+        sim, mts = make_service(reference_dist, n_tenants=2)
+        with pytest.raises(ValueError, match="tenant"):
+            mts.schedule_bag(5, 0.0, [(1.0, 1)])
+
+
+class TestTenancyConfigValidation:
+    def test_field_validation(self):
+        with pytest.raises(ValueError):
+            TenancyConfig(scheduling="nope")
+        with pytest.raises(ValueError):
+            TenancyConfig(tenant_weights=(1.0, 0.0))
+        with pytest.raises(ValueError):
+            TenancyConfig(admission_cap=0)
+        with pytest.raises(ValueError):
+            TenancyConfig(elastic_vms_per_bag=-1)
+
+    def test_defaults_valid(self):
+        cfg = TenancyConfig()
+        assert cfg.scheduling == "fifo"
+        assert cfg.admission_cap is None
+
+
+class TestQueueKeyValidation:
+    def test_negative_queue_key_rejected(self):
+        """Negative keys are the requeue-at-head reservation; a user job
+        carrying one could starve preempted jobs."""
+        from repro.service.api import JobRequest
+
+        with pytest.raises(ValueError, match="reserved"):
+            JobRequest(work_hours=1.0, queue_key=-5.0)
+        assert JobRequest(work_hours=1.0, queue_key=0.0).queue_key == 0.0
