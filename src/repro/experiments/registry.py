@@ -22,6 +22,7 @@ from repro.experiments import (
     fig9_service,
     fig9_tenants,
     params_table,
+    swf_tenants,
 )
 
 __all__ = ["Experiment", "EXPERIMENTS", "get_experiment", "run_all"]
@@ -129,6 +130,12 @@ EXPERIMENTS: dict[str, Experiment] = {
             "Multi-tenant traffic: tenant count x arrival rate x policy sweep",
             fig9_tenants.run,
             fig9_tenants.report,
+        ),
+        Experiment(
+            "swf-tenants",
+            "SWF trace replay: HPC log excerpt streamed through the fleet",
+            swf_tenants.run,
+            swf_tenants.report,
         ),
         Experiment(
             "checkpoint-schedule",

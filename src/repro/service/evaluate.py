@@ -544,6 +544,7 @@ class ServicePolicyEvaluator:
         seed,
         backend,
         max_events,
+        **extra,
     ):
         """The one backend/seed plumbing site for every sweep front end.
 
@@ -552,7 +553,8 @@ class ServicePolicyEvaluator:
         traffic trace).  Keeping the forwarding here means the cluster,
         service, and tenancy front ends cannot drift apart in how they
         thread the evaluator's lifetime law and the caller's
-        replication/seed/backend knobs.
+        replication/seed/backend knobs.  ``extra`` carries
+        runner-specific knobs (the tenancy runner's ``chunk_size``).
         """
         return runner(
             self.dist,
@@ -562,6 +564,7 @@ class ServicePolicyEvaluator:
             seed=seed,
             backend=backend,
             max_events=max_events,
+            **extra,
         )
 
     def cluster_config(
@@ -780,19 +783,24 @@ class ServicePolicyEvaluator:
         checkpoint_interval: float | None = None,
         estimate_window: int = 16,
         max_events: int = 1_000_000,
+        chunk_size: int | None = None,
     ) -> TenantEvaluation:
         """Score the configuration over multi-tenant traffic runs.
 
         ``traffic`` is a sequence of
         :class:`~repro.sim.tenancy_vectorized.BagSubmission` s (or
         ``(tenant, time, jobs)`` triples), typically one
-        :func:`repro.traffic.arrivals.sample_traffic` draw.  Each
+        :func:`repro.traffic.arrivals.sample_traffic` draw or an SWF
+        import (:func:`repro.traces.swf.swf_traffic`).  Each
         replication serves the whole trace on a shared fleet under the
         chosen inter-tenant scheduling policy; the event path drives
         the real :class:`~repro.traffic.multitenant.MultiTenantService`
         and is the oracle (same seed, identical outcomes within 1e-9).
-        This is the top of the evaluation-mode ladder: use it whenever
-        the question involves *traffic* — contention across tenants,
+        ``chunk_size`` streams the batch in bounded-memory chunks (see
+        :func:`repro.sim.backend.run_tenant_replications`) — set it for
+        production-scale traces (tens of thousands of jobs).  This is
+        the top of the evaluation-mode ladder: use it whenever the
+        question involves *traffic* — contention across tenants,
         admission, fairness — rather than a single bag.
         """
         cfg = self.tenancy_config(
@@ -811,6 +819,7 @@ class ServicePolicyEvaluator:
             seed=seed,
             backend=backend,
             max_events=max_events,
+            chunk_size=chunk_size,
         )
         return TenantEvaluation(
             config=self.config,

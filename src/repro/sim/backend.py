@@ -1461,6 +1461,7 @@ def run_tenant_replications(
     seed: int | np.random.Generator | None = 0,
     backend: str = "vectorized",
     max_events: int = 1_000_000,
+    chunk_size: int | None = None,
     **config_kwargs,
 ) -> TenantOutcomes:
     """Simulate ``n_replications`` multi-tenant traffic runs under ``dist``.
@@ -1500,6 +1501,18 @@ def run_tenant_replications(
         replication and is the semantics oracle.
     max_events:
         Safety cap on processed events per replication.
+    chunk_size:
+        Stream the batch in chunks of at most this many replications,
+        reducing the results chunk by chunk.  Peak memory of the
+        batched kernel scales with ``chunk_n x (K x estimate_window +
+        3 x n_jobs + ...)``, so chunking is what lets tens of
+        thousands of traced jobs run at production replication counts.
+        Each chunk consumes the shared generator sequentially, so
+        results are deterministic for a fixed ``(seed, chunk_size)``
+        and cross-backend equivalence holds at *any* chunk size — but
+        draws (hence outcomes) differ between chunk sizes, because the
+        round protocol materialises per-round uniform rows chunk-wide.
+        ``None`` (default) runs the whole batch as one chunk.
 
     Returns
     -------
@@ -1541,27 +1554,45 @@ def run_tenant_replications(
     if n_replications < 0:
         raise ValueError(f"n_replications must be >= 0, got {n_replications}")
     check_positive("max_events", max_events)
+    if chunk_size is not None:
+        check_positive("chunk_size", chunk_size)
     rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
-    if backend == "vectorized":
-        raw = simulate_tenancy_vectorized(
-            dist,
-            traffic,
-            T,
-            config,
-            n_replications=int(n_replications),
-            rng=rng,
-            max_events=int(max_events),
-        )
+    simulate = (
+        simulate_tenancy_vectorized
+        if backend == "vectorized"
+        else _simulate_tenancy_event
+    )
+    n = int(n_replications)
+    if chunk_size is None or n <= chunk_size:
+        sizes = [n]
     else:
-        raw = _simulate_tenancy_event(
+        sizes = [chunk_size] * (n // chunk_size)
+        if n % chunk_size:
+            sizes.append(n % chunk_size)
+    # Chunks run sequentially off the one shared generator; each builds
+    # its own chunk-wide kernel (bounded peak memory) and the raw
+    # per-replication arrays are reduced by concatenation.
+    raws = [
+        simulate(
             dist,
             traffic,
             T,
             config,
-            n_replications=int(n_replications),
+            n_replications=size,
             rng=rng,
             max_events=int(max_events),
         )
+        for size in sizes
+    ]
+    if len(raws) == 1:
+        raw = raws[0]
+    else:
+        raw = {
+            key: np.concatenate([r[key] for r in raws], axis=0)
+            for key in raws[0]
+            if key != "n_rounds"
+        }
+        raw["n_rounds"] = max(r["n_rounds"] for r in raws)
     job_tenant = np.asarray(
         [s.tenant for s in traffic for _ in s.jobs], dtype=np.int64
     )

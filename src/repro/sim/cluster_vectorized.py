@@ -169,6 +169,16 @@ class _LockstepKernel:
         self.seg_take[rr, jj] = take
         self.seg_after[rr, jj] = after
 
+    def _clear_segment(self, rr: np.ndarray, jj: np.ndarray) -> None:
+        """Cancel job ``jj``'s pending segment-completion event.
+
+        The single exit point matching :meth:`_launch_segment`'s entry:
+        kernels that mirror pending completions into auxiliary state
+        (the tenancy kernel's compact running slots) hook both.
+        """
+        self.ctime[rr, jj] = np.inf
+        self.cseq[rr, jj] = _SEQ_INF
+
     def _oldest(self, mask: np.ndarray, rr: np.ndarray) -> np.ndarray:
         """Column order by (launch, birth) with non-``mask`` columns last."""
         lm = np.where(mask, self.launch[rr], np.inf)

@@ -469,8 +469,7 @@ class _ServiceKernel(_LockstepKernel):
                 )
             self.wasted[rb] += self.now[rb] - self.sstart[rb, jb]
             self.failures[rb] += 1
-            self.ctime[rb, jb] = np.inf
-            self.cseq[rb, jb] = _SEQ_INF
+            self._clear_segment(rb, jb)
             self.qkey[rb, jb] = self.head_key[rb]
             self.head_key[rb] -= 1.0
             gang = self.vm_job[rb] == jb[:, None]
@@ -506,8 +505,7 @@ class _ServiceKernel(_LockstepKernel):
             self._launch_segment(rc, jc, after[more])
         rf, jf = rr[~more], jj[~more]
         if rf.size:
-            self.ctime[rf, jf] = np.inf
-            self.cseq[rf, jf] = _SEQ_INF
+            self._clear_segment(rf, jf)
             gang = self.vm_job[rf] == jf[:, None]
             self.vm_job[rf] = np.where(gang, -1, self.vm_job[rf])
             # Release order: idle timers first (queue empty only), then

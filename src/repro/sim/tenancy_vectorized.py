@@ -329,15 +329,46 @@ class _TenancyKernel(_ServiceKernel):
         self.buf = np.zeros((n, self.K, W))
         self.buf_pos = np.zeros((n, self.K), dtype=np.int64)
         self.buf_len = np.zeros((n, self.K), dtype=np.int64)
-        # Tenancy bookkeeping.
+        # Tenancy bookkeeping.  Per-tenant counters are *sparse*: only
+        # tenants actually present in the traffic allocate a column, so
+        # a sparse trace over a huge id space (e.g. SWF user IDs mapped
+        # onto millions of tenants) costs O(active), not O(n_tenants).
+        active_tenants, job_tcol = (
+            np.unique(self.job_tenant, return_inverse=True)
+            if J
+            else (np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64))
+        )
+        self.T_active = int(active_tenants.size)
+        self.job_tcol = job_tcol.astype(np.int64)
+        self.bag_tcol = np.searchsorted(active_tenants, self.bag_tenant)
         self.admitted = np.zeros((n, J), dtype=bool)
         self.admitted_total = np.zeros(n, dtype=np.int64)
-        self.adm_tenant = np.zeros((n, self.T), dtype=np.int64)
-        self.done_tenant = np.zeros((n, self.T), dtype=np.int64)
+        self.adm_tenant = np.zeros((n, self.T_active), dtype=np.int64)
+        self.done_tenant = np.zeros((n, self.T_active), dtype=np.int64)
         self.bag_done = np.zeros((n, self.K), dtype=np.int64)
         self.active_bags = np.zeros(n, dtype=np.int64)
         self.first_start = np.full((n, J), np.nan)
         self.finish = np.full((n, J), np.nan)
+        # Compact running-completion slots.  At most S jobs run at once
+        # (each holds >= 1 of the S workers), so pending segment events
+        # live in (n, S) arrays keyed by the gang's first VM column —
+        # the round loop scans these instead of the (n, J) ctime/cseq,
+        # decoupling per-round cost from the traffic length.
+        self.rtime = np.full((n, self.S), np.inf)
+        self.rseq = np.full((n, self.S), _SEQ_INF, dtype=np.int64)
+        self.rjob = np.full((n, self.S), -1, dtype=np.int64)
+        # Arrival-event compaction: the per-bag static bookkeeping
+        # (tenant column, job span, keys) as plain Python scalars, so
+        # each arrival event avoids per-field numpy indexing overhead.
+        self._bag_static = [
+            (
+                int(self.bag_tcol[k]),
+                int(self.bag_lo[k]),
+                int(self.bag_hi[k]),
+                [float(self.keys[j]) for j in range(self.bag_lo[k], self.bag_hi[k])],
+            )
+            for k in range(self.K)
+        ]
 
     # -- tenancy-aware policy plumbing -----------------------------------
     def _fleet_cap(self, rr: np.ndarray) -> np.ndarray:
@@ -433,6 +464,25 @@ class _TenancyKernel(_ServiceKernel):
             total = np.where(t < k, total + vals, total)
         self.est[rr, b] = total / k
 
+    # -- compact running-slot maintenance --------------------------------
+    # Both hooks run while ``vm_job`` still holds the job's gang (the
+    # launch sites assign VMs before launching; the clear sites release
+    # them after clearing), so the gang's first VM column is a stable
+    # slot id for the segment's lifetime.
+    def _launch_segment(self, rr: np.ndarray, jj: np.ndarray, left: np.ndarray) -> None:
+        super()._launch_segment(rr, jj, left)
+        slot = np.argmax(self.vm_job[rr] == jj[:, None], axis=1)
+        self.rtime[rr, slot] = self.ctime[rr, jj]
+        self.rseq[rr, slot] = self.cseq[rr, jj]
+        self.rjob[rr, slot] = jj
+
+    def _clear_segment(self, rr: np.ndarray, jj: np.ndarray) -> None:
+        super()._clear_segment(rr, jj)
+        slot = np.argmax(self.vm_job[rr] == jj[:, None], axis=1)
+        self.rtime[rr, slot] = np.inf
+        self.rseq[rr, slot] = _SEQ_INF
+        self.rjob[rr, slot] = -1
+
     # -- event rounds ----------------------------------------------------
     def _process_arrivals(self, rr: np.ndarray) -> None:
         """Bag arrival events: admission, key activation, submit stalls."""
@@ -440,8 +490,7 @@ class _TenancyKernel(_ServiceKernel):
         self.aptr[rr] += 1
         for k in np.unique(ks):
             rk = rr[ks == k]
-            t = int(self.bag_tenant[k])
-            lo, hi = int(self.bag_lo[k]), int(self.bag_hi[k])
+            t, lo, hi, keys = self._bag_static[k]
             m = hi - lo
             if self.cfg.admission_cap is not None:
                 unfinished = self.adm_tenant[rk, t] - self.done_tenant[rk, t]
@@ -457,8 +506,8 @@ class _TenancyKernel(_ServiceKernel):
             self.active_bags[ra] += 1
             # One cluster.submit -> try_schedule per bag member, in
             # declaration order — exactly the controller's submit_bag.
-            for j in range(lo, hi):
-                self.qkey[ra, j] = self.keys[j]
+            for j, key in zip(range(lo, hi), keys):
+                self.qkey[ra, j] = key
                 self._schedule_pass(ra)
 
     def _process_completions(self, rr: np.ndarray, jj: np.ndarray) -> None:
@@ -471,8 +520,7 @@ class _TenancyKernel(_ServiceKernel):
             self._launch_segment(rc, jc, after[more])
         rf, jf = rr[~more], jj[~more]
         if rf.size:
-            self.ctime[rf, jf] = np.inf
-            self.cseq[rf, jf] = _SEQ_INF
+            self._clear_segment(rf, jf)
             gang = self.vm_job[rf] == jf[:, None]
             self.vm_job[rf] = np.where(gang, -1, self.vm_job[rf])
             # Release order matches _job_completed: idle (reap) timers,
@@ -486,7 +534,7 @@ class _TenancyKernel(_ServiceKernel):
             self._record_completion(rf, jf)
             self.finish[rf, jf] = self.now[rf]
             self.done_count[rf] += 1
-            self.done_tenant[rf, self.job_tenant[jf]] += 1
+            self.done_tenant[rf, self.job_tcol[jf]] += 1
             b = self.bag_of[jf]
             self.bag_done[rf, b] += 1
             ended = self.bag_done[rf, b] == self.bag_size[b]
@@ -515,10 +563,13 @@ class _TenancyKernel(_ServiceKernel):
                 self.atime[np.minimum(self.aptr[active], self.K - 1)],
                 np.inf,
             )
+            # Completions scan the compact (n, S) running slots, not the
+            # (n, J) per-job arrays: per-round cost is O(S), independent
+            # of how long the traffic is.
             times = np.concatenate(
                 [
                     np.where(self.alive[active], self.death[active], np.inf),
-                    self.ctime[active],
+                    self.rtime[active],
                     self.btime[active],
                     self.reap_time[active],
                     arr_time[:, None],
@@ -528,7 +579,7 @@ class _TenancyKernel(_ServiceKernel):
             seqs = np.concatenate(
                 [
                     self.dseq[active],
-                    self.cseq[active],
+                    self.rseq[active],
                     self.bseq[active],
                     self.reap_seq[active],
                     self.aptr[active][:, None],
@@ -545,24 +596,24 @@ class _TenancyKernel(_ServiceKernel):
             pick = np.argmin(np.where(tie, seqs, _SEQ_INF), axis=1)
             self.now[active] = tmin
             self.events[active] += 1
-            S, J, B = self.S, self.J, self.B
+            S, B = self.S, self.B
             is_death = pick < S
-            is_comp = (pick >= S) & (pick < S + J)
-            is_boot = (pick >= S + J) & (pick < S + J + B)
-            is_reap = (pick >= S + J + B) & (pick < S + J + B + S)
-            is_arr = pick >= S + J + B + S
+            is_comp = (pick >= S) & (pick < S + S)
+            is_boot = (pick >= S + S) & (pick < S + S + B)
+            is_reap = (pick >= S + S + B) & (pick < S + S + B + S)
+            is_arr = pick >= S + S + B + S
             rd = active[is_death]
             if rd.size:
                 self._process_deaths(rd, pick[is_death])
             rc = active[is_comp]
             if rc.size:
-                self._process_completions(rc, pick[is_comp] - S)
+                self._process_completions(rc, self.rjob[rc, pick[is_comp] - S])
             rb = active[is_boot]
             if rb.size:
-                self._process_boots(rb, pick[is_boot] - S - J)
+                self._process_boots(rb, pick[is_boot] - S - S)
             rp = active[is_reap]
             if rp.size:
-                self._process_reaps(rp, pick[is_reap] - S - J - B)
+                self._process_reaps(rp, pick[is_reap] - S - S - B)
             ra = active[is_arr]
             if ra.size:
                 self._process_arrivals(ra)

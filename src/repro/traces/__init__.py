@@ -10,7 +10,9 @@ have no cloud, so this package provides the closest synthetic equivalent
   fit ranges and qualitative observations 1-5,
 * :mod:`repro.traces.generator` -- seeded sampling of preemption records,
 * :mod:`repro.traces.io` -- CSV/JSON round-trip (the public dataset format),
-* :mod:`repro.traces.stats` -- per-group summary statistics.
+* :mod:`repro.traces.stats` -- per-group summary statistics,
+* :mod:`repro.traces.swf` -- Standard Workload Format ingestion (real
+  cluster logs -> multi-tenant traffic).
 """
 
 from repro.traces.schema import PreemptionRecord, PreemptionTrace, TraceMetadata
@@ -24,8 +26,14 @@ from repro.traces.catalog import (
 from repro.traces.generator import TraceGenerator
 from repro.traces.io import load_trace_csv, load_trace_json, save_trace_csv, save_trace_json
 from repro.traces.stats import group_summary, lifetimes_by, trace_summary
+from repro.traces.swf import SAMPLE_SWF, SWFJob, SWFLog, parse_swf, swf_traffic
 
 __all__ = [
+    "SAMPLE_SWF",
+    "SWFJob",
+    "SWFLog",
+    "parse_swf",
+    "swf_traffic",
     "PreemptionRecord",
     "PreemptionTrace",
     "TraceMetadata",

@@ -25,6 +25,24 @@ _FIELDS = [
     "censored",
 ]
 
+_TRUE = {"1", "true", "t", "yes"}
+_FALSE = {"0", "false", "f", "no"}
+
+
+def _parse_bool(column: str, raw: str) -> bool:
+    """Accept both our 0/1 encoding and the True/False spellings found
+    in externally exported datasets (pandas ``to_csv`` writes the
+    latter)."""
+    value = raw.strip().lower()
+    if value in _TRUE:
+        return True
+    if value in _FALSE:
+        return False
+    raise ValueError(
+        f"column {column!r}: cannot parse {raw!r} as a boolean "
+        "(expected 0/1 or true/false)"
+    )
+
 
 def save_trace_csv(trace: PreemptionTrace, path: str | Path) -> None:
     """Write one row per record with a header line."""
@@ -63,8 +81,8 @@ def load_trace_csv(path: str | Path) -> PreemptionTrace:
                     lifetime_hours=float(row["lifetime_hours"]),
                     day_of_week=int(row["day_of_week"]),
                     launch_hour=float(row["launch_hour"]),
-                    idle=bool(int(row["idle"])),
-                    censored=bool(int(row["censored"])),
+                    idle=_parse_bool("idle", row["idle"]),
+                    censored=_parse_bool("censored", row["censored"]),
                 )
             )
     return PreemptionTrace(records=records, metadata=TraceMetadata(source=str(path)))

@@ -1,0 +1,245 @@
+"""Standard Workload Format (SWF) trace ingestion.
+
+SWF is the lingua franca of the parallel-workload archives consumed by
+accasim-style workload simulators: ``;``-prefixed header directives
+followed by one whitespace-separated 18-field record per job (job
+number, submit/wait/run times in seconds, allocated processors, ...,
+user and group IDs).  ``-1`` marks a missing value throughout.
+
+This module turns such a log (e.g. an HPC2N-style cluster trace) into
+the tenancy layer's traffic vocabulary:
+
+* :func:`parse_swf` -- strict structural parse into an :class:`SWFLog`
+  (header directives + :class:`SWFJob` records, malformed lines
+  rejected with their line number),
+* :func:`swf_traffic` -- the :func:`repro.traffic.arrivals.sample_traffic`
+  -compatible entry point: jobs become :class:`BagSubmission` s, tenants
+  are the trace's user (or group) IDs densely renumbered by first
+  appearance, and jobs a tenant submitted in the same second coalesce
+  into one bag (SWF array submissions).
+
+The result feeds :func:`repro.sim.backend.run_tenant_replications`
+directly; ``max_jobs`` slices let the event oracle replay a prefix of
+the very same trace for equivalence pinning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.sim.cluster_vectorized import GangJob
+from repro.sim.tenancy_vectorized import BagSubmission, normalize_traffic
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "SWFJob",
+    "SWFLog",
+    "parse_swf",
+    "swf_traffic",
+    "SWF_FIELDS",
+    "SAMPLE_SWF",
+]
+
+#: Checked-in miniature HPC2N-style log (directives, array submissions,
+#: -1 fallbacks) used by the tests, benchmarks, and the ``swf-tenants``
+#: experiment.
+SAMPLE_SWF = Path(__file__).parent / "data" / "sample.swf"
+
+#: The 18 record fields of the standard, in order.
+SWF_FIELDS = (
+    "job_id",
+    "submit_s",
+    "wait_s",
+    "run_s",
+    "alloc_procs",
+    "avg_cpu_s",
+    "used_mem_kb",
+    "req_procs",
+    "req_time_s",
+    "req_mem_kb",
+    "status",
+    "user",
+    "group",
+    "executable",
+    "queue",
+    "partition",
+    "preceding_job",
+    "think_time_s",
+)
+
+_INT_FIELDS = frozenset(
+    {
+        "job_id",
+        "alloc_procs",
+        "req_procs",
+        "status",
+        "user",
+        "group",
+        "executable",
+        "queue",
+        "partition",
+        "preceding_job",
+    }
+)
+
+
+@dataclass(frozen=True)
+class SWFJob:
+    """One SWF job record (seconds and KB as in the raw log; -1 = missing)."""
+
+    job_id: int
+    submit_s: float
+    wait_s: float
+    run_s: float
+    alloc_procs: int
+    avg_cpu_s: float
+    used_mem_kb: float
+    req_procs: int
+    req_time_s: float
+    req_mem_kb: float
+    status: int
+    user: int
+    group: int
+    executable: int
+    queue: int
+    partition: int
+    preceding_job: int
+    think_time_s: float
+
+    @property
+    def runtime_s(self) -> float:
+        """Measured runtime, falling back to the requested time."""
+        return self.run_s if self.run_s > 0.0 else self.req_time_s
+
+    @property
+    def procs(self) -> int:
+        """Allocated processors, falling back to the requested count."""
+        return self.alloc_procs if self.alloc_procs > 0 else self.req_procs
+
+
+@dataclass(frozen=True)
+class SWFLog:
+    """A parsed SWF trace: header directives plus job records."""
+
+    header: dict[str, str]
+    jobs: tuple[SWFJob, ...]
+    source: str = ""
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+
+def parse_swf(path: str | Path) -> SWFLog:
+    """Parse an SWF log file.
+
+    Header directives (``; Key: Value``) collect into
+    :attr:`SWFLog.header`; every non-comment, non-blank line must carry
+    exactly the 18 numeric fields of the standard — anything else
+    raises ``ValueError`` naming the offending line.
+    """
+    path = Path(path)
+    header: dict[str, str] = {}
+    jobs: list[SWFJob] = []
+    with path.open() as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith(";"):
+                body = line.lstrip(";").strip()
+                if ":" in body:
+                    key, _, value = body.partition(":")
+                    header[key.strip()] = value.strip()
+                continue
+            fields = line.split()
+            if len(fields) != len(SWF_FIELDS):
+                raise ValueError(
+                    f"{path.name}:{lineno}: expected {len(SWF_FIELDS)} "
+                    f"fields, got {len(fields)}"
+                )
+            values = {}
+            for name, token in zip(SWF_FIELDS, fields):
+                try:
+                    values[name] = (
+                        int(token) if name in _INT_FIELDS else float(token)
+                    )
+                except ValueError:
+                    raise ValueError(
+                        f"{path.name}:{lineno}: field {name!r} is not "
+                        f"numeric: {token!r}"
+                    ) from None
+            jobs.append(SWFJob(**values))
+    return SWFLog(header=header, jobs=tuple(jobs), source=str(path))
+
+
+def swf_traffic(
+    path: str | Path,
+    *,
+    tenant_field: str = "user",
+    width_cap: int | None = None,
+    max_jobs: int | None = None,
+    horizon_hours: float | None = None,
+) -> tuple[BagSubmission, ...]:
+    """SWF log -> time-sorted :class:`BagSubmission` traffic.
+
+    The mapping onto the tenancy vocabulary:
+
+    * **tenant** — the record's ``user`` (or ``group``, via
+      ``tenant_field``) ID, densely renumbered ``0..T-1`` by first
+      appearance in submit order, so tenant ids are deterministic for a
+      given trace regardless of the raw ID values (``-1`` unknowns form
+      their own tenant).
+    * **time** — submit time in hours, shifted so the first usable job
+      arrives at 0.
+    * **bag** — jobs one tenant submitted in the same second form one
+      bag (array submissions); otherwise one job per bag.
+    * **job** — ``work_hours`` from the measured runtime (requested
+      time when unmeasured), ``width`` from allocated processors
+      (requested when unallocated), optionally clipped to
+      ``width_cap`` so wide HPC gangs fit a bounded fleet.
+
+    Jobs with no positive runtime or processor count even after the
+    fallbacks are skipped.  ``max_jobs`` keeps only the first N usable
+    jobs and ``horizon_hours`` only those submitted inside the window —
+    the slicing knobs the event-oracle equivalence runs use.
+    """
+    if tenant_field not in ("user", "group"):
+        raise ValueError(
+            f"tenant_field must be 'user' or 'group', got {tenant_field!r}"
+        )
+    if width_cap is not None:
+        check_positive("width_cap", width_cap)
+    if max_jobs is not None:
+        check_positive("max_jobs", max_jobs)
+    if horizon_hours is not None:
+        check_positive("horizon_hours", horizon_hours)
+    log = parse_swf(path)
+    usable = [
+        job
+        for job in sorted(log.jobs, key=lambda j: (j.submit_s, j.job_id))
+        if job.runtime_s > 0.0 and job.procs > 0 and job.submit_s >= 0.0
+    ]
+    if not usable:
+        raise ValueError(f"{Path(path).name}: no usable job records")
+    t0 = usable[0].submit_s
+    tenant_ids: dict[int, int] = {}
+    bags: dict[tuple[int, float], list[GangJob]] = {}
+    kept = 0
+    for job in usable:
+        time_h = (job.submit_s - t0) / 3600.0
+        if horizon_hours is not None and time_h >= horizon_hours:
+            break
+        if max_jobs is not None and kept >= max_jobs:
+            break
+        raw = job.user if tenant_field == "user" else job.group
+        tenant = tenant_ids.setdefault(raw, len(tenant_ids))
+        width = job.procs if width_cap is None else min(job.procs, width_cap)
+        bags.setdefault((tenant, time_h), []).append(
+            GangJob(job.runtime_s / 3600.0, int(width))
+        )
+        kept += 1
+    return normalize_traffic(
+        BagSubmission(tenant=tenant, time=time_h, jobs=tuple(jobs))
+        for (tenant, time_h), jobs in bags.items()
+    )

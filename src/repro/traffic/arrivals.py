@@ -50,6 +50,41 @@ __all__ = [
 WEEK_HOURS = 168
 
 
+def _clone_generator(rng: np.random.Generator) -> np.random.Generator:
+    """An independent generator starting from ``rng``'s current state."""
+    bg = rng.bit_generator.__class__()
+    bg.state = rng.bit_generator.state
+    return np.random.Generator(bg)
+
+
+def _exponential_flight(
+    rng: np.random.Generator, scale: float, start: float, horizon: float
+) -> np.ndarray:
+    """Arrival times of one exponential flight over ``[start, horizon)``.
+
+    Bit-identical — in values, draw count, and generator end state — to
+    the scalar loop ``t += rng.exponential(scale)`` stopping at
+    ``t >= horizon``, but vectorised: a *clone* of ``rng`` draws a
+    block to count how many exponentials the loop would consume, then
+    exactly that many are consumed from ``rng`` itself.  This works
+    because ``Generator.exponential(scale, size=k)`` yields the same
+    values and end state as ``k`` sequential scalar draws, and a
+    cumulative sum seeded with ``start`` reproduces the scalar
+    accumulation order of operations.
+    """
+    span = max(horizon - start, 0.0)
+    block = max(64, int(span / scale * 1.25) + 16)
+    while True:
+        draws = _clone_generator(rng).exponential(scale, size=block)
+        cum = np.cumsum(np.concatenate(((start,), draws)))[1:]
+        k = int(np.searchsorted(cum, horizon, side="left"))
+        if k < block:
+            # The scalar loop consumes one draw past the horizon.
+            rng.exponential(scale, size=k + 1)
+            return cum[:k]
+        block *= 2  # flight outran the block: re-clone and retry bigger
+
+
 @dataclass(frozen=True)
 class WeeklyRateCurve:
     """Piecewise-constant arrival rate over a repeating 168-hour week.
@@ -121,14 +156,7 @@ class PoissonProcess:
 
     def sample_times(self, horizon: float, rng: np.random.Generator) -> np.ndarray:
         check_nonnegative("horizon", horizon)
-        times = []
-        t = 0.0
-        while True:
-            t += rng.exponential(1.0 / self.rate)
-            if t >= horizon:
-                break
-            times.append(t)
-        return np.asarray(times, dtype=float)
+        return _exponential_flight(rng, 1.0 / self.rate, 0.0, float(horizon))
 
 
 class DiurnalProcess:
@@ -209,7 +237,7 @@ class MMPPProcess:
 
     def sample_times(self, horizon: float, rng: np.random.Generator) -> np.ndarray:
         check_nonnegative("horizon", horizon)
-        times = []
+        chunks = []
         t = 0.0
         high = self.start_high
         while t < horizon:
@@ -217,15 +245,12 @@ class MMPPProcess:
             rate = self.rate_high if high else self.rate_low
             end = min(t + rng.exponential(mean), horizon)
             if rate > 0.0:
-                s = t
-                while True:
-                    s += rng.exponential(1.0 / rate)
-                    if s >= end:
-                        break
-                    times.append(s)
+                chunks.append(_exponential_flight(rng, 1.0 / rate, t, end))
             t = end
             high = not high
-        return np.asarray(times, dtype=float)
+        if not chunks:
+            return np.asarray([], dtype=float)
+        return np.concatenate(chunks)
 
 
 @dataclass(frozen=True)

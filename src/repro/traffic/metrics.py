@@ -77,7 +77,10 @@ class TenantReport:
 
     Every per-tenant array has shape ``(n_tenants,)``, averaged over
     replications and that tenant's admitted jobs (``nan`` for a tenant
-    with no admitted jobs).
+    with no admitted jobs).  ``mean_occupancy_hours`` is the mean gang
+    occupancy ``(finish - start) x width`` per admitted job — a
+    replication in which the tenant admitted nothing contributes no
+    entries (it is *not* counted as zero occupancy).
     """
 
     n_tenants: int
@@ -157,7 +160,10 @@ def tenant_report(
         if np.isfinite(w).any():
             mean_wait[t] = float(np.nanmean(w))
             mean_bsld[t] = float(np.nanmean(bsld[:, jobs_t]))
-            mean_occ[t] = float(np.nansum(occupancy[:, jobs_t], axis=1).mean())
+            # Per admitted job, like the wait and slowdown means: a
+            # replication that rejected the tenant's bags contributes no
+            # entries rather than a spurious zero.
+            mean_occ[t] = float(np.nanmean(occupancy[:, jobs_t]))
         occ_by_tenant[:, t] = np.nansum(occupancy[:, jobs_t], axis=1)
     if n:
         occ_total = occ_by_tenant.sum(axis=1)

@@ -250,7 +250,11 @@ class MultiTenantService:
         self._done[tenant] += 1
         self._bag_remaining[job.bag_id] -= 1
         if self._bag_remaining[job.bag_id] == 0:
+            # Drop *both* per-bag entries: long traffic horizons submit
+            # unboundedly many bags, so a drained bag must release all
+            # of its front-end state.
             del self._bag_remaining[job.bag_id]
+            del self._bag_tenant[job.bag_id]
             self._bags_active -= 1
             self._update_fleet_cap()
 

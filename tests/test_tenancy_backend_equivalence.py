@@ -455,6 +455,104 @@ class TestApiEdges:
         assert np.all(crf > 0.0)
 
 
+class TestChunkedStreaming:
+    """The ``chunk_size`` streaming path: bounded-memory chunked batches
+    must stay cross-backend equivalent at every chunk size, and a chunk
+    covering the whole batch must be byte-identical to no chunking."""
+
+    TRAFFIC = [
+        (0, 0.0, [(0.6, 1), (0.4, 2)]),
+        (1, 0.3, [(0.5, 1)] * 2),
+        (2, 0.9, [(0.8, 2)]),
+        (0, 1.4, [(0.3, 1)]),
+    ]
+
+    def test_covering_chunk_identical_to_unchunked(self, reference_dist):
+        base = run_tenant_replications(
+            reference_dist, self.TRAFFIC, n_replications=5, seed=0, max_vms=4
+        )
+        covered = run_tenant_replications(
+            reference_dist,
+            self.TRAFFIC,
+            n_replications=5,
+            seed=0,
+            max_vms=4,
+            chunk_size=5,
+        )
+        np.testing.assert_array_equal(base.makespan, covered.makespan)
+        np.testing.assert_array_equal(base.vm_hours, covered.vm_hours)
+        np.testing.assert_array_equal(base.finish_times, covered.finish_times)
+        assert base.n_rounds == covered.n_rounds
+
+    @pytest.mark.parametrize("chunk_size", [1, 2, 3])
+    def test_backends_agree_per_chunk_size(self, reference_dist, chunk_size):
+        """Both backends consume the shared generator chunk by chunk in
+        the same way, so equivalence holds at any chunk size — including
+        sizes that do not divide the batch."""
+        assert_equivalent(
+            *run_both(
+                reference_dist,
+                self.TRAFFIC,
+                3,
+                n=5,
+                max_vms=4,
+                scheduling="fair",
+                chunk_size=chunk_size,
+            )
+        )
+
+    def test_chunked_deterministic(self, reference_dist):
+        a = run_tenant_replications(
+            reference_dist, self.TRAFFIC, n_replications=6, seed=2, max_vms=4,
+            chunk_size=2,
+        )
+        b = run_tenant_replications(
+            reference_dist, self.TRAFFIC, n_replications=6, seed=2, max_vms=4,
+            chunk_size=2,
+        )
+        np.testing.assert_array_equal(a.makespan, b.makespan)
+        np.testing.assert_array_equal(a.admitted, b.admitted)
+
+    def test_invalid_chunk_size_rejected(self, reference_dist):
+        with pytest.raises(ValueError, match="chunk_size"):
+            run_tenant_replications(
+                reference_dist, self.TRAFFIC, n_replications=2, chunk_size=0
+            )
+
+    def test_swf_slice_oracle(self, reference_dist):
+        """The acceptance path: the event oracle replays a small slice
+        of the SWF fixture against the chunked batched kernel."""
+        from repro.traces.swf import SAMPLE_SWF, swf_traffic
+
+        traffic = swf_traffic(SAMPLE_SWF, width_cap=2, max_jobs=10)
+        assert_equivalent(
+            *run_both(
+                reference_dist, traffic, 0, n=4, max_vms=4, chunk_size=2
+            )
+        )
+
+    @pytest.mark.slow
+    def test_swf_slice_oracle_deep(self, reference_dist):
+        """Slow-equivalence budget: longer fixture slices, more chunk
+        shapes, policies on."""
+        from repro.traces.swf import SAMPLE_SWF, swf_traffic
+
+        traffic = swf_traffic(SAMPLE_SWF, width_cap=4, max_jobs=24)
+        for seed, chunk in [(0, 1), (1, 3), (2, 4)]:
+            assert_equivalent(
+                *run_both(
+                    reference_dist,
+                    traffic,
+                    seed,
+                    n=8,
+                    max_vms=6,
+                    scheduling="fair",
+                    checkpoint_interval=0.5,
+                    chunk_size=chunk,
+                )
+            )
+
+
 @pytest.mark.slow
 class TestSlowEquivalence:
     """Deep tenancy budget for the scheduled slow-equivalence CI job."""

@@ -178,6 +178,29 @@ class TestIO:
         with pytest.raises(ValueError, match="missing columns"):
             load_trace_csv(p)
 
+    def test_csv_external_boolean_spellings(self, tmp_path):
+        """Externally exported datasets (pandas to_csv) write True/False
+        strings; the loader must accept them alongside our 0/1."""
+        p = tmp_path / "external.csv"
+        p.write_text(
+            "vm_type,zone,lifetime_hours,day_of_week,launch_hour,idle,censored\n"
+            "n1-highcpu-16,us-east1-b,3.5,2,10.0,True,False\n"
+            "n1-highcpu-16,us-east1-b,1.0,2,11.0,false,TRUE\n"
+            "n1-highcpu-16,us-east1-b,24.0,3,0.0,0,1\n"
+        )
+        loaded = load_trace_csv(p)
+        assert [r.idle for r in loaded] == [True, False, False]
+        assert [r.censored for r in loaded] == [False, True, True]
+
+    def test_csv_garbage_boolean_rejected(self, tmp_path):
+        p = tmp_path / "bad_bool.csv"
+        p.write_text(
+            "vm_type,zone,lifetime_hours,day_of_week,launch_hour,idle,censored\n"
+            "x,y,1.0,0,0.0,maybe,0\n"
+        )
+        with pytest.raises(ValueError, match="idle.*boolean"):
+            load_trace_csv(p)
+
     def test_json_roundtrip(self, tmp_path):
         trace = TraceGenerator(seed=10).launch_batch(10, "n1-highcpu-4")
         path = tmp_path / "trace.json"

@@ -1,0 +1,138 @@
+"""SWF trace ingestion: structural parsing, tenant mapping, and the
+trace -> traffic -> tenancy-sweep integration path on the checked-in
+fixture."""
+
+import numpy as np
+import pytest
+
+from repro.sim.backend import run_tenant_replications
+from repro.sim.tenancy_vectorized import BagSubmission
+from repro.traces.swf import SAMPLE_SWF, SWF_FIELDS, parse_swf, swf_traffic
+
+
+@pytest.fixture(scope="module")
+def sample_log():
+    return parse_swf(SAMPLE_SWF)
+
+
+class TestParse:
+    def test_header_directives(self, sample_log):
+        assert sample_log.header["Version"] == "2.2"
+        assert sample_log.header["MaxProcs"] == "240"
+        assert sample_log.header["UnixStartTime"] == "1027839845"
+        # Continuation comment lines without a colon are ignored quietly.
+        assert "submissions" not in sample_log.header
+
+    def test_record_count_and_fields(self, sample_log):
+        assert len(sample_log) == 32
+        first = sample_log.jobs[0]
+        assert first.job_id == 1
+        assert first.submit_s == 0.0
+        assert first.run_s == 1800.0
+        assert first.alloc_procs == 4
+        assert first.user == 101 and first.group == 10
+
+    def test_missing_value_fallbacks(self, sample_log):
+        by_id = {j.job_id: j for j in sample_log.jobs}
+        # run=-1 -> requested time; alloc=-1 -> requested processors.
+        assert by_id[7].runtime_s == 1800.0
+        assert by_id[8].procs == 16
+        # Both runtime sources missing -> unusable.
+        assert by_id[12].runtime_s == -1.0
+
+    def test_wrong_field_count_rejected(self, tmp_path):
+        p = tmp_path / "short.swf"
+        p.write_text("; Version: 2.2\n1 0 1 100 1 -1 -1 1\n")
+        with pytest.raises(ValueError, match=r"short\.swf:2.*18 fields"):
+            parse_swf(p)
+
+    def test_non_numeric_field_rejected(self, tmp_path):
+        p = tmp_path / "garbled.swf"
+        fields = ["1"] * len(SWF_FIELDS)
+        fields[3] = "NaNopes"
+        p.write_text(" ".join(fields) + "\n")
+        with pytest.raises(ValueError, match=r"garbled\.swf:1.*'run_s'"):
+            parse_swf(p)
+
+
+class TestTraffic:
+    def test_fixture_maps_to_traffic(self):
+        traffic = swf_traffic(SAMPLE_SWF)
+        assert all(isinstance(s, BagSubmission) for s in traffic)
+        # 31 usable jobs (job 12 has no runtime source).
+        assert sum(len(s.jobs) for s in traffic) == 31
+        assert traffic[0].time == 0.0
+        times = [s.time for s in traffic]
+        assert times == sorted(times)
+
+    def test_tenant_ids_dense_by_first_appearance(self):
+        traffic = swf_traffic(SAMPLE_SWF)
+        tenants = {s.tenant for s in traffic}
+        # Users appear in order 101, 102, 103, 104, 105, -1 -> ids 0..5.
+        assert tenants == set(range(6))
+        first_seen = {}
+        for s in traffic:
+            first_seen.setdefault(s.tenant, s.time)
+        assert [t for t, _ in sorted(first_seen.items(), key=lambda kv: kv[1])] == [
+            0, 1, 2, 3, 4, 5,
+        ]
+
+    def test_group_tenancy(self):
+        traffic = swf_traffic(SAMPLE_SWF, tenant_field="group")
+        # Groups 10, 20, 30, -1 -> four tenants.
+        assert {s.tenant for s in traffic} == set(range(4))
+
+    def test_same_second_jobs_form_one_bag(self):
+        traffic = swf_traffic(SAMPLE_SWF)
+        at_30s = [s for s in traffic if s.time == pytest.approx(30.0 / 3600.0)]
+        assert len(at_30s) == 1
+        assert len(at_30s[0].jobs) == 3  # user 102's array submission
+
+    def test_units_and_width_cap(self):
+        traffic = swf_traffic(SAMPLE_SWF, width_cap=4)
+        widths = [j.width for s in traffic for j in s.jobs]
+        assert max(widths) == 4
+        job1 = swf_traffic(SAMPLE_SWF)[0].jobs[0]
+        assert job1.work_hours == pytest.approx(0.5)  # 1800 s
+
+    def test_slicing_knobs(self):
+        sliced = swf_traffic(SAMPLE_SWF, max_jobs=8)
+        assert sum(len(s.jobs) for s in sliced) == 8
+        windowed = swf_traffic(SAMPLE_SWF, horizon_hours=0.2)  # 720 s
+        assert all(s.time < 0.2 for s in windowed)
+        assert sum(len(s.jobs) for s in windowed) == 11  # jobs 1..11, minus 12+
+
+    def test_determinism(self):
+        assert swf_traffic(SAMPLE_SWF) == swf_traffic(SAMPLE_SWF)
+
+    def test_no_usable_jobs_rejected(self, tmp_path):
+        p = tmp_path / "empty.swf"
+        fields = ["1", "0", "0", "-1", "1", "-1", "-1", "1", "-1", "-1",
+                  "1", "7", "7", "1", "0", "0", "-1", "-1"]
+        p.write_text("; Version: 2.2\n" + " ".join(fields) + "\n")
+        with pytest.raises(ValueError, match="no usable"):
+            swf_traffic(p)
+
+    def test_bad_tenant_field_rejected(self):
+        with pytest.raises(ValueError, match="tenant_field"):
+            swf_traffic(SAMPLE_SWF, tenant_field="queue")
+
+
+class TestIntegration:
+    def test_trace_to_sweep_end_to_end(self, reference_dist):
+        """The fixture drives a real replication batch on both backends
+        with matching admission outcomes."""
+        traffic = swf_traffic(SAMPLE_SWF, width_cap=2, max_jobs=12)
+        outs = {
+            backend: run_tenant_replications(
+                reference_dist, traffic, n_replications=3, seed=0,
+                backend=backend, max_vms=4,
+            )
+            for backend in ("event", "vectorized")
+        }
+        ev, vec = outs["event"], outs["vectorized"]
+        assert (ev.completed_jobs == ev.admitted.sum(axis=1)).all()
+        np.testing.assert_array_equal(ev.admitted, vec.admitted)
+        np.testing.assert_allclose(
+            ev.finish_times, vec.finish_times, atol=1e-9, equal_nan=True
+        )

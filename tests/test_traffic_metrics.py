@@ -4,12 +4,44 @@ cost attribution) over tenancy sweep outcomes."""
 import numpy as np
 import pytest
 
-from repro.sim.backend import run_tenant_replications
+from repro.sim.backend import TenantOutcomes, run_tenant_replications
 from repro.traffic.metrics import (
     bounded_slowdown,
     jain_fairness_index,
     tenant_report,
 )
+
+
+def _hand_outcomes(admitted, starts, finishes, job_tenant, job_work, job_width):
+    """A TenantOutcomes with fixed timing arrays (metrics-only fields
+    filled with neutral values)."""
+    admitted = np.asarray(admitted, dtype=bool)
+    n, J = admitted.shape
+    finishes = np.asarray(finishes, dtype=float)
+    makespan = np.where(
+        admitted.any(axis=1), np.nanmax(np.where(admitted, finishes, -np.inf), axis=1), 0.0
+    )
+    return TenantOutcomes(
+        makespan=makespan,
+        wasted_hours=np.zeros(n),
+        completed_jobs=admitted.sum(axis=1),
+        n_job_failures=np.zeros(n, dtype=np.int64),
+        n_preemptions=np.zeros(n, dtype=np.int64),
+        vm_hours=np.ones(n),
+        master_hours=np.zeros(n),
+        n_events=np.zeros(n, dtype=np.int64),
+        n_draws=np.zeros(n, dtype=np.int64),
+        admitted=admitted,
+        start_times=np.asarray(starts, dtype=float),
+        finish_times=np.asarray(finishes, dtype=float),
+        job_tenant=np.asarray(job_tenant, dtype=np.int64),
+        job_arrival=np.zeros(J),
+        job_work=np.asarray(job_work, dtype=float),
+        job_width=np.asarray(job_width, dtype=np.int64),
+        n_tenants=int(np.max(job_tenant)) + 1,
+        n_rounds=0,
+        backend="event",
+    )
 
 
 class TestPrimitives:
@@ -93,6 +125,38 @@ class TestTenantReport:
         text = tenant_report(outcomes).summary()
         assert "tenant 0" in text and "tenant 1" in text
         assert "wait-fairness" in text
+
+    def test_occupancy_is_per_admitted_job(self):
+        """A replication that rejected a tenant's bags must contribute no
+        occupancy entries — not a spurious zero (the old
+        ``nansum(...).mean()`` halved this tenant's mean)."""
+        nan = np.nan
+        out = _hand_outcomes(
+            admitted=[[True, True], [False, False]],
+            starts=[[0.0, 1.0], [nan, nan]],
+            finishes=[[2.0, 4.0], [nan, nan]],
+            job_tenant=[0, 0],
+            job_work=[2.0, 3.0],
+            job_width=[1, 2],
+        )
+        rep = tenant_report(out)
+        # Admitted-job occupancies: (2-0)*1 = 2 and (4-1)*2 = 6 -> mean 4;
+        # zero-counting the rejecting replication would report 2.
+        assert rep.mean_occupancy_hours[0] == pytest.approx(4.0)
+
+    def test_occupancy_nan_for_never_admitted_tenant(self):
+        nan = np.nan
+        out = _hand_outcomes(
+            admitted=[[True, False]],
+            starts=[[0.0, nan]],
+            finishes=[[1.5, nan]],
+            job_tenant=[0, 1],
+            job_work=[1.5, 1.0],
+            job_width=[1, 1],
+        )
+        rep = tenant_report(out)
+        assert rep.mean_occupancy_hours[0] == pytest.approx(1.5)
+        assert np.isnan(rep.mean_occupancy_hours[1])
 
     def test_rejected_tenant_has_nan_wait(self, reference_dist):
         traffic = [

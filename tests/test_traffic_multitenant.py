@@ -212,11 +212,31 @@ class TestMultiTenantService:
         mts.run()
         bags = mts.service.bags
         estimates = {
-            mts._bag_tenant[bid]: bag.estimated_runtime()
-            for bid, bag in bags.items()
+            int(bag.request.name.removeprefix("tenant-")): bag.estimated_runtime()
+            for bag in bags.values()
         }
         assert estimates[0] == pytest.approx(0.2)
         assert estimates[1] == pytest.approx(3.0)
+
+    def test_bag_state_released_on_drain(self, reference_dist):
+        """Per-bag front-end state must not grow with the traffic: both
+        the remaining-count and the tenant map drop a drained bag."""
+        sim, mts = make_service(
+            reference_dist, n_tenants=2,
+            config=ServiceConfig(run_master=False, max_vms=2),
+        )
+        mts.submit_traffic(
+            [
+                (0, 0.0, [(0.3, 1)] * 2),
+                (1, 0.2, [(0.4, 1)]),
+                (0, 0.5, [(0.2, 1)] * 3),
+            ]
+        )
+        mts.run()
+        assert mts.finished
+        assert mts._bag_remaining == {}
+        assert mts._bag_tenant == {}
+        assert mts._bags_active == 0
 
     def test_backfill_config_rejected(self, reference_dist):
         with pytest.raises(ValueError, match="backfill"):
