@@ -1,0 +1,94 @@
+"""Batched DP checkpoint kernel vs per-attempt event planning.
+
+``checkpoint="dp"`` used to be event-only: every attempt walked
+``CheckpointPolicy.plan`` inside the Python event loop.  The
+:class:`~repro.sim.checkpoint_vectorized.DPPlanWalker` shares one DP
+table across all replications and advances every in-flight attempt per
+lockstep round, so the sweep amortises the planner the same way the
+kernels amortise event dispatch.  Two measurements:
+
+- ``test_dp_equivalence_at_scale`` re-checks the 1e-9 contract at the
+  benchmark's own scale (no silent divergence behind the speedup).
+- ``test_speedup_floor`` pins the >= 10x vectorized-over-event floor
+  for a DP-checkpointed service sweep; the event leg is timed on a
+  replication slice and scaled linearly.  Emits
+  ``BENCH_checkpoint_dp.json`` at the repo root.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.sim.backend import run_service_replications
+from repro.sim.service_vectorized import ServiceBatchConfig
+
+pytestmark = pytest.mark.benchmark
+
+BENCH_RECORD = Path(__file__).resolve().parent.parent / "BENCH_checkpoint_dp.json"
+
+BAG = [(3.7, 2), (1.2, 1), (8.4, 3), (0.6, 2), (5.5, 4), (2.2, 1)]
+CONFIG = ServiceBatchConfig(
+    max_vms=8,
+    use_reuse_policy=True,
+    checkpoint="dp",
+    checkpoint_cost=0.1,
+    checkpoint_step=0.25,
+)
+
+
+def _run(dist, backend, n):
+    return run_service_replications(
+        dist,
+        BAG,
+        config=CONFIG,
+        n_replications=n,
+        seed=0,
+        backend=backend,
+    )
+
+
+def test_dp_equivalence_at_scale(reference_dist):
+    a = _run(reference_dist, "event", 64)
+    b = _run(reference_dist, "vectorized", 64)
+    np.testing.assert_allclose(a.makespan, b.makespan, atol=1e-9)
+    np.testing.assert_allclose(a.vm_hours, b.vm_hours, atol=1e-9)
+    np.testing.assert_array_equal(a.n_draws, b.n_draws)
+    np.testing.assert_array_equal(a.n_events, b.n_events)
+
+
+def test_speedup_floor(reference_dist):
+    """Acceptance floor: vectorized >= 10x over event with DP plans."""
+    n, n_event = 2000, 32
+    _run(reference_dist, "vectorized", 8)  # warm PPF caches + DP table
+    t0 = time.perf_counter()
+    _run(reference_dist, "event", n_event)
+    t1 = time.perf_counter()
+    _run(reference_dist, "vectorized", n)
+    t2 = time.perf_counter()
+    event_s = (t1 - t0) * (n / n_event)
+    vec_s = t2 - t1
+    speedup = event_s / vec_s
+    print(
+        f"\nevent (scaled from n={n_event}): {event_s:.1f}s  "
+        f"vectorized: {vec_s:.1f}s  speedup: {speedup:.0f}x at n={n}, "
+        f"{len(BAG)} jobs, dp plans"
+    )
+    BENCH_RECORD.write_text(
+        json.dumps(
+            {
+                "benchmark": "checkpoint_dp",
+                "n_replications": n,
+                "n_jobs": len(BAG),
+                "checkpoint": "dp",
+                "event_seconds_scaled": round(event_s, 2),
+                "vectorized_seconds": round(vec_s, 2),
+                "speedup": round(speedup, 1),
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    assert speedup >= 10.0

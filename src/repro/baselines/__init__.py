@@ -1,0 +1,36 @@
+"""Hindsight baselines: what the realized draws made possible.
+
+The policies in :mod:`repro.service` and :mod:`repro.sim` act online —
+they see a lifetime law, never the draws.  This package scores them
+against the *hindsight optimum*: given the exact lifetime realisations
+a replication consumed (recorded by
+:class:`repro.sim.backend.DrawCapture`), the cheapest VM-hour spend any
+schedule could have achieved.  The gap — regret — is the price of not
+knowing the future, and every policy must sit at or above 100% of the
+oracle on every replication (the ``fig9-regret`` experiment and
+``tests/test_regret_oracle.py`` pin exactly that).
+"""
+
+from repro.baselines.oracle import (
+    HindsightBound,
+    InfeasibleScheduleError,
+    OracleSchedule,
+    RegretTable,
+    hindsight_lower_bound,
+    minimal_segments_dp,
+    oracle_schedule_dp,
+    regret_from_outcomes,
+    segment_count_bound,
+)
+
+__all__ = [
+    "HindsightBound",
+    "InfeasibleScheduleError",
+    "OracleSchedule",
+    "RegretTable",
+    "hindsight_lower_bound",
+    "minimal_segments_dp",
+    "oracle_schedule_dp",
+    "regret_from_outcomes",
+    "segment_count_bound",
+]

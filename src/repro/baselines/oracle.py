@@ -1,0 +1,350 @@
+"""Hindsight-optimal schedule bounds over realized lifetime draws.
+
+Given the multiset of VM lifetimes a replication actually consumed
+(recorded draw-for-draw by :class:`repro.sim.backend.DrawCapture`),
+what is the cheapest worker VM-hour spend *any* schedule could have
+achieved for the bag?  This module answers with a bracket:
+
+* :func:`hindsight_lower_bound` — a provable per-job lower bound.  A
+  gang of ``g`` distinct VMs has min lifetime at most the ``g``-th
+  largest draw ``C_g`` (at most ``g - 1`` draws exceed it), so every
+  completed non-final segment fits ``sigma + delta <= C_g`` and the
+  final one ``sigma <= C_g``; covering ``w`` work hours therefore takes
+  at least ``m* = 1 + ceil((w - C_g) / (C_g - delta))`` segments, and
+  the job bills at least ``g * (w + (m* - 1) * delta)``.  The argument
+  never constrains *which* VMs a job uses — sharing, reuse, and
+  restarts are all allowed — so every policy's realized worker hours
+  sit at or above the bound on the same draws.  This is the regret
+  baseline.
+* :func:`oracle_schedule_dp` — the exact optimum of the *disjoint-gang*
+  schedule space on small instances (<= ~8 jobs), by DP over job
+  subsets: an exchange argument shows some optimal disjoint assignment
+  hands out consecutive blocks of the descending-sorted pool, so
+  ``dp[S]`` = cheapest cost of job set ``S`` on the first
+  ``sum(widths in S)`` draws.  Disjointness can only hurt, so this is
+  an *upper* bracket on the true hindsight optimum; when it meets the
+  lower bound the bracket is tight and the bound is certified exact.
+
+:func:`segment_count_bound` is the closed-form ``m*`` and
+:func:`minimal_segments_dp` re-derives it by a memo-table DP on a work
+grid — the independent cross-check the golden tests lean on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+# Slack subtracted before each ceil: never round a float-fuzz exact
+# multiple *up*, which would overstate the bound and break the
+# regret >= 0 guarantee.
+_CEIL_SLACK = 1e-12
+
+
+class InfeasibleScheduleError(ValueError):
+    """No schedule completes the work on the given lifetime pool."""
+
+
+def segment_count_bound(work: float, cap: float, delta: float) -> int:
+    """Minimum number of segments covering ``work`` hours.
+
+    ``cap`` bounds each segment's walltime on the hosting gang (the
+    gang-min lifetime): a final segment takes ``sigma <= cap``, a
+    non-final one ``sigma + delta <= cap``.  Closed form of the
+    covering recurrence ``(m - 1) * (cap - delta) + cap >= work``.
+    """
+    if work <= 0:
+        return 0
+    if cap >= work:
+        return 1
+    span = cap - delta
+    if span <= 0:
+        raise InfeasibleScheduleError(
+            f"no progress possible: cap {cap:g} h leaves no room for a "
+            f"checkpoint of {delta:g} h, yet {work:g} h remain"
+        )
+    return 1 + int(math.ceil((work - cap) / span - _CEIL_SLACK))
+
+
+def minimal_segments_dp(
+    work: float, cap: float, delta: float, *, quantum: float = 1e-6
+) -> int:
+    """``segment_count_bound`` re-derived by a memo-table DP.
+
+    Work is rounded up to a grid of ``quantum`` hours and segment
+    budgets down, so the DP answer can only meet or exceed the closed
+    form — and equals it whenever the inputs sit on the grid.  Kept
+    deliberately independent of :func:`segment_count_bound` so the two
+    cross-check each other.
+    """
+    if work <= 0:
+        return 0
+    if quantum <= 0:
+        raise ValueError(f"quantum must be > 0, got {quantum}")
+    if cap >= work:
+        # Exact feasibility boundary, kept off the grid: rounding work
+        # up and cap down must not split a job one segment covers.
+        return 1
+    span = cap - delta
+    if span <= 0:
+        raise InfeasibleScheduleError(
+            f"no progress possible: cap {cap:g} h leaves no room for a "
+            f"checkpoint of {delta:g} h, yet {work:g} h remain"
+        )
+    remaining = int(math.ceil(work / quantum - _CEIL_SLACK))
+    final_max = int(math.floor(cap / quantum + _CEIL_SLACK))
+    inner_max = int(math.floor(span / quantum + _CEIL_SLACK))
+    if remaining > final_max and inner_max <= 0:
+        raise InfeasibleScheduleError(
+            f"quantum {quantum:g} h cannot resolve a non-final segment "
+            f"within cap {cap:g} h minus checkpoint {delta:g} h"
+        )
+
+    # Fill the memo bottom-up along the reachable chain (the recursion
+    # r -> r - inner_max visits one value per depth, which overflows
+    # the stack on fine grids).
+    memo: dict[int, int] = {}
+    chain = []
+    r = remaining
+    while r > final_max:
+        chain.append(r)
+        r -= inner_max
+    memo[r] = 1
+    for r in reversed(chain):
+        memo[r] = 1 + memo[r - inner_max]
+    return memo[remaining]
+
+
+def _job_tuple(job) -> tuple[float, int]:
+    """``(work_hours, width)`` from a GangJob or a plain pair."""
+    work = getattr(job, "work_hours", None)
+    if work is not None:
+        return float(work), int(job.width)
+    work, width = job
+    return float(work), int(width)
+
+
+@dataclass(frozen=True)
+class HindsightBound:
+    """Per-replication lower bound on worker VM-hours for a bag."""
+
+    total: float
+    per_job: tuple[float, ...]
+    segments: tuple[int, ...]
+    feasible: bool
+
+
+def hindsight_lower_bound(lifetimes, jobs, delta: float) -> HindsightBound:
+    """Provable VM-hour floor for ``jobs`` on a realized lifetime pool.
+
+    Each job is bounded independently against the *full* pool (its
+    best imaginable gang), so VM sharing between jobs never invalidates
+    the bound.  ``feasible=False`` (with infinite entries) marks jobs
+    no schedule on this pool completes — a policy replication that
+    finished every job always yields a finite bound.
+    """
+    pool = np.sort(np.asarray(lifetimes, dtype=float))[::-1]
+    per_job: list[float] = []
+    segments: list[int] = []
+    feasible = True
+    for job in jobs:
+        work, width = _job_tuple(job)
+        if width > pool.size:
+            per_job.append(math.inf)
+            segments.append(0)
+            feasible = False
+            continue
+        cap = float(pool[width - 1])
+        try:
+            m = segment_count_bound(work, cap, delta)
+        except InfeasibleScheduleError:
+            per_job.append(math.inf)
+            segments.append(0)
+            feasible = False
+            continue
+        per_job.append(width * (work + (m - 1) * delta))
+        segments.append(m)
+    return HindsightBound(
+        total=float(sum(per_job)),
+        per_job=tuple(per_job),
+        segments=tuple(segments),
+        feasible=feasible,
+    )
+
+
+@dataclass(frozen=True)
+class OracleSchedule:
+    """Optimal disjoint-gang schedule (small-instance DP)."""
+
+    total: float
+    per_job: tuple[float, ...]
+    gang_caps: tuple[float, ...]
+    order: tuple[int, ...]
+    certified: bool
+
+
+def oracle_schedule_dp(
+    lifetimes, jobs, delta: float, *, max_jobs: int = 10
+) -> OracleSchedule:
+    """Exact optimum over disjoint gang assignments, by subset DP.
+
+    Some optimal disjoint assignment hands each job a consecutive block
+    of the descending-sorted pool (swapping any two draws above both
+    gang minima changes nothing, so assignments can be untangled block
+    by block), which collapses the search to an ordering problem:
+    ``dp[S]`` is the cheapest cost of scheduling job set ``S`` on the
+    pool's first ``sum(widths in S)`` draws.  ``certified`` reports
+    whether this optimum meets :func:`hindsight_lower_bound` — when it
+    does, the bracket is tight and the bound *is* the hindsight
+    optimum.
+    """
+    parsed = [_job_tuple(j) for j in jobs]
+    n = len(parsed)
+    if n > max_jobs:
+        raise ValueError(
+            f"subset DP is exponential in jobs: got {n} > max_jobs={max_jobs}"
+        )
+    pool = np.sort(np.asarray(lifetimes, dtype=float))[::-1]
+    need = sum(w for _, w in parsed)
+    if need > pool.size:
+        raise InfeasibleScheduleError(
+            f"disjoint gangs need {need} VMs, pool has {pool.size} draws"
+        )
+
+    def job_cost(idx: int, used: int) -> float:
+        work, width = parsed[idx]
+        cap = float(pool[used + width - 1])
+        try:
+            m = segment_count_bound(work, cap, delta)
+        except InfeasibleScheduleError:
+            return math.inf
+        return width * (work + (m - 1) * delta)
+
+    full = (1 << n) - 1
+    dp = [math.inf] * (full + 1)
+    choice = [-1] * (full + 1)
+    dp[0] = 0.0
+    width_of = [w for _, w in parsed]
+    for mask in range(full + 1):
+        if not math.isfinite(dp[mask]):
+            continue
+        used = sum(width_of[i] for i in range(n) if mask & (1 << i))
+        for i in range(n):
+            if mask & (1 << i):
+                continue
+            nxt = mask | (1 << i)
+            cand = dp[mask] + job_cost(i, used)
+            if cand < dp[nxt]:
+                dp[nxt] = cand
+                choice[nxt] = i
+
+    if not math.isfinite(dp[full]):
+        raise InfeasibleScheduleError(
+            "no disjoint-gang schedule completes every job on this pool"
+        )
+
+    order: list[int] = []
+    mask = full
+    while mask:
+        i = choice[mask]
+        order.append(i)
+        mask &= ~(1 << i)
+    order.reverse()
+
+    per_job = [0.0] * n
+    gang_caps = [0.0] * n
+    used = 0
+    for i in order:
+        per_job[i] = job_cost(i, used)
+        gang_caps[i] = float(pool[used + width_of[i] - 1])
+        used += width_of[i]
+
+    bound = hindsight_lower_bound(pool, parsed, delta)
+    total = float(dp[full])
+    certified = bound.feasible and math.isclose(
+        total, bound.total, rel_tol=1e-12, abs_tol=1e-12
+    )
+    return OracleSchedule(
+        total=total,
+        per_job=tuple(per_job),
+        gang_caps=tuple(gang_caps),
+        order=tuple(order),
+        certified=certified,
+    )
+
+
+@dataclass(frozen=True)
+class RegretTable:
+    """Draw-level pairing of a policy sweep against the oracle bound.
+
+    One row per replication: the policy's realized worker VM-hours,
+    the hindsight bound on the *same* consumed draws, their difference
+    (regret — non-negative whenever ``completed``), and the policy's
+    cost as a percentage of the oracle.  ``completed`` masks
+    replications where the policy finished the whole bag; aborted runs
+    spent fewer hours than the full bag demands and carry no
+    dominance guarantee.
+    """
+
+    policy_hours: np.ndarray
+    oracle_hours: np.ndarray
+    regret: np.ndarray
+    pct_of_oracle: np.ndarray
+    completed: np.ndarray
+
+    @property
+    def n_replications(self) -> int:
+        return int(self.policy_hours.size)
+
+    def summary(self) -> str:
+        done = self.completed
+        if not done.any():
+            return f"regret: 0/{self.n_replications} replications completed"
+        pct = self.pct_of_oracle[done]
+        return (
+            f"regret over {int(done.sum())}/{self.n_replications} completed: "
+            f"policy at {pct.mean():.1f}% of hindsight-optimal "
+            f"(min {pct.min():.1f}%, max {pct.max():.1f}%)"
+        )
+
+
+def regret_from_outcomes(
+    outcomes, capture, dist, jobs, delta: float
+) -> RegretTable:
+    """Pair a sweep's outcomes with its capture, draw for draw.
+
+    ``outcomes`` is a :class:`~repro.sim.backend.ClusterOutcomes` or
+    :class:`~repro.sim.backend.ServiceOutcomes` from a run that passed
+    ``capture``; replication ``i`` consumed exactly the first
+    ``n_draws[i]`` rows of column ``i`` of the capture's round table,
+    so its oracle sees precisely the lifetimes the policy saw.
+    """
+    lifetimes = capture.lifetimes(dist)
+    n = int(np.asarray(outcomes.n_draws).size)
+    if lifetimes.shape[1] != n:
+        raise ValueError(
+            f"capture is {lifetimes.shape[1]} replications wide but the "
+            f"outcomes carry {n}; pair each run with its own capture"
+        )
+    jobs = [_job_tuple(j) for j in jobs]
+    n_jobs = len(jobs)
+    policy_hours = np.asarray(outcomes.vm_hours, dtype=float)
+    completed = np.asarray(outcomes.completed_jobs) == n_jobs
+    oracle_hours = np.empty(n, dtype=float)
+    for i in range(n):
+        consumed = lifetimes[: int(outcomes.n_draws[i]), i]
+        oracle_hours[i] = hindsight_lower_bound(consumed, jobs, delta).total
+    with np.errstate(invalid="ignore"):
+        regret = policy_hours - oracle_hours
+        pct = np.where(
+            oracle_hours > 0, 100.0 * policy_hours / oracle_hours, np.inf
+        )
+    return RegretTable(
+        policy_hours=policy_hours,
+        oracle_hours=oracle_hours,
+        regret=regret,
+        pct_of_oracle=pct,
+        completed=completed,
+    )

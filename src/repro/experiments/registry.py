@@ -19,6 +19,7 @@ from repro.experiments import (
     fig6_job_length,
     fig7_sensitivity,
     fig8_checkpointing,
+    fig9_regret,
     fig9_service,
     fig9_tenants,
     params_table,
@@ -124,6 +125,12 @@ EXPERIMENTS: dict[str, Experiment] = {
             "Fig. 9 over batched end-to-end service replications (both backends)",
             fig9_service.run_monte_carlo,
             fig9_service.report_monte_carlo,
+        ),
+        Experiment(
+            "fig9-regret",
+            "Policy ladder scored as % of the hindsight-optimal oracle",
+            fig9_regret.run,
+            fig9_regret.report,
         ),
         Experiment(
             "fig9-tenants",

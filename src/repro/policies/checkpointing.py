@@ -39,6 +39,7 @@ whose numerator is the paper's Eq. 13 integral.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Literal, Sequence
 
@@ -48,11 +49,30 @@ from repro.distributions.base import LifetimeDistribution
 from repro.utils.integrate import cumulative_trapezoid
 from repro.utils.validation import check_nonnegative, check_positive
 
-__all__ = ["CheckpointPlan", "CheckpointPolicy", "evaluate_schedule", "simulate_schedule"]
+__all__ = [
+    "CheckpointPlan",
+    "CheckpointPolicy",
+    "FixedPointWarning",
+    "evaluate_schedule",
+    "simulate_schedule",
+]
 
 _EPS = 1e-12
 
+# Age-0 fixed point (the self-referencing state (J, 0)): iteration count
+# and convergence tolerance.  The iteration is a contraction with factor
+# Pfail, so laws whose per-interval failure probability approaches 1
+# (mean lifetime << one work-step) converge geometrically slowly; when
+# the budget runs out the residual is surfaced instead of silently
+# accepting the unconverged value.
+_FIXED_POINT_MAX_ITER = 500
+_FIXED_POINT_TOL = 1e-10
+
 Variant = Literal["conditional", "paper"]
+
+
+class FixedPointWarning(UserWarning):
+    """The age-0 makespan fixed point did not converge within budget."""
 
 
 @dataclass(frozen=True)
@@ -165,6 +185,10 @@ class CheckpointPolicy:
         self._ages = np.arange(0.0, self._horizon + self.age_step, self.age_step)
         self._moments = _MomentTable(dist, self._horizon + 1.0)
         self._tables: dict[int, _DPTable] = {}
+        #: Worst age-0 fixed-point residual of the most recent DP solve
+        #: (0.0 when every level converged; inspect after a
+        #: :class:`FixedPointWarning`).
+        self.last_fixed_point_residual: float = 0.0
 
     # ------------------------------------------------------------------
     def _n_steps(self, job_length: float) -> int:
@@ -204,6 +228,7 @@ class CheckpointPolicy:
         M = np.zeros((n_steps + 1, n_ages))
         choice = np.zeros((n_steps + 1, n_ages), dtype=np.int32)
         R = self.restart_latency
+        worst_residual = 0.0
 
         for j in range(1, n_steps + 1):
             i_vals = np.arange(1, j + 1)
@@ -223,13 +248,25 @@ class CheckpointPolicy:
             succ0_idx = np.minimum(offsets, n_ages - 1)
             succ0 = M[succ_rows, succ0_idx]
             x = 0.0
-            for _ in range(500):
+            residual = np.inf
+            for _ in range(_FIXED_POINT_MAX_ITER):
                 cost0 = (1.0 - p0) * (w + succ0) + p0 * (e0 + R + x)
                 new_x = float(np.min(cost0))
-                if abs(new_x - x) < 1e-10:
-                    x = new_x
-                    break
+                residual = abs(new_x - x)
                 x = new_x
+                if residual < _FIXED_POINT_TOL:
+                    break
+            if residual >= _FIXED_POINT_TOL:
+                worst_residual = max(worst_residual, residual)
+                warnings.warn(
+                    f"age-0 makespan fixed point for {j} remaining steps "
+                    f"did not converge in {_FIXED_POINT_MAX_ITER} iterations "
+                    f"(residual {residual:.3e} h >= {_FIXED_POINT_TOL:g}); "
+                    "the lifetime law fails almost every interval — expected "
+                    "makespans at this level are lower bounds",
+                    FixedPointWarning,
+                    stacklevel=3,
+                )
             # --- all ages, vectorised over (age, i) ----------------------
             t_end = ages[:, None] + w[None, :]
             p, elapsed = self._interval_terms(
@@ -240,6 +277,7 @@ class CheckpointPolicy:
             cost = (1.0 - p) * (w[None, :] + succ) + p * (elapsed + R + x)
             M[j] = np.min(cost, axis=1)
             choice[j] = i_vals[np.argmin(cost, axis=1)]
+        self.last_fixed_point_residual = worst_residual
         table = _DPTable(M=M, choice=choice, ages=ages)
         self._tables[n_steps] = table
         return table

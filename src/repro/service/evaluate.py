@@ -67,7 +67,6 @@ from repro.policies.scheduling import (
     ModelReusePolicy,
     job_failure_probability_batch,
 )
-from repro.policies.youngdaly import young_daly_interval
 from repro.service.controller import ServiceConfig
 from repro.sim.backend import (
     ClusterOutcomes,
@@ -251,7 +250,7 @@ class ClusterEvaluation:
     def summary(self) -> str:
         flags = (
             f"reuse={'on' if self.config.use_reuse_policy else 'off'} "
-            f"ckpt={'on' if self.cluster_config.checkpoint_interval else 'off'} "
+            f"ckpt={'dp' if self.cluster_config.checkpoint == 'dp' else 'on' if self.cluster_config.checkpoint_interval else 'off'} "
             f"spare={'on' if self.cluster_config.hot_spare else 'off'} "
             f"pool={self.cluster_config.pool_size}"
         )
@@ -327,7 +326,7 @@ class ServiceEvaluation:
     def summary(self) -> str:
         flags = (
             f"reuse={'on' if self.batch_config.use_reuse_policy else 'off'} "
-            f"ckpt={'on' if self.batch_config.checkpoint_interval else 'off'} "
+            f"ckpt={'dp' if self.batch_config.checkpoint == 'dp' else 'on' if self.batch_config.checkpoint_interval else 'off'} "
             f"lat={self.batch_config.provision_latency:g}h "
             f"fleet={self.batch_config.max_vms}"
         )
@@ -577,24 +576,21 @@ class ServicePolicyEvaluator:
         """Map the service configuration onto the cluster kernel's knobs.
 
         ``pool_size`` defaults to the service's ``max_vms``.  When
-        checkpointing is on and no interval is given, the fixed interval
-        is the Young-Daly optimum for the configuration's checkpoint
-        cost against the lifetime law's mean — the batched stand-in for
-        the controller's per-job DP plans, which have no fixed-interval
-        equivalent.
+        checkpointing is on and no interval is given, the kernel runs
+        the controller's own per-attempt DP plans via
+        ``checkpoint="dp"`` (the batched plan walker), so the mapping
+        needs no fixed-interval stand-in.
         """
-        interval = checkpoint_interval
-        if interval is None and self.config.use_checkpointing:
-            interval = young_daly_interval(
-                max(self.config.checkpoint_cost, 1e-6), self.dist.mean()
-            )
+        dp = checkpoint_interval is None and self.config.use_checkpointing
         return ClusterConfig(
             pool_size=pool_size or self.config.max_vms,
             use_reuse_policy=self.config.use_reuse_policy,
             reuse_criterion="conditional",
             hot_spare=hot_spare,
-            checkpoint_interval=interval,
+            checkpoint="dp" if dp else "interval",
+            checkpoint_interval=checkpoint_interval,
             checkpoint_cost=self.config.checkpoint_cost,
+            checkpoint_step=self.config.checkpoint_step,
         )
 
     def service_batch_config(
@@ -605,23 +601,14 @@ class ServicePolicyEvaluator:
         """Map the service configuration onto the service kernel's knobs.
 
         The mapping is one-to-one (the kernel models the controller's
-        own semantics) except for checkpointing: the controller's
-        per-job DP plans have no batched equivalent, so when
-        ``use_checkpointing`` is on and no fixed interval is given the
-        Young-Daly optimum for the configuration's checkpoint cost
-        stands in — the same substitution :meth:`cluster_config` makes.
+        own semantics), checkpointing included: when
+        ``use_checkpointing`` is on and no fixed interval resolves, the
+        kernel runs the controller's per-attempt DP plans via
+        ``checkpoint="dp"`` — see
+        :meth:`ServiceBatchConfig.from_service_config`.
         """
-        interval = (
-            checkpoint_interval
-            if checkpoint_interval is not None
-            else self.config.checkpoint_interval
-        )
-        if interval is None and self.config.use_checkpointing:
-            interval = young_daly_interval(
-                max(self.config.checkpoint_cost, 1e-6), self.dist.mean()
-            )
         return ServiceBatchConfig.from_service_config(
-            self.config, checkpoint_interval=interval
+            self.config, checkpoint_interval=checkpoint_interval
         )
 
     def evaluate_service(
@@ -730,9 +717,9 @@ class ServicePolicyEvaluator:
         """Map the service configuration onto the tenancy kernel's knobs.
 
         The service-kernel subset follows
-        :meth:`service_batch_config` (including the Young-Daly
-        fixed-interval stand-in when ``use_checkpointing`` is on); the
-        tenancy-specific knobs — scheduling policy, weights, admission
+        :meth:`service_batch_config` (including the ``checkpoint="dp"``
+        mapping when ``use_checkpointing`` is on with no fixed
+        interval); the tenancy-specific knobs — scheduling policy, weights, admission
         cap, elastic sizing — are passed through.  ``backfill`` has no
         tenancy equivalent (inter-tenant policies own the queue order)
         and is rejected, exactly like the live
@@ -748,18 +735,17 @@ class ServicePolicyEvaluator:
             if checkpoint_interval is not None
             else self.config.checkpoint_interval
         )
-        if interval is None and self.config.use_checkpointing:
-            interval = young_daly_interval(
-                max(self.config.checkpoint_cost, 1e-6), self.dist.mean()
-            )
+        dp = interval is None and self.config.use_checkpointing
         return TenancyConfig(
             max_vms=self.config.max_vms,
             use_reuse_policy=self.config.use_reuse_policy,
             hot_spare_hours=self.config.hot_spare_hours,
             provision_latency=self.config.provision_latency,
             run_master=self.config.run_master,
+            checkpoint="dp" if dp else "interval",
             checkpoint_interval=interval,
             checkpoint_cost=self.config.checkpoint_cost,
+            checkpoint_step=self.config.checkpoint_step,
             estimate_window=estimate_window,
             max_attempts_per_job=self.config.max_attempts_per_job,
             livelock_threshold=self.config.livelock_threshold,

@@ -42,6 +42,7 @@ from repro.sim.vectorized import conditional_quantiles, simulate_plan_vectorized
 from repro.utils.validation import check_nonnegative, check_positive
 
 __all__ = [
+    "DrawCapture",
     "ReplicationOutcomes",
     "run_replications",
     "ClusterOutcomes",
@@ -55,6 +56,85 @@ __all__ = [
 
 #: Valid values for the ``backend`` argument.
 BACKENDS = ("event", "vectorized")
+
+
+class DrawCapture:
+    """Realized round-protocol uniforms of one sweep (the oracle hook).
+
+    Pass a fresh instance as ``capture=`` to any replication entry
+    point; after the sweep, ``rows`` holds every ``rng.random(n)`` row
+    the run consumed, in round order — the *exact* randomness behind
+    the outcomes, regardless of backend.  Replication ``i``'s ``k``-th
+    lifetime draw is ``ppf(rows[k][i])``, so the hindsight-optimal
+    oracle (:mod:`repro.baselines`) can be scored on the same draws as
+    the policy, giving draw-level regret pairing.
+
+    A capture records one sweep: reuse raises, because rows from two
+    sweeps would interleave into nonsense.
+    """
+
+    def __init__(self) -> None:
+        #: One ``(n_replications,)`` uniform row per round, in order.
+        self.rows: list[np.ndarray] = []
+
+    @property
+    def n_rounds(self) -> int:
+        return len(self.rows)
+
+    @property
+    def uniforms(self) -> np.ndarray:
+        """The round table, shape ``(n_rounds, n_replications)``."""
+        if not self.rows:
+            return np.empty((0, 0))
+        return np.vstack(self.rows)
+
+    def lifetimes(
+        self, dist: LifetimeDistribution, *, start_age: float | None = None
+    ) -> np.ndarray:
+        """Realized VM lifetimes, shape ``(n_rounds, n_replications)``.
+
+        Rows map through ``dist.ppf`` exactly as the backends do.  With
+        ``start_age`` (the :func:`run_replications` protocol) the first
+        row is conditioned on survival to that age; the fleet sweeps
+        boot every VM fresh, so their captures leave it ``None``.
+
+        Replication ``i`` consumed only its first ``n_draws[i]`` values
+        (the outcome field); trailing entries of a column are rounds
+        materialised for slower replications.
+        """
+        u = self.uniforms
+        if start_age is not None and u.shape[0]:
+            u = u.copy()
+            F = float(np.asarray(dist.cdf(float(start_age)), dtype=float))
+            u[0] = conditional_quantiles(u[0], F)
+        return np.asarray(dist.ppf(u), dtype=float)
+
+    def _arm(self) -> None:
+        """Entry-point guard: a capture records exactly one sweep."""
+        if self.rows:
+            raise ValueError(
+                "this DrawCapture already recorded a sweep; "
+                "pass a fresh instance per run"
+            )
+
+
+class _RecordingRNG:
+    """Duck-typed generator shim copying every round row into a capture.
+
+    Both backends consume randomness exclusively through
+    ``rng.random(n)`` round rows (the determinism contract), so
+    recording at that choke point captures the complete randomness of
+    a sweep without touching either simulation path.
+    """
+
+    def __init__(self, rng: np.random.Generator, capture: DrawCapture):
+        self._rng = rng
+        self._capture = capture
+
+    def random(self, n: int) -> np.ndarray:
+        row = self._rng.random(n)
+        self._capture.rows.append(np.array(row, copy=True))
+        return row
 
 
 @dataclass(frozen=True)
@@ -310,6 +390,7 @@ def run_replications(
     seed: int | np.random.Generator | None = 0,
     backend: str = "vectorized",
     max_rounds: int = 10_000,
+    capture: DrawCapture | None = None,
 ) -> ReplicationOutcomes:
     """Simulate ``n_replications`` runs of a checkpoint plan under ``dist``.
 
@@ -342,6 +423,10 @@ def run_replications(
     max_rounds:
         Safety cap on VM generations before declaring the plan
         unfinishable.
+    capture:
+        Optional fresh :class:`DrawCapture`; records every consumed
+        round row so the realized draws can be re-scored (e.g. by the
+        hindsight-optimal oracle) with draw-level pairing.
 
     Returns
     -------
@@ -372,6 +457,9 @@ def run_replications(
             raise ValueError("start_age entries must be >= 0")
         start_val = start_arr
     rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    if capture is not None:
+        capture._arm()
+        rng = _RecordingRNG(rng, capture)
     kernel = simulate_plan_vectorized if backend == "vectorized" else _simulate_plan_event
     makespan, wasted, completed, restarts, n_rounds = kernel(
         dist,
@@ -493,6 +581,7 @@ class _ClusterReplication:
         uniforms: _RoundUniforms,
         replication: int,
         max_events: int,
+        ckpt=None,
     ):
         from repro.policies.scheduling import ModelReusePolicy, SchedulingDecision
         from repro.sim.cluster import ClusterManager, SimJob
@@ -525,6 +614,9 @@ class _ClusterReplication:
             backfill=config.backfill,
         )
         self.cluster.on_queue_stalled.append(self._on_stall)
+        # Shared CheckpointPolicy in checkpoint="dp" mode (one DP table
+        # across the whole sweep, like the batched walker), else None.
+        self._ckpt = ckpt
         self.vms: list = []
         self._death_handles: dict[int, EventHandle] = {}
         self.draws = 0
@@ -551,12 +643,19 @@ class _ClusterReplication:
 
     def _plan_checkpoints(self, job, start_age):
         tau = self.cfg.checkpoint_interval
-        if tau is None:
+        if tau is not None:
+            # Enough tau-segments to cover the attempt; JobExecution
+            # clips the plan to the exact remaining hours.
+            n_seg = int(np.ceil(job.remaining_hours / tau)) + 1
+            return [tau] * n_seg
+        if self._ckpt is None:
             return None
-        # Enough tau-segments to cover the attempt; JobExecution clips
-        # the plan to the exact remaining hours.
-        n_seg = int(np.ceil(job.remaining_hours / tau)) + 1
-        return [tau] * n_seg
+        # The controller's DP branch (checkpoint="dp"): plan the
+        # remaining work at the gang's oldest selected VM age.
+        remaining = job.remaining_hours
+        if remaining < self.cfg.checkpoint_step:
+            return None
+        return list(self._ckpt.plan(remaining, start_age).segments)
 
     # -- VM lifecycle under the round protocol --------------------------
     def _boot(self):
@@ -672,8 +771,18 @@ def _simulate_cluster_event(
     rng: np.random.Generator,
     max_events: int,
 ) -> dict[str, np.ndarray | int]:
+    from repro.policies.checkpointing import CheckpointPolicy
+
     uniforms = _RoundUniforms(rng, n_replications)
     n = int(n_replications)
+    # One shared policy (hence one cached DP table) across the sweep.
+    ckpt = (
+        CheckpointPolicy(
+            dist, step=config.checkpoint_step, delta=config.checkpoint_cost
+        )
+        if config.checkpoint == "dp"
+        else None
+    )
     makespan = np.zeros(n)
     wasted = np.zeros(n)
     completed = np.zeros(n, dtype=np.int64)
@@ -683,7 +792,9 @@ def _simulate_cluster_event(
     events = np.zeros(n, dtype=np.int64)
     draws = np.zeros(n, dtype=np.int64)
     for i in range(n):
-        rep = _ClusterReplication(dist, jobs, config, uniforms, i, max_events)
+        rep = _ClusterReplication(
+            dist, jobs, config, uniforms, i, max_events, ckpt=ckpt
+        )
         (
             makespan[i],
             wasted[i],
@@ -716,6 +827,7 @@ def run_cluster_replications(
     seed: int | np.random.Generator | None = 0,
     backend: str = "vectorized",
     max_events: int = 1_000_000,
+    capture: DrawCapture | None = None,
     **config_kwargs,
 ) -> ClusterOutcomes:
     """Simulate ``n_replications`` whole-cluster bag runs under ``dist``.
@@ -750,6 +862,10 @@ def run_cluster_replications(
     max_events:
         Safety cap on processed events per replication before declaring
         the bag unfinishable.
+    capture:
+        Optional fresh :class:`DrawCapture`; records every consumed
+        round row so the realized lifetime draws can be re-scored with
+        draw-level pairing (the hindsight-oracle hook).
 
     Returns
     -------
@@ -781,6 +897,9 @@ def run_cluster_replications(
         raise ValueError(f"n_replications must be >= 0, got {n_replications}")
     check_positive("max_events", max_events)
     rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    if capture is not None:
+        capture._arm()
+        rng = _RecordingRNG(rng, capture)
     if backend == "vectorized":
         raw = simulate_cluster_vectorized(
             dist,
@@ -1009,8 +1128,9 @@ def _oracle_service_config(config, vm_type: str, *, backfill: bool):
         zone="mc",
         max_vms=config.max_vms,
         use_reuse_policy=config.use_reuse_policy,
-        use_checkpointing=False,
+        use_checkpointing=config.checkpoint == "dp",
         checkpoint_cost=config.checkpoint_cost,
+        checkpoint_step=config.checkpoint_step,
         checkpoint_interval=config.checkpoint_interval,
         hot_spare_hours=config.hot_spare_hours,
         provision_latency=config.provision_latency,
@@ -1049,7 +1169,7 @@ class _ServiceReplication:
     :mod:`repro.sim.service_vectorized`.
     """
 
-    def __init__(self, dist, jobs, config, uniforms, replication, max_events):
+    def __init__(self, dist, jobs, config, uniforms, replication, max_events, ckpt=None):
         # The oracle deliberately reaches down into the service layer —
         # it IS the service; the vectorized kernel stays sim-pure.
         from repro.service.controller import BatchComputingService
@@ -1063,6 +1183,10 @@ class _ServiceReplication:
             config, "service-mc", backfill=config.backfill
         )
         self.svc = BatchComputingService(self.sim, self.cloud, dist, service_config)
+        if ckpt is not None:
+            # checkpoint="dp": share one CheckpointPolicy (hence one
+            # cached DP table) across the sweep's replications.
+            self.svc._ckpt = ckpt
 
     def run(self):
         from repro.service.api import BagRequest, JobRequest
@@ -1092,8 +1216,18 @@ def _simulate_service_event(
     rng: np.random.Generator,
     max_events: int,
 ) -> dict[str, np.ndarray | int]:
+    from repro.policies.checkpointing import CheckpointPolicy
+
     uniforms = _RoundUniforms(rng, n_replications)
     n = int(n_replications)
+    # One shared policy (hence one cached DP table) across the sweep.
+    ckpt = (
+        CheckpointPolicy(
+            dist, step=config.checkpoint_step, delta=config.checkpoint_cost
+        )
+        if config.checkpoint == "dp"
+        else None
+    )
     makespan = np.zeros(n)
     wasted = np.zeros(n)
     completed = np.zeros(n, dtype=np.int64)
@@ -1104,7 +1238,9 @@ def _simulate_service_event(
     events = np.zeros(n, dtype=np.int64)
     draws = np.zeros(n, dtype=np.int64)
     for i in range(n):
-        rep = _ServiceReplication(dist, jobs, config, uniforms, i, max_events)
+        rep = _ServiceReplication(
+            dist, jobs, config, uniforms, i, max_events, ckpt=ckpt
+        )
         (
             makespan[i],
             wasted[i],
@@ -1139,6 +1275,7 @@ def run_service_replications(
     seed: int | np.random.Generator | None = 0,
     backend: str = "vectorized",
     max_events: int = 1_000_000,
+    capture: DrawCapture | None = None,
     **config_kwargs,
 ) -> ServiceOutcomes:
     """Simulate ``n_replications`` full batch-service runs under ``dist``.
@@ -1165,9 +1302,10 @@ def run_service_replications(
         A :class:`~repro.sim.service_vectorized.ServiceBatchConfig`,
         *or* a :class:`repro.service.controller.ServiceConfig` (its
         policy-content fields are converted; DP checkpointing —
-        ``use_checkpointing`` without ``checkpoint_interval`` — is
-        event-only and rejected).  Alternatively pass the batch-config
-        fields as keyword arguments (``max_vms=16, backfill=True, ...``).
+        ``use_checkpointing`` without ``checkpoint_interval`` — maps to
+        ``checkpoint="dp"`` on both backends).  Alternatively pass the
+        batch-config fields as keyword arguments
+        (``max_vms=16, backfill=True, ...``).
     seed:
         Root seed (or generator) for the service round protocol;
         identical seeds give identical per-replication outcomes on both
@@ -1179,6 +1317,10 @@ def run_service_replications(
         replication and is the semantics oracle.
     max_events:
         Safety cap on processed events per replication.
+    capture:
+        Optional fresh :class:`DrawCapture`; records every consumed
+        round row so the realized lifetime draws can be re-scored with
+        draw-level pairing (the hindsight-oracle hook).
 
     Returns
     -------
@@ -1211,6 +1353,9 @@ def run_service_replications(
         raise ValueError(f"n_replications must be >= 0, got {n_replications}")
     check_positive("max_events", max_events)
     rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    if capture is not None:
+        capture._arm()
+        rng = _RecordingRNG(rng, capture)
     if backend == "vectorized":
         raw = simulate_service_vectorized(
             dist,
@@ -1348,7 +1493,10 @@ class _TenantReplication:
     :mod:`repro.sim.tenancy_vectorized`.
     """
 
-    def __init__(self, dist, traffic, n_tenants, config, uniforms, replication, max_events):
+    def __init__(
+        self, dist, traffic, n_tenants, config, uniforms, replication, max_events,
+        ckpt=None,
+    ):
         from repro.traffic.multitenant import MultiTenantService
 
         self.sim = Simulator()
@@ -1367,6 +1515,10 @@ class _TenantReplication:
             elastic_vms_per_bag=config.elastic_vms_per_bag,
             estimate_window=config.estimate_window,
         )
+        if ckpt is not None:
+            # checkpoint="dp": share one CheckpointPolicy (hence one
+            # cached DP table) across the sweep's replications.
+            self.mts.service._ckpt = ckpt
         self.mts.submit_traffic(traffic)
 
     def run(self):
@@ -1401,8 +1553,18 @@ def _simulate_tenancy_event(
     rng: np.random.Generator,
     max_events: int,
 ) -> dict[str, np.ndarray | int]:
+    from repro.policies.checkpointing import CheckpointPolicy
+
     uniforms = _RoundUniforms(rng, n_replications)
     n = int(n_replications)
+    # One shared policy (hence one cached DP table) across the sweep.
+    ckpt = (
+        CheckpointPolicy(
+            dist, step=config.checkpoint_step, delta=config.checkpoint_cost
+        )
+        if config.checkpoint == "dp"
+        else None
+    )
     J = sum(len(s.jobs) for s in traffic)
     makespan = np.zeros(n)
     wasted = np.zeros(n)
@@ -1418,7 +1580,7 @@ def _simulate_tenancy_event(
     finishes = np.full((n, J), np.nan)
     for i in range(n):
         rep = _TenantReplication(
-            dist, traffic, n_tenants, config, uniforms, i, max_events
+            dist, traffic, n_tenants, config, uniforms, i, max_events, ckpt=ckpt
         )
         (
             makespan[i],
@@ -1462,6 +1624,7 @@ def run_tenant_replications(
     backend: str = "vectorized",
     max_events: int = 1_000_000,
     chunk_size: int | None = None,
+    capture: DrawCapture | None = None,
     **config_kwargs,
 ) -> TenantOutcomes:
     """Simulate ``n_replications`` multi-tenant traffic runs under ``dist``.
@@ -1513,6 +1676,12 @@ def run_tenant_replications(
         draws (hence outcomes) differ between chunk sizes, because the
         round protocol materialises per-round uniform rows chunk-wide.
         ``None`` (default) runs the whole batch as one chunk.
+    capture:
+        Optional fresh :class:`DrawCapture`; records every consumed
+        round row so the realized lifetime draws can be re-scored with
+        draw-level pairing (the hindsight-oracle hook).  Incompatible
+        with ``chunk_size``: chunks materialise rows of differing
+        widths, which no longer form one round table.
 
     Returns
     -------
@@ -1556,7 +1725,16 @@ def run_tenant_replications(
     check_positive("max_events", max_events)
     if chunk_size is not None:
         check_positive("chunk_size", chunk_size)
+        if capture is not None:
+            raise ValueError(
+                "capture is incompatible with chunk_size: chunks consume "
+                "rows of differing widths, which no longer form one round "
+                "table"
+            )
     rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    if capture is not None:
+        capture._arm()
+        rng = _RecordingRNG(rng, capture)
     simulate = (
         simulate_tenancy_vectorized
         if backend == "vectorized"

@@ -1,0 +1,151 @@
+"""Batched DP checkpoint planning for the lockstep kernels.
+
+The event-driven controller plans checkpoints per job attempt by
+walking :meth:`repro.policies.checkpointing.CheckpointPolicy.plan`'s
+DP table (``i = choice[j, a]`` segments of ``i * step`` work hours,
+ages advancing by ``i * step + delta`` per non-final segment).  This
+module gives the lockstep kernels the same walk as array state, so
+``checkpoint="dp"`` runs N replications at once through the existing
+:class:`~repro.sim.cluster_vectorized._LockstepKernel` primitives
+instead of staying event-only.
+
+Equivalence contract
+--------------------
+Per ``(replication, job)`` the walker replays the event path exactly:
+
+* :meth:`DPPlanWalker.begin` is the controller's
+  ``_plan_checkpoints`` guard — an attempt with
+  ``remaining < checkpoint_step`` runs unplanned (one unchecked
+  segment), otherwise the plan state is ``j = round(remaining / step)``
+  work-steps at age index ``min(round(start_age / age_step), n_ages-1)``
+  (the gang's oldest selected VM, the ``ClusterManager._start`` age).
+* :meth:`DPPlanWalker.next_take` is one ``plan()`` loop iteration fused
+  with ``JobExecution._clip_segments``: the next segment takes
+  ``min(choice[j, a] * step, left)`` hours, ages advance by
+  ``round((i * step + delta) / age_step)`` capped at the grid end, and
+  a walk that exhausts its steps with residual work left (the DP plan
+  covers ``round(remaining / step) * step``, not ``remaining``) runs
+  the remainder as one final unchecked segment — exactly the clipped
+  plan's trailing entry.
+
+Finality itself stays with the kernel's ``after <= residual`` test,
+which coincides with the clipped plan's positional finality: the DP
+walk truncates at the segment whose cumulative work crosses
+``remaining`` and appends a remainder only when the plan undershoots.
+
+One DP table serves every replication: the rows of ``_solve(n)`` are
+independent of ``n`` (row ``j`` only reads rows ``< j``), so the
+walker keeps the largest table seen and indexes it at each job's
+current step count — this sharing is where the batched speedup over
+per-attempt event planning comes from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributions.base import LifetimeDistribution
+from repro.policies.checkpointing import CheckpointPolicy
+
+__all__ = ["DPPlanWalker", "walker_from_config"]
+
+
+class DPPlanWalker:
+    """Array-state DP plan walk for ``(n_replications, n_jobs)`` attempts.
+
+    Parameters
+    ----------
+    policy:
+        The :class:`CheckpointPolicy` whose table the walk follows —
+        built with the kernel config's ``checkpoint_step`` /
+        ``checkpoint_cost``, matching the controller's construction.
+    n_replications, n_jobs:
+        State shape; one ``(steps left, age index)`` pair per cell.
+    """
+
+    def __init__(self, policy: CheckpointPolicy, n_replications: int, n_jobs: int):
+        self.policy = policy
+        self.step = policy.step
+        self.delta = policy.delta
+        self.age_step = policy.age_step
+        self.n_ages = policy._ages.size
+        #: Remaining planned work-steps per (replication, job); 0 means
+        #: the attempt runs (the rest of) its work as one unchecked
+        #: remainder segment.
+        self.dp_j = np.zeros((n_replications, n_jobs), dtype=np.int64)
+        #: Current age-grid index per (replication, job).
+        self.dp_a = np.zeros((n_replications, n_jobs), dtype=np.int64)
+        self._table = None
+        self._table_n = 0
+
+    def _ensure(self, n_steps: int) -> None:
+        """Grow the shared table to cover ``n_steps`` work-steps."""
+        if n_steps > self._table_n:
+            self._table = self.policy._solve(int(n_steps))
+            self._table_n = int(n_steps)
+
+    def begin(
+        self,
+        rr: np.ndarray,
+        jj: np.ndarray,
+        left: np.ndarray,
+        start_age: np.ndarray,
+    ) -> None:
+        """(Re)plan attempts: job ``jj`` of row ``rr`` starts ``left``
+        remaining hours on a gang whose oldest VM has ``start_age``."""
+        planned = left >= self.step
+        n_steps = np.where(
+            planned, np.round(left / self.step).astype(np.int64), 0
+        )
+        if n_steps.size:
+            self._ensure(int(n_steps.max()))
+        self.dp_j[rr, jj] = n_steps
+        ages = np.minimum(
+            np.round(start_age / self.age_step).astype(np.int64), self.n_ages - 1
+        )
+        self.dp_a[rr, jj] = np.where(planned, ages, 0)
+
+    def next_take(
+        self, rr: np.ndarray, jj: np.ndarray, left: np.ndarray
+    ) -> np.ndarray:
+        """Work hours of the next segment per attempt, advancing the walk."""
+        j = self.dp_j[rr, jj]
+        take = np.array(left, dtype=float, copy=True)
+        idx = np.flatnonzero(j > 0)
+        if idx.size:
+            rp, jp = rr[idx], jj[idx]
+            jv = j[idx]
+            av = self.dp_a[rp, jp]
+            i = self._table.choice[jv, av].astype(np.int64)
+            take[idx] = np.minimum(i * self.step, left[idx])
+            w = i * self.step + self.delta
+            adv = np.round(w / self.age_step).astype(np.int64)
+            self.dp_a[rp, jp] = np.minimum(av + adv, self.n_ages - 1)
+            self.dp_j[rp, jp] = jv - i
+        return take
+
+
+def walker_from_config(
+    dist: LifetimeDistribution,
+    config,
+    n_replications: int,
+    work: np.ndarray,
+) -> DPPlanWalker | None:
+    """The kernel hook: a walker when ``config.checkpoint == "dp"``, else
+    ``None`` (fixed-interval / unchecked segments keep the tau logic).
+
+    ``work`` is the per-job hours array; the shared table is pre-solved
+    at the largest step count any attempt can need, so the lockstep run
+    never re-solves mid-sweep.
+    """
+    if getattr(config, "checkpoint", "interval") != "dp":
+        return None
+    policy = CheckpointPolicy(
+        dist, step=config.checkpoint_step, delta=config.checkpoint_cost
+    )
+    walker = DPPlanWalker(policy, int(n_replications), int(work.size))
+    if work.size:
+        top = int(round(float(work.max()) / policy.step))
+        if top > 0:
+            walker._ensure(top)
+    return walker

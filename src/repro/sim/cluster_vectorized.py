@@ -61,8 +61,11 @@ stall-refresh path re-boots on demand.
 checkpoint writes (each costing ``checkpoint_cost`` hours, final
 segment unchecked), clipped to the attempt's remaining work exactly as
 :meth:`repro.sim.runner.JobExecution._clip_segments` does; ``None``
-runs each attempt as one unchecked segment.  A gang preemption loses
-the work past the last durable checkpoint.
+runs each attempt as one unchecked segment.  With ``checkpoint="dp"``
+each attempt instead follows the Section 4.3 DP plan for its remaining
+work at the gang's oldest VM age, walked in batch by
+:class:`repro.sim.checkpoint_vectorized.DPPlanWalker`.  A gang
+preemption loses the work past the last durable checkpoint.
 """
 
 from __future__ import annotations
@@ -121,11 +124,18 @@ class ClusterConfig:
         behind a stuck head may start on suitable VMs the head cannot
         use, scanned in queue order.  No start-time reservation for the
         head, exactly like the event path.  Default is strict FIFO.
+    checkpoint:
+        ``"interval"`` (default) — fixed-interval checkpointing per
+        ``checkpoint_interval``; ``"dp"`` — per-attempt Section 4.3 DP
+        plans (the controller's ``use_checkpointing`` mode), which
+        requires ``checkpoint_interval`` to stay ``None``.
     checkpoint_interval:
         Work hours between checkpoint writes; ``None`` disables
-        checkpointing.
+        checkpointing (in ``"interval"`` mode).
     checkpoint_cost:
         Hours per checkpoint write.
+    checkpoint_step:
+        DP work-step granularity in hours (``"dp"`` mode only).
     """
 
     pool_size: int = 8
@@ -133,14 +143,26 @@ class ClusterConfig:
     reuse_criterion: str = "conditional"
     hot_spare: bool = True
     backfill: bool = False
+    checkpoint: str = "interval"
     checkpoint_interval: float | None = None
     checkpoint_cost: float = 1.0 / 60.0
+    checkpoint_step: float = 0.1
 
     def __post_init__(self) -> None:
         check_positive("pool_size", self.pool_size)
+        if self.checkpoint not in ("interval", "dp"):
+            raise ValueError(
+                f"checkpoint must be 'interval' or 'dp', got {self.checkpoint!r}"
+            )
         if self.checkpoint_interval is not None:
+            if self.checkpoint == "dp":
+                raise ValueError(
+                    "checkpoint='dp' plans per attempt; leave "
+                    "checkpoint_interval unset"
+                )
             check_positive("checkpoint_interval", self.checkpoint_interval)
         check_nonnegative("checkpoint_cost", self.checkpoint_cost)
+        check_positive("checkpoint_step", self.checkpoint_step)
 
 
 class _LockstepKernel:
@@ -151,14 +173,19 @@ class _LockstepKernel:
     VM ordering by ``(launch, birth)`` exactly as ``free_nodes()``
     sorts — so they live in one place.  Subclasses provide the array
     state (``now``, ``evseq``, ``launch``, ``birth``, ``sstart``,
-    ``ctime``, ``cseq``, ``seg_take``, ``seg_after``, ``S``) and a
-    ``cfg`` with ``checkpoint_interval`` / ``checkpoint_cost``.
+    ``ctime``, ``cseq``, ``seg_take``, ``seg_after``, ``S``), a ``cfg``
+    with ``checkpoint_interval`` / ``checkpoint_cost``, and ``dp`` — a
+    :class:`~repro.sim.checkpoint_vectorized.DPPlanWalker` in
+    ``checkpoint="dp"`` mode, else ``None``.
     """
 
     def _launch_segment(self, rr: np.ndarray, jj: np.ndarray, left: np.ndarray) -> None:
         """Schedule the next segment of ``left`` remaining attempt hours."""
-        tau = self.cfg.checkpoint_interval
-        take = left if tau is None else np.minimum(tau, left)
+        if self.dp is not None:
+            take = self.dp.next_take(rr, jj, left)
+        else:
+            tau = self.cfg.checkpoint_interval
+            take = left if tau is None else np.minimum(tau, left)
         after = left - take
         final = after <= _RESIDUAL
         dur = take + np.where(final, 0.0, self.cfg.checkpoint_cost)
@@ -208,6 +235,7 @@ class _ClusterKernel(_LockstepKernel):
         # The same lazy row table the event paths use, so both backends
         # consume the generator identically by construction.
         from repro.sim.backend import _RoundUniforms
+        from repro.sim.checkpoint_vectorized import walker_from_config
 
         self.policy = (
             ModelReusePolicy(dist, criterion=config.reuse_criterion)
@@ -222,6 +250,7 @@ class _ClusterKernel(_LockstepKernel):
         self.P, self.S, self.J = P, S, J
         self.width = np.asarray([j.width for j in jobs], dtype=np.int64)
         self.work = np.asarray([j.work_hours for j in jobs], dtype=float)
+        self.dp = walker_from_config(dist, config, n, self.work)
 
         self.now = np.zeros(n)
         self.evseq = np.zeros(n, dtype=np.int64)
@@ -305,6 +334,13 @@ class _ClusterKernel(_LockstepKernel):
         self.vm_job[rr] = np.where(sel, jj[:, None], self.vm_job[rr])
         self.qkey[rr, jj] = np.inf
         left = np.maximum(self.work[jj] - self.progress[rr, jj], 0.0)
+        if self.dp is not None:
+            # Re-plan the attempt at the gang's oldest selected VM age
+            # (the ClusterManager._start planner argument).
+            ages = np.where(
+                sel, self.now[rr][:, None] - self.launch[rr], -np.inf
+            ).max(axis=1)
+            self.dp.begin(rr, jj, left, np.maximum(ages, 0.0))
         self._launch_segment(rr, jj, left)
 
     def _attempt_starts(self, rr: np.ndarray) -> None:

@@ -39,9 +39,11 @@ What the kernel reproduces, event for event
 * **Queue discipline.**  Strict FIFO with head-of-line blocking, or the
   controller's opt-in unreserved ``backfill``; preempted jobs requeue
   at the head; gang semantics as in the cluster kernel.
-* **Fixed-interval checkpointing.**  ``checkpoint_interval`` mirrors
-  ``ServiceConfig.checkpoint_interval`` (the DP planner has no batched
-  equivalent and stays event-only).
+* **Checkpointing, fixed-interval or DP.**  ``checkpoint_interval``
+  mirrors ``ServiceConfig.checkpoint_interval``; ``checkpoint="dp"``
+  mirrors the controller's ``use_checkpointing`` mode — per-attempt
+  Section 4.3 DP plans at the gang's oldest VM age, walked in batch by
+  :class:`repro.sim.checkpoint_vectorized.DPPlanWalker`.
 
 Service round protocol
 ----------------------
@@ -123,11 +125,18 @@ class ServiceBatchConfig:
     backfill:
         Unreserved backfill past a stuck queue head (the
         ``ClusterManager`` flag); default strict FIFO.
+    checkpoint:
+        ``"interval"`` (default) — fixed-interval checkpointing per
+        ``checkpoint_interval``; ``"dp"`` — per-attempt Section 4.3 DP
+        plans (the controller's ``use_checkpointing`` mode), which
+        requires ``checkpoint_interval`` to stay ``None``.
     checkpoint_interval:
         Fixed-interval checkpointing (hours of work per checkpoint);
         ``None`` runs each attempt as one unchecked segment.
     checkpoint_cost:
         Hours per checkpoint write.
+    checkpoint_step:
+        DP work-step granularity in hours (``"dp"`` mode only).
     estimate_window:
         Trailing-completion window of the bag runtime estimate
         (:class:`repro.service.bag.BagOfJobs` uses 16).
@@ -148,8 +157,10 @@ class ServiceBatchConfig:
     provision_latency: float = 0.0
     run_master: bool = True
     backfill: bool = False
+    checkpoint: str = "interval"
     checkpoint_interval: float | None = None
     checkpoint_cost: float = 1.0 / 60.0
+    checkpoint_step: float = 0.1
     estimate_window: int = 16
     max_attempts_per_job: int = 1000
     livelock_threshold: int = 500
@@ -158,9 +169,19 @@ class ServiceBatchConfig:
         check_positive("max_vms", self.max_vms)
         check_positive("hot_spare_hours", self.hot_spare_hours)
         check_nonnegative("provision_latency", self.provision_latency)
+        if self.checkpoint not in ("interval", "dp"):
+            raise ValueError(
+                f"checkpoint must be 'interval' or 'dp', got {self.checkpoint!r}"
+            )
         if self.checkpoint_interval is not None:
+            if self.checkpoint == "dp":
+                raise ValueError(
+                    "checkpoint='dp' plans per attempt; leave "
+                    "checkpoint_interval unset"
+                )
             check_positive("checkpoint_interval", self.checkpoint_interval)
         check_nonnegative("checkpoint_cost", self.checkpoint_cost)
+        check_positive("checkpoint_step", self.checkpoint_step)
         check_positive("estimate_window", self.estimate_window)
         check_positive("max_attempts_per_job", self.max_attempts_per_job)
         check_positive("livelock_threshold", self.livelock_threshold)
@@ -175,20 +196,16 @@ class ServiceBatchConfig:
         The single mapping site for every entry point that accepts a
         ``ServiceConfig``.  ``checkpoint_interval`` overrides the
         config's own; DP checkpointing (``use_checkpointing`` with no
-        fixed interval resolved) has no batched equivalent and is
-        rejected — callers wanting a stand-in resolve one first (see
-        ``ServicePolicyEvaluator.service_batch_config``).
+        fixed interval resolved) maps onto ``checkpoint="dp"`` — the
+        batched DP plan walker, equivalence-pinned against the
+        controller's per-attempt planner.
         """
         interval = (
             checkpoint_interval
             if checkpoint_interval is not None
             else config.checkpoint_interval
         )
-        if config.use_checkpointing and interval is None:
-            raise ValueError(
-                "DP checkpoint planning is event-only; set "
-                "ServiceConfig.checkpoint_interval for the batched service kernel"
-            )
+        dp = config.use_checkpointing and interval is None
         return cls(
             max_vms=config.max_vms,
             use_reuse_policy=config.use_reuse_policy,
@@ -196,8 +213,10 @@ class ServiceBatchConfig:
             provision_latency=config.provision_latency,
             run_master=config.run_master,
             backfill=config.backfill,
+            checkpoint="dp" if dp else "interval",
             checkpoint_interval=interval,
             checkpoint_cost=config.checkpoint_cost,
+            checkpoint_step=config.checkpoint_step,
             max_attempts_per_job=config.max_attempts_per_job,
             livelock_threshold=config.livelock_threshold,
         )
@@ -220,6 +239,7 @@ class _ServiceKernel(_LockstepKernel):
         self.n = int(n_replications)
         self.max_events = int(max_events)
         from repro.sim.backend import _RoundUniforms
+        from repro.sim.checkpoint_vectorized import walker_from_config
 
         # The controller always uses the survival-conditioned criterion.
         self.policy = (
@@ -235,6 +255,7 @@ class _ServiceKernel(_LockstepKernel):
         self.S, self.B, self.J = S, B, J
         self.width = np.asarray([j.width for j in jobs], dtype=np.int64)
         self.work = np.asarray([j.work_hours for j in jobs], dtype=float)
+        self.dp = walker_from_config(dist, config, n, self.work)
 
         self.now = np.zeros(n)
         self.evseq = np.zeros(n, dtype=np.int64)
@@ -334,6 +355,13 @@ class _ServiceKernel(_LockstepKernel):
         self.qkey[rr, jj] = np.inf
         self.attempts[rr, jj] += 1
         left = np.maximum(self.work[jj] - self.progress[rr, jj], 0.0)
+        if self.dp is not None:
+            # Re-plan the attempt at the gang's oldest selected VM age
+            # (the ClusterManager._start planner argument).
+            ages = np.where(
+                sel, self.now[rr][:, None] - self.launch[rr], -np.inf
+            ).max(axis=1)
+            self.dp.begin(rr, jj, left, np.maximum(ages, 0.0))
         self._launch_segment(rr, jj, left)
 
     def _schedule_pass(self, rr: np.ndarray) -> None:

@@ -138,8 +138,10 @@ class TenancyConfig:
     hot_spare_hours: float = 1.0
     provision_latency: float = 0.0
     run_master: bool = True
+    checkpoint: str = "interval"
     checkpoint_interval: float | None = None
     checkpoint_cost: float = 1.0 / 60.0
+    checkpoint_step: float = 0.1
     estimate_window: int = 16
     max_attempts_per_job: int = 1000
     livelock_threshold: int = 500
@@ -152,9 +154,19 @@ class TenancyConfig:
         check_positive("max_vms", self.max_vms)
         check_positive("hot_spare_hours", self.hot_spare_hours)
         check_nonnegative("provision_latency", self.provision_latency)
+        if self.checkpoint not in ("interval", "dp"):
+            raise ValueError(
+                f"checkpoint must be 'interval' or 'dp', got {self.checkpoint!r}"
+            )
         if self.checkpoint_interval is not None:
+            if self.checkpoint == "dp":
+                raise ValueError(
+                    "checkpoint='dp' plans per attempt; leave "
+                    "checkpoint_interval unset"
+                )
             check_positive("checkpoint_interval", self.checkpoint_interval)
         check_nonnegative("checkpoint_cost", self.checkpoint_cost)
+        check_positive("checkpoint_step", self.checkpoint_step)
         check_positive("estimate_window", self.estimate_window)
         check_positive("max_attempts_per_job", self.max_attempts_per_job)
         check_positive("livelock_threshold", self.livelock_threshold)

@@ -1,0 +1,125 @@
+"""Golden regressions for ``CheckpointPolicy.plan`` and its fixed point.
+
+Three pins:
+
+* Under a memoryless law the DP plan must track the Young-Daly
+  closed-form optimum (the first-order optimum for exponential
+  failures) — interior segments near tau and cost no worse.
+* Exact plan snapshots on the reference bathtub law, so any silent
+  change to the DP grid, age rounding, or fixed-point solve shows up
+  as a diff instead of a drifting simulation.
+* The age-0 fixed point: a law the iteration cannot bracket must warn
+  (:class:`FixedPointWarning`) and expose its residual rather than
+  silently accepting a non-converged expectation.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.distributions.exponential import ExponentialDistribution
+from repro.policies.checkpointing import (
+    CheckpointPolicy,
+    FixedPointWarning,
+    evaluate_schedule,
+)
+from repro.policies.youngdaly import young_daly_interval, young_daly_schedule
+
+DELTA = 0.1
+STEP = 0.25
+
+
+class TestExponentialGolden:
+    """DP vs the Young-Daly closed form under a true exponential law."""
+
+    @pytest.fixture(scope="class")
+    def dist(self):
+        return ExponentialDistribution(1.0 / 12.0, horizon=200.0)
+
+    @pytest.fixture(scope="class")
+    def policy(self, dist):
+        return CheckpointPolicy(dist, step=STEP, delta=DELTA)
+
+    def test_interior_segments_near_young_daly(self, policy):
+        tau = young_daly_interval(DELTA, 12.0)
+        segments = np.asarray(policy.plan(10.0, 0.0).segments)
+        # Interior segments sit on the DP grid within two steps of the
+        # continuous optimum (tau ~ 1.55 at this delta/MTTF): the DP
+        # trades a little per-segment length to land the final segment
+        # on the grid.
+        interior = segments[:-1]
+        assert np.all(np.abs(interior - tau) <= 2 * STEP + 1e-12)
+
+    def test_plan_cost_at_most_young_daly(self, dist, policy):
+        # Grid quantisation costs the DP a sliver at most; it must not
+        # lose to the fixed-interval schedule it generalises.
+        job = 10.0
+        dp_cost = evaluate_schedule(dist, policy.plan(job, 0.0).segments, delta=DELTA)
+        tau = young_daly_interval(DELTA, 12.0)
+        yd_cost = evaluate_schedule(
+            dist, young_daly_schedule(job, tau), delta=DELTA
+        )
+        assert dp_cost <= yd_cost * (1.0 + 1e-3)
+        assert dp_cost == pytest.approx(yd_cost, rel=0.02)
+
+    def test_age_invariance_memoryless(self, policy):
+        # Exponential has no age: plans at any start age coincide.
+        fresh = policy.plan(6.0, 0.0).segments
+        aged = policy.plan(6.0, 37.5).segments
+        assert fresh == aged
+
+
+class TestBathtubGolden:
+    """Pinned plans on the reference law (n1-highcpu-16 / us-east1-b)."""
+
+    @pytest.fixture(scope="class")
+    def policy(self, reference_dist):
+        return CheckpointPolicy(reference_dist, step=STEP, delta=DELTA)
+
+    def test_fresh_vm_plan_pinned(self, policy):
+        # Young VM: early churn forces small leading segments, then the
+        # stable phase opens up.
+        assert policy.plan(5.0, 0.0).segments == (0.75, 1.0, 3.25)
+
+    def test_aged_vm_plan_pinned(self, policy):
+        # Old VM near the deadline wall: dense mid-plan checkpoints.
+        assert policy.plan(5.0, 20.0).segments == (
+            1.75,
+            0.75,
+            0.5,
+            0.25,
+            0.25,
+            0.25,
+            1.25,
+        )
+
+    def test_pinned_plans_cover_job(self, policy):
+        for age in (0.0, 20.0):
+            assert sum(policy.plan(5.0, age).segments) == pytest.approx(5.0)
+
+    def test_converged_fixed_point_reports_zero_residual(self, policy):
+        policy.plan(5.0, 0.0)
+        assert policy.last_fixed_point_residual == 0.0
+
+
+class TestFixedPointRegression:
+    """The age-0 fixed point must not silently accept non-convergence."""
+
+    def test_unbracketable_law_warns_and_exposes_residual(self):
+        # Mean lifetime (0.02 h) far below the work step: the expected
+        # makespan recursion has no stable bracket at this grid.
+        tiny = ExponentialDistribution(50.0, horizon=10.0)
+        with pytest.warns(FixedPointWarning):
+            policy = CheckpointPolicy(tiny, step=1.0, delta=0.5)
+            policy.plan(3.0, 0.0)
+        assert policy.last_fixed_point_residual > 0.0
+
+    def test_healthy_law_does_not_warn(self, reference_dist):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", FixedPointWarning)
+            policy = CheckpointPolicy(reference_dist, step=STEP, delta=DELTA)
+            policy.plan(3.0, 0.0)
+        assert policy.last_fixed_point_residual == 0.0

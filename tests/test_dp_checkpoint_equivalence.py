@@ -1,0 +1,231 @@
+"""``checkpoint="dp"`` equivalence: event planner vs batched walker.
+
+The batched :class:`repro.sim.checkpoint_vectorized.DPPlanWalker` must
+replay the event-driven controller's per-attempt
+:meth:`CheckpointPolicy.plan` walk exactly — same segments, same ages,
+same draws — so both backends agree at 1e-9 hours with identical event
+and draw counts on every replication.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.policies.checkpointing import CheckpointPolicy
+from repro.sim.backend import (
+    run_cluster_replications,
+    run_service_replications,
+    run_tenant_replications,
+)
+from repro.sim.checkpoint_vectorized import DPPlanWalker, walker_from_config
+from repro.sim.cluster_vectorized import ClusterConfig
+from repro.sim.service_vectorized import ServiceBatchConfig
+from repro.sim.tenancy_vectorized import TenancyConfig
+
+SEEDS = range(5)
+BAG = [(3.7, 2), (1.2, 1), (8.4, 3), (0.05, 1)]
+TRAFFIC = [
+    (0, 0.0, [(2.5, 2), (1.0, 1)]),
+    (1, 1.5, [(4.0, 1)]),
+    (0, 3.0, [(0.5, 1), (6.0, 2)]),
+]
+
+
+def _assert_cluster_equal(a, b):
+    np.testing.assert_allclose(a.makespan, b.makespan, atol=1e-9)
+    np.testing.assert_allclose(a.wasted_hours, b.wasted_hours, atol=1e-9)
+    np.testing.assert_allclose(a.vm_hours, b.vm_hours, atol=1e-9)
+    np.testing.assert_array_equal(a.n_events, b.n_events)
+    np.testing.assert_array_equal(a.n_draws, b.n_draws)
+    np.testing.assert_array_equal(a.n_preemptions, b.n_preemptions)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda **kw: ClusterConfig(pool_size=2, **kw),
+            lambda **kw: ServiceBatchConfig(max_vms=2, **kw),
+            lambda **kw: TenancyConfig(max_vms=2, **kw),
+        ],
+        ids=["cluster", "service", "tenancy"],
+    )
+    def test_dp_excludes_fixed_interval(self, factory):
+        with pytest.raises(ValueError, match="dp"):
+            factory(checkpoint="dp", checkpoint_interval=1.0)
+        with pytest.raises(ValueError, match="checkpoint"):
+            factory(checkpoint="nonsense")
+        assert factory(checkpoint="dp").checkpoint == "dp"
+
+    def test_walker_only_built_for_dp(self, reference_dist):
+        work = np.array([1.0, 2.0])
+        assert (
+            walker_from_config(
+                reference_dist, ClusterConfig(pool_size=2), 4, work
+            )
+            is None
+        )
+        walker = walker_from_config(
+            reference_dist,
+            ClusterConfig(pool_size=2, checkpoint="dp"),
+            4,
+            work,
+        )
+        assert isinstance(walker, DPPlanWalker)
+
+
+class TestWalkerReplaysPlan:
+    def test_walker_matches_event_plan_segment_for_segment(
+        self, reference_dist
+    ):
+        # Drive one walker cell by hand and compare against the plan
+        # the controller would ship for the same (work, age).
+        policy = CheckpointPolicy(reference_dist, step=0.1, delta=0.05)
+        for work, age in [(3.7, 0.0), (8.4, 2.3), (1.25, 11.0), (0.7, 0.4)]:
+            expected = list(policy.plan(work, age).segments)
+            walker = DPPlanWalker(policy, 1, 1)
+            rr = np.array([0])
+            jj = np.array([0])
+            walker.begin(rr, jj, np.array([work]), np.array([age]))
+            left = work
+            got = []
+            while left > 1e-12:
+                take = float(walker.next_take(rr, jj, np.array([left]))[0])
+                got.append(take)
+                left -= take
+            # The event path clips the plan to the work actually left;
+            # replaying the full plan must agree hour for hour.
+            clipped = []
+            left = work
+            for seg in expected:
+                clipped.append(min(seg, left))
+                left -= clipped[-1]
+                if left <= 1e-12:
+                    break
+            if left > 1e-12:
+                clipped.append(left)
+            np.testing.assert_allclose(got, clipped, atol=1e-12)
+
+    def test_short_attempt_runs_unplanned(self, reference_dist):
+        policy = CheckpointPolicy(reference_dist, step=0.1, delta=0.05)
+        walker = DPPlanWalker(policy, 1, 1)
+        rr, jj = np.array([0]), np.array([0])
+        walker.begin(rr, jj, np.array([0.05]), np.array([0.0]))
+        take = walker.next_take(rr, jj, np.array([0.05]))
+        assert float(take[0]) == pytest.approx(0.05)
+
+
+class TestDPEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_cluster(self, reference_dist, seed):
+        config = ClusterConfig(
+            pool_size=4, checkpoint="dp", checkpoint_cost=0.05
+        )
+        a, b = (
+            run_cluster_replications(
+                reference_dist,
+                BAG,
+                config=config,
+                n_replications=32,
+                seed=seed,
+                backend=backend,
+            )
+            for backend in ("event", "vectorized")
+        )
+        _assert_cluster_equal(a, b)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_service(self, reference_dist, seed):
+        config = ServiceBatchConfig(
+            max_vms=4, checkpoint="dp", checkpoint_cost=0.05
+        )
+        a, b = (
+            run_service_replications(
+                reference_dist,
+                BAG,
+                config=config,
+                n_replications=32,
+                seed=seed,
+                backend=backend,
+            )
+            for backend in ("event", "vectorized")
+        )
+        _assert_cluster_equal(a, b)
+        np.testing.assert_allclose(a.master_hours, b.master_hours, atol=1e-9)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_tenancy(self, reference_dist, seed):
+        config = TenancyConfig(
+            max_vms=4, checkpoint="dp", checkpoint_cost=0.05
+        )
+        a, b = (
+            run_tenant_replications(
+                reference_dist,
+                TRAFFIC,
+                config=config,
+                n_replications=16,
+                seed=seed,
+                backend=backend,
+            )
+            for backend in ("event", "vectorized")
+        )
+        np.testing.assert_allclose(a.makespan, b.makespan, atol=1e-9)
+        np.testing.assert_allclose(a.vm_hours, b.vm_hours, atol=1e-9)
+        np.testing.assert_array_equal(a.n_draws, b.n_draws)
+
+
+@pytest.mark.slow
+class TestDeepDPEquivalence:
+    """Scheduled deep grid: wider bags, reuse/backfill interactions."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("use_reuse_policy", [False, True])
+    @pytest.mark.parametrize("hot_spare", [False, True])
+    def test_cluster_grid(self, reference_dist, seed, use_reuse_policy, hot_spare):
+        config = ClusterConfig(
+            pool_size=6,
+            use_reuse_policy=use_reuse_policy,
+            hot_spare=hot_spare,
+            checkpoint="dp",
+            checkpoint_cost=0.1,
+            checkpoint_step=0.25,
+        )
+        bag = BAG + [(0.3, 2), (5.5, 4), (2.2, 1)]
+        a, b = (
+            run_cluster_replications(
+                reference_dist,
+                bag,
+                config=config,
+                n_replications=64,
+                seed=seed,
+                backend=backend,
+            )
+            for backend in ("event", "vectorized")
+        )
+        _assert_cluster_equal(a, b)
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("backfill", [False, True])
+    def test_service_grid(self, reference_dist, seed, backfill):
+        config = ServiceBatchConfig(
+            max_vms=6,
+            backfill=backfill,
+            provision_latency=0.05,
+            checkpoint="dp",
+            checkpoint_cost=0.1,
+            checkpoint_step=0.25,
+        )
+        bag = BAG + [(0.3, 2), (5.5, 4), (2.2, 1)]
+        a, b = (
+            run_service_replications(
+                reference_dist,
+                bag,
+                config=config,
+                n_replications=64,
+                seed=seed,
+                backend=backend,
+            )
+            for backend in ("event", "vectorized")
+        )
+        _assert_cluster_equal(a, b)

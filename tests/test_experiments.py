@@ -515,8 +515,8 @@ class TestRegistry:
         expected = {
             "fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
             "fig4-mc", "fig5-mc", "fig6-mc", "fig7-mc", "fig8-mc", "fig9-mc",
-            "fig9-tenants", "swf-tenants", "checkpoint-schedule",
-            "params-table",
+            "fig9-regret", "fig9-tenants", "swf-tenants",
+            "checkpoint-schedule", "params-table",
         }
         assert set(EXPERIMENTS) == expected
 

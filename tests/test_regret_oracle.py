@@ -1,0 +1,370 @@
+"""Regret tier: every policy sits at or above the hindsight oracle.
+
+The dominance contract: on *every* replication, a policy's realized
+worker VM-hours are at least :func:`repro.baselines.hindsight_lower_bound`
+evaluated on the exact lifetime multiset that replication consumed
+(paired draw-for-draw via :class:`repro.sim.backend.DrawCapture`).  A
+negative regret anywhere falsifies either the simulator's billing or
+the bound's proof, so the tier sweeps policy x law x config cells on
+both backends and checks the pairing itself (identical captures at
+matched seeds) along the way.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import (
+    InfeasibleScheduleError,
+    hindsight_lower_bound,
+    minimal_segments_dp,
+    oracle_schedule_dp,
+    regret_from_outcomes,
+    segment_count_bound,
+)
+from repro.distributions.exponential import ExponentialDistribution
+from repro.distributions.uniform import UniformLifetimeDistribution
+from repro.sim.backend import (
+    DrawCapture,
+    run_cluster_replications,
+    run_service_replications,
+)
+from repro.sim.cluster_vectorized import ClusterConfig
+from repro.sim.service_vectorized import ServiceBatchConfig
+
+BAG = [(3.7, 2), (1.2, 1), (8.4, 3), (0.05, 1)]
+DELTA = 0.05
+REGRET_TOL = -1e-9
+
+
+class TestSegmentBounds:
+    def test_single_segment_when_cap_covers_work(self):
+        assert segment_count_bound(5.0, 5.0, 0.5) == 1
+        assert segment_count_bound(5.0, 100.0, 0.5) == 1
+
+    def test_zero_work(self):
+        assert segment_count_bound(0.0, 1.0, 0.5) == 0
+        assert minimal_segments_dp(0.0, 1.0, 0.5) == 0
+
+    def test_covering_recurrence(self):
+        # (m-1) non-final segments of cap-delta plus one final cap.
+        assert segment_count_bound(10.0, 3.0, 0.5) == 4  # 3*2.5 + 3 >= 10
+        assert segment_count_bound(10.5, 3.0, 0.5) == 4  # exactly covered
+        assert segment_count_bound(10.6, 3.0, 0.5) == 5
+
+    def test_infeasible_when_checkpoint_eats_cap(self):
+        with pytest.raises(InfeasibleScheduleError):
+            segment_count_bound(5.0, 0.4, 0.5)
+        with pytest.raises(InfeasibleScheduleError):
+            minimal_segments_dp(5.0, 0.4, 0.5)
+
+    def test_dp_matches_closed_form_on_grid(self):
+        for work, cap, delta in [
+            (10.0, 3.0, 0.5),
+            (7.25, 2.0, 0.25),
+            (1.0, 1.0, 0.0),
+            (100.0, 5.0, 1.0),
+        ]:
+            assert minimal_segments_dp(
+                work, cap, delta, quantum=1e-4
+            ) == segment_count_bound(work, cap, delta)
+
+
+class TestHindsightBound:
+    def test_zero_delta_never_failing_is_pure_work(self):
+        # Zero-waste: with free checkpoints and lifetimes covering the
+        # work, the bound is exactly sum(width * work).
+        pool = [100.0] * 8
+        bound = hindsight_lower_bound(pool, BAG, 0.0)
+        assert bound.feasible
+        assert bound.total == pytest.approx(
+            sum(w * g for w, g in BAG), abs=1e-12
+        )
+        assert all(m == 1 for m in bound.segments)
+
+    def test_width_exceeding_pool_is_infeasible(self):
+        bound = hindsight_lower_bound([5.0], [(1.0, 2)], 0.1)
+        assert not bound.feasible
+        assert math.isinf(bound.total)
+
+    def test_gang_cap_is_gth_largest(self):
+        # Width-3 job sees the 3rd-largest draw as its gang cap.
+        pool = [9.0, 7.0, 2.0, 1.0]
+        bound = hindsight_lower_bound(pool, [(5.0, 3)], 0.5)
+        m = segment_count_bound(5.0, 2.0, 0.5)
+        assert bound.total == pytest.approx(3 * (5.0 + (m - 1) * 0.5))
+
+    def test_oracle_dp_brackets_bound(self):
+        pool = [10.0, 8.0, 3.0, 2.5, 1.0, 0.9, 0.8]
+        jobs = [(4.0, 2), (2.0, 1), (1.5, 2)]
+        bound = hindsight_lower_bound(pool, jobs, 0.2)
+        sched = oracle_schedule_dp(pool, jobs, 0.2)
+        assert sched.total >= bound.total - 1e-12
+        if sched.certified:
+            assert sched.total == pytest.approx(bound.total)
+
+    def test_oracle_dp_certifies_on_deep_pool(self):
+        # A pool deep in long draws makes disjointness free: the
+        # bracket closes and the bound is exactly the optimum.
+        pool = [50.0] * 10
+        sched = oracle_schedule_dp(pool, BAG, DELTA)
+        assert sched.certified
+
+    def test_oracle_dp_rejects_large_instances(self):
+        with pytest.raises(ValueError, match="max_jobs"):
+            oracle_schedule_dp(
+                [1.0] * 20, [(1.0, 1)] * 11, 0.1, max_jobs=10
+            )
+
+
+def _regret_ok(table):
+    done = table.completed
+    assert done.any()
+    assert float(table.regret[done].min()) >= REGRET_TOL
+    assert np.all(table.pct_of_oracle[done] >= 100.0 + 100.0 * REGRET_TOL)
+
+
+class TestRegretDominance:
+    """Policy x law x config cells, both backends, paired captures."""
+
+    @pytest.mark.parametrize("checkpoint", ["interval", "dp"])
+    @pytest.mark.parametrize("use_reuse_policy", [False, True])
+    def test_cluster_bathtub(self, reference_dist, checkpoint, use_reuse_policy):
+        config = ClusterConfig(
+            pool_size=4,
+            use_reuse_policy=use_reuse_policy,
+            checkpoint=checkpoint,
+            checkpoint_cost=DELTA,
+        )
+        tables = {}
+        for backend in ("event", "vectorized"):
+            capture = DrawCapture()
+            out = run_cluster_replications(
+                reference_dist,
+                BAG,
+                config=config,
+                n_replications=32,
+                seed=0,
+                backend=backend,
+                capture=capture,
+            )
+            tables[backend] = regret_from_outcomes(
+                out, capture, reference_dist, BAG, DELTA
+            )
+            _regret_ok(tables[backend])
+        # Draw-level pairing: both backends consumed identical draws,
+        # so their oracles are identical too.
+        np.testing.assert_array_equal(
+            tables["event"].oracle_hours, tables["vectorized"].oracle_hours
+        )
+        np.testing.assert_allclose(
+            tables["event"].policy_hours,
+            tables["vectorized"].policy_hours,
+            atol=1e-9,
+        )
+
+    @pytest.mark.parametrize("checkpoint", ["interval", "dp"])
+    def test_service_bathtub(self, reference_dist, checkpoint):
+        config = ServiceBatchConfig(
+            max_vms=4,
+            use_reuse_policy=True,
+            run_master=False,
+            checkpoint=checkpoint,
+            checkpoint_cost=DELTA,
+        )
+        for backend in ("event", "vectorized"):
+            capture = DrawCapture()
+            out = run_service_replications(
+                reference_dist,
+                BAG,
+                config=config,
+                n_replications=32,
+                seed=1,
+                backend=backend,
+                capture=capture,
+            )
+            _regret_ok(
+                regret_from_outcomes(out, capture, reference_dist, BAG, DELTA)
+            )
+
+    @pytest.mark.parametrize(
+        "dist",
+        [
+            ExponentialDistribution(1.0 / 6.0),
+            UniformLifetimeDistribution(24.0),
+        ],
+        ids=["exponential", "uniform"],
+    )
+    @pytest.mark.parametrize("checkpoint", ["interval", "dp"])
+    def test_service_other_laws(self, dist, checkpoint):
+        # Reuse off: the conditional Eq. 8 criterion livelocks on
+        # memoryless/uniform laws (every age is rejected).
+        config = ServiceBatchConfig(
+            max_vms=4,
+            use_reuse_policy=False,
+            run_master=False,
+            checkpoint=checkpoint,
+            checkpoint_cost=DELTA,
+        )
+        capture = DrawCapture()
+        out = run_service_replications(
+            dist,
+            BAG,
+            config=config,
+            n_replications=32,
+            seed=2,
+            backend="vectorized",
+            capture=capture,
+        )
+        _regret_ok(regret_from_outcomes(out, capture, dist, BAG, DELTA))
+
+    def test_capture_width_mismatch_rejected(self, reference_dist):
+        capture = DrawCapture()
+        out = run_cluster_replications(
+            reference_dist,
+            BAG,
+            config=ClusterConfig(pool_size=4),
+            n_replications=8,
+            seed=0,
+            backend="vectorized",
+            capture=capture,
+        )
+        other = DrawCapture()
+        run_cluster_replications(
+            reference_dist,
+            BAG,
+            config=ClusterConfig(pool_size=4),
+            n_replications=4,
+            seed=0,
+            backend="vectorized",
+            capture=other,
+        )
+        with pytest.raises(ValueError, match="pair each run"):
+            regret_from_outcomes(out, other, reference_dist, BAG, DELTA)
+
+
+pools = st.lists(
+    st.floats(0.05, 200.0, allow_nan=False), min_size=4, max_size=24
+)
+jobs_strategy = st.lists(
+    st.tuples(st.floats(0.01, 30.0), st.integers(1, 3)),
+    min_size=1,
+    max_size=4,
+)
+
+
+class TestRegretProperties:
+    @given(pool=pools, jobs=jobs_strategy, delta=st.floats(0.0, 0.5))
+    @settings(max_examples=80, deadline=None)
+    def test_bound_monotone_in_pool_prefix(self, pool, jobs, delta):
+        # More hindsight can only help: the bound over a draw prefix is
+        # non-increasing as the prefix grows.
+        prev = math.inf
+        for k in range(max(g for _, g in jobs), len(pool) + 1):
+            total = hindsight_lower_bound(pool[:k], jobs, delta).total
+            assert total <= prev + 1e-9
+            prev = total
+
+    @given(
+        work=st.floats(0.01, 50.0),
+        cap=st.floats(0.01, 60.0),
+        delta=st.floats(0.0, 0.5),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_dp_never_undercuts_closed_form(self, work, cap, delta):
+        try:
+            closed = segment_count_bound(work, cap, delta)
+        except InfeasibleScheduleError:
+            with pytest.raises(InfeasibleScheduleError):
+                minimal_segments_dp(work, cap, delta, quantum=1e-3)
+            return
+        try:
+            dp = minimal_segments_dp(work, cap, delta, quantum=1e-3)
+        except InfeasibleScheduleError:
+            # Legal only when the grid is too coarse to host any
+            # non-final segment at all.
+            assert cap < work and cap - delta < 1e-3 * (1 + 1e-9)
+            return
+        assert dp >= closed
+
+    @given(pool=pools, jobs=jobs_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_zero_delta_bound_is_work_when_pool_covers(self, pool, jobs):
+        # Zero-waste: free checkpoints make any feasible pool achieve
+        # pure work hours.
+        tall = [max(w for w, _ in jobs) + max(pool) for _ in pool]
+        bound = hindsight_lower_bound(tall, jobs, 0.0)
+        assert bound.total == pytest.approx(
+            sum(w * g for w, g in jobs), rel=1e-12
+        )
+
+    @given(seed=st.integers(0, 2**16), dp=st.booleans())
+    @settings(max_examples=10, deadline=None)
+    def test_regret_nonnegative_on_shared_draws(self, reference_dist, seed, dp):
+        # The sim-facing property: whatever the seed, the policy pays
+        # at least the oracle on its own draws.
+        config = ServiceBatchConfig(
+            max_vms=4,
+            use_reuse_policy=True,
+            run_master=False,
+            checkpoint="dp" if dp else "interval",
+            checkpoint_cost=DELTA,
+        )
+        capture = DrawCapture()
+        out = run_service_replications(
+            reference_dist,
+            BAG,
+            config=config,
+            n_replications=8,
+            seed=seed,
+            backend="vectorized",
+            capture=capture,
+        )
+        _regret_ok(
+            regret_from_outcomes(out, capture, reference_dist, BAG, DELTA)
+        )
+
+
+@pytest.mark.slow
+class TestDeepRegretGrid:
+    """The scheduled deep sweep: more laws, seeds, and policy cells."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("checkpoint", ["interval", "dp"])
+    @pytest.mark.parametrize("use_reuse_policy", [False, True])
+    def test_service_grid(self, reference_dist, seed, checkpoint, use_reuse_policy):
+        config = ServiceBatchConfig(
+            max_vms=6,
+            use_reuse_policy=use_reuse_policy,
+            run_master=False,
+            checkpoint=checkpoint,
+            checkpoint_cost=DELTA,
+        )
+        bag = BAG + [(0.6, 2), (2.3, 2)]
+        for backend in ("event", "vectorized"):
+            capture = DrawCapture()
+            out = run_service_replications(
+                reference_dist,
+                bag,
+                config=config,
+                n_replications=64,
+                seed=seed,
+                backend=backend,
+                capture=capture,
+            )
+            _regret_ok(
+                regret_from_outcomes(out, capture, reference_dist, bag, DELTA)
+            )
+
+    def test_fig9_regret_experiment_dominates(self):
+        from repro.experiments.fig9_regret import run
+
+        result = run(n_replications=50)
+        assert result.all_dominated
+        for cell in result.cells:
+            assert cell.n_completed == 50
+            assert cell.min_pct >= 100.0 - 1e-7

@@ -288,15 +288,24 @@ class TestApiEdges:
         )
         np.testing.assert_array_equal(a.makespan, b.makespan)
 
-    def test_dp_checkpointing_rejected(self, reference_dist):
+    def test_dp_checkpointing_maps_to_dp_kernel(self, reference_dist):
+        # use_checkpointing with no fixed interval used to be event-only;
+        # it now maps onto the batched DP plan walker.
         from repro.service import ServiceConfig
 
-        with pytest.raises(ValueError, match="event-only"):
-            run_service_replications(
-                reference_dist,
-                [(1.0, 1)],
-                config=ServiceConfig(use_checkpointing=True),
-            )
+        cfg = ServiceBatchConfig.from_service_config(
+            ServiceConfig(use_checkpointing=True)
+        )
+        assert cfg.checkpoint == "dp"
+        assert cfg.checkpoint_interval is None
+        out = run_service_replications(
+            reference_dist,
+            [(1.0, 1)],
+            config=ServiceConfig(use_checkpointing=True),
+            n_replications=4,
+            seed=0,
+        )
+        assert out.n_replications == 4
 
     def test_config_and_kwargs_conflict(self, reference_dist):
         with pytest.raises(ValueError, match="not both"):

@@ -220,9 +220,11 @@ class TestEvaluateCluster:
         ccfg = ev.cluster_config()
         assert ccfg.pool_size == 6
         assert not ccfg.use_reuse_policy
-        # Young-Daly default interval against the law's mean lifetime.
-        expected = np.sqrt(2.0 * cfg.checkpoint_cost * reference_dist.mean())
-        assert ccfg.checkpoint_interval == pytest.approx(expected)
+        # use_checkpointing with no fixed interval maps onto the batched
+        # DP plan walker (the Young-Daly stand-in is gone).
+        assert ccfg.checkpoint == "dp"
+        assert ccfg.checkpoint_interval is None
+        assert ccfg.checkpoint_step == cfg.checkpoint_step
         assert ccfg.checkpoint_cost == cfg.checkpoint_cost
 
     def test_explicit_interval_overrides_default(self, reference_dist):
@@ -298,9 +300,11 @@ class TestEvaluateService:
         assert not bcfg.use_reuse_policy
         assert bcfg.provision_latency == 0.2
         assert bcfg.backfill and not bcfg.run_master
-        # DP has no batched equivalent: the Young-Daly interval stands in.
-        expected = np.sqrt(2.0 * cfg.checkpoint_cost * reference_dist.mean())
-        assert bcfg.checkpoint_interval == pytest.approx(expected)
+        # use_checkpointing with no fixed interval maps onto the batched
+        # DP plan walker (the Young-Daly stand-in is gone).
+        assert bcfg.checkpoint == "dp"
+        assert bcfg.checkpoint_interval is None
+        assert bcfg.checkpoint_step == cfg.checkpoint_step
 
     def test_explicit_interval_passthrough(self, reference_dist):
         ev = ServicePolicyEvaluator(
@@ -386,9 +390,11 @@ class TestEvaluateTenants:
         assert tcfg.scheduling == "weighted"
         assert tcfg.tenant_weights == (1.0, 2.0)
         assert tcfg.admission_cap == 5 and tcfg.elastic_vms_per_bag == 3
-        # DP has no batched equivalent: the Young-Daly interval stands in.
-        expected = np.sqrt(2.0 * cfg.checkpoint_cost * reference_dist.mean())
-        assert tcfg.checkpoint_interval == pytest.approx(expected)
+        # use_checkpointing with no fixed interval maps onto the batched
+        # DP plan walker (the Young-Daly stand-in is gone).
+        assert tcfg.checkpoint == "dp"
+        assert tcfg.checkpoint_interval is None
+        assert tcfg.checkpoint_step == cfg.checkpoint_step
 
     def test_metrics_and_summary(self, reference_dist):
         ev = ServicePolicyEvaluator(reference_dist, ServiceConfig(max_vms=3))
