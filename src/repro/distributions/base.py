@@ -125,6 +125,20 @@ class LifetimeDistribution(abc.ABC):
         out = np.interp(q_arr, grid_q, grid_t)
         return out if out.ndim else float(out)
 
+    def ppf_table(self) -> tuple[np.ndarray, np.ndarray] | None:
+        """``(q, t)`` grid with ``ppf(q) == np.interp(q, *table)``, or ``None``.
+
+        The compiled replication backend (:mod:`repro.sim.compiled`)
+        evaluates the inverse CDF inside its inner loop; to stay
+        bit-identical to the NumPy kernels it needs the exact
+        interpolation table ``ppf`` reads.  Subclasses that override
+        :meth:`ppf` with a closed form return ``None`` (the compiled
+        path then falls back to Python-side ``ppf`` rows).
+        """
+        if type(self).ppf is not LifetimeDistribution.ppf:
+            return None
+        return self._build_ppf_grid()
+
     def sample(self, n: int, rng: np.random.Generator | None = None) -> np.ndarray:
         """Draw ``n`` lifetimes (inverse-transform sampling)."""
         if n < 0:

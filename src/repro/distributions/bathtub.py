@@ -49,6 +49,10 @@ class BathtubDistribution(LifetimeDistribution):
     def ppf(self, q):
         return self.model.ppf(q)
 
+    def ppf_table(self):
+        """The model's exact ``(q, t)`` interpolation grid (see base class)."""
+        return self.model._build_ppf_grid()
+
     def truncated_first_moment(self, a: float, c: float, *, num: int = 0) -> float:
         """Exact closed form via the Eq. 3 antiderivative."""
         return self.model.truncated_first_moment(a, c)

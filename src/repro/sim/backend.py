@@ -54,8 +54,12 @@ __all__ = [
     "BACKENDS",
 ]
 
-#: Valid values for the ``backend`` argument.
+#: Valid values for the ``backend`` argument of every entry point.
 BACKENDS = ("event", "vectorized")
+
+#: Extra backend accepted by :func:`run_replications` only — the opt-in
+#: compiled inner loop of :mod:`repro.sim.compiled` (soft dependency).
+COMPILED_BACKEND = "vectorized-compiled"
 
 
 class DrawCapture:
@@ -135,6 +139,187 @@ class _RecordingRNG:
         row = self._rng.random(n)
         self._capture.rows.append(np.array(row, copy=True))
         return row
+
+
+# ----------------------------------------------------------------------
+# Process sharding: CRN-paired shards of one serial round stream
+# ----------------------------------------------------------------------
+
+class _ShardRNG:
+    """Duck-typed generator serving one shard's columns of a round stream.
+
+    CRN shard pairing: the wrapped generator is an exact copy of the
+    serial root, every ``random`` call draws the *full* serial-width
+    row(s), and only the shard's ``[lo, hi)`` column slice is served.
+    Column ``i`` of round ``r`` therefore holds the same value under
+    every shard layout — including ``workers=1`` — which is what makes
+    merged sharded outcomes byte-identical to the serial sweep.
+
+    Shards run for different round counts (each stops when its own
+    slowest replication finishes), but a shard that needs round ``r``
+    always draws rounds ``0..r`` in serial order from its private copy,
+    so no coordination between workers is needed.
+    """
+
+    def __init__(self, rng: np.random.Generator, lo: int, hi: int, full_width: int):
+        self._rng = rng
+        self._lo = lo
+        self._hi = hi
+        self._full = full_width
+
+    def random(self, size):
+        width = self._hi - self._lo
+        if isinstance(size, tuple):  # block mode: (rows, n) round rows
+            rows, n = size
+            if n != width:
+                raise ValueError(
+                    f"shard expected width-{width} round rows, got {size}"
+                )
+            block = self._rng.random((rows, self._full))
+            return np.ascontiguousarray(block[:, self._lo : self._hi])
+        if size != width:
+            raise ValueError(
+                f"shard expected width-{width} round rows, got {size}"
+            )
+        return np.ascontiguousarray(self._rng.random(self._full)[self._lo : self._hi])
+
+
+def _shard_bounds(n: int, n_shards: int) -> list[tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` replication ranges, longest shards first."""
+    base, extra = divmod(n, n_shards)
+    bounds, lo = [], 0
+    for s in range(n_shards):
+        hi = lo + base + (1 if s < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+def _check_workers(workers, capture) -> int:
+    """Validate the ``workers`` / ``capture`` combination up front."""
+    workers = int(workers)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if workers > 1 and capture is not None:
+        raise ValueError(
+            "capture is incompatible with workers > 1: rows are drawn "
+            "inside worker processes, where the capture object cannot "
+            "observe them; record draws with workers=1"
+        )
+    return workers
+
+
+def _require_picklable(payload) -> None:
+    """Raise ``ValueError`` *before* any worker spawns on bad inputs."""
+    import pickle
+
+    try:
+        pickle.dumps(payload)
+    except Exception as exc:
+        raise ValueError(
+            "workers > 1 ships the distribution, configuration, and "
+            f"inputs to worker processes via pickle, which failed: {exc}"
+        ) from exc
+
+
+def _shard_task(payload):
+    """Run one shard in a worker process (module-level, hence picklable).
+
+    ``payload`` is ``(kind, backend, rng, lo, hi, full_width, args)``
+    where ``rng`` is this shard's private copy of the chunk's root
+    generator (copied by pickling) and ``args`` the kernel inputs.
+    """
+    kind, backend, rng, lo, hi, full, args = payload
+    shard_rng = _ShardRNG(rng, lo, hi, full)
+    size = hi - lo
+    if kind == "plan":
+        if backend == COMPILED_BACKEND:
+            from repro.sim.compiled import simulate_plan_compiled
+
+            # Worker generators are private copies nobody observes
+            # afterwards, so block drawing is always safe here.
+            kernel = simulate_plan_compiled
+        elif backend == "vectorized":
+            kernel = simulate_plan_vectorized
+        else:
+            kernel = _simulate_plan_event
+        start = args["start_age"]
+        return kernel(
+            args["dist"],
+            args["segments"],
+            delta=args["delta"],
+            start_age=start if np.ndim(start) == 0 else start[lo:hi],
+            restart_latency=args["restart_latency"],
+            n_replications=size,
+            rng=shard_rng,
+            max_rounds=args["max_rounds"],
+        )
+    if kind == "cluster":
+        from repro.sim.cluster_vectorized import simulate_cluster_vectorized
+
+        kernel = (
+            simulate_cluster_vectorized
+            if backend == "vectorized"
+            else _simulate_cluster_event
+        )
+        return kernel(
+            args["dist"], args["jobs"], args["config"],
+            n_replications=size, rng=shard_rng, max_events=args["max_events"],
+        )
+    if kind == "service":
+        from repro.sim.service_vectorized import simulate_service_vectorized
+
+        kernel = (
+            simulate_service_vectorized
+            if backend == "vectorized"
+            else _simulate_service_event
+        )
+        return kernel(
+            args["dist"], args["jobs"], args["config"],
+            n_replications=size, rng=shard_rng, max_events=args["max_events"],
+        )
+    if kind == "tenancy":
+        from repro.sim.tenancy_vectorized import simulate_tenancy_vectorized
+
+        kernel = (
+            simulate_tenancy_vectorized
+            if backend == "vectorized"
+            else _simulate_tenancy_event
+        )
+        return kernel(
+            args["dist"], args["traffic"], args["n_tenants"], args["config"],
+            n_replications=size, rng=shard_rng, max_events=args["max_events"],
+        )
+    raise ValueError(f"unknown shard kind {kind!r}")
+
+
+def _run_sharded(payloads, workers: int):
+    """Fan shard payloads out over a process pool, results in order."""
+    import multiprocessing
+    from concurrent.futures import ProcessPoolExecutor
+
+    _require_picklable(payloads[0])
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # platforms without fork: spawn works too
+        ctx = multiprocessing.get_context()
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(payloads)), mp_context=ctx
+    ) as pool:
+        return list(pool.map(_shard_task, payloads))
+
+
+def _merge_raws(raws: list[dict]) -> dict:
+    """Reduce per-shard/per-chunk raw dicts back into one serial batch."""
+    if len(raws) == 1:
+        return raws[0]
+    merged = {
+        key: np.concatenate([r[key] for r in raws], axis=0)
+        for key in raws[0]
+        if key != "n_rounds"
+    }
+    merged["n_rounds"] = max(r["n_rounds"] for r in raws)
+    return merged
 
 
 @dataclass(frozen=True)
@@ -390,6 +575,7 @@ def run_replications(
     seed: int | np.random.Generator | None = 0,
     backend: str = "vectorized",
     max_rounds: int = 10_000,
+    workers: int = 1,
     capture: DrawCapture | None = None,
 ) -> ReplicationOutcomes:
     """Simulate ``n_replications`` runs of a checkpoint plan under ``dist``.
@@ -423,6 +609,15 @@ def run_replications(
     max_rounds:
         Safety cap on VM generations before declaring the plan
         unfinishable.
+    workers:
+        Shard the replication batch across this many worker processes.
+        Shards are contiguous replication ranges paired to the serial
+        stream by common random numbers: each worker replays the serial
+        root generator, draws full-width round rows, and consumes only
+        its own columns, so the merged outcomes are *byte-identical* to
+        ``workers=1`` for every backend.  A ``Generator`` seed is
+        copied to each worker; the caller's instance is left untouched.
+        Incompatible with ``capture``.
     capture:
         Optional fresh :class:`DrawCapture`; records every consumed
         round row so the realized draws can be re-scored (e.g. by the
@@ -434,11 +629,17 @@ def run_replications(
         Per-replication makespan / wasted hours / completed work /
         restart counts.
     """
-    if backend not in BACKENDS:
-        raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
-    segs = np.asarray([check_positive("segment", s) for s in segments], dtype=float)
+    if backend not in BACKENDS and backend != COMPILED_BACKEND:
+        raise ValueError(
+            f"backend must be one of {BACKENDS + (COMPILED_BACKEND,)}, "
+            f"got {backend!r}"
+        )
+    segs = np.asarray(segments, dtype=float)
     if segs.size == 0:
         raise ValueError("segments must be non-empty")
+    good = np.isfinite(segs) & (segs > 0.0)
+    if not good.all():
+        check_positive("segment", segs.ravel()[np.flatnonzero(~good.ravel())[0]])
     check_nonnegative("delta", delta)
     check_nonnegative("restart_latency", restart_latency)
     if n_replications < 0:
@@ -456,21 +657,69 @@ def run_replications(
         if np.any(start_arr < 0.0):
             raise ValueError("start_age entries must be >= 0")
         start_val = start_arr
+    workers = _check_workers(workers, capture)
+    n = int(n_replications)
+    if workers > 1 and n > 1:
+        root = (
+            seed if isinstance(seed, np.random.Generator)
+            else np.random.default_rng(seed)
+        )
+        args = dict(
+            dist=dist,
+            segments=segs,
+            delta=float(delta),
+            start_age=start_val,
+            restart_latency=float(restart_latency),
+            max_rounds=int(max_rounds),
+        )
+        payloads = [
+            ("plan", backend, root, lo, hi, n, args)
+            for lo, hi in _shard_bounds(n, min(workers, n))
+        ]
+        outs = _run_sharded(payloads, workers)
+        return ReplicationOutcomes(
+            makespan=np.concatenate([o[0] for o in outs]),
+            wasted_hours=np.concatenate([o[1] for o in outs]),
+            completed_work=np.concatenate([o[2] for o in outs]),
+            n_restarts=np.concatenate([o[3] for o in outs]),
+            n_rounds=max(o[4] for o in outs),
+            backend=backend,
+        )
     rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
     if capture is not None:
         capture._arm()
         rng = _RecordingRNG(rng, capture)
-    kernel = simulate_plan_vectorized if backend == "vectorized" else _simulate_plan_event
-    makespan, wasted, completed, restarts, n_rounds = kernel(
-        dist,
-        segs,
-        delta=float(delta),
-        start_age=start_val,
-        restart_latency=float(restart_latency),
-        n_replications=int(n_replications),
-        rng=rng,
-        max_rounds=int(max_rounds),
-    )
+    if backend == COMPILED_BACKEND:
+        from repro.sim.compiled import simulate_plan_compiled
+
+        # Block drawing may advance the generator past the final round;
+        # only safe when nobody can observe the generator afterwards.
+        stream_exact = isinstance(seed, np.random.Generator) or capture is not None
+        makespan, wasted, completed, restarts, n_rounds = simulate_plan_compiled(
+            dist,
+            segs,
+            delta=float(delta),
+            start_age=start_val,
+            restart_latency=float(restart_latency),
+            n_replications=int(n_replications),
+            rng=rng,
+            max_rounds=int(max_rounds),
+            stream_exact=stream_exact,
+        )
+    else:
+        kernel = (
+            simulate_plan_vectorized if backend == "vectorized" else _simulate_plan_event
+        )
+        makespan, wasted, completed, restarts, n_rounds = kernel(
+            dist,
+            segs,
+            delta=float(delta),
+            start_age=start_val,
+            restart_latency=float(restart_latency),
+            n_replications=int(n_replications),
+            rng=rng,
+            max_rounds=int(max_rounds),
+        )
     return ReplicationOutcomes(
         makespan=makespan,
         wasted_hours=wasted,
@@ -827,6 +1076,7 @@ def run_cluster_replications(
     seed: int | np.random.Generator | None = 0,
     backend: str = "vectorized",
     max_events: int = 1_000_000,
+    workers: int = 1,
     capture: DrawCapture | None = None,
     **config_kwargs,
 ) -> ClusterOutcomes:
@@ -862,6 +1112,11 @@ def run_cluster_replications(
     max_events:
         Safety cap on processed events per replication before declaring
         the bag unfinishable.
+    workers:
+        Shard the batch across this many worker processes under CRN
+        shard pairing (see :func:`run_replications`); merged outcomes
+        are byte-identical to ``workers=1``.  Incompatible with
+        ``capture``.
     capture:
         Optional fresh :class:`DrawCapture`; records every consumed
         round row so the realized lifetime draws can be re-scored with
@@ -896,6 +1151,20 @@ def run_cluster_replications(
     if n_replications < 0:
         raise ValueError(f"n_replications must be >= 0, got {n_replications}")
     check_positive("max_events", max_events)
+    workers = _check_workers(workers, capture)
+    n = int(n_replications)
+    if workers > 1 and n > 1:
+        root = (
+            seed if isinstance(seed, np.random.Generator)
+            else np.random.default_rng(seed)
+        )
+        args = dict(dist=dist, jobs=bag, config=config, max_events=int(max_events))
+        payloads = [
+            ("cluster", backend, root, lo, hi, n, args)
+            for lo, hi in _shard_bounds(n, min(workers, n))
+        ]
+        raw = _merge_raws(_run_sharded(payloads, workers))
+        return ClusterOutcomes(backend=backend, **raw)
     rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
     if capture is not None:
         capture._arm()
@@ -1275,6 +1544,7 @@ def run_service_replications(
     seed: int | np.random.Generator | None = 0,
     backend: str = "vectorized",
     max_events: int = 1_000_000,
+    workers: int = 1,
     capture: DrawCapture | None = None,
     **config_kwargs,
 ) -> ServiceOutcomes:
@@ -1317,6 +1587,11 @@ def run_service_replications(
         replication and is the semantics oracle.
     max_events:
         Safety cap on processed events per replication.
+    workers:
+        Shard the batch across this many worker processes under CRN
+        shard pairing (see :func:`run_replications`); merged outcomes
+        are byte-identical to ``workers=1``.  Incompatible with
+        ``capture``.
     capture:
         Optional fresh :class:`DrawCapture`; records every consumed
         round row so the realized lifetime draws can be re-scored with
@@ -1352,6 +1627,23 @@ def run_service_replications(
     if n_replications < 0:
         raise ValueError(f"n_replications must be >= 0, got {n_replications}")
     check_positive("max_events", max_events)
+    workers = _check_workers(workers, capture)
+    n = int(n_replications)
+    total_work = float(sum(j.work_hours * j.width for j in bag))
+    if workers > 1 and n > 1:
+        root = (
+            seed if isinstance(seed, np.random.Generator)
+            else np.random.default_rng(seed)
+        )
+        args = dict(dist=dist, jobs=bag, config=config, max_events=int(max_events))
+        payloads = [
+            ("service", backend, root, lo, hi, n, args)
+            for lo, hi in _shard_bounds(n, min(workers, n))
+        ]
+        raw = _merge_raws(_run_sharded(payloads, workers))
+        return ServiceOutcomes(
+            backend=backend, total_work_hours=total_work, **raw
+        )
     rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
     if capture is not None:
         capture._arm()
@@ -1374,7 +1666,6 @@ def run_service_replications(
             rng=rng,
             max_events=int(max_events),
         )
-    total_work = float(sum(j.work_hours * j.width for j in bag))
     return ServiceOutcomes(backend=backend, total_work_hours=total_work, **raw)
 
 
@@ -1624,6 +1915,7 @@ def run_tenant_replications(
     backend: str = "vectorized",
     max_events: int = 1_000_000,
     chunk_size: int | None = None,
+    workers: int = 1,
     capture: DrawCapture | None = None,
     **config_kwargs,
 ) -> TenantOutcomes:
@@ -1670,12 +1962,25 @@ def run_tenant_replications(
         batched kernel scales with ``chunk_n x (K x estimate_window +
         3 x n_jobs + ...)``, so chunking is what lets tens of
         thousands of traced jobs run at production replication counts.
-        Each chunk consumes the shared generator sequentially, so
-        results are deterministic for a fixed ``(seed, chunk_size)``
-        and cross-backend equivalence holds at *any* chunk size — but
-        draws (hence outcomes) differ between chunk sizes, because the
-        round protocol materialises per-round uniform rows chunk-wide.
+        Chunk 0 consumes the root generator; chunk ``k > 0`` consumes
+        child ``k - 1`` of ``root.spawn(n_chunks - 1)``.  Each chunk's
+        stream is therefore a pure function of ``(seed, chunk_size, k)``
+        — independent of how many rounds earlier chunks ran — so any
+        chunk is reproducible in isolation, results are deterministic
+        for a fixed ``(seed, chunk_size)``, and cross-backend
+        equivalence holds at *any* chunk size.  Draws (hence outcomes)
+        still differ between chunk sizes, because the round protocol
+        materialises per-round uniform rows chunk-wide; a chunk
+        covering the whole batch is byte-identical to no chunking.
         ``None`` (default) runs the whole batch as one chunk.
+    workers:
+        Shard each chunk across this many worker processes under CRN
+        shard pairing (see :func:`run_replications`): shards replay the
+        chunk's generator, draw chunk-wide rows, and consume only their
+        own columns.  Merged outcomes are byte-identical to
+        ``workers=1`` at the same ``chunk_size``, and peak memory per
+        worker stays bounded by its chunk shard.  Incompatible with
+        ``capture``.
     capture:
         Optional fresh :class:`DrawCapture`; records every consumed
         round row so the realized lifetime draws can be re-scored with
@@ -1731,6 +2036,7 @@ def run_tenant_replications(
                 "rows of differing widths, which no longer form one round "
                 "table"
             )
+    workers = _check_workers(workers, capture)
     rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
     if capture is not None:
         capture._arm()
@@ -1747,30 +2053,46 @@ def run_tenant_replications(
         sizes = [chunk_size] * (n // chunk_size)
         if n % chunk_size:
             sizes.append(n % chunk_size)
-    # Chunks run sequentially off the one shared generator; each builds
-    # its own chunk-wide kernel (bounded peak memory) and the raw
-    # per-replication arrays are reduced by concatenation.
-    raws = [
-        simulate(
-            dist,
-            traffic,
-            T,
-            config,
-            n_replications=size,
-            rng=rng,
+    # Chunk 0 keeps the root generator (so a covering chunk is the
+    # unchunked run, byte for byte); later chunks get spawned children,
+    # making every chunk's stream independent of how many rounds its
+    # predecessors ran — the invariant that lets chunks be recomputed
+    # in isolation and sharded across workers.
+    if len(sizes) == 1:
+        chunk_rngs = [rng]
+    else:
+        chunk_rngs = [rng, *rng.spawn(len(sizes) - 1)]
+    if workers > 1 and n > 1:
+        args = dict(
+            dist=dist,
+            traffic=traffic,
+            n_tenants=T,
+            config=config,
             max_events=int(max_events),
         )
-        for size in sizes
-    ]
-    if len(raws) == 1:
-        raw = raws[0]
+        payloads = [
+            ("tenancy", backend, chunk_rngs[k], lo, hi, size, args)
+            for k, size in enumerate(sizes)
+            for lo, hi in _shard_bounds(size, min(workers, size))
+        ]
+        raws = _run_sharded(payloads, workers)
     else:
-        raw = {
-            key: np.concatenate([r[key] for r in raws], axis=0)
-            for key in raws[0]
-            if key != "n_rounds"
-        }
-        raw["n_rounds"] = max(r["n_rounds"] for r in raws)
+        # Chunks run sequentially; each builds its own chunk-wide kernel
+        # (bounded peak memory) and the raw per-replication arrays are
+        # reduced by concatenation.
+        raws = [
+            simulate(
+                dist,
+                traffic,
+                T,
+                config,
+                n_replications=size,
+                rng=chunk_rngs[k],
+                max_events=int(max_events),
+            )
+            for k, size in enumerate(sizes)
+        ]
+    raw = _merge_raws(raws)
     job_tenant = np.asarray(
         [s.tenant for s in traffic for _ in s.jobs], dtype=np.int64
     )

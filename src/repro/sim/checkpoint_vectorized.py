@@ -5,9 +5,10 @@ walking :meth:`repro.policies.checkpointing.CheckpointPolicy.plan`'s
 DP table (``i = choice[j, a]`` segments of ``i * step`` work hours,
 ages advancing by ``i * step + delta`` per non-final segment).  This
 module gives the lockstep kernels the same walk as array state, so
-``checkpoint="dp"`` runs N replications at once through the existing
-:class:`~repro.sim.cluster_vectorized._LockstepKernel` primitives
-instead of staying event-only.
+``checkpoint="dp"`` runs N replications at once through the
+structure-of-arrays core's
+:class:`~repro.sim.vectorized._LockstepKernel` primitives (the walker
+is driven from ``_launch_segment``) instead of staying event-only.
 
 Equivalence contract
 --------------------

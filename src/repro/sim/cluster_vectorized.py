@@ -77,15 +77,10 @@ import numpy as np
 
 from repro.distributions.base import LifetimeDistribution
 from repro.policies.scheduling import ModelReusePolicy
+from repro.sim.vectorized import _LockstepKernel, _RESIDUAL, _SEQ_INF
 from repro.utils.validation import check_nonnegative, check_positive
 
 __all__ = ["GangJob", "ClusterConfig", "simulate_cluster_vectorized"]
-
-#: Sentinel sequence number larger than any the kernel can assign.
-_SEQ_INF = np.iinfo(np.int64).max
-#: Residual-work threshold below which a segment is final (the
-#: ``JobExecution._clip_segments`` tolerance).
-_RESIDUAL = 1e-12
 
 
 @dataclass(frozen=True)
@@ -165,59 +160,10 @@ class ClusterConfig:
         check_positive("checkpoint_step", self.checkpoint_step)
 
 
-class _LockstepKernel:
-    """Primitives shared by the lockstep kernels (cluster and service).
-
-    These two helpers *are* the cross-backend event-ordering contract —
-    segment durations/finality exactly as ``JobExecution`` clips them,
-    VM ordering by ``(launch, birth)`` exactly as ``free_nodes()``
-    sorts — so they live in one place.  Subclasses provide the array
-    state (``now``, ``evseq``, ``launch``, ``birth``, ``sstart``,
-    ``ctime``, ``cseq``, ``seg_take``, ``seg_after``, ``S``), a ``cfg``
-    with ``checkpoint_interval`` / ``checkpoint_cost``, and ``dp`` — a
-    :class:`~repro.sim.checkpoint_vectorized.DPPlanWalker` in
-    ``checkpoint="dp"`` mode, else ``None``.
-    """
-
-    def _launch_segment(self, rr: np.ndarray, jj: np.ndarray, left: np.ndarray) -> None:
-        """Schedule the next segment of ``left`` remaining attempt hours."""
-        if self.dp is not None:
-            take = self.dp.next_take(rr, jj, left)
-        else:
-            tau = self.cfg.checkpoint_interval
-            take = left if tau is None else np.minimum(tau, left)
-        after = left - take
-        final = after <= _RESIDUAL
-        dur = take + np.where(final, 0.0, self.cfg.checkpoint_cost)
-        self.sstart[rr, jj] = self.now[rr]
-        self.ctime[rr, jj] = self.now[rr] + dur
-        self.cseq[rr, jj] = self.evseq[rr]
-        self.evseq[rr] += 1
-        self.seg_take[rr, jj] = take
-        self.seg_after[rr, jj] = after
-
-    def _clear_segment(self, rr: np.ndarray, jj: np.ndarray) -> None:
-        """Cancel job ``jj``'s pending segment-completion event.
-
-        The single exit point matching :meth:`_launch_segment`'s entry:
-        kernels that mirror pending completions into auxiliary state
-        (the tenancy kernel's compact running slots) hook both.
-        """
-        self.ctime[rr, jj] = np.inf
-        self.cseq[rr, jj] = _SEQ_INF
-
-    def _oldest(self, mask: np.ndarray, rr: np.ndarray) -> np.ndarray:
-        """Column order by (launch, birth) with non-``mask`` columns last."""
-        lm = np.where(mask, self.launch[rr], np.inf)
-        bm = np.where(mask, self.birth[rr], np.iinfo(np.int64).max)
-        by_birth = np.argsort(bm, axis=1, kind="stable")
-        l_sorted = np.take_along_axis(lm, by_birth, axis=1)
-        by_launch = np.argsort(l_sorted, axis=1, kind="stable")
-        return np.take_along_axis(by_birth, by_launch, axis=1)
-
-
 class _ClusterKernel(_LockstepKernel):
     """Array state and phase operations of the lockstep cluster sweep."""
+
+    _sweep_name = "cluster"
 
     def __init__(
         self,
@@ -256,19 +202,18 @@ class _ClusterKernel(_LockstepKernel):
         self.evseq = np.zeros(n, dtype=np.int64)
         self.draw_k = np.zeros(n, dtype=np.int64)
         self.births = np.zeros(n, dtype=np.int64)
+        # Fused event table: death/dseq and ctime/cseq are channel
+        # views (see EventArena; dead columns hold death == inf).
+        self._init_arena(n)
         # VM columns (storage slots; ordering is always (launch, birth)).
         self.alive = np.zeros((n, S), dtype=bool)
         self.launch = np.zeros((n, S))
-        self.death = np.full((n, S), np.inf)
-        self.dseq = np.full((n, S), _SEQ_INF, dtype=np.int64)
         self.birth = np.full((n, S), -1, dtype=np.int64)
         self.vm_job = np.full((n, S), -1, dtype=np.int64)
         # Job state.
         self.qkey = np.broadcast_to(np.arange(J, dtype=float), (n, J)).copy()
         self.head_key = np.full(n, -1.0)  # next requeue-at-head key
         self.progress = np.zeros((n, J))
-        self.ctime = np.full((n, J), np.inf)
-        self.cseq = np.full((n, J), _SEQ_INF, dtype=np.int64)
         self.sstart = np.zeros((n, J))
         self.seg_take = np.zeros((n, J))
         self.seg_after = np.zeros((n, J))
@@ -280,6 +225,9 @@ class _ClusterKernel(_LockstepKernel):
         self.preemptions = np.zeros(n, dtype=np.int64)
         self.vm_hours = np.zeros(n)
         self.events = np.zeros(n, dtype=np.int64)
+
+    def _arena_channels(self) -> list[tuple[str, int]]:
+        return [("death", self.S), ("comp", self.J)]
 
     # -- primitive operations (all take a row-index array) --------------
     def _boot(self, rr: np.ndarray) -> None:
@@ -420,6 +368,7 @@ class _ClusterKernel(_LockstepKernel):
                 col = self._oldest(unsuitable[has_u], ru)[:, 0]
                 self.vm_hours[ru] += self.now[ru] - self.launch[ru, col]
                 self.alive[ru, col] = False
+                self.death[ru, col] = np.inf
                 self.dseq[ru, col] = _SEQ_INF
                 self._boot(ru)
             # ...else re-boot an empty pool slot.
@@ -433,6 +382,7 @@ class _ClusterKernel(_LockstepKernel):
         self.alive[rr, col] = False
         self.dseq[rr, col] = _SEQ_INF
         self.vm_hours[rr] += self.death[rr, col] - self.launch[rr, col]
+        self.death[rr, col] = np.inf
         self.preemptions[rr] += 1
         jd = self.vm_job[rr, col]
         if self.cfg.hot_spare:
@@ -491,30 +441,7 @@ class _ClusterKernel(_LockstepKernel):
             self._refresh_loop(init)
         active = np.flatnonzero(self.done_count < self.J) if self.n else init
         while active.size:
-            if np.any(self.events[active] >= self.max_events):
-                raise RuntimeError(
-                    f"{active.size} replications unfinished after "
-                    f"{self.max_events} events; the bag cannot finish under "
-                    "this lifetime law / configuration"
-                )
-            times = np.concatenate(
-                [
-                    np.where(self.alive[active], self.death[active], np.inf),
-                    self.ctime[active],
-                ],
-                axis=1,
-            )
-            seqs = np.concatenate([self.dseq[active], self.cseq[active]], axis=1)
-            tmin = times.min(axis=1)
-            if not np.all(np.isfinite(tmin)):
-                raise RuntimeError(
-                    "cluster sweep deadlocked: a replication has pending "
-                    "jobs but no pending events"
-                )
-            tie = times == tmin[:, None]
-            pick = np.argmin(np.where(tie, seqs, _SEQ_INF), axis=1)
-            self.now[active] = tmin
-            self.events[active] += 1
+            _, pick = self._select_events(active)
             is_death = pick < self.S
             rd = active[is_death]
             if rd.size:

@@ -65,7 +65,7 @@ import numpy as np
 
 from repro.distributions.base import LifetimeDistribution
 from repro.policies.scheduling import ModelReusePolicy
-from repro.sim.cluster_vectorized import _LockstepKernel
+from repro.sim.vectorized import _LockstepKernel, _RESIDUAL, _SEQ_INF
 from repro.utils.validation import check_nonnegative, check_positive
 
 __all__ = [
@@ -91,11 +91,7 @@ class ProvisioningLivelockError(RuntimeError):
     the reuse policy.
     """
 
-#: Sentinel sequence number larger than any the kernel can assign.
-_SEQ_INF = np.iinfo(np.int64).max
-#: Residual-work threshold below which a segment is final (the
-#: ``JobExecution._clip_segments`` tolerance).
-_RESIDUAL = 1e-12
+
 
 
 @dataclass(frozen=True)
@@ -225,6 +221,16 @@ class ServiceBatchConfig:
 class _ServiceKernel(_LockstepKernel):
     """Array state and phase operations of the lockstep service sweep."""
 
+    _sweep_name = "service"
+
+    def _arena_channels(self) -> list[tuple[str, int]]:
+        return [
+            ("death", self.S),
+            ("comp", self.J),
+            ("boot", self.B),
+            ("reap", self.S),
+        ]
+
     def __init__(
         self,
         dist: LifetimeDistribution,
@@ -261,26 +267,21 @@ class _ServiceKernel(_LockstepKernel):
         self.evseq = np.zeros(n, dtype=np.int64)
         self.draw_k = np.zeros(n, dtype=np.int64)
         self.births = np.zeros(n, dtype=np.int64)
+        # Fused event table: deaths, completions, boots, and reap
+        # timers are channel views (see EventArena; dead columns hold
+        # death == inf).  The tenancy subclass swaps the completion
+        # channel for its compact running slots.
+        self._init_arena(n)
         # Worker-VM columns (ordering is always (launch, birth)).
         self.alive = np.zeros((n, S), dtype=bool)
         self.launch = np.zeros((n, S))
-        self.death = np.full((n, S), np.inf)
-        self.dseq = np.full((n, S), _SEQ_INF, dtype=np.int64)
         self.birth = np.full((n, S), -1, dtype=np.int64)
         self.vm_job = np.full((n, S), -1, dtype=np.int64)
-        # Idle-retention (reap) timers: at most one per live idle VM.
-        self.reap_time = np.full((n, S), np.inf)
-        self.reap_seq = np.full((n, S), _SEQ_INF, dtype=np.int64)
-        # Pending worker boots.
-        self.btime = np.full((n, B), np.inf)
-        self.bseq = np.full((n, B), _SEQ_INF, dtype=np.int64)
         self.provisioning = np.zeros(n, dtype=np.int64)
         # Job state.
         self.qkey = np.broadcast_to(np.arange(J, dtype=float), (n, J)).copy()
         self.head_key = np.full(n, -1.0)  # next requeue-at-head key
         self.progress = np.zeros((n, J))
-        self.ctime = np.full((n, J), np.inf)
-        self.cseq = np.full((n, J), _SEQ_INF, dtype=np.int64)
         self.sstart = np.zeros((n, J))
         self.seg_take = np.zeros((n, J))
         self.seg_after = np.zeros((n, J))
@@ -406,6 +407,7 @@ class _ServiceKernel(_LockstepKernel):
                     u, self.now[rk][:, None] - self.launch[rk], 0.0
                 ).sum(axis=1)
                 self.alive[rk] &= ~u
+                self.death[rk] = np.where(u, np.inf, self.death[rk])
                 self.dseq[rk] = np.where(u, _SEQ_INF, self.dseq[rk])
                 self.reap_time[rk] = np.where(u, np.inf, self.reap_time[rk])
                 self.reap_seq[rk] = np.where(u, _SEQ_INF, self.reap_seq[rk])
@@ -480,6 +482,7 @@ class _ServiceKernel(_LockstepKernel):
         self.alive[rr, col] = False
         self.dseq[rr, col] = _SEQ_INF
         self.vm_hours[rr] += self.death[rr, col] - self.launch[rr, col]
+        self.death[rr, col] = np.inf
         self.preemptions[rr] += 1
         # Death cancels the VM's retention timer.
         self.reap_time[rr, col] = np.inf
@@ -585,6 +588,7 @@ class _ServiceKernel(_LockstepKernel):
         if rt.size:
             self.vm_hours[rt] += self.now[rt] - self.launch[rt, ct]
             self.alive[rt, ct] = False
+            self.death[rt, ct] = np.inf
             self.dseq[rt, ct] = _SEQ_INF
 
     def run(self) -> int:
@@ -597,40 +601,7 @@ class _ServiceKernel(_LockstepKernel):
             self._schedule_boots(init, k0)
         active = np.flatnonzero(self.done_count < self.J) if self.n else init
         while active.size:
-            if np.any(self.events[active] >= self.max_events):
-                raise RuntimeError(
-                    f"{active.size} replications unfinished after "
-                    f"{self.max_events} events; the bag cannot finish under "
-                    "this lifetime law / configuration"
-                )
-            times = np.concatenate(
-                [
-                    np.where(self.alive[active], self.death[active], np.inf),
-                    self.ctime[active],
-                    self.btime[active],
-                    self.reap_time[active],
-                ],
-                axis=1,
-            )
-            seqs = np.concatenate(
-                [
-                    self.dseq[active],
-                    self.cseq[active],
-                    self.bseq[active],
-                    self.reap_seq[active],
-                ],
-                axis=1,
-            )
-            tmin = times.min(axis=1)
-            if not np.all(np.isfinite(tmin)):
-                raise RuntimeError(
-                    "service sweep deadlocked: a replication has pending "
-                    "jobs but no pending events"
-                )
-            tie = times == tmin[:, None]
-            pick = np.argmin(np.where(tie, seqs, _SEQ_INF), axis=1)
-            self.now[active] = tmin
-            self.events[active] += 1
+            _, pick = self._select_events(active)
             S, J, B = self.S, self.J, self.B
             is_death = pick < S
             is_comp = (pick >= S) & (pick < S + J)

@@ -60,7 +60,8 @@ import numpy as np
 
 from repro.distributions.base import LifetimeDistribution
 from repro.sim.cluster_vectorized import GangJob
-from repro.sim.service_vectorized import _SEQ_INF, _RESIDUAL, _ServiceKernel
+from repro.sim.service_vectorized import _ServiceKernel
+from repro.sim.vectorized import _RESIDUAL, _SEQ_INF
 from repro.utils.validation import check_nonnegative, check_positive
 
 __all__ = [
@@ -297,6 +298,27 @@ class _TenancyKernel(_ServiceKernel):
     the run loop (arrival events, per-row finish times).
     """
 
+    _sweep_name = "tenancy"
+    _budget_what = "traffic"
+
+    #: The service bindings minus the per-job completion channel (the
+    #: compact running slots replace it in the fused table) plus the
+    #: single-column arrival channel.
+    _ARENA_BINDINGS = {
+        **_ServiceKernel._ARENA_BINDINGS,
+        "run": ("rtime", "rseq"),
+        "arr": ("arr_time", "arr_seq"),
+    }
+
+    def _arena_channels(self) -> list[tuple[str, int]]:
+        return [
+            ("death", self.S),
+            ("run", self.S),
+            ("boot", self.B),
+            ("reap", self.S),
+            ("arr", 1),
+        ]
+
     def __init__(
         self,
         dist: LifetimeDistribution,
@@ -309,10 +331,17 @@ class _TenancyKernel(_ServiceKernel):
     ):
         flat = _flatten_traffic(traffic)
         jobs = [GangJob(h, int(w)) for h, w in zip(flat["work"], flat["width"])]
+        self.K = len(traffic)
+        self.atime = flat["bag_time"]
         super().__init__(dist, jobs, config, n_replications, rng, max_events)
         n, J = self.n, self.J
+        # Per-job completion events live *outside* the fused table (the
+        # compact ``run`` channel mirrors the at-most-S pending ones),
+        # keeping per-round selection cost O(S) however long the
+        # traffic is.
+        self.ctime = np.full((n, J), np.inf)
+        self.cseq = np.full((n, J), _SEQ_INF, dtype=np.int64)
         self.T = int(n_tenants)
-        self.K = len(traffic)
         self.job_tenant = flat["job_tenant"]
         self.bag_of = np.zeros(J, dtype=np.int64)
         for k in range(self.K):
@@ -321,7 +350,6 @@ class _TenancyKernel(_ServiceKernel):
         self.bag_lo = flat["bag_lo"]
         self.bag_hi = flat["bag_hi"]
         self.bag_size = self.bag_hi - self.bag_lo
-        self.atime = flat["bag_time"]
         self.keys = assign_queue_keys(
             self.job_tenant, config.scheduling, self.T, config.tenant_weights
         )
@@ -332,6 +360,9 @@ class _TenancyKernel(_ServiceKernel):
         # all arrivals before any other event exists).
         self.evseq[:] = self.K
         self.aptr = np.zeros(n, dtype=np.int64)
+        if self.K:
+            self.arr_time[:, 0] = self.atime[0]
+            self.arr_seq[:, 0] = 0
         # Per-bag runtime estimates (each bag its own BagOfJobs).
         W = config.estimate_window
         first_work = np.array(
@@ -366,8 +397,6 @@ class _TenancyKernel(_ServiceKernel):
         # live in (n, S) arrays keyed by the gang's first VM column —
         # the round loop scans these instead of the (n, J) ctime/cseq,
         # decoupling per-round cost from the traffic length.
-        self.rtime = np.full((n, self.S), np.inf)
-        self.rseq = np.full((n, self.S), _SEQ_INF, dtype=np.int64)
         self.rjob = np.full((n, self.S), -1, dtype=np.int64)
         # Arrival-event compaction: the per-bag static bookkeeping
         # (tenant column, job span, keys) as plain Python scalars, so
@@ -500,6 +529,12 @@ class _TenancyKernel(_ServiceKernel):
         """Bag arrival events: admission, key activation, submit stalls."""
         ks = self.aptr[rr]
         self.aptr[rr] += 1
+        nxt = self.aptr[rr]
+        done = nxt >= self.K
+        self.arr_time[rr, 0] = np.where(
+            done, np.inf, self.atime[np.minimum(nxt, self.K - 1)]
+        )
+        self.arr_seq[rr, 0] = np.where(done, _SEQ_INF, nxt)
         for k in np.unique(ks):
             rk = rr[ks == k]
             t, lo, hi, keys = self._bag_static[k]
@@ -564,50 +599,7 @@ class _TenancyKernel(_ServiceKernel):
             else np.zeros(0, dtype=np.int64)
         )
         while active.size:
-            if np.any(self.events[active] >= self.max_events):
-                raise RuntimeError(
-                    f"{active.size} replications unfinished after "
-                    f"{self.max_events} events; the traffic cannot finish "
-                    "under this lifetime law / configuration"
-                )
-            arr_time = np.where(
-                self.aptr[active] < self.K,
-                self.atime[np.minimum(self.aptr[active], self.K - 1)],
-                np.inf,
-            )
-            # Completions scan the compact (n, S) running slots, not the
-            # (n, J) per-job arrays: per-round cost is O(S), independent
-            # of how long the traffic is.
-            times = np.concatenate(
-                [
-                    np.where(self.alive[active], self.death[active], np.inf),
-                    self.rtime[active],
-                    self.btime[active],
-                    self.reap_time[active],
-                    arr_time[:, None],
-                ],
-                axis=1,
-            )
-            seqs = np.concatenate(
-                [
-                    self.dseq[active],
-                    self.rseq[active],
-                    self.bseq[active],
-                    self.reap_seq[active],
-                    self.aptr[active][:, None],
-                ],
-                axis=1,
-            )
-            tmin = times.min(axis=1)
-            if not np.all(np.isfinite(tmin)):
-                raise RuntimeError(
-                    "tenancy sweep deadlocked: a replication has pending "
-                    "work but no pending events"
-                )
-            tie = times == tmin[:, None]
-            pick = np.argmin(np.where(tie, seqs, _SEQ_INF), axis=1)
-            self.now[active] = tmin
-            self.events[active] += 1
+            _, pick = self._select_events(active)
             S, B = self.S, self.B
             is_death = pick < S
             is_comp = (pick >= S) & (pick < S + S)

@@ -10,6 +10,13 @@ together as flat arrays, and the restart-until-done kernel iterates in
 "rounds" (one VM acquisition per round) over only the still-unfinished
 replications.
 
+It is also the home of the structure-of-arrays core the event-driven
+lockstep kernels share: :class:`EventArena` (the fused pending-event
+table) and :class:`_LockstepKernel` (per-round event selection plus the
+segment/ordering primitives), consumed by the cluster, service, and
+tenancy kernels and — through ``_launch_segment`` — by the DP plan
+walker in :mod:`repro.sim.checkpoint_vectorized`.
+
 Draw protocol (the determinism contract shared with the event backend)
 -----------------------------------------------------------------------
 Round ``r`` draws one uniform vector ``u_r = rng.random(n)`` from the
@@ -46,7 +53,65 @@ __all__ = [
     "sample_lifetimes",
     "simulate_plan_vectorized",
     "simulate_job_attempts_vectorized",
+    "EventArena",
 ]
+
+#: Sentinel sequence number larger than any a lockstep kernel can assign.
+_SEQ_INF = np.iinfo(np.int64).max
+#: Residual-work threshold below which a segment is final (the
+#: ``JobExecution._clip_segments`` tolerance).
+_RESIDUAL = 1e-12
+
+
+class EventArena:
+    """Fused pending-event table of a lockstep kernel (SoA layout).
+
+    One pair of preallocated ``(n, C)`` arrays — ``times`` (float) and
+    ``seqs`` (int64) — holds *every* event channel of a kernel (VM
+    deaths, segment completions, worker boots, reap timers, arrivals)
+    as adjacent column spans.  Kernels write through per-channel slice
+    views, so the per-round selection is two reductions over one
+    contiguous block with **no** per-round ``np.concatenate`` / mask
+    copies; this is where the structure-of-arrays core pays off at
+    100k+-replication scale.
+
+    Invariant: a column with no pending event holds ``times == inf``
+    and ``seqs == _SEQ_INF``.  In particular the death channel is *not*
+    masked by an ``alive`` array at selection time — kernels clear a
+    VM's death cell the moment the VM dies or is terminated.
+    """
+
+    def __init__(self, n: int, channels: list[tuple[str, int]]):
+        total = sum(w for _, w in channels)
+        self.times = np.full((n, total), np.inf)
+        self.seqs = np.full((n, total), _SEQ_INF, dtype=np.int64)
+        self.spans: dict[str, tuple[int, int]] = {}
+        off = 0
+        for name, w in channels:
+            self.spans[name] = (off, off + w)
+            off += w
+
+    def channel(self, name: str) -> tuple[np.ndarray, np.ndarray]:
+        """(times, seqs) slice views of one channel's column span."""
+        lo, hi = self.spans[name]
+        return self.times[:, lo:hi], self.seqs[:, lo:hi]
+
+    def offset(self, name: str) -> int:
+        """First fused-table column of ``name`` (for pick dispatch)."""
+        return self.spans[name][0]
+
+    def select(self, active: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Next event per active row: ``(tmin, pick)``.
+
+        ``pick`` is the fused-table column of the earliest pending
+        event, ties broken by the smallest insertion sequence — the
+        :class:`repro.sim.engine.Simulator` heap contract.
+        """
+        times = self.times[active]
+        tmin = times.min(axis=1)
+        tie = times == tmin[:, None]
+        pick = np.argmin(np.where(tie, self.seqs[active], _SEQ_INF), axis=1)
+        return tmin, pick
 
 
 def conditional_quantiles(u, cdf_at_age):
@@ -235,3 +300,114 @@ def simulate_job_attempts_vectorized(
         rng=rng,
         max_rounds=max_rounds,
     )
+
+
+class _LockstepKernel:
+    """Structure-of-arrays core shared by the lockstep event kernels.
+
+    The cluster, service, and tenancy kernels (and, through
+    :meth:`_launch_segment`, the DP plan walker in
+    :mod:`repro.sim.checkpoint_vectorized`) all advance N replications
+    together over event rounds.  This base class owns the parts that
+    *are* the cross-backend contract, in one place:
+
+    * the fused :class:`EventArena` (one ``(n, C)`` time table + one
+      sequence table; subclasses declare channels via
+      ``_arena_channels()`` and get attribute-bound slice views via
+      ``_ARENA_BINDINGS``);
+    * :meth:`_select_events` — per-round earliest-event selection with
+      ``(time, insertion sequence)`` tie-breaking, exactly the event
+      harness's heap order, plus the event-budget and deadlock guards;
+    * :meth:`_launch_segment` / :meth:`_clear_segment` — segment
+      durations and finality exactly as ``JobExecution`` clips them
+      (``checkpoint="dp"`` mode delegates the take to the walker);
+    * :meth:`_oldest` — VM ordering by ``(launch, birth)`` exactly as
+      ``free_nodes()`` sorts.
+
+    Subclasses provide the array state (``now``, ``evseq``, ``launch``,
+    ``birth``, ``sstart``, ``ctime``, ``cseq``, ``seg_take``,
+    ``seg_after``, ``events``, ``max_events``, ``S``), a ``cfg`` with
+    ``checkpoint_interval`` / ``checkpoint_cost``, and ``dp`` — a
+    :class:`~repro.sim.checkpoint_vectorized.DPPlanWalker` in
+    ``checkpoint="dp"`` mode, else ``None``.
+    """
+
+    #: arena channel name -> (times attribute, seqs attribute).  A
+    #: subclass binds only the channels its ``_arena_channels()``
+    #: declares; extra map entries are inert.
+    _ARENA_BINDINGS: dict[str, tuple[str, str]] = {
+        "death": ("death", "dseq"),
+        "comp": ("ctime", "cseq"),
+        "boot": ("btime", "bseq"),
+        "reap": ("reap_time", "reap_seq"),
+    }
+
+    #: Sweep name and workload noun used in the guard error messages.
+    _sweep_name = "lockstep"
+    _budget_what = "bag"
+
+    def _arena_channels(self) -> list[tuple[str, int]]:
+        raise NotImplementedError
+
+    def _init_arena(self, n: int) -> None:
+        """Build the fused event table and bind the channel views."""
+        self._ev = EventArena(n, self._arena_channels())
+        for name in self._ev.spans:
+            t_attr, s_attr = self._ARENA_BINDINGS[name]
+            t_view, s_view = self._ev.channel(name)
+            setattr(self, t_attr, t_view)
+            setattr(self, s_attr, s_view)
+
+    def _select_events(self, active: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Budget-checked earliest-event pick; advances ``now``/``events``."""
+        if np.any(self.events[active] >= self.max_events):
+            raise RuntimeError(
+                f"{active.size} replications unfinished after "
+                f"{self.max_events} events; the {self._budget_what} cannot "
+                "finish under this lifetime law / configuration"
+            )
+        tmin, pick = self._ev.select(active)
+        if not np.all(np.isfinite(tmin)):
+            raise RuntimeError(
+                f"{self._sweep_name} sweep deadlocked: a replication "
+                "has pending work but no pending events"
+            )
+        self.now[active] = tmin
+        self.events[active] += 1
+        return tmin, pick
+
+    def _launch_segment(self, rr: np.ndarray, jj: np.ndarray, left: np.ndarray) -> None:
+        """Schedule the next segment of ``left`` remaining attempt hours."""
+        if self.dp is not None:
+            take = self.dp.next_take(rr, jj, left)
+        else:
+            tau = self.cfg.checkpoint_interval
+            take = left if tau is None else np.minimum(tau, left)
+        after = left - take
+        final = after <= _RESIDUAL
+        dur = take + np.where(final, 0.0, self.cfg.checkpoint_cost)
+        self.sstart[rr, jj] = self.now[rr]
+        self.ctime[rr, jj] = self.now[rr] + dur
+        self.cseq[rr, jj] = self.evseq[rr]
+        self.evseq[rr] += 1
+        self.seg_take[rr, jj] = take
+        self.seg_after[rr, jj] = after
+
+    def _clear_segment(self, rr: np.ndarray, jj: np.ndarray) -> None:
+        """Cancel job ``jj``'s pending segment-completion event.
+
+        The single exit point matching :meth:`_launch_segment`'s entry:
+        kernels that mirror pending completions into auxiliary state
+        (the tenancy kernel's compact running slots) hook both.
+        """
+        self.ctime[rr, jj] = np.inf
+        self.cseq[rr, jj] = _SEQ_INF
+
+    def _oldest(self, mask: np.ndarray, rr: np.ndarray) -> np.ndarray:
+        """Column order by (launch, birth) with non-``mask`` columns last."""
+        lm = np.where(mask, self.launch[rr], np.inf)
+        bm = np.where(mask, self.birth[rr], np.iinfo(np.int64).max)
+        by_birth = np.argsort(bm, axis=1, kind="stable")
+        l_sorted = np.take_along_axis(lm, by_birth, axis=1)
+        by_launch = np.argsort(l_sorted, axis=1, kind="stable")
+        return np.take_along_axis(by_birth, by_launch, axis=1)
