@@ -19,6 +19,7 @@ from repro.experiments import (
     fig6_job_length,
     fig7_sensitivity,
     fig8_checkpointing,
+    fig9_pools,
     fig9_regret,
     fig9_service,
     fig9_tenants,
@@ -131,6 +132,12 @@ EXPERIMENTS: dict[str, Experiment] = {
             "Policy ladder scored as % of the hindsight-optimal oracle",
             fig9_regret.run,
             fig9_regret.report,
+        ),
+        Experiment(
+            "fig9-pools",
+            "Heterogeneous spot fleet: allocator policy x pool mix sweep",
+            fig9_pools.run,
+            fig9_pools.report,
         ),
         Experiment(
             "fig9-tenants",

@@ -48,11 +48,14 @@ def select_vm_type(
     if not candidates:
         raise ValueError("no candidate VM types supplied")
     check_positive("job_length", job_length)
+    # Ties break on catalog (insertion) order, not name: allocators
+    # sweeping price-sorted pools rely on a stable, renaming-proof rule.
+    index = {name: k for k, name in enumerate(candidates)}
     scored = {
         name: expected_job_cost(dist, job_length, price)
         for name, (dist, price) in candidates.items()
     }
-    return min(scored, key=lambda n: (scored[n], n))
+    return min(scored, key=lambda n: (scored[n], index[n]))
 
 
 def cheapest_suitable_type(
@@ -73,6 +76,7 @@ def cheapest_suitable_type(
         raise ValueError(
             f"max_failure_probability must be in (0, 1], got {max_failure_probability}"
         )
+    index = {name: k for k, name in enumerate(candidates)}
     suitable = {
         name: price
         for name, (dist, price) in candidates.items()
@@ -80,4 +84,5 @@ def cheapest_suitable_type(
     }
     if not suitable:
         return None
-    return min(suitable, key=lambda n: (suitable[n], n))
+    # Price ties break on catalog (insertion) order, not name.
+    return min(suitable, key=lambda n: (suitable[n], index[n]))

@@ -37,6 +37,10 @@ class JobRequest:
         inter-tenant policies ride on this.  Ignored under plain FIFO
         queueing.  Negative keys are reserved for the cluster's
         requeue-at-head handling of preempted jobs and are rejected.
+    tenant:
+        Optional owning-tenant index.  Drives the ``tenant_affinity``
+        allocator's per-tenant pool ranking in heterogeneous fleets
+        (see :mod:`repro.sim.placement`); ignored otherwise.
     """
 
     work_hours: float
@@ -44,6 +48,7 @@ class JobRequest:
     name: str = ""
     checkpointable: bool = True
     queue_key: float | None = None
+    tenant: int | None = None
 
     def __post_init__(self) -> None:
         check_positive("work_hours", self.work_hours)

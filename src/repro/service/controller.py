@@ -37,6 +37,7 @@ from repro.service.metrics import ServiceMetrics
 from repro.sim.cloud import CloudProvider
 from repro.sim.cluster import ClusterManager, JobState, SimJob
 from repro.sim.engine import EventHandle, Simulator
+from repro.sim.placement import PoolSpec, make_allocator, resolve_pools
 from repro.sim.service_vectorized import ProvisioningLivelockError
 from repro.sim.vm import SimVM
 from repro.utils.validation import check_nonnegative, check_positive
@@ -95,8 +96,20 @@ class ServiceConfig:
     livelock_threshold:
         Consecutive queue-stall rounds that terminated policy-rejected
         idle workers, with no job start or completion in between,
-        before :class:`ProvisioningLivelockError` is raised (the
-        terminate/provision churn guardrail).
+        before :class:`ProvisioningLivelockError` is raised.  The
+        boot-grace fallback (a VM no older than its pool's boot latency
+        is always accepted — terminating it buys a replacement no
+        younger) resolves the churn pathology itself; this guardrail
+        remains as a backstop against future policy regressions.
+    pools:
+        Optional heterogeneous fleet catalog
+        (:class:`repro.sim.placement.PoolSpec` entries; sizes must sum
+        to ``max_vms``).  ``None`` = single anonymous pool, the
+        historical behaviour.
+    allocator:
+        Placement-order plugin name (``first_fit``, ``best_fit_price``,
+        ``reliability``, ``tenant_affinity``); see
+        :mod:`repro.sim.placement`.  Only meaningful with >1 pool.
     """
 
     vm_type: str = "n1-highcpu-16"
@@ -113,6 +126,8 @@ class ServiceConfig:
     backfill: bool = False
     max_attempts_per_job: int = 1000
     livelock_threshold: int = 500
+    pools: tuple[PoolSpec, ...] | None = None
+    allocator: str = "first_fit"
 
     def __post_init__(self) -> None:
         check_positive("max_vms", self.max_vms)
@@ -123,6 +138,9 @@ class ServiceConfig:
             check_positive("checkpoint_interval", self.checkpoint_interval)
         check_positive("hot_spare_hours", self.hot_spare_hours)
         check_nonnegative("provision_latency", self.provision_latency)
+        if self.pools is not None:
+            object.__setattr__(self, "pools", tuple(self.pools))
+        make_allocator(self.allocator)
 
 
 @dataclass(frozen=True)
@@ -160,10 +178,24 @@ class BatchComputingService:
         #: it between bags (elastic fleet sizing).
         self.fleet_cap = self.config.max_vms
         self._fruitless_stalls = 0
+        # Heterogeneous fleet catalog: each pool carries its own
+        # lifetime law, price, and boot latency.  None = one anonymous
+        # pool with the service-wide model and provision_latency.
+        self.pools = resolve_pools(
+            self.config.pools,
+            dist=lifetime_model,
+            n_slots=self.config.max_vms,
+            provision_latency=self.config.provision_latency,
+        )
+        self.allocator = make_allocator(self.config.allocator)
+        self._provisioning_pool = [0] * len(self.pools)
         # The service uses the survival-conditioned reuse criterion: the
         # literal Eq. 8 form rejects stable aged VMs for short jobs,
         # causing fresh-VM churn (see ModelReusePolicy.criterion docs).
-        self._reuse = ModelReusePolicy(lifetime_model, criterion="conditional")
+        self._reuse_policies = [
+            ModelReusePolicy(p.dist, criterion="conditional") for p in self.pools
+        ]
+        self._reuse = self._reuse_policies[0]
         self._ckpt: CheckpointPolicy | None = None
         if self.config.use_checkpointing:
             self._ckpt = CheckpointPolicy(
@@ -178,6 +210,8 @@ class BatchComputingService:
             checkpoint_planner=self._plan_checkpoints,
             checkpoint_cost=self.config.checkpoint_cost,
             backfill=self.config.backfill,
+            allocator=self.allocator,
+            pools=self.pools,
         )
         self.cluster.on_job_complete.append(self._job_completed)
         self.cluster.on_job_failed.append(self._job_failed)
@@ -219,6 +253,9 @@ class BatchComputingService:
         job.checkpointable = request.checkpointable  # type: ignore[attr-defined]
         if request.queue_key is not None:
             job.queue_key = float(request.queue_key)  # type: ignore[attr-defined]
+        # Tenant tag drives per-tenant pool affinity; must be set before
+        # submit() — submission triggers an immediate scheduling pass.
+        job.tenant = getattr(request, "tenant", None)  # type: ignore[attr-defined]
         self.store.register_job(job, request.name)
         self.cluster.submit(job)
         return job.job_id
@@ -231,16 +268,27 @@ class BatchComputingService:
             return self.bags[job.bag_id].estimated_runtime()
         return job.work_hours
 
+    def _vm_suitable(self, length: float, vm: SimVM) -> bool:
+        """Reuse verdict for one free VM, with the boot-grace fallback.
+
+        A VM no older than its pool's boot latency is always accepted:
+        terminating it and provisioning afresh yields a replacement no
+        younger than what we already hold, so rejection can only churn
+        (the PR-4 livelock).  Beyond the grace window the pool's Eq. 8
+        conditional criterion decides.  Mirrors ``_decide`` in
+        :mod:`repro.sim.service_vectorized`.
+        """
+        age = vm.age(self.sim.now)
+        if age <= self.pools[vm.pool].boot_latency:
+            return True
+        policy = self._reuse_policies[vm.pool]
+        return policy.decide(length, age) is SchedulingDecision.REUSE
+
     def _select_nodes(self, job: SimJob, free: Sequence[SimVM]) -> list[SimVM] | None:
         """Reuse-policy-filtered node selection (oldest suitable first)."""
         length = max(self._estimate_length(job), 1e-6)
         if self.config.use_reuse_policy:
-            suitable = [
-                vm
-                for vm in free
-                if self._reuse.decide(length, vm.age(self.sim.now))
-                is SchedulingDecision.REUSE
-            ]
+            suitable = [vm for vm in free if self._vm_suitable(length, vm)]
         else:
             suitable = list(free)
         if len(suitable) < job.width:
@@ -315,16 +363,14 @@ class BatchComputingService:
     def _queue_stalled(self, job: SimJob, n_free: int) -> None:
         """Launch workers to unblock the queue head (respecting the cap)."""
         length = max(self._estimate_length(job), 1e-6)
-        free = self.cluster.free_nodes()
+        free = self.cluster.free_nodes(job)
         if self.config.use_reuse_policy:
-            suitable = [
-                vm
-                for vm in free
-                if self._reuse.decide(length, vm.age(self.sim.now))
-                is SchedulingDecision.REUSE
-            ]
+            suitable = [vm for vm in free if self._vm_suitable(length, vm)]
             # Policy-rejected idle VMs are released: the model says any
             # job placed there now would be better off on a fresh VM.
+            # The boot-grace fallback in _vm_suitable exempts VMs a
+            # replacement could not improve on, so this release cannot
+            # churn indefinitely.
             terminated = 0
             for vm in free:
                 if vm not in suitable:
@@ -333,18 +379,20 @@ class BatchComputingService:
                     self.cloud.terminate(vm)
                     terminated += 1
             if terminated:
-                # Guardrail for the terminate/provision churn pathology:
+                # Backstop guardrail for terminate/provision churn:
                 # stall rounds that keep rejecting and replacing idle
                 # workers, with no job ever starting, are livelock.
+                # The grace window resolves the known pathology; this
+                # protects against future policy regressions.
                 self._fruitless_stalls += 1
                 if self._fruitless_stalls >= self.config.livelock_threshold:
                     raise ProvisioningLivelockError(
                         f"{self._fruitless_stalls} consecutive queue stalls "
                         "terminated policy-rejected idle workers without any "
                         "job starting or completing; the reuse policy rejects "
-                        "every VM age under this lifetime law (see "
-                        "ServiceConfig.livelock_threshold) — use a "
-                        "bathtub-shaped law or disable use_reuse_policy"
+                        "every VM age under this lifetime law despite the "
+                        "boot-grace fallback (see "
+                        "ServiceConfig.livelock_threshold)"
                     )
         else:
             suitable = free
@@ -352,13 +400,39 @@ class BatchComputingService:
         deficit = job.width - len(suitable) - self._provisioning
         headroom = self.fleet_cap - alive_workers - self._provisioning
         to_launch = min(deficit, headroom)
+        rank = self.allocator.rank_for(self.pools, getattr(job, "tenant", None))
         for _ in range(max(to_launch, 0)):
+            pool = self._pick_boot_pool(rank)
             self._provisioning += 1
-            self.sim.schedule(self.config.provision_latency, self._boot_worker)
+            self._provisioning_pool[pool] += 1
+            self.sim.schedule(
+                self.pools[pool].boot_latency,
+                lambda p=pool: self._boot_worker(p),
+            )
 
-    def _boot_worker(self) -> None:
+    def _pick_boot_pool(self, rank: Sequence[int]) -> int:
+        """First pool in ``rank`` order with headroom (alive + in flight).
+
+        Mirrors ``_boot_pool`` in the vectorized service kernel: each
+        pending boot claims its pool slot at schedule time, so a burst
+        of launches spills across pools deterministically.
+        """
+        occ = list(self._provisioning_pool)
+        for vm in self.cluster.free_nodes():
+            occ[vm.pool] += 1
+        for vm in self.cluster.busy_nodes():
+            occ[vm.pool] += 1
+        for p in rank:
+            if occ[p] < self.pools[p].size:
+                return p
+        raise RuntimeError("no pool headroom; fleet invariant violated")
+
+    def _boot_worker(self, pool: int = 0) -> None:
         self._provisioning -= 1
-        vm = self.cloud.launch(self.config.vm_type, self.config.zone, preemptible=True)
+        self._provisioning_pool[pool] -= 1
+        vm = self.cloud.launch(
+            self.config.vm_type, self.config.zone, preemptible=True, pool=pool
+        )
         # An idle VM's death must clear its retention timer (runs before
         # the cluster's preemption handler, appended at add_node).
         vm.on_preempt.append(lambda v, now: self._cancel_spare_timer(v.vm_id))

@@ -766,6 +766,11 @@ class ClusterOutcomes:
         Lockstep rounds the batch needed (= max of ``n_events``).
     backend:
         Which backend produced the arrays.
+    pool_vm_hours:
+        Per-pool split of ``vm_hours``, shape ``(n, n_pools)`` — one
+        column per catalog entry (a single column for the default
+        anonymous pool).  ``pool_vm_hours @ prices`` gives each
+        replication's heterogeneous-fleet bill.
     """
 
     makespan: np.ndarray
@@ -778,6 +783,7 @@ class ClusterOutcomes:
     n_draws: np.ndarray
     n_rounds: int
     backend: str
+    pool_vm_hours: np.ndarray | None = None
 
     @property
     def n_replications(self) -> int:
@@ -835,6 +841,7 @@ class _ClusterReplication:
         from repro.policies.scheduling import ModelReusePolicy, SchedulingDecision
         from repro.sim.cluster import ClusterManager, SimJob
         from repro.sim.events import EventLog, JobFailed
+        from repro.sim.placement import make_allocator, resolve_pools
         from repro.sim.vm import SimVM
 
         self._SimVM = SimVM
@@ -847,8 +854,20 @@ class _ClusterReplication:
         self.uniforms = uniforms
         self.replication = replication
         self.max_events = max_events
-        self.policy = (
-            ModelReusePolicy(dist, criterion=config.reuse_criterion)
+        # Pool catalog: VM boots pick the first ranked pool with alive
+        # headroom *before* drawing (so draw counts stay pool-agnostic),
+        # and each pool carries its own lifetime law + reuse policy.
+        # Cluster pools always boot instantly, so no boot-grace window
+        # is needed here (decide(T, 0) is REUSE under both criteria).
+        self.pools = resolve_pools(
+            config.pools, dist=dist, n_slots=config.pool_size
+        )
+        self.rank = make_allocator(config.allocator).rank_for(self.pools)
+        self.policies = (
+            [
+                ModelReusePolicy(p.dist, criterion=config.reuse_criterion)
+                for p in self.pools
+            ]
             if config.use_reuse_policy
             else None
         )
@@ -861,6 +880,8 @@ class _ClusterReplication:
             checkpoint_planner=self._plan_checkpoints,
             checkpoint_cost=config.checkpoint_cost,
             backfill=config.backfill,
+            allocator=config.allocator,
+            pools=self.pools,
         )
         self.cluster.on_queue_stalled.append(self._on_stall)
         # Shared CheckpointPolicy in checkpoint="dp" mode (one DP table
@@ -874,14 +895,14 @@ class _ClusterReplication:
 
     # -- policy hooks ---------------------------------------------------
     def _suitable(self, job, free):
-        if self.policy is None:
+        if self.policies is None:
             return list(free)
         T = max(job.remaining_hours, 1e-6)
         now = self.sim.now
         return [
             vm
             for vm in free
-            if self.policy.decide(T, vm.age(now)) is self._REUSE
+            if self.policies[vm.pool].decide(T, vm.age(now)) is self._REUSE
         ]
 
     def _select_nodes(self, job, free):
@@ -907,10 +928,32 @@ class _ClusterReplication:
         return list(self._ckpt.plan(remaining, start_age).segments)
 
     # -- VM lifecycle under the round protocol --------------------------
+    def _pick_pool(self) -> int:
+        """First ranked pool with alive headroom (the kernel's _boot_pool).
+
+        Counted over *alive* registered nodes only: dead/terminated VMs
+        are marked before their replacements boot on both backends, so
+        the vacated slot is already free here.
+        """
+        if len(self.pools) == 1:
+            return 0
+        occ = [0] * len(self.pools)
+        for vm in self.cluster.free_nodes():
+            if vm.alive:
+                occ[vm.pool] += 1
+        for vm in self.cluster.busy_nodes():
+            if vm.alive:
+                occ[vm.pool] += 1
+        for p in self.rank:
+            if occ[p] < self.pools[p].size:
+                return p
+        raise RuntimeError("no pool headroom; pool invariant violated")
+
     def _boot(self):
+        pool = self._pick_pool()  # deterministic, before the draw
         u = self.uniforms.value(self.replication, self.draws)
         self.draws += 1
-        lifetime = float(self.dist.ppf(u))
+        lifetime = float(self.pools[pool].dist.ppf(u))
         vm = self._SimVM(
             vm_id=len(self.vms),
             vm_type="cluster-mc",
@@ -918,6 +961,7 @@ class _ClusterReplication:
             launch_time=self.sim.now,
             preemptible=True,
             hourly_price=0.0,
+            pool=pool,
         )
         self.vms.append(vm)
         self._death_handles[vm.vm_id] = self.sim.schedule(
@@ -999,6 +1043,9 @@ class _ClusterReplication:
         wasted = sum(ev.lost_hours for ev in self.log.of_type(self._JobFailed))
         failures = sum(job.failures for job in self.cluster.completed)
         vm_hours = sum(vm.age(end) for vm in self.vms)
+        pool_hours = np.zeros(len(self.pools))
+        for vm in self.vms:
+            pool_hours[vm.pool] += vm.age(end)
         return (
             end,
             wasted,
@@ -1006,6 +1053,7 @@ class _ClusterReplication:
             failures,
             self.preemptions,
             vm_hours,
+            pool_hours,
             self.sim.events_processed,
             self.draws,
         )
@@ -1021,9 +1069,11 @@ def _simulate_cluster_event(
     max_events: int,
 ) -> dict[str, np.ndarray | int]:
     from repro.policies.checkpointing import CheckpointPolicy
+    from repro.sim.placement import resolve_pools
 
     uniforms = _RoundUniforms(rng, n_replications)
     n = int(n_replications)
+    nP = len(resolve_pools(config.pools, dist=dist, n_slots=config.pool_size))
     # One shared policy (hence one cached DP table) across the sweep.
     ckpt = (
         CheckpointPolicy(
@@ -1038,6 +1088,7 @@ def _simulate_cluster_event(
     failures = np.zeros(n, dtype=np.int64)
     preemptions = np.zeros(n, dtype=np.int64)
     vm_hours = np.zeros(n)
+    pool_hours = np.zeros((n, nP))
     events = np.zeros(n, dtype=np.int64)
     draws = np.zeros(n, dtype=np.int64)
     for i in range(n):
@@ -1051,6 +1102,7 @@ def _simulate_cluster_event(
             failures[i],
             preemptions[i],
             vm_hours[i],
+            pool_hours[i],
             events[i],
             draws[i],
         ) = rep.run()
@@ -1061,6 +1113,7 @@ def _simulate_cluster_event(
         "n_job_failures": failures,
         "n_preemptions": preemptions,
         "vm_hours": vm_hours,
+        "pool_vm_hours": pool_hours,
         "n_events": events,
         "n_draws": draws,
         "n_rounds": int(events.max()) if n else 0,
@@ -1262,6 +1315,10 @@ class ServiceOutcomes(_BilledSweepMixin):
         on-demand baseline's work term.
     backend:
         Which backend produced the arrays.
+    pool_vm_hours:
+        Per-pool split of ``vm_hours``, shape ``(n, n_pools)`` — one
+        column per catalog entry; ``pool_vm_hours @ prices`` gives each
+        replication's heterogeneous-fleet bill.
     """
 
     makespan: np.ndarray
@@ -1276,6 +1333,7 @@ class ServiceOutcomes(_BilledSweepMixin):
     n_rounds: int
     total_work_hours: float
     backend: str
+    pool_vm_hours: np.ndarray | None = None
 
     @property
     def n_replications(self) -> int:
@@ -1321,6 +1379,11 @@ class _RoundProtocolCloud:
     and schedules nothing, exactly like the kernel.  No advance-warning
     events are scheduled: they would perturb the processed-event count
     without affecting the service's proactive policies.
+
+    With a multi-pool catalog, the pool index the controller passes to
+    :meth:`launch` routes the boot's round-protocol uniform through
+    *that pool's* lifetime law — the pool is chosen deterministically
+    before the draw, so draw counts match the kernel's exactly.
     """
 
     def __init__(
@@ -1329,11 +1392,13 @@ class _RoundProtocolCloud:
         dist: LifetimeDistribution,
         uniforms: _RoundUniforms,
         replication: int,
+        pools=None,
     ):
         from repro.sim.events import EventLog
 
         self.sim = sim
         self.dist = dist
+        self.pools = pools
         self.uniforms = uniforms
         self.replication = replication
         self.log = EventLog()
@@ -1343,7 +1408,9 @@ class _RoundProtocolCloud:
         self._next_id = 0
         self._handles: dict[int, EventHandle] = {}
 
-    def launch(self, vm_type: str, zone: str = "mc", *, preemptible: bool = True):
+    def launch(
+        self, vm_type: str, zone: str = "mc", *, preemptible: bool = True, pool: int = 0
+    ):
         from repro.sim.vm import SimVM
 
         vm = SimVM(
@@ -1353,12 +1420,14 @@ class _RoundProtocolCloud:
             launch_time=self.sim.now,
             preemptible=preemptible,
             hourly_price=0.0,
+            pool=int(pool),
         )
         self._next_id += 1
         if preemptible:
             u = self.uniforms.value(self.replication, self.draws)
             self.draws += 1
-            lifetime = float(self.dist.ppf(u))
+            dist = self.dist if self.pools is None else self.pools[vm.pool].dist
+            lifetime = float(dist.ppf(u))
             self.workers.append(vm)
             self._handles[vm.vm_id] = self.sim.schedule(
                 lifetime, lambda v=vm: self._die(v)
@@ -1407,14 +1476,23 @@ def _oracle_service_config(config, vm_type: str, *, backfill: bool):
         backfill=backfill,
         max_attempts_per_job=config.max_attempts_per_job,
         livelock_threshold=config.livelock_threshold,
+        pools=getattr(config, "pools", None),
+        allocator=getattr(config, "allocator", "first_fit"),
     )
 
 
-def _oracle_run_scalars(sim, cloud, cluster, *, run_master: bool):
-    """The ServiceOutcomes-shaped scalars of one finished oracle run."""
+def _oracle_run_scalars(sim, cloud, cluster, *, run_master: bool, n_pools: int = 1):
+    """The ServiceOutcomes-shaped scalars of one finished oracle run.
+
+    ``vm.age`` caps at each worker's end time, so one end-of-run pass
+    over the fleet yields both the total and the per-pool hour splits.
+    """
     from repro.sim.events import JobFailed
 
     end = sim.now
+    pool_hours = np.zeros(n_pools)
+    for vm in cloud.workers:
+        pool_hours[vm.pool] += vm.age(end)
     return (
         end,
         sum(ev.lost_hours for ev in cloud.log.of_type(JobFailed)),
@@ -1422,6 +1500,7 @@ def _oracle_run_scalars(sim, cloud, cluster, *, run_master: bool):
         sum(job.failures for job in cluster.completed),
         cloud.n_preempted,
         sum(vm.age(end) for vm in cloud.workers),
+        pool_hours,
         end if run_master else 0.0,
         sim.events_processed,
         cloud.draws,
@@ -1444,14 +1523,22 @@ class _ServiceReplication:
         from repro.service.controller import BatchComputingService
 
         self.sim = Simulator()
-        self.cloud = _RoundProtocolCloud(self.sim, dist, uniforms, replication)
         self.jobs = jobs
         self.config = config
         self.max_events = int(max_events)
         service_config = _oracle_service_config(
             config, "service-mc", backfill=config.backfill
         )
-        self.svc = BatchComputingService(self.sim, self.cloud, dist, service_config)
+        self.svc = BatchComputingService(
+            self.sim,
+            _RoundProtocolCloud(self.sim, dist, uniforms, replication),
+            dist,
+            service_config,
+        )
+        # The controller resolved the pool catalog (defaults filled in);
+        # hand it to the cloud shim so boots draw per-pool lifetimes.
+        self.cloud = self.svc.cloud
+        self.cloud.pools = self.svc.pools
         if ckpt is not None:
             # checkpoint="dp": share one CheckpointPolicy (hence one
             # cached DP table) across the sweep's replications.
@@ -1472,7 +1559,11 @@ class _ServiceReplication:
         self.svc.bags[bid].window = self.config.estimate_window
         self.svc.run_until_bag_done(bid, max_events=self.max_events)
         return _oracle_run_scalars(
-            self.sim, self.cloud, self.svc.cluster, run_master=self.config.run_master
+            self.sim,
+            self.cloud,
+            self.svc.cluster,
+            run_master=self.config.run_master,
+            n_pools=len(self.svc.pools),
         )
 
 
@@ -1486,9 +1577,18 @@ def _simulate_service_event(
     max_events: int,
 ) -> dict[str, np.ndarray | int]:
     from repro.policies.checkpointing import CheckpointPolicy
+    from repro.sim.placement import resolve_pools
 
     uniforms = _RoundUniforms(rng, n_replications)
     n = int(n_replications)
+    nP = len(
+        resolve_pools(
+            config.pools,
+            dist=dist,
+            n_slots=config.max_vms,
+            provision_latency=config.provision_latency,
+        )
+    )
     # One shared policy (hence one cached DP table) across the sweep.
     ckpt = (
         CheckpointPolicy(
@@ -1503,6 +1603,7 @@ def _simulate_service_event(
     failures = np.zeros(n, dtype=np.int64)
     preemptions = np.zeros(n, dtype=np.int64)
     vm_hours = np.zeros(n)
+    pool_hours = np.zeros((n, nP))
     master_hours = np.zeros(n)
     events = np.zeros(n, dtype=np.int64)
     draws = np.zeros(n, dtype=np.int64)
@@ -1517,6 +1618,7 @@ def _simulate_service_event(
             failures[i],
             preemptions[i],
             vm_hours[i],
+            pool_hours[i],
             master_hours[i],
             events[i],
             draws[i],
@@ -1528,6 +1630,7 @@ def _simulate_service_event(
         "n_job_failures": failures,
         "n_preemptions": preemptions,
         "vm_hours": vm_hours,
+        "pool_vm_hours": pool_hours,
         "master_hours": master_hours,
         "n_events": events,
         "n_draws": draws,
@@ -1704,6 +1807,10 @@ class TenantOutcomes(_BilledSweepMixin):
         Static per-job traffic metadata, shape ``(J,)``.
     n_tenants:
         Tenant count of the traffic.
+    pool_vm_hours:
+        Per-pool split of ``vm_hours``, shape ``(n, n_pools)`` — one
+        column per catalog entry; ``pool_vm_hours @ prices`` gives each
+        replication's heterogeneous-fleet bill.
     """
 
     makespan: np.ndarray
@@ -1725,6 +1832,7 @@ class TenantOutcomes(_BilledSweepMixin):
     n_tenants: int
     n_rounds: int
     backend: str
+    pool_vm_hours: np.ndarray | None = None
 
     @property
     def n_replications(self) -> int:
@@ -1806,6 +1914,9 @@ class _TenantReplication:
             elastic_vms_per_bag=config.elastic_vms_per_bag,
             estimate_window=config.estimate_window,
         )
+        # Per-pool lifetime laws for the cloud shim, resolved by the
+        # underlying controller (defaults filled in).
+        self.cloud.pools = self.mts.service.pools
         if ckpt is not None:
             # checkpoint="dp": share one CheckpointPolicy (hence one
             # cached DP table) across the sweep's replications.
@@ -1830,6 +1941,7 @@ class _TenantReplication:
             self.cloud,
             self.mts.service.cluster,
             run_master=self.mts.service.config.run_master,
+            n_pools=len(self.mts.service.pools),
         )
         return (*scalars, admitted, starts, finishes)
 
@@ -1845,9 +1957,18 @@ def _simulate_tenancy_event(
     max_events: int,
 ) -> dict[str, np.ndarray | int]:
     from repro.policies.checkpointing import CheckpointPolicy
+    from repro.sim.placement import resolve_pools
 
     uniforms = _RoundUniforms(rng, n_replications)
     n = int(n_replications)
+    nP = len(
+        resolve_pools(
+            config.pools,
+            dist=dist,
+            n_slots=config.max_vms,
+            provision_latency=config.provision_latency,
+        )
+    )
     # One shared policy (hence one cached DP table) across the sweep.
     ckpt = (
         CheckpointPolicy(
@@ -1863,6 +1984,7 @@ def _simulate_tenancy_event(
     failures = np.zeros(n, dtype=np.int64)
     preemptions = np.zeros(n, dtype=np.int64)
     vm_hours = np.zeros(n)
+    pool_hours = np.zeros((n, nP))
     master_hours = np.zeros(n)
     events = np.zeros(n, dtype=np.int64)
     draws = np.zeros(n, dtype=np.int64)
@@ -1880,6 +2002,7 @@ def _simulate_tenancy_event(
             failures[i],
             preemptions[i],
             vm_hours[i],
+            pool_hours[i],
             master_hours[i],
             events[i],
             draws[i],
@@ -1894,6 +2017,7 @@ def _simulate_tenancy_event(
         "n_job_failures": failures,
         "n_preemptions": preemptions,
         "vm_hours": vm_hours,
+        "pool_vm_hours": pool_hours,
         "master_hours": master_hours,
         "n_events": events,
         "n_draws": draws,

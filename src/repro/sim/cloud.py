@@ -100,8 +100,14 @@ class CloudProvider:
         *,
         preemptible: bool = True,
         idle: bool = False,
+        pool: int = 0,
     ) -> SimVM:
-        """Launch a VM and (if preemptible) schedule its hidden preemption."""
+        """Launch a VM and (if preemptible) schedule its hidden preemption.
+
+        ``pool`` tags the VM with its fleet-pool index (see
+        :mod:`repro.sim.placement`); the catalog lifetime law is
+        unaffected — per-pool laws are a sweep-backend concept.
+        """
         spec = self.catalog.spec(vm_type)
         vm_id = self._next_id
         self._next_id += 1
@@ -113,6 +119,7 @@ class CloudProvider:
             launch_time=self.sim.now,
             preemptible=preemptible,
             hourly_price=price,
+            pool=int(pool),
         )
         book = _VMBookkeeping(vm=vm)
         self._vms[vm_id] = book

@@ -10,6 +10,11 @@ that contract:
   at once; MPI semantics — losing any node aborts the attempt),
 * pluggable *node selection* and *checkpoint planning* hooks, through
   which the service controller injects the Section 4 policies,
+* a scheduler/allocator plugin pair (:mod:`repro.sim.placement`,
+  following accasim's ``scheduler_class`` / ``allocator_class`` split):
+  the scheduler fixes the queue discipline (FIFO / keyed / backfill),
+  the allocator fixes the *placement order* of free nodes over a
+  heterogeneous pool catalog,
 * completion / failure callbacks (the "Slurm call-backs" of Fig. 3).
 """
 
@@ -21,6 +26,16 @@ from typing import Callable, Sequence
 
 from repro.sim.engine import Simulator
 from repro.sim.events import EventLog, JobCompleted, JobFailed, JobStarted
+from repro.sim.placement import (
+    Allocator,
+    BackfillScheduler,
+    FifoScheduler,
+    KeyedScheduler,
+    PoolSpec,
+    Scheduler,
+    make_allocator,
+    make_scheduler,
+)
 from repro.sim.runner import JobExecution
 from repro.sim.vm import SimVM
 from repro.utils.validation import check_positive
@@ -108,6 +123,15 @@ class ClusterManager:
     ``on_queue_stalled`` fires once per scheduling pass for the stuck
     head job (regardless of how many nodes are free — a selector that
     returns an empty list stalls the head just like ``None``).
+
+    Placement plugins
+    -----------------
+    The queue discipline and the free-node placement order are plugins
+    (:mod:`repro.sim.placement`).  ``scheduler`` subsumes the legacy
+    ``backfill`` flag and :meth:`enable_keyed_queue` (both kept as
+    compat shims); ``allocator`` + ``pools`` order idle nodes by the
+    allocator's pool ranking before age, so gangs grab (and stalled
+    queues evict) nodes pool-rank-first over a heterogeneous fleet.
     """
 
     def __init__(
@@ -119,14 +143,24 @@ class ClusterManager:
         checkpoint_planner: CheckpointPlanner = _no_checkpoints,
         checkpoint_cost: float = 1.0 / 60.0,
         backfill: bool = False,
+        scheduler: Scheduler | str | None = None,
+        allocator: Allocator | str | None = None,
+        pools: "Sequence[PoolSpec] | None" = None,
     ):
         self.sim = sim
         self.log = log if log is not None else EventLog()
         self.node_selector = node_selector
         self.checkpoint_planner = checkpoint_planner
         self.checkpoint_cost = checkpoint_cost
-        self.backfill = backfill
-        self._keyed = False
+        if scheduler is None:
+            scheduler = BackfillScheduler() if backfill else FifoScheduler()
+        else:
+            scheduler = make_scheduler(scheduler)
+        self.scheduler = scheduler
+        self.backfill = scheduler.backfill
+        self.allocator = make_allocator(allocator)
+        self.pools = None if pools is None else tuple(pools)
+        self._keyed = scheduler.keyed
         self._requeue_key = -1.0
         self._submit_seq = 0
         self._free: dict[int, SimVM] = {}
@@ -155,9 +189,24 @@ class ClusterManager:
             raise ValueError(f"VM {vm.vm_id} is busy; cannot remove")
         self._free.pop(vm.vm_id, None)
 
-    def free_nodes(self) -> list[SimVM]:
-        """Idle registered nodes, oldest launch first (stable order)."""
-        return sorted(self._free.values(), key=lambda v: (v.launch_time, v.vm_id))
+    def free_nodes(self, job: SimJob | None = None) -> list[SimVM]:
+        """Idle registered nodes in placement order.
+
+        Single pool (or no catalog): oldest launch first, the historical
+        stable order.  With a multi-pool catalog the allocator's pool
+        ranking is the primary key — refined per tenant when ``job``
+        carries one — so selection, eviction, and hot-spare substitution
+        all walk pools best-first.
+        """
+        vms = self._free.values()
+        if self.pools is None or len(self.pools) <= 1:
+            return sorted(vms, key=lambda v: (v.launch_time, v.vm_id))
+        tenant = getattr(job, "tenant", None) if job is not None else None
+        rank = self.allocator.rank_for(self.pools, tenant)
+        rank_of = {p: i for i, p in enumerate(rank)}
+        return sorted(
+            vms, key=lambda v: (rank_of[v.pool], v.launch_time, v.vm_id)
+        )
 
     def busy_nodes(self) -> list[SimVM]:
         return sorted(self._busy.values(), key=lambda v: v.vm_id)
@@ -182,9 +231,13 @@ class ClusterManager:
         front end (:mod:`repro.traffic.multitenant`) uses this to run
         its inter-tenant scheduling policies through the unmodified
         gang-scheduling core.  Must be enabled while the queue is empty.
+
+        Compat shim for constructing with
+        ``scheduler=KeyedScheduler()`` (the plugin spelling).
         """
         if self._queue:
             raise RuntimeError("cannot enable keyed queueing on a non-empty queue")
+        self.scheduler = KeyedScheduler()
         self._keyed = True
 
     def submit(self, job: SimJob) -> None:
@@ -218,7 +271,7 @@ class ClusterManager:
         scan = 0
         while scan < len(self._queue):
             job = self._queue[scan]
-            free = self.free_nodes()
+            free = self.free_nodes(job)
             selected = self.node_selector(job, free)
             if not selected:
                 if scan == 0:

@@ -77,6 +77,7 @@ import numpy as np
 
 from repro.distributions.base import LifetimeDistribution
 from repro.policies.scheduling import ModelReusePolicy
+from repro.sim.placement import PoolSpec, make_allocator, resolve_pools
 from repro.sim.vectorized import _LockstepKernel, _RESIDUAL, _SEQ_INF
 from repro.utils.validation import check_nonnegative, check_positive
 
@@ -131,6 +132,20 @@ class ClusterConfig:
         Hours per checkpoint write.
     checkpoint_step:
         DP work-step granularity in hours (``"dp"`` mode only).
+    pools:
+        Optional heterogeneous pool catalog
+        (:class:`~repro.sim.placement.PoolSpec` sequence); sizes must
+        sum to ``pool_size``.  ``None`` keeps the historical single
+        implicit pool under the sweep's distribution.  The cluster
+        kernel boots instantaneously, so per-pool ``boot_latency`` is
+        ignored here.  Incompatible with ``checkpoint="dp"`` (the DP
+        table is keyed to a single lifetime law).
+    allocator:
+        Pool-choice plugin name (see
+        :data:`repro.sim.placement.ALLOCATORS`): where fresh boots
+        land, which free VM a gang grabs first, and which unsuitable VM
+        a stalled queue evicts.  With a single pool every allocator
+        reduces to the historical ``(launch, birth)`` order.
     """
 
     pool_size: int = 8
@@ -142,9 +157,19 @@ class ClusterConfig:
     checkpoint_interval: float | None = None
     checkpoint_cost: float = 1.0 / 60.0
     checkpoint_step: float = 0.1
+    pools: tuple[PoolSpec, ...] | None = None
+    allocator: str = "first_fit"
 
     def __post_init__(self) -> None:
         check_positive("pool_size", self.pool_size)
+        if self.pools is not None:
+            object.__setattr__(self, "pools", tuple(self.pools))
+            if self.checkpoint == "dp":
+                raise ValueError(
+                    "pools are incompatible with checkpoint='dp': the DP "
+                    "plan table is keyed to a single lifetime law"
+                )
+        make_allocator(self.allocator)
         if self.checkpoint not in ("interval", "dp"):
             raise ValueError(
                 f"checkpoint must be 'interval' or 'dp', got {self.checkpoint!r}"
@@ -183,11 +208,27 @@ class _ClusterKernel(_LockstepKernel):
         from repro.sim.backend import _RoundUniforms
         from repro.sim.checkpoint_vectorized import walker_from_config
 
-        self.policy = (
-            ModelReusePolicy(dist, criterion=config.reuse_criterion)
+        # Pool catalog + allocator ranking (shared with the event
+        # oracle).  Cluster boots are instantaneous, so per-pool boot
+        # latency resolves to 0 here.
+        self.pools = resolve_pools(
+            config.pools, dist=dist, n_slots=config.pool_size
+        )
+        self.nP = len(self.pools)
+        rank = make_allocator(config.allocator).rank_for(self.pools)
+        self.rank = np.asarray(rank, dtype=np.int64)
+        self.rank_of = np.empty(self.nP, dtype=np.int64)
+        self.rank_of[self.rank] = np.arange(self.nP)
+        self.pool_sizes = np.asarray([p.size for p in self.pools], dtype=np.int64)
+        self.policies = (
+            [
+                ModelReusePolicy(p.dist, criterion=config.reuse_criterion)
+                for p in self.pools
+            ]
             if config.use_reuse_policy
             else None
         )
+        self.policy = self.policies[0] if self.policies is not None else None
         self.table = _RoundUniforms(rng, self.n)
 
         n, P = self.n, config.pool_size
@@ -205,11 +246,13 @@ class _ClusterKernel(_LockstepKernel):
         # Fused event table: death/dseq and ctime/cseq are channel
         # views (see EventArena; dead columns hold death == inf).
         self._init_arena(n)
-        # VM columns (storage slots; ordering is always (launch, birth)).
+        # VM columns (storage slots; ordering is (pool rank, launch,
+        # birth) — (launch, birth) alone with a single pool).
         self.alive = np.zeros((n, S), dtype=bool)
         self.launch = np.zeros((n, S))
         self.birth = np.full((n, S), -1, dtype=np.int64)
         self.vm_job = np.full((n, S), -1, dtype=np.int64)
+        self.vm_pool = np.full((n, S), -1, dtype=np.int64)
         # Job state.
         self.qkey = np.broadcast_to(np.arange(J, dtype=float), (n, J)).copy()
         self.head_key = np.full(n, -1.0)  # next requeue-at-head key
@@ -224,17 +267,58 @@ class _ClusterKernel(_LockstepKernel):
         self.failures = np.zeros(n, dtype=np.int64)
         self.preemptions = np.zeros(n, dtype=np.int64)
         self.vm_hours = np.zeros(n)
+        self.pool_hours = np.zeros((n, self.nP))
         self.events = np.zeros(n, dtype=np.int64)
 
     def _arena_channels(self) -> list[tuple[str, int]]:
         return [("death", self.S), ("comp", self.J)]
 
+    # -- pool helpers ----------------------------------------------------
+    def _boot_pool(self, rr: np.ndarray) -> np.ndarray:
+        """First ranked pool with headroom, per row (the allocator rule).
+
+        The choice is a pure function of pre-draw state, so both
+        backends agree on it before the lifetime uniform is consumed.
+        """
+        if self.nP == 1:
+            return np.zeros(rr.size, dtype=np.int64)
+        occ = np.zeros((rr.size, self.nP), dtype=np.int64)
+        vp = self.vm_pool[rr]
+        al = self.alive[rr]
+        for p in range(self.nP):
+            occ[:, p] = (al & (vp == p)).sum(axis=1)
+        headroom = (self.pool_sizes[None, :] - occ)[:, self.rank]
+        if not (headroom > 0).any(axis=1).all():
+            raise RuntimeError("no pool headroom; pool invariant violated")
+        return self.rank[np.argmax(headroom > 0, axis=1)]
+
+    def _pool_ppf(self, u: np.ndarray, pool: np.ndarray) -> np.ndarray:
+        """Map boot uniforms through each boot's pool's inverse CDF."""
+        if self.nP == 1:
+            return np.asarray(self.pools[0].dist.ppf(u), dtype=float)
+        life = np.empty(u.shape)
+        for p, spec in enumerate(self.pools):
+            m = pool == p
+            if m.any():
+                life[m] = np.asarray(spec.dist.ppf(u[m]), dtype=float)
+        return life
+
+    def _rank_cols(self, rr: np.ndarray) -> np.ndarray | None:
+        """Allocator rank of each VM column (``None`` with one pool)."""
+        if self.nP == 1:
+            return None
+        vp = self.vm_pool[rr]
+        return np.where(
+            vp >= 0, self.rank_of[np.clip(vp, 0, None)], np.iinfo(np.int64).max
+        )
+
     # -- primitive operations (all take a row-index array) --------------
     def _boot(self, rr: np.ndarray) -> None:
         """Boot one fresh VM per row: draw a lifetime, fill an empty column."""
+        pool = self._boot_pool(rr)
         u = self.table.gather(rr, self.draw_k[rr])
         self.draw_k[rr] += 1
-        life = np.asarray(self.dist.ppf(u), dtype=float)
+        life = self._pool_ppf(u, pool)
         empty = ~self.alive[rr] & (self.vm_job[rr] == -1)
         if not empty.any(axis=1).all():
             raise RuntimeError("no reusable VM column; pool invariant violated")
@@ -247,6 +331,7 @@ class _ClusterKernel(_LockstepKernel):
         self.births[rr] += 1
         self.alive[rr, col] = True
         self.vm_job[rr, col] = -1
+        self.vm_pool[rr, col] = pool
 
     def _head_state(self, rr: np.ndarray):
         """Queue head + pool suitability for each row; drops queue-less rows.
@@ -262,12 +347,22 @@ class _ClusterKernel(_LockstepKernel):
             return rr, head, None, None, None
         w = self.width[head]
         free = self.alive[rr] & (self.vm_job[rr] == -1)
-        if self.policy is not None:
+        if self.policies is not None:
             T = np.maximum(
                 np.maximum(self.work[head] - self.progress[rr, head], 0.0), 1e-6
             )
             ages = np.maximum(self.now[rr][:, None] - self.launch[rr], 0.0)
-            suit = free & self.policy.decide_pairs(T[:, None], ages)
+            if self.nP == 1:
+                suit = free & self.policy.decide_pairs(T[:, None], ages)
+            else:
+                # Per-pool Eq. 8: each free VM is judged under its own
+                # pool's lifetime law.
+                suit = np.zeros_like(free)
+                vp = self.vm_pool[rr]
+                for p, pol in enumerate(self.policies):
+                    m = free & (vp == p)
+                    if m.any():
+                        suit |= m & pol.decide_pairs(T[:, None], ages)
         else:
             suit = free
         return rr, head, w, suit, free
@@ -275,7 +370,7 @@ class _ClusterKernel(_LockstepKernel):
     def _start_job(self, rr: np.ndarray, jj: np.ndarray, suit: np.ndarray) -> None:
         """Start job ``jj`` on its ``width`` oldest suitable VMs per row."""
         w = self.width[jj]
-        order = self._oldest(suit, rr)
+        order = self._oldest(suit, rr, self._rank_cols(rr))
         pos = np.arange(self.S)[None, :] < w[:, None]
         sel = np.zeros((rr.size, self.S), dtype=bool)
         np.put_along_axis(sel, order, pos, axis=1)
@@ -326,14 +421,24 @@ class _ClusterKernel(_LockstepKernel):
         while rr.size:
             free = self.alive[rr] & (self.vm_job[rr] == -1)
             queued = np.isfinite(self.qkey[rr])
-            if self.policy is not None:
+            if self.policies is not None:
                 T = np.maximum(
                     np.maximum(self.work[None, :] - self.progress[rr], 0.0), 1e-6
                 )
                 ages = np.maximum(self.now[rr][:, None] - self.launch[rr], 0.0)
-                suit3 = free[:, None, :] & self.policy.decide_pairs(
-                    T[:, :, None], ages[:, None, :]
-                )
+                if self.nP == 1:
+                    suit3 = free[:, None, :] & self.policy.decide_pairs(
+                        T[:, :, None], ages[:, None, :]
+                    )
+                else:
+                    suit3 = np.zeros((rr.size, self.J, self.S), dtype=bool)
+                    vp = self.vm_pool[rr]
+                    for p, pol in enumerate(self.policies):
+                        m = free & (vp == p)
+                        if m.any():
+                            suit3 |= m[:, None, :] & pol.decide_pairs(
+                                T[:, :, None], ages[:, None, :]
+                            )
             else:
                 suit3 = np.broadcast_to(
                     free[:, None, :], (rr.size, self.J, self.S)
@@ -365,8 +470,11 @@ class _ClusterKernel(_LockstepKernel):
             has_u = n_unsuit > 0
             ru = rr[has_u]
             if ru.size:
-                col = self._oldest(unsuitable[has_u], ru)[:, 0]
+                col = self._oldest(unsuitable[has_u], ru, self._rank_cols(ru))[:, 0]
                 self.vm_hours[ru] += self.now[ru] - self.launch[ru, col]
+                self.pool_hours[ru, self.vm_pool[ru, col]] += (
+                    self.now[ru] - self.launch[ru, col]
+                )
                 self.alive[ru, col] = False
                 self.death[ru, col] = np.inf
                 self.dseq[ru, col] = _SEQ_INF
@@ -382,6 +490,9 @@ class _ClusterKernel(_LockstepKernel):
         self.alive[rr, col] = False
         self.dseq[rr, col] = _SEQ_INF
         self.vm_hours[rr] += self.death[rr, col] - self.launch[rr, col]
+        self.pool_hours[rr, self.vm_pool[rr, col]] += (
+            self.death[rr, col] - self.launch[rr, col]
+        )
         self.death[rr, col] = np.inf
         self.preemptions[rr] += 1
         jd = self.vm_job[rr, col]
@@ -457,6 +568,10 @@ class _ClusterKernel(_LockstepKernel):
                 self.alive, self.makespan[:, None] - self.launch, 0.0
             )
             self.vm_hours += live_hours.sum(axis=1)
+            for p in range(self.nP):
+                self.pool_hours[:, p] += np.where(
+                    self.vm_pool == p, live_hours, 0.0
+                ).sum(axis=1)
         return n_rounds
 
 
@@ -486,6 +601,7 @@ def simulate_cluster_vectorized(
         "n_job_failures": kernel.failures,
         "n_preemptions": kernel.preemptions,
         "vm_hours": kernel.vm_hours,
+        "pool_vm_hours": kernel.pool_hours,
         "n_events": kernel.events,
         "n_draws": kernel.draw_k,
         "n_rounds": n_rounds,

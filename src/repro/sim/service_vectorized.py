@@ -65,6 +65,7 @@ import numpy as np
 
 from repro.distributions.base import LifetimeDistribution
 from repro.policies.scheduling import ModelReusePolicy
+from repro.sim.placement import PoolSpec, make_allocator, resolve_pools
 from repro.sim.vectorized import _LockstepKernel, _RESIDUAL, _SEQ_INF
 from repro.utils.validation import check_nonnegative, check_positive
 
@@ -82,13 +83,15 @@ class ProvisioningLivelockError(RuntimeError):
     and by the batched service/tenancy kernels alike — when
     ``livelock_threshold`` consecutive queue-stall rounds each terminated
     policy-rejected idle workers (and provisioned replacements) without
-    any job starting or completing in between.  This is the documented
-    pathology of ``provision_latency > 0`` with the reuse policy on under
-    lifetime laws whose conditional Eq. 8 criterion rejects *every* age
-    (uniform, exponential — no infant-mortality window): each staggered
-    boot is rejected on evaluation, terminated, and replaced, forever.
-    Failing fast tells the caller to use a bathtub-shaped law or disable
-    the reuse policy.
+    any job starting or completing in between.  The historical trigger —
+    ``provision_latency > 0`` with the reuse policy on under lifetime
+    laws whose conditional Eq. 8 criterion rejects *every* age (uniform,
+    exponential — no infant-mortality window), so each staggered boot
+    was rejected on evaluation, terminated, and replaced, forever — is
+    resolved by the fresh-boot grace window: a worker no older than its
+    pool's boot latency is always accepted, since terminating it buys a
+    replacement that arrives no younger.  The guardrail remains as a
+    backstop against configurations that still manage to churn.
     """
 
 
@@ -144,7 +147,21 @@ class ServiceBatchConfig:
         this many consecutive stall rounds that terminated
         policy-rejected workers, with no job start or completion in
         between, raise :class:`ProvisioningLivelockError` on both
-        backends.
+        backends.  Since the fresh-boot grace window (a worker no older
+        than its pool's boot latency is never terminated as
+        policy-rejected) resolved the documented churn pathology, the
+        guardrail is a backstop, not the expected exit.
+    pools:
+        Optional heterogeneous pool catalog
+        (:class:`~repro.sim.placement.PoolSpec` sequence); sizes must
+        sum to ``max_vms``, per-pool ``boot_latency`` defaults to
+        ``provision_latency``.  ``None`` keeps the historical single
+        implicit pool.  Incompatible with ``checkpoint="dp"``.
+    allocator:
+        Pool-choice plugin name (see
+        :data:`repro.sim.placement.ALLOCATORS`): where deficit boots
+        land, which free VM a gang grabs first.  Single pool: all
+        allocators reduce to the historical ``(launch, birth)`` order.
     """
 
     max_vms: int = 8
@@ -160,9 +177,19 @@ class ServiceBatchConfig:
     estimate_window: int = 16
     max_attempts_per_job: int = 1000
     livelock_threshold: int = 500
+    pools: tuple[PoolSpec, ...] | None = None
+    allocator: str = "first_fit"
 
     def __post_init__(self) -> None:
         check_positive("max_vms", self.max_vms)
+        if self.pools is not None:
+            object.__setattr__(self, "pools", tuple(self.pools))
+            if self.checkpoint == "dp":
+                raise ValueError(
+                    "pools are incompatible with checkpoint='dp': the DP "
+                    "plan table is keyed to a single lifetime law"
+                )
+        make_allocator(self.allocator)
         check_positive("hot_spare_hours", self.hot_spare_hours)
         check_nonnegative("provision_latency", self.provision_latency)
         if self.checkpoint not in ("interval", "dp"):
@@ -215,6 +242,8 @@ class ServiceBatchConfig:
             checkpoint_step=config.checkpoint_step,
             max_attempts_per_job=config.max_attempts_per_job,
             livelock_threshold=config.livelock_threshold,
+            pools=getattr(config, "pools", None),
+            allocator=getattr(config, "allocator", "first_fit"),
         )
 
 
@@ -247,12 +276,32 @@ class _ServiceKernel(_LockstepKernel):
         from repro.sim.backend import _RoundUniforms
         from repro.sim.checkpoint_vectorized import walker_from_config
 
-        # The controller always uses the survival-conditioned criterion.
-        self.policy = (
-            ModelReusePolicy(dist, criterion="conditional")
+        # Pool catalog + allocator ranking (shared with the event
+        # oracle); per-pool boot latency defaults to provision_latency.
+        self.pools = resolve_pools(
+            config.pools,
+            dist=dist,
+            n_slots=config.max_vms,
+            provision_latency=config.provision_latency,
+        )
+        self.nP = len(self.pools)
+        rank = make_allocator(config.allocator).rank_for(self.pools)
+        self.rank = np.asarray(rank, dtype=np.int64)
+        self.rank_of = np.empty(self.nP, dtype=np.int64)
+        self.rank_of[self.rank] = np.arange(self.nP)
+        self.pool_sizes = np.asarray([p.size for p in self.pools], dtype=np.int64)
+        self.latency = np.asarray([p.boot_latency for p in self.pools])
+        # The controller always uses the survival-conditioned criterion
+        # (one policy per pool: each worker is judged under its own law).
+        self.policies = (
+            [
+                ModelReusePolicy(p.dist, criterion="conditional")
+                for p in self.pools
+            ]
             if config.use_reuse_policy
             else None
         )
+        self.policy = self.policies[0] if self.policies is not None else None
         self.table = _RoundUniforms(rng, self.n)
 
         n = self.n
@@ -272,12 +321,16 @@ class _ServiceKernel(_LockstepKernel):
         # death == inf).  The tenancy subclass swaps the completion
         # channel for its compact running slots.
         self._init_arena(n)
-        # Worker-VM columns (ordering is always (launch, birth)).
+        # Worker-VM columns (ordering is (pool rank, launch, birth) —
+        # (launch, birth) alone with a single pool).
         self.alive = np.zeros((n, S), dtype=bool)
         self.launch = np.zeros((n, S))
         self.birth = np.full((n, S), -1, dtype=np.int64)
         self.vm_job = np.full((n, S), -1, dtype=np.int64)
+        self.vm_pool = np.full((n, S), -1, dtype=np.int64)
         self.provisioning = np.zeros(n, dtype=np.int64)
+        self.boot_pool = np.full((n, B), -1, dtype=np.int64)
+        self.provisioning_pool = np.zeros((n, self.nP), dtype=np.int64)
         # Job state.
         self.qkey = np.broadcast_to(np.arange(J, dtype=float), (n, J)).copy()
         self.head_key = np.full(n, -1.0)  # next requeue-at-head key
@@ -302,32 +355,125 @@ class _ServiceKernel(_LockstepKernel):
         self.failures = np.zeros(n, dtype=np.int64)
         self.preemptions = np.zeros(n, dtype=np.int64)
         self.vm_hours = np.zeros(n)
+        self.pool_hours = np.zeros((n, self.nP))
         self.master_hours = np.zeros(n)
         self.events = np.zeros(n, dtype=np.int64)
 
+    # -- pool helpers ----------------------------------------------------
+    def _boot_pool(self, rr: np.ndarray, rank_rows: np.ndarray | None = None) -> np.ndarray:
+        """First ranked pool with headroom (alive + in-flight boots count).
+
+        ``rank_rows`` — optional per-row ``(R, nP)`` preference order
+        (the tenancy kernel's tenant affinity); ``None`` uses the
+        allocator's static ranking.  Pure function of pre-draw state.
+        """
+        if self.nP == 1:
+            return np.zeros(rr.size, dtype=np.int64)
+        occ = self.provisioning_pool[rr].copy()
+        vp = self.vm_pool[rr]
+        al = self.alive[rr]
+        for p in range(self.nP):
+            occ[:, p] += (al & (vp == p)).sum(axis=1)
+        headroom = self.pool_sizes[None, :] - occ
+        if rank_rows is None:
+            ranked = headroom[:, self.rank]
+            if not (ranked > 0).any(axis=1).all():
+                raise RuntimeError("no pool headroom; fleet invariant violated")
+            return self.rank[np.argmax(ranked > 0, axis=1)]
+        ranked = np.take_along_axis(headroom, rank_rows, axis=1)
+        if not (ranked > 0).any(axis=1).all():
+            raise RuntimeError("no pool headroom; fleet invariant violated")
+        first = np.argmax(ranked > 0, axis=1)
+        return rank_rows[np.arange(rr.size), first]
+
+    def _pool_ppf(self, u: np.ndarray, pool: np.ndarray) -> np.ndarray:
+        """Map boot uniforms through each boot's pool's inverse CDF."""
+        if self.nP == 1:
+            return np.asarray(self.pools[0].dist.ppf(u), dtype=float)
+        life = np.empty(u.shape)
+        for p, spec in enumerate(self.pools):
+            m = pool == p
+            if m.any():
+                life[m] = np.asarray(spec.dist.ppf(u[m]), dtype=float)
+        return life
+
+    def _rank_cols(
+        self, rr: np.ndarray, jj: np.ndarray | None = None
+    ) -> np.ndarray | None:
+        """Allocator rank of each VM column (``None`` with one pool).
+
+        ``jj`` is the job being placed; the base kernel's ranking is
+        job-independent, the tenancy kernel refines it per tenant.
+        """
+        if self.nP == 1:
+            return None
+        vp = self.vm_pool[rr]
+        return np.where(
+            vp >= 0, self.rank_of[np.clip(vp, 0, None)], np.iinfo(np.int64).max
+        )
+
+    def _decide(self, rr: np.ndarray, T: np.ndarray, ages: np.ndarray) -> np.ndarray:
+        """Per-pool Eq. 8 verdicts plus the fresh-boot grace window.
+
+        A worker no older than its pool's boot latency is always
+        accepted: terminating it can only buy a replacement that
+        arrives *no younger* than the evicted worker is now, so the
+        conditional criterion rejecting every achievable age (uniform /
+        exponential laws) no longer churns terminate/provision cycles —
+        the documented livelock pathology.  With zero latency the
+        window adds nothing (age-0 workers are always REUSE), and under
+        bathtub laws the criterion already accepts infant ages, so
+        existing single-pool outcomes are unchanged.
+        """
+        if self.nP == 1:
+            ok = self.policies[0].decide_pairs(T, ages)
+            return ok | (ages <= self.latency[0])
+        out = np.zeros(np.broadcast_shapes(T.shape, ages.shape), dtype=bool)
+        vp = self.vm_pool[rr]
+        for p, pol in enumerate(self.policies):
+            m = vp == p
+            if m.any():
+                verdict = pol.decide_pairs(T, ages) | (ages <= self.latency[p])
+                out |= m & verdict
+        return out
+
     # -- primitive operations (all take a row-index array) --------------
-    def _schedule_boots(self, rr: np.ndarray, k: np.ndarray) -> None:
-        """Schedule ``k`` worker boots per row at ``now + latency``."""
+    def _schedule_boots(
+        self, rr: np.ndarray, k: np.ndarray, rank_rows: np.ndarray | None = None
+    ) -> None:
+        """Schedule ``k`` worker boots per row at ``now + pool latency``.
+
+        Each boot picks its pool *at schedule time* (first ranked pool
+        with headroom, in-flight boots included), so the boot event
+        carries the pool's latency and the lifetime draw at fire time
+        maps through that pool's law.
+        """
         kmax = int(k.max()) if k.size else 0
         for t in range(kmax):
-            sub = rr[k > t]
+            live = k > t
+            sub = rr[live]
+            pool = self._boot_pool(
+                sub, None if rank_rows is None else rank_rows[live]
+            )
             empty = self.bseq[sub] == _SEQ_INF
             if not empty.any(axis=1).all():
                 raise RuntimeError("no free boot slot; provisioning invariant violated")
             slot = np.argmax(empty, axis=1)
-            self.btime[sub, slot] = self.now[sub] + self.cfg.provision_latency
+            self.btime[sub, slot] = self.now[sub] + self.latency[pool]
             self.bseq[sub, slot] = self.evseq[sub]
             self.evseq[sub] += 1
+            self.boot_pool[sub, slot] = pool
+            self.provisioning_pool[sub, pool] += 1
         self.provisioning[rr] += k
 
     def _suitability(self, rr: np.ndarray):
         """(free, suitable) masks under the bag-estimate Eq. 8 filter."""
         free = self.alive[rr] & (self.vm_job[rr] == -1)
-        if self.policy is None:
+        if self.policies is None:
             return free, free
         T = np.maximum(self.est[rr], 1e-6)
         ages = np.maximum(self.now[rr][:, None] - self.launch[rr], 0.0)
-        return free, free & self.policy.decide_pairs(T[:, None], ages)
+        return free, free & self._decide(rr, T[:, None], ages)
 
     def _head_state(self, rr: np.ndarray):
         """Queue head + suitability per row; drops queue-less rows."""
@@ -341,9 +487,10 @@ class _ServiceKernel(_LockstepKernel):
         return rr, head, self.width[head], suit, free
 
     def _start_job(self, rr: np.ndarray, jj: np.ndarray, suit: np.ndarray) -> None:
-        """Start job ``jj`` on its ``width`` oldest suitable VMs per row."""
+        """Start job ``jj`` on its ``width`` oldest suitable VMs per row
+        (pool rank first, then launch/birth age)."""
         w = self.width[jj]
-        order = self._oldest(suit, rr)
+        order = self._oldest(suit, rr, self._rank_cols(rr, jj))
         pos = np.arange(self.S)[None, :] < w[:, None]
         sel = np.zeros((rr.size, self.S), dtype=bool)
         np.put_along_axis(sel, order, pos, axis=1)
@@ -397,15 +544,24 @@ class _ServiceKernel(_LockstepKernel):
         rr, head, w, suit, free = self._head_state(rr)
         if not rr.size:
             return
-        if self.policy is not None:
+        if self.policies is not None:
             unsuit = free & ~suit
             kill = unsuit.any(axis=1)
             rk = rr[kill]
             if rk.size:
                 u = unsuit[kill]
-                self.vm_hours[rk] += np.where(
+                hours = np.where(
                     u, self.now[rk][:, None] - self.launch[rk], 0.0
-                ).sum(axis=1)
+                )
+                self.vm_hours[rk] += hours.sum(axis=1)
+                if self.nP > 1:
+                    vp = self.vm_pool[rk]
+                    for p in range(self.nP):
+                        self.pool_hours[rk, p] += np.where(
+                            u & (vp == p), hours, 0.0
+                        ).sum(axis=1)
+                else:
+                    self.pool_hours[rk, 0] += hours.sum(axis=1)
                 self.alive[rk] &= ~u
                 self.death[rk] = np.where(u, np.inf, self.death[rk])
                 self.dseq[rk] = np.where(u, _SEQ_INF, self.dseq[rk])
@@ -417,7 +573,15 @@ class _ServiceKernel(_LockstepKernel):
         deficit = w - n_suit - self.provisioning[rr]
         headroom = self._fleet_cap(rr) - n_alive - self.provisioning[rr]
         k = np.clip(np.minimum(deficit, headroom), 0, None)
-        self._schedule_boots(rr, k)
+        self._schedule_boots(rr, k, self._pool_rank_rows(rr, head))
+
+    def _pool_rank_rows(
+        self, rr: np.ndarray, jj: np.ndarray
+    ) -> np.ndarray | None:
+        """Per-row pool preference for deficit boots placed for job
+        ``jj`` — the allocator's static ranking here; the tenancy
+        kernel overrides this with tenant affinity."""
+        return None
 
     def _fleet_cap(self, rr: np.ndarray) -> np.ndarray:
         """Provisioning cap per row — static here; the tenancy kernel
@@ -482,6 +646,9 @@ class _ServiceKernel(_LockstepKernel):
         self.alive[rr, col] = False
         self.dseq[rr, col] = _SEQ_INF
         self.vm_hours[rr] += self.death[rr, col] - self.launch[rr, col]
+        self.pool_hours[rr, np.clip(self.vm_pool[rr, col], 0, None)] += (
+            self.death[rr, col] - self.launch[rr, col]
+        )
         self.death[rr, col] = np.inf
         self.preemptions[rr] += 1
         # Death cancels the VM's retention timer.
@@ -508,8 +675,9 @@ class _ServiceKernel(_LockstepKernel):
             self._schedule_pass(rb)
 
     def _schedule_reaps(self, rr: np.ndarray, released: np.ndarray) -> None:
-        """Retention timers for a released gang, in (launch, birth) order."""
-        order = self._oldest(released, rr)
+        """Retention timers for a released gang, in free-pool order
+        (pool rank, then launch/birth)."""
+        order = self._oldest(released, rr, self._rank_cols(rr))
         ranks = np.zeros((rr.size, self.S), dtype=np.int64)
         np.put_along_axis(
             ranks,
@@ -560,9 +728,12 @@ class _ServiceKernel(_LockstepKernel):
         self.btime[rr, slot] = np.inf
         self.bseq[rr, slot] = _SEQ_INF
         self.provisioning[rr] -= 1
+        pool = np.clip(self.boot_pool[rr, slot], 0, None)
+        self.boot_pool[rr, slot] = -1
+        self.provisioning_pool[rr, pool] -= 1
         u = self.table.gather(rr, self.draw_k[rr])
         self.draw_k[rr] += 1
-        life = np.asarray(self.dist.ppf(u), dtype=float)
+        life = self._pool_ppf(u, pool)
         empty = ~self.alive[rr] & (self.vm_job[rr] == -1)
         if not empty.any(axis=1).all():
             raise RuntimeError("no reusable VM column; fleet invariant violated")
@@ -575,6 +746,7 @@ class _ServiceKernel(_LockstepKernel):
         self.births[rr] += 1
         self.alive[rr, col] = True
         self.vm_job[rr, col] = -1
+        self.vm_pool[rr, col] = pool
         self._schedule_pass(rr)  # add_node -> try_schedule
 
     def _process_reaps(self, rr: np.ndarray, col: np.ndarray) -> None:
@@ -587,6 +759,9 @@ class _ServiceKernel(_LockstepKernel):
         rt, ct = rr[qempty], col[qempty]
         if rt.size:
             self.vm_hours[rt] += self.now[rt] - self.launch[rt, ct]
+            self.pool_hours[rt, np.clip(self.vm_pool[rt, ct], 0, None)] += (
+                self.now[rt] - self.launch[rt, ct]
+            )
             self.alive[rt, ct] = False
             self.death[rt, ct] = np.inf
             self.dseq[rt, ct] = _SEQ_INF
@@ -626,6 +801,10 @@ class _ServiceKernel(_LockstepKernel):
             # never fire (the run stops at the bag's last completion).
             live = np.where(self.alive, self.makespan[:, None] - self.launch, 0.0)
             self.vm_hours += live.sum(axis=1)
+            for p in range(self.nP):
+                self.pool_hours[:, p] += np.where(
+                    self.vm_pool == p, live, 0.0
+                ).sum(axis=1)
             if self.cfg.run_master:
                 self.master_hours = self.makespan.copy()
         return n_rounds
@@ -657,6 +836,7 @@ def simulate_service_vectorized(
         "n_job_failures": kernel.failures,
         "n_preemptions": kernel.preemptions,
         "vm_hours": kernel.vm_hours,
+        "pool_vm_hours": kernel.pool_hours,
         "master_hours": kernel.master_hours,
         "n_events": kernel.events,
         "n_draws": kernel.draw_k,

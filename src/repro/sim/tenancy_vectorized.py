@@ -60,6 +60,7 @@ import numpy as np
 
 from repro.distributions.base import LifetimeDistribution
 from repro.sim.cluster_vectorized import GangJob
+from repro.sim.placement import PoolSpec, make_allocator
 from repro.sim.service_vectorized import _ServiceKernel
 from repro.sim.vectorized import _RESIDUAL, _SEQ_INF
 from repro.utils.validation import check_nonnegative, check_positive
@@ -132,6 +133,16 @@ class TenancyConfig:
         ``min(max_vms, elastic_vms_per_bag x active bags)`` (>= 1).
         ``None`` keeps the static ``max_vms`` cap.  Must cover the
         widest job so a lone active bag can always run.
+    pools:
+        Optional heterogeneous pool catalog
+        (:class:`~repro.sim.placement.PoolSpec` sequence); sizes must
+        sum to ``max_vms``.  ``None`` keeps the historical single
+        implicit pool.  Incompatible with ``checkpoint="dp"``.
+    allocator:
+        Pool-choice plugin name (see
+        :data:`repro.sim.placement.ALLOCATORS`); the tenancy layer
+        additionally supports ``"tenant_affinity"`` — tenant ``t``
+        prefers pool ``t mod P`` for boots and node selection.
     """
 
     max_vms: int = 8
@@ -150,9 +161,19 @@ class TenancyConfig:
     tenant_weights: tuple[float, ...] | None = None
     admission_cap: int | None = None
     elastic_vms_per_bag: int | None = None
+    pools: tuple[PoolSpec, ...] | None = None
+    allocator: str = "first_fit"
 
     def __post_init__(self) -> None:
         check_positive("max_vms", self.max_vms)
+        if self.pools is not None:
+            object.__setattr__(self, "pools", tuple(self.pools))
+            if self.checkpoint == "dp":
+                raise ValueError(
+                    "pools are incompatible with checkpoint='dp': the DP "
+                    "plan table is keyed to a single lifetime law"
+                )
+        make_allocator(self.allocator)
         check_positive("hot_spare_hours", self.hot_spare_hours)
         check_nonnegative("provision_latency", self.provision_latency)
         if self.checkpoint not in ("interval", "dp"):
@@ -398,6 +419,24 @@ class _TenancyKernel(_ServiceKernel):
         # the round loop scans these instead of the (n, J) ctime/cseq,
         # decoupling per-round cost from the traffic length.
         self.rjob = np.full((n, self.S), -1, dtype=np.int64)
+        # Per-tenant pool rankings.  Affinity only depends on
+        # ``tenant mod P`` (the home pool), so ``nP x nP`` tables cover
+        # every tenant; non-affinity allocators produce identical rows.
+        alloc = make_allocator(config.allocator)
+        self.job_home = (
+            self.job_tenant % self.nP
+            if self.nP > 1
+            else np.zeros(J, dtype=np.int64)
+        )
+        self.rank_by_home = np.stack(
+            [
+                np.asarray(alloc.rank_for(self.pools, h), dtype=np.int64)
+                for h in range(self.nP)
+            ]
+        )
+        self.rank_of_by_home = np.empty_like(self.rank_by_home)
+        for h in range(self.nP):
+            self.rank_of_by_home[h, self.rank_by_home[h]] = np.arange(self.nP)
         # Arrival-event compaction: the per-bag static bookkeeping
         # (tenant column, job span, keys) as plain Python scalars, so
         # each arrival event avoids per-field numpy indexing overhead.
@@ -429,11 +468,11 @@ class _TenancyKernel(_ServiceKernel):
         the only one the tenancy kernel may use.
         """
         free = self.alive[rr] & (self.vm_job[rr] == -1)
-        if self.policy is None:
+        if self.policies is None:
             return free, free
         T = np.maximum(self.est[rr, self.bag_of[jj]], 1e-6)
         ages = np.maximum(self.now[rr][:, None] - self.launch[rr], 0.0)
-        return free, free & self.policy.decide_pairs(T[:, None], ages)
+        return free, free & self._decide(rr, T[:, None], ages)
 
     def _suitability(self, rr: np.ndarray):
         raise NotImplementedError(
@@ -463,6 +502,27 @@ class _TenancyKernel(_ServiceKernel):
         if rf.size:
             self.first_start[rf, jj[fresh]] = self.now[rf]
         super()._start_job(rr, jj, suit)
+
+    # -- tenant-affinity pool rankings ------------------------------------
+    def _rank_cols(
+        self, rr: np.ndarray, jj: np.ndarray | None = None
+    ) -> np.ndarray | None:
+        if self.nP == 1:
+            return None
+        if jj is None:
+            return super()._rank_cols(rr)
+        vp = self.vm_pool[rr]
+        ranks = self.rank_of_by_home[
+            self.job_home[jj][:, None], np.clip(vp, 0, None)
+        ]
+        return np.where(vp >= 0, ranks, np.iinfo(np.int64).max)
+
+    def _pool_rank_rows(
+        self, rr: np.ndarray, jj: np.ndarray
+    ) -> np.ndarray | None:
+        if self.nP == 1:
+            return None
+        return self.rank_by_home[self.job_home[jj]]
 
     def _schedule_pass(self, rr: np.ndarray) -> None:
         """One ``try_schedule``: start heads by key order, stall once.
@@ -632,6 +692,10 @@ class _TenancyKernel(_ServiceKernel):
             # boots and reaps never fire (the run stops with the traffic).
             live = np.where(self.alive, self.makespan[:, None] - self.launch, 0.0)
             self.vm_hours += live.sum(axis=1)
+            for p in range(self.nP):
+                self.pool_hours[:, p] += np.where(
+                    self.vm_pool == p, live, 0.0
+                ).sum(axis=1)
             if self.cfg.run_master:
                 self.master_hours = self.makespan.copy()
         return n_rounds
@@ -666,6 +730,7 @@ def simulate_tenancy_vectorized(
         "n_job_failures": kernel.failures,
         "n_preemptions": kernel.preemptions,
         "vm_hours": kernel.vm_hours,
+        "pool_vm_hours": kernel.pool_hours,
         "master_hours": kernel.master_hours,
         "n_events": kernel.events,
         "n_draws": kernel.draw_k,

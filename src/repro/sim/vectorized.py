@@ -403,11 +403,26 @@ class _LockstepKernel:
         self.ctime[rr, jj] = np.inf
         self.cseq[rr, jj] = _SEQ_INF
 
-    def _oldest(self, mask: np.ndarray, rr: np.ndarray) -> np.ndarray:
-        """Column order by (launch, birth) with non-``mask`` columns last."""
+    def _oldest(
+        self, mask: np.ndarray, rr: np.ndarray, rank: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Column order by (pool rank, launch, birth), non-``mask`` last.
+
+        ``rank`` — optional per-(row, column) allocator rank aligned
+        with ``self.launch[rr]`` — becomes the *primary* key via a third
+        stable argsort pass; ``None`` (or an all-equal rank, i.e. a
+        single pool) reduces exactly to the historical ``(launch,
+        birth)`` ``free_nodes()`` order.
+        """
         lm = np.where(mask, self.launch[rr], np.inf)
         bm = np.where(mask, self.birth[rr], np.iinfo(np.int64).max)
         by_birth = np.argsort(bm, axis=1, kind="stable")
         l_sorted = np.take_along_axis(lm, by_birth, axis=1)
         by_launch = np.argsort(l_sorted, axis=1, kind="stable")
-        return np.take_along_axis(by_birth, by_launch, axis=1)
+        order = np.take_along_axis(by_birth, by_launch, axis=1)
+        if rank is None:
+            return order
+        km = np.where(mask, rank, np.iinfo(np.int64).max)
+        k_sorted = np.take_along_axis(km, order, axis=1)
+        by_rank = np.argsort(k_sorted, axis=1, kind="stable")
+        return np.take_along_axis(order, by_rank, axis=1)

@@ -37,6 +37,9 @@ class SimVM:
         False for on-demand VMs (never preempted by the provider).
     hourly_price:
         Billing rate actually charged for this VM.
+    pool:
+        Index into the fleet's pool catalog (see
+        :mod:`repro.sim.placement`); 0 for single-pool fleets.
     """
 
     vm_id: int
@@ -45,6 +48,7 @@ class SimVM:
     launch_time: float
     preemptible: bool
     hourly_price: float
+    pool: int = 0
     state: VMState = VMState.RUNNING
     end_time: float | None = None
     #: callbacks invoked with (vm, time) when the provider preempts it.

@@ -25,6 +25,7 @@ the very same trace for equivalence pinning.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -169,6 +170,14 @@ def parse_swf(path: str | Path) -> SWFLog:
                         f"{path.name}:{lineno}: field {name!r} is not "
                         f"numeric: {token!r}"
                     ) from None
+                if name not in _INT_FIELDS and not math.isfinite(values[name]):
+                    # float() accepts "nan"/"inf", which would otherwise
+                    # leak past the -1 missing-value convention and
+                    # poison downstream arithmetic silently.
+                    raise ValueError(
+                        f"{path.name}:{lineno}: field {name!r} is not "
+                        f"finite: {token!r}"
+                    )
             jobs.append(SWFJob(**values))
     return SWFLog(header=header, jobs=tuple(jobs), source=str(path))
 

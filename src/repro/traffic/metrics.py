@@ -57,6 +57,11 @@ def jain_fairness_index(values) -> float:
 
     1 when all tenants see identical values, ``1/n`` in the most
     skewed case; 1.0 for an empty or all-nan input (nothing unfair).
+
+    ``nan`` entries mark tenants with no admitted jobs (the
+    :func:`tenant_report` convention); they are excluded, so the index
+    is always the fairness *over admitted tenants only* — a tenant that
+    admitted nothing can neither zero the index nor divide-by-zero it.
     """
     x = np.asarray(values, dtype=float)
     x = x[np.isfinite(x)]
@@ -125,6 +130,11 @@ def tenant_report(
     gang occupancy ``(finish - start) x width`` summed over admitted
     jobs; a tenant's cost-reduction factor is its on-demand baseline
     (admitted ideal work at ``on_demand_rate``) over its mean share.
+
+    A tenant that admits zero bags yields defined values everywhere:
+    ``nan`` per-tenant means (never a ZeroDivision or a spurious 0), a
+    zero cost share, and exclusion from ``wait_fairness`` — the index
+    covers admitted tenants only.
     """
     check_nonnegative("preemptible_rate", preemptible_rate)
     check_nonnegative("on_demand_rate", on_demand_rate)

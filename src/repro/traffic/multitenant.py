@@ -229,7 +229,10 @@ class MultiTenantService:
         request = BagRequest(
             jobs=[
                 JobRequest(
-                    work_hours=r.work_hours, width=r.width, queue_key=r.queue_key
+                    work_hours=r.work_hours,
+                    width=r.width,
+                    queue_key=r.queue_key,
+                    tenant=tenant,
                 )
                 for r in recs
             ],

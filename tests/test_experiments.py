@@ -431,6 +431,62 @@ class TestFig9Tenants:
         assert "tenants" in text and "fairness" in text and "fifo" in text
 
 
+class TestFig9Pools:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments import fig9_pools
+
+        return fig9_pools.run(n_replications=32, seed=0)
+
+    def test_sweep_covers_grid(self, result):
+        assert {(p.mix, p.allocator) for p in result} == {
+            (m, a)
+            for m in ("balanced", "mostly-cheap", "mostly-stable")
+            for a in ("first_fit", "best_fit_price", "reliability")
+        }
+
+    def test_metrics_sane(self, result):
+        for p in result:
+            assert p.n_pools == 2
+            assert p.mean_makespan > 0.0
+            assert p.mean_cost > 0.0
+            assert p.cost_reduction_factor > 0.0
+            assert 0.0 <= p.cheap_share <= 1.0
+
+    def test_price_and_reliability_allocators_differ(self, result):
+        """The tentpole's acceptance bar: chasing price and chasing
+        reliability must be measurably different strategies.  Pool sizes
+        partition the fleet cap, so the allocator's lever is grab order
+        and stall eviction, not steady-state pool population — which
+        side wins on preemptions varies with the scenario, but the two
+        rankings must never collapse to the same numbers."""
+        by = {(p.mix, p.allocator): p for p in result}
+        price = by[("balanced", "best_fit_price")]
+        rel = by[("balanced", "reliability")]
+        assert price.mean_preemptions != rel.mean_preemptions
+        assert price.mean_cost != pytest.approx(rel.mean_cost, rel=1e-3)
+        assert price.mean_makespan != pytest.approx(rel.mean_makespan, rel=1e-3)
+
+    def test_backends_agree(self):
+        from repro.experiments import fig9_pools
+
+        kwargs = dict(
+            allocators=("best_fit_price",), n_replications=4, seed=1
+        )
+        ev = fig9_pools.run(backend="event", **kwargs)
+        ve = fig9_pools.run(backend="vectorized", **kwargs)
+        for a, b in zip(ev, ve):
+            assert b.mean_makespan == pytest.approx(a.mean_makespan, abs=1e-9)
+            assert b.mean_cost == pytest.approx(a.mean_cost, abs=1e-9)
+
+    def test_report_renders(self, result):
+        from repro.experiments import fig9_pools
+
+        text = fig9_pools.report(result)
+        assert "pools" in text and "allocator" in text
+        assert "best_fit_price" in text and "cheap share" in text
+
+
 class TestSWFTenants:
     @pytest.fixture(scope="class")
     def result(self):
@@ -515,7 +571,7 @@ class TestRegistry:
         expected = {
             "fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
             "fig4-mc", "fig5-mc", "fig6-mc", "fig7-mc", "fig8-mc", "fig9-mc",
-            "fig9-regret", "fig9-tenants", "swf-tenants",
+            "fig9-regret", "fig9-pools", "fig9-tenants", "swf-tenants",
             "checkpoint-schedule", "params-table",
         }
         assert set(EXPERIMENTS) == expected

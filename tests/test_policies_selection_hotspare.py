@@ -44,6 +44,33 @@ class TestSelection:
     def test_no_type_fits_tiny_budget_for_long_jobs(self, candidates):
         assert cheapest_suitable_type(candidates, 23.5, max_failure_probability=0.05) is None
 
+    def test_tie_breaks_on_catalog_order_not_name(self, candidates):
+        """Exact ties (identical distribution and price) must resolve to
+        the earliest *catalog* entry, independent of the names' lexical
+        order — renaming a type must not flip selections."""
+        dist, price = candidates["n1-highcpu-16"]
+        # "zz-first" precedes "aa-second" in insertion order but follows
+        # it alphabetically: a name-based (or dict-internals-based)
+        # tie-break would pick "aa-second".
+        tied = {"zz-first": (dist, price), "aa-second": (dist, price)}
+        assert select_vm_type(tied, 4.0) == "zz-first"
+        assert cheapest_suitable_type(tied, 1.0) == "zz-first"
+        # The rule is positional: reordering the same entries flips it.
+        reordered = {"aa-second": (dist, price), "zz-first": (dist, price)}
+        assert select_vm_type(reordered, 4.0) == "aa-second"
+        assert cheapest_suitable_type(reordered, 1.0) == "aa-second"
+
+    def test_price_tie_still_honours_failure_budget(self, candidates):
+        """cheapest_suitable_type's catalog-order tie-break applies only
+        within the suitable set: an earlier-but-unsuitable type must not
+        win on position."""
+        risky_dist, price = candidates["n1-highcpu-32"]
+        safe_dist, _ = candidates["n1-highcpu-2"]
+        tied = {"risky": (risky_dist, price), "safe": (safe_dist, price)}
+        budget = float(risky_dist.cdf(6.0)) - 1e-9
+        assert float(safe_dist.cdf(6.0)) <= budget
+        assert cheapest_suitable_type(tied, 6.0, max_failure_probability=budget) == "safe"
+
     def test_validation(self, candidates):
         with pytest.raises(ValueError):
             select_vm_type({}, 1.0)

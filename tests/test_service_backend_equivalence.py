@@ -19,13 +19,12 @@ Two layers:
   in tier-1, a deep ``slow``-marked budget for the scheduled
   ``slow-equivalence`` CI job.
 
-Law-dependent caveat: with ``provision_latency > 0`` and the reuse
-policy on, laws whose conditional Eq. 8 criterion rejects *every* aged
-VM (uniform, exponential — no infant-mortality window) make the real
-controller churn terminate/provision cycles without ever gathering a
-gang, so latency grids pair the reuse policy with the bathtub law (or
-turn it off).  Both backends reproduce the churn identically; the
-fuzzer constrains itself the same way.
+Every lifetime law is fair game in the latency grids: the boot-grace
+fallback (a VM no older than its pool's boot latency is always
+accepted) lets laws whose conditional Eq. 8 criterion rejects every
+aged VM (uniform, exponential — no infant-mortality window) gather
+gangs instead of churning terminate/provision cycles, and both
+backends implement the fallback identically.
 """
 
 import numpy as np
@@ -58,7 +57,8 @@ CONFIGS = {
     "window2": dict(max_vms=4, estimate_window=2),
 }
 
-#: Latency-with-reuse configurations (bathtub law only — see module doc).
+#: Latency-with-reuse configurations (any law — the boot-grace fallback
+#: keeps reuse-rejecting laws from churning; see module doc).
 LATENCY_CONFIGS = {
     "lat": dict(max_vms=4, provision_latency=0.25),
     "lat-small": dict(max_vms=4, provision_latency=0.05),
@@ -134,6 +134,16 @@ class TestEquivalenceGrid:
         """Boot latency under the paper's law (reuse policy on)."""
         assert_equivalent(*run_both(reference_dist, BAGS["mixed"], seed, **config))
 
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize(
+        "config", LATENCY_CONFIGS.values(), ids=LATENCY_CONFIGS.keys()
+    )
+    def test_provisioning_latency_uniform(self, seed, config):
+        """Boot latency under a reuse-rejecting law: the boot-grace
+        fallback (not churn) is what both backends must agree on."""
+        dist = UniformLifetimeDistribution(6.0)
+        assert_equivalent(*run_both(dist, BAGS["mixed"], seed, **config))
+
     @pytest.mark.parametrize("seed", [0, 3])
     @pytest.mark.parametrize(
         "config",
@@ -198,11 +208,6 @@ class TestDifferentialFuzz:
             GangJob(h, w) for h, w in zip(s["hours"], s["widths"][: len(s["hours"])])
         ]
         latency = s["latency"]
-        if s["reuse"] and s["law"] != "bathtub" and latency > 0.0:
-            # These laws reject every aged VM under the conditional
-            # criterion: staggered boots would churn forever (see the
-            # module docstring).  Keep the scenario, drop the latency.
-            latency = 0.0
         dist = (
             reference_dist
             if s["law"] == "bathtub"

@@ -1,18 +1,22 @@
-"""The provisioning-livelock guardrail (PR 4's documented pathology).
+"""The provisioning-livelock pathology (PR 4) and its boot-grace fix.
 
 With ``provision_latency > 0`` and the reuse policy on, lifetime laws
 whose conditional Eq. 8 criterion rejects every positive age (uniform:
 the conditional residual life shrinks with age, so any aged VM loses to
-a fresh one for short jobs) drive the controller into terminate/
-provision churn: staggered boots keep arriving one at a time, age while
-the next boot is in flight, get rejected and terminated, forever.  The
-controller must fail fast with ``ProvisioningLivelockError`` instead of
-spinning to the event cap.
+a fresh one for short jobs) used to drive the controller into
+terminate/provision churn: staggered boots keep arriving one at a time,
+age while the next boot is in flight, get rejected and terminated,
+forever.  The fix is a boot-grace fallback: a VM no older than its
+pool's boot latency is always accepted, because terminating it buys a
+replacement no younger.  These scenarios must now *complete* — on the
+controller and on both sweep backends — with the
+``ProvisioningLivelockError`` guardrail retained purely as a backstop.
 """
 
 import numpy as np
 import pytest
 
+from repro.distributions.exponential import ExponentialDistribution
 from repro.distributions.uniform import UniformLifetimeDistribution
 from repro.service.api import BagRequest, JobRequest
 from repro.service.controller import (
@@ -36,14 +40,19 @@ def make_service(dist, config, *, seed=0):
 #: pure policy behaviour, not preemption noise.
 LONG_UNIFORM = UniformLifetimeDistribution(1000.0)
 
+#: Memoryless law with the same property: decide(T, age) rejects every
+#: strictly positive age for short jobs under the conditional criterion.
+SLOW_EXPONENTIAL = ExponentialDistribution(0.01)
 
-class TestLivelockGuardrail:
-    def test_staggered_boot_churn_raises(self):
-        """The deterministic construction: a width-1 job occupies the
+
+class TestBootGraceRecovery:
+    def test_staggered_boot_churn_recovers(self):
+        """PR 4's deterministic construction: a width-1 job occupies the
         first boot; the width-2 job behind it then sees exactly one
         age-0 VM per provisioning round (boots staggered by the
-        latency), terminates the aged survivor, and reprovisions —
-        forever, absent the guardrail."""
+        latency).  The grace window accepts the in-flight-age survivor
+        instead of terminating it, so the gang gathers and the bag
+        finishes — no ProvisioningLivelockError."""
         config = ServiceConfig(
             max_vms=2,
             provision_latency=0.5,
@@ -55,8 +64,25 @@ class TestLivelockGuardrail:
         bag_id = svc.submit_bag(
             BagRequest(jobs=[JobRequest(0.1, 1), JobRequest(0.1, 2)])
         )
-        with pytest.raises(ProvisioningLivelockError, match="use_reuse_policy"):
-            svc.run_until_bag_done(bag_id, max_events=100_000)
+        svc.run_until_bag_done(bag_id, max_events=100_000)
+        assert svc.bag_done(bag_id)
+
+    def test_exponential_law_recovers_too(self):
+        """Memoryless laws hit the same all-ages-rejected branch; the
+        grace fallback must cover them identically."""
+        config = ServiceConfig(
+            max_vms=2,
+            provision_latency=0.5,
+            use_reuse_policy=True,
+            run_master=False,
+            livelock_threshold=50,
+        )
+        sim, svc = make_service(SLOW_EXPONENTIAL, config)
+        bag_id = svc.submit_bag(
+            BagRequest(jobs=[JobRequest(0.1, 1), JobRequest(0.1, 2)])
+        )
+        svc.run_until_bag_done(bag_id, max_events=100_000)
+        assert svc.bag_done(bag_id)
 
     def test_error_is_a_runtime_error(self):
         assert issubclass(ProvisioningLivelockError, RuntimeError)
@@ -78,7 +104,8 @@ class TestLivelockGuardrail:
 
     def test_same_scenario_without_latency_finishes(self):
         """With latency 0 all boots of a round land in the same instant
-        at age 0, so the gang gathers and the guardrail stays quiet."""
+        at age 0, so the gang gathers without needing the grace window
+        (decide(T, 0) is REUSE under both criteria)."""
         config = ServiceConfig(
             max_vms=2,
             provision_latency=0.0,
@@ -134,43 +161,54 @@ class TestLivelockGuardrail:
             ServiceConfig(livelock_threshold=0)
 
 
-class TestGuardrailOnBothBackends:
-    """The batched kernels mirror the guardrail, so the pathological
-    configuration fails fast identically through the backend API."""
+class TestRecoveryOnBothBackends:
+    """The batched kernels mirror the boot-grace fallback, so the
+    once-pathological configuration completes identically through the
+    backend API — with exact cross-backend event/draw agreement."""
 
-    def test_service_sweep_raises_on_both(self):
+    def test_service_sweep_completes_on_both(self):
         from repro.sim.backend import run_service_replications
 
+        outs = {}
         for backend in ("event", "vectorized"):
-            with pytest.raises(ProvisioningLivelockError):
-                run_service_replications(
-                    LONG_UNIFORM,
-                    [(0.1, 1), (0.1, 2)],
-                    max_vms=2,
-                    provision_latency=0.5,
-                    run_master=False,
-                    livelock_threshold=50,
-                    n_replications=2,
-                    backend=backend,
-                    max_events=100_000,
-                )
+            outs[backend] = run_service_replications(
+                LONG_UNIFORM,
+                [(0.1, 1), (0.1, 2)],
+                max_vms=2,
+                provision_latency=0.5,
+                run_master=False,
+                livelock_threshold=50,
+                n_replications=3,
+                backend=backend,
+                max_events=100_000,
+            )
+        e, v = outs["event"], outs["vectorized"]
+        assert (e.completed_jobs == 2).all() and (v.completed_jobs == 2).all()
+        np.testing.assert_allclose(e.makespan, v.makespan, atol=1e-9)
+        np.testing.assert_array_equal(e.n_events, v.n_events)
+        np.testing.assert_array_equal(e.n_draws, v.n_draws)
 
-    def test_tenant_sweep_raises_on_both(self):
+    def test_tenant_sweep_completes_on_both(self):
         from repro.sim.backend import run_tenant_replications
 
+        outs = {}
         for backend in ("event", "vectorized"):
-            with pytest.raises(ProvisioningLivelockError):
-                run_tenant_replications(
-                    LONG_UNIFORM,
-                    [(0, 0.0, [(0.1, 1), (0.1, 2)])],
-                    max_vms=2,
-                    provision_latency=0.5,
-                    run_master=False,
-                    livelock_threshold=50,
-                    n_replications=2,
-                    backend=backend,
-                    max_events=100_000,
-                )
+            outs[backend] = run_tenant_replications(
+                LONG_UNIFORM,
+                [(0, 0.0, [(0.1, 1), (0.1, 2)])],
+                max_vms=2,
+                provision_latency=0.5,
+                run_master=False,
+                livelock_threshold=50,
+                n_replications=3,
+                backend=backend,
+                max_events=100_000,
+            )
+        e, v = outs["event"], outs["vectorized"]
+        assert (e.completed_jobs == 2).all() and (v.completed_jobs == 2).all()
+        np.testing.assert_allclose(e.makespan, v.makespan, atol=1e-9)
+        np.testing.assert_array_equal(e.n_events, v.n_events)
+        np.testing.assert_array_equal(e.n_draws, v.n_draws)
 
     def test_threshold_forwarded_from_service_config(self):
         """ServiceBatchConfig.from_service_config carries the knob."""

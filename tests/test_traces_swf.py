@@ -54,6 +54,64 @@ class TestParse:
         with pytest.raises(ValueError, match=r"garbled\.swf:1.*'run_s'"):
             parse_swf(p)
 
+    def test_non_finite_token_rejected(self, tmp_path):
+        """float() happily parses 'nan'/'inf'; the parser must not let
+        them leak past the -1 missing-value convention."""
+        for bad in ("nan", "inf", "-inf"):
+            p = tmp_path / "nonfinite.swf"
+            fields = ["1"] * len(SWF_FIELDS)
+            fields[3] = bad
+            p.write_text(" ".join(fields) + "\n")
+            with pytest.raises(ValueError, match=r"nonfinite\.swf:1.*'run_s'.*finite"):
+                parse_swf(p)
+
+    def test_truncated_final_line_rejected(self, tmp_path):
+        """A log cut off mid-record (no trailing newline, partial field
+        list) is rejected with the offending line number, not silently
+        parsed as a short job."""
+        good = " ".join(["1", "0", "1", "1800", "4"] + ["-1"] * 13)
+        truncated = "2 30 1 1800"  # download died after 4 fields
+        p = tmp_path / "cutoff.swf"
+        p.write_text("; Version: 2.2\n" + good + "\n" + truncated)
+        with pytest.raises(ValueError, match=r"cutoff\.swf:3.*18 fields, got 4"):
+            parse_swf(p)
+
+    def test_header_directive_without_value_defaults_empty(self, tmp_path):
+        """`; Key:` with nothing after the colon is a legal directive —
+        it defaults to the empty string rather than being rejected, and
+        a bare `; Key` (no colon) stays a plain comment."""
+        good = " ".join(["1", "0", "1", "1800", "4"] + ["-1"] * 13)
+        p = tmp_path / "headers.swf"
+        p.write_text("; Computer:\n; Preemption\n; MaxNodes: 120\n" + good + "\n")
+        log = parse_swf(p)
+        assert log.header["Computer"] == ""
+        assert log.header["MaxNodes"] == "120"
+        assert "Preemption" not in log.header
+        assert len(log) == 1
+
+    def test_unknown_runtime_and_procs_skipped_not_crashed(self, tmp_path):
+        """Records whose -1 fallbacks still resolve nothing (both
+        runtime sources or both processor counts unknown) parse fine and
+        are skipped by the traffic mapping, leaving the usable rest."""
+        rec = lambda job_id, run, alloc, req_t, req_p: " ".join(
+            [str(job_id), "0", "1", str(run), str(alloc), "-1", "-1",
+             str(req_p), str(req_t), "-1", "1", "7", "7", "1", "0", "0",
+             "-1", "-1"]
+        )
+        p = tmp_path / "gaps.swf"
+        p.write_text(
+            rec(1, 1800, 4, -1, -1) + "\n"   # usable
+            + rec(2, -1, 4, -1, 4) + "\n"     # no runtime source
+            + rec(3, 1800, -1, -1, -1) + "\n" # no processor source
+            + rec(4, -1, -1, 3600, 8) + "\n"  # usable via both fallbacks
+        )
+        log = parse_swf(p)
+        assert len(log) == 4
+        traffic = swf_traffic(p)
+        jobs = [j for s in traffic for j in s.jobs]
+        assert len(jobs) == 2
+        assert jobs[1].work_hours == pytest.approx(1.0) and jobs[1].width == 8
+
 
 class TestTraffic:
     def test_fixture_maps_to_traffic(self):

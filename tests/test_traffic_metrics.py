@@ -158,6 +158,74 @@ class TestTenantReport:
         assert rep.mean_occupancy_hours[0] == pytest.approx(1.5)
         assert np.isnan(rep.mean_occupancy_hours[1])
 
+    def test_zero_admission_tenant_is_warning_free_and_defined(self):
+        """A tenant that admits zero bags must not trip a RuntimeWarning
+        (nanmean of an empty slice) or a ZeroDivisionError anywhere in
+        the report; every field stays defined under the nan convention."""
+        import warnings
+
+        nan = np.nan
+        out = _hand_outcomes(
+            admitted=[[True, False, False], [True, False, False]],
+            starts=[[0.5, nan, nan], [0.25, nan, nan]],
+            finishes=[[2.5, nan, nan], [2.25, nan, nan]],
+            job_tenant=[0, 1, 2],
+            job_work=[2.0, 1.0, 1.0],
+            job_width=[1, 1, 1],
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            rep = tenant_report(out)
+        assert np.isfinite(rep.mean_wait_hours[0])
+        for t in (1, 2):
+            assert np.isnan(rep.mean_wait_hours[t])
+            assert np.isnan(rep.mean_bounded_slowdown[t])
+            assert np.isnan(rep.cost_reduction_factor[t])
+            assert rep.mean_admitted_jobs[t] == 0.0
+        assert np.isfinite(rep.wait_fairness)
+
+    def test_fairness_covers_admitted_tenants_only(self):
+        """wait_fairness is the Jain index over the admitted tenants'
+        mean waits; zero-admission tenants neither drag it down nor
+        divide it by zero."""
+        nan = np.nan
+        out = _hand_outcomes(
+            admitted=[[True, True, False]],
+            starts=[[1.0, 1.0, nan]],
+            finishes=[[2.0, 2.0, nan]],
+            job_tenant=[0, 1, 2],
+            job_work=[1.0, 1.0, 1.0],
+            job_width=[1, 1, 1],
+        )
+        rep = tenant_report(out)
+        # Both admitted tenants waited 1.0 h (start - arrival 0), so the
+        # index over admitted tenants is exactly 1; counting tenant 2 as
+        # zero would yield 2/3 instead.
+        assert rep.wait_fairness == pytest.approx(
+            jain_fairness_index(rep.mean_wait_hours[:2])
+        )
+        assert rep.wait_fairness == pytest.approx(1.0)
+
+    def test_all_tenants_rejected_report_is_defined(self):
+        """Even the degenerate everything-rejected sweep yields a report:
+        all-nan means, fairness 1.0 (nothing to be unfair about)."""
+        import warnings
+
+        nan = np.nan
+        out = _hand_outcomes(
+            admitted=[[False, False]],
+            starts=[[nan, nan]],
+            finishes=[[nan, nan]],
+            job_tenant=[0, 1],
+            job_work=[1.0, 1.0],
+            job_width=[1, 1],
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            rep = tenant_report(out)
+        assert np.isnan(rep.mean_wait_hours).all()
+        assert rep.wait_fairness == 1.0
+
     def test_rejected_tenant_has_nan_wait(self, reference_dist):
         traffic = [
             (0, 0.0, [(4.0, 1)] * 2),
