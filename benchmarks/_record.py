@@ -1,0 +1,62 @@
+"""Shared writer for the checked-in ``BENCH_*.json`` records.
+
+Every benchmark that persists a record at the repo root goes through
+:func:`write_bench_record`, so all records share one envelope::
+
+    {
+      "schema_version": 1,
+      "bench": "<name>",           # record is BENCH_<name>.json
+      "python": "3.12.3",          # interpreter that produced it
+      "numpy": "2.0.1",
+      "config": {...},             # the knobs the numbers depend on
+      "speedup": 107.6,            # headline claim, when the bench has one
+      "phase_seconds": {...},      # measured wall-clock per phase
+      "results": {...}             # bench-specific payload
+    }
+
+Keeping the envelope uniform lets tooling (and reviewers diffing a
+regenerated record) find the headline number and the producing
+environment without knowing each benchmark's shape.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+ROOT = Path(__file__).resolve().parent.parent
+SCHEMA_VERSION = 1
+
+
+def write_bench_record(
+    name: str,
+    *,
+    config: dict[str, Any] | None = None,
+    speedup: float | None = None,
+    phase_seconds: dict[str, float] | None = None,
+    results: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Write ``BENCH_<name>.json`` at the repo root; returns the document."""
+    doc: dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "bench": name,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+    if config:
+        doc["config"] = config
+    if speedup is not None:
+        doc["speedup"] = round(float(speedup), 1)
+    if phase_seconds:
+        doc["phase_seconds"] = {
+            k: round(float(v), 3) for k, v in phase_seconds.items()
+        }
+    if results:
+        doc["results"] = results
+    path = ROOT / f"BENCH_{name}.json"
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return doc

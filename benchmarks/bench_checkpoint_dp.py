@@ -15,19 +15,16 @@ kernels amortise event dispatch.  Two measurements:
   ``BENCH_checkpoint_dp.json`` at the repo root.
 """
 
-import json
 import time
-from pathlib import Path
 
 import numpy as np
 import pytest
+from _record import write_bench_record
 
 from repro.sim.backend import run_service_replications
 from repro.sim.service_vectorized import ServiceBatchConfig
 
 pytestmark = pytest.mark.benchmark
-
-BENCH_RECORD = Path(__file__).resolve().parent.parent / "BENCH_checkpoint_dp.json"
 
 BAG = [(3.7, 2), (1.2, 1), (8.4, 3), (0.6, 2), (5.5, 4), (2.2, 1)]
 CONFIG = ServiceBatchConfig(
@@ -76,19 +73,18 @@ def test_speedup_floor(reference_dist):
         f"vectorized: {vec_s:.1f}s  speedup: {speedup:.0f}x at n={n}, "
         f"{len(BAG)} jobs, dp plans"
     )
-    BENCH_RECORD.write_text(
-        json.dumps(
-            {
-                "benchmark": "checkpoint_dp",
-                "n_replications": n,
-                "n_jobs": len(BAG),
-                "checkpoint": "dp",
-                "event_seconds_scaled": round(event_s, 2),
-                "vectorized_seconds": round(vec_s, 2),
-                "speedup": round(speedup, 1),
-            },
-            indent=2,
-        )
-        + "\n"
+    write_bench_record(
+        "checkpoint_dp",
+        config={
+            "n_replications": n,
+            "n_jobs": len(BAG),
+            "checkpoint": "dp",
+            "event_seconds_measured_at": n_event,
+        },
+        speedup=speedup,
+        phase_seconds={
+            "event_scaled": event_s,
+            "vectorized": vec_s,
+        },
     )
     assert speedup >= 10.0

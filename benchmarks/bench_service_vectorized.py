@@ -9,15 +9,15 @@ through the lockstep NumPy rounds than through 1000 real controller
 event loops, with identical per-replication outcomes
 (tests/test_service_backend_equivalence.py).  ``test_speedup_at_1k``
 pins the >= 10x floor from the issue's acceptance criteria (measured
-~30-60x) and emits a ``BENCH_service.json`` record at the repo root.
+~30-60x) and emits a ``BENCH_service.json`` record at the repo root
+(the shared ``benchmarks/_record.py`` envelope).
 """
 
-import json
 import time
-from pathlib import Path
 
 import numpy as np
 import pytest
+from _record import write_bench_record
 
 from repro.sim.backend import run_service_replications
 
@@ -25,7 +25,6 @@ pytestmark = pytest.mark.benchmark
 
 MAX_VMS = 16
 N_JOBS = 100
-BENCH_RECORD = Path(__file__).resolve().parent.parent / "BENCH_service.json"
 
 
 def _bag():
@@ -92,20 +91,18 @@ def test_speedup_at_1k(reference_dist):
         vec_small.makespan, event.makespan, rtol=0.0, atol=1e-9
     )
     np.testing.assert_array_equal(vec_small.n_events, event.n_events)
-    BENCH_RECORD.write_text(
-        json.dumps(
-            {
-                "benchmark": "service_vectorized",
-                "n_replications": n,
-                "n_jobs": N_JOBS,
-                "max_vms": MAX_VMS,
-                "event_seconds_scaled": round(event_s, 2),
-                "event_seconds_measured_at": n_event,
-                "vectorized_seconds": round(vec_s, 2),
-                "speedup": round(speedup, 1),
-                "floor": 10.0,
-            },
-            indent=2,
-        )
-        + "\n"
+    write_bench_record(
+        "service",
+        config={
+            "n_replications": n,
+            "n_jobs": N_JOBS,
+            "max_vms": MAX_VMS,
+            "event_seconds_measured_at": n_event,
+            "floor": 10.0,
+        },
+        speedup=speedup,
+        phase_seconds={
+            "event_scaled": event_s,
+            "vectorized": vec_s,
+        },
     )

@@ -17,20 +17,17 @@ end and emitted as ``BENCH_soa_core.json`` at the repo root:
   check on a prefix chunk.
 """
 
-import json
 import resource
 import time
-from pathlib import Path
 
 import numpy as np
 import pytest
+from _record import write_bench_record
 
 from repro.policies.youngdaly import young_daly_schedule
 from repro.sim.backend import run_replications, run_tenant_replications
 
 pytestmark = pytest.mark.benchmark
-
-BENCH_RECORD = Path(__file__).resolve().parent.parent / "BENCH_soa_core.json"
 
 DELTA = 1.0 / 60.0
 INTERVAL = 1.0 / 3.0  # 20-minute Young-Daly checkpoint interval
@@ -152,24 +149,27 @@ def test_tenancy_scale_sweep(reference_dist):
         f"parent peak RSS {peak_rss_mb:.0f} MB"
     )
     compiled = getattr(test_compiled_speedup_floor, "result", None)
-    BENCH_RECORD.write_text(
-        json.dumps(
-            {
-                "benchmark": "soa_core",
-                "compiled_speedup": compiled,
-                "tenancy_scale_sweep": {
-                    "n_replications": N_SCALE,
-                    "n_jobs": sum(len(j) for _, _, j in TRAFFIC),
-                    "chunk_size": CHUNK,
-                    "workers": WORKERS,
-                    "scheduling": "fair",
-                    "max_vms": 4,
-                    "seconds": round(sweep_s, 1),
-                    "parent_peak_rss_mb": round(peak_rss_mb, 1),
-                    "mean_makespan_hours": round(float(out.mean_makespan), 3),
-                },
+    write_bench_record(
+        "soa_core",
+        config={
+            "n_replications": N_SCALE,
+            "n_jobs": sum(len(j) for _, _, j in TRAFFIC),
+            "chunk_size": CHUNK,
+            "workers": WORKERS,
+            "scheduling": "fair",
+            "max_vms": 4,
+        },
+        speedup=(
+            max(c["speedup"] for c in compiled["configs"])
+            if compiled
+            else None
+        ),
+        phase_seconds={"tenancy_scale_sweep": sweep_s},
+        results={
+            "compiled_speedup": compiled,
+            "tenancy_scale_sweep": {
+                "parent_peak_rss_mb": round(peak_rss_mb, 1),
+                "mean_makespan_hours": round(float(out.mean_makespan), 3),
             },
-            indent=2,
-        )
-        + "\n"
+        },
     )

@@ -18,12 +18,11 @@ is covered at scale, not just the kernel).  Two measurements:
   ``BENCH_swf_tenancy.json`` record at the repo root.
 """
 
-import json
 import time
-from pathlib import Path
 
 import numpy as np
 import pytest
+from _record import write_bench_record
 
 from repro.sim.backend import run_tenant_replications
 from repro.traces.swf import parse_swf, swf_traffic
@@ -32,7 +31,6 @@ pytestmark = pytest.mark.benchmark
 
 LARGE_JOBS = 21_000
 LARGE_USERS = 1_100
-BENCH_RECORD = Path(__file__).resolve().parent.parent / "BENCH_swf_tenancy.json"
 
 
 def _write_swf(path, *, n_jobs, n_users, mean_gap_s, log_mu, log_sigma,
@@ -162,26 +160,22 @@ def test_speedup_floor(reference_dist, speedup_log):
     assert speedup >= 10.0
     assert vec.n_replications == n
     large = getattr(test_large_trace_chunked_completes, "result", None)
-    BENCH_RECORD.write_text(
-        json.dumps(
-            {
-                "benchmark": "swf_tenancy",
-                "large_trace_chunked": large,
-                "speedup_slice": {
-                    "n_jobs": n_jobs,
-                    "n_tenants": n_tenants,
-                    "n_replications": n,
-                    "chunk_size": chunk,
-                    "max_vms": 16,
-                    "event_seconds_scaled": round(event_s, 1),
-                    "event_seconds_measured_at": n_event,
-                    "vectorized_seconds": round(vec_s, 1),
-                    "speedup": round(speedup, 1),
-                    "floor": 10.0,
-                },
-                "scheduling": "fair",
-            },
-            indent=2,
-        )
-        + "\n"
+    write_bench_record(
+        "swf_tenancy",
+        config={
+            "n_jobs": n_jobs,
+            "n_tenants": n_tenants,
+            "n_replications": n,
+            "chunk_size": chunk,
+            "max_vms": 16,
+            "scheduling": "fair",
+            "event_seconds_measured_at": n_event,
+            "floor": 10.0,
+        },
+        speedup=speedup,
+        phase_seconds={
+            "event_scaled": event_s,
+            "vectorized": vec_s,
+        },
+        results={"large_trace_chunked": large},
     )

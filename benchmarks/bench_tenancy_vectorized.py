@@ -12,12 +12,11 @@ acceptance criteria (measured ~25-35x) and emits a
 ``BENCH_tenancy.json`` record at the repo root.
 """
 
-import json
 import time
-from pathlib import Path
 
 import numpy as np
 import pytest
+from _record import write_bench_record
 
 from repro.sim.backend import run_tenant_replications
 from repro.traffic.arrivals import JobMix, PoissonProcess, TenantSpec, sample_traffic
@@ -27,7 +26,6 @@ pytestmark = pytest.mark.benchmark
 MAX_VMS = 16
 N_TENANTS = 4
 HORIZON = 8.0
-BENCH_RECORD = Path(__file__).resolve().parent.parent / "BENCH_tenancy.json"
 
 
 def _traffic():
@@ -107,23 +105,21 @@ def test_speedup_at_1k(reference_dist):
         vec_small.makespan, event.makespan, rtol=0.0, atol=1e-9
     )
     np.testing.assert_array_equal(vec_small.n_events, event.n_events)
-    BENCH_RECORD.write_text(
-        json.dumps(
-            {
-                "benchmark": "tenancy_vectorized",
-                "n_replications": n,
-                "n_tenants": N_TENANTS,
-                "n_bags": len(traffic),
-                "n_jobs": n_jobs,
-                "max_vms": MAX_VMS,
-                "scheduling": "fair",
-                "event_seconds_scaled": round(event_s, 2),
-                "event_seconds_measured_at": n_event,
-                "vectorized_seconds": round(vec_s, 2),
-                "speedup": round(speedup, 1),
-                "floor": 10.0,
-            },
-            indent=2,
-        )
-        + "\n"
+    write_bench_record(
+        "tenancy",
+        config={
+            "n_replications": n,
+            "n_tenants": N_TENANTS,
+            "n_bags": len(traffic),
+            "n_jobs": n_jobs,
+            "max_vms": MAX_VMS,
+            "scheduling": "fair",
+            "event_seconds_measured_at": n_event,
+            "floor": 10.0,
+        },
+        speedup=speedup,
+        phase_seconds={
+            "event_scaled": event_s,
+            "vectorized": vec_s,
+        },
     )

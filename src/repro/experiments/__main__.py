@@ -1,25 +1,132 @@
-"""CLI entry point: ``python -m repro.experiments [name|all|list]``."""
+"""CLI entry point: ``python -m repro.experiments [name|all|list]``.
+
+The observability flags wrap the whole run in an ambient
+:class:`repro.obs.Instrumentation` bundle, so every ``run_*_replications``
+sweep an experiment performs lands in one cumulative metrics registry
+and one span trace — no experiment needs to thread a kwarg for it:
+
+``--metrics-out m.json``
+    write the merged counter/gauge/histogram snapshot as metrics JSON
+    (render with ``python tools/obs_report.py m.json``);
+``--trace-out t.json``
+    write a Chrome-trace file (open at ``chrome://tracing`` or
+    https://ui.perfetto.dev);
+``--progress``
+    print per-chunk progress + ETA lines to stderr.
+"""
 
 from __future__ import annotations
 
+import argparse
+import inspect
 import sys
 
 from repro.experiments.registry import EXPERIMENTS, get_experiment, run_all
 
 
+def _print_listing(out) -> None:
+    print("usage: python -m repro.experiments <name>|all|list", file=out)
+    print("", file=out)
+    for name, exp in sorted(EXPERIMENTS.items()):
+        print(f"  {name:20s} {exp.description}", file=out)
+
+
+def _run_one(name: str, seed: int | None) -> str:
+    exp = get_experiment(name)
+    kwargs = {}
+    if seed is not None:
+        if "seed" not in inspect.signature(exp.run).parameters:
+            raise SystemExit(
+                f"error: experiment {name!r} does not accept --seed"
+            )
+        kwargs["seed"] = seed
+    return exp.report(exp.run(**kwargs))
+
+
 def main(argv: list[str]) -> int:
-    if not argv or argv[0] in ("-h", "--help", "list"):
-        print("usage: python -m repro.experiments <name>|all|list\n")
-        for name, exp in sorted(EXPERIMENTS.items()):
-            print(f"  {name:20s} {exp.description}")
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate one paper artifact (or all of them).",
+    )
+    parser.add_argument(
+        "name",
+        nargs="?",
+        help="experiment name, 'all' to run every experiment, "
+        "or 'list' to enumerate them",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override the experiment's root seed (single experiment only)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write the run's merged metrics registry as JSON",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome-trace span file (chrome://tracing)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print per-chunk progress + ETA to stderr",
+    )
+    args = parser.parse_args(argv)
+
+    if args.name is None or args.name == "list":
+        _print_listing(sys.stdout)
         return 0
-    if argv[0] == "all":
-        for name, text in run_all().items():
-            print(f"\n=== {name} ===")
-            print(text)
-        return 0
-    exp = get_experiment(argv[0])
-    print(exp.report(exp.run()))
+    if args.name != "all" and args.name not in EXPERIMENTS:
+        print(f"error: unknown experiment {args.name!r}", file=sys.stderr)
+        print("known experiments:", file=sys.stderr)
+        for name in sorted(EXPERIMENTS):
+            print(f"  {name}", file=sys.stderr)
+        return 2
+    if args.name == "all" and args.seed is not None:
+        print("error: --seed applies to a single experiment, not 'all'",
+              file=sys.stderr)
+        return 2
+
+    from repro.obs import (
+        Instrumentation,
+        instrumented,
+        progress_printer,
+        write_metrics_json,
+    )
+
+    observing = bool(args.metrics_out or args.trace_out or args.progress)
+    inst = Instrumentation(
+        progress=progress_printer() if args.progress else None
+    )
+    ctx = instrumented(inst) if observing else None
+    try:
+        if ctx is not None:
+            ctx.__enter__()
+        if args.name == "all":
+            for name, text in run_all().items():
+                print(f"\n=== {name} ===")
+                print(text)
+        else:
+            print(_run_one(args.name, args.seed))
+    finally:
+        if ctx is not None:
+            ctx.__exit__(None, None, None)
+    if args.metrics_out:
+        write_metrics_json(
+            args.metrics_out, inst.registry, meta={"experiment": args.name}
+        )
+        print(f"[repro.obs] metrics written to {args.metrics_out}",
+              file=sys.stderr)
+    if args.trace_out:
+        inst.tracer.write(args.trace_out)
+        print(f"[repro.obs] trace written to {args.trace_out} "
+              "(open at chrome://tracing)", file=sys.stderr)
     return 0
 
 

@@ -70,6 +70,3 @@ def report(result: ScheduleResult) -> str:
         f"(expected makespan {result.plan.expected_makespan:.3f} h)"
     )
 
-
-if __name__ == "__main__":  # pragma: no cover
-    print(report(run()))

@@ -102,6 +102,3 @@ def report(result: Fig1Result) -> str:
     )
     return table + params_line + "\n" + truth_line
 
-
-if __name__ == "__main__":  # pragma: no cover
-    print(report(run()))

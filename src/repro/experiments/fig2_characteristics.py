@@ -100,6 +100,3 @@ def report(result: Fig2Result) -> str:
         title="Fig. 2 — lifetimes by VM type / zone / launch context",
     )
 
-
-if __name__ == "__main__":  # pragma: no cover
-    print(report(run()))

@@ -219,8 +219,3 @@ def report_monte_carlo(result: Fig4MonteCarloResult) -> str:
     )
     return table + f"\nmax MC/analytic relative error: {result.max_relative_error():.3f}"
 
-
-if __name__ == "__main__":  # pragma: no cover
-    print(report(run()))
-    print()
-    print(report_monte_carlo(run_monte_carlo()))

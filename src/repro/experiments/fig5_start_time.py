@@ -197,8 +197,3 @@ def report_monte_carlo(result: Fig5MonteCarloResult) -> str:
     )
     return table + f"\nmax |MC - closed form|: {result.max_abs_error():.3f}"
 
-
-if __name__ == "__main__":  # pragma: no cover
-    print(report(run()))
-    print()
-    print(report_monte_carlo(run_monte_carlo()))

@@ -210,8 +210,3 @@ def report_monte_carlo(result: Fig6MonteCarloResult) -> str:
         f"mid-range reduction factor: {result.reduction_factor():.2f}x (paper: ~2x)"
     )
 
-
-if __name__ == "__main__":  # pragma: no cover
-    print(report(run()))
-    print()
-    print(report_monte_carlo(run_monte_carlo()))

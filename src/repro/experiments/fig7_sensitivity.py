@@ -195,8 +195,3 @@ def report_monte_carlo(result: Fig7MonteCarloResult) -> str:
         "(paper: < 0.02 analytic; MC adds sampling noise)"
     )
 
-
-if __name__ == "__main__":  # pragma: no cover
-    print(report(run()))
-    print()
-    print(report_monte_carlo(run_monte_carlo()))

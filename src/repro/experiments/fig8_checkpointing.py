@@ -252,8 +252,3 @@ def report_monte_carlo(result: Fig8MonteCarloResult) -> str:
         f"{result.improvement_factor():.1f}x (paper: ~5x)"
     )
 
-
-if __name__ == "__main__":  # pragma: no cover
-    print(report(run()))
-    print()
-    print(report_monte_carlo(run_monte_carlo()))

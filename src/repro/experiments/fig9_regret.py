@@ -184,6 +184,3 @@ def report(result: Fig9RegretResult) -> str:
     )
     return table + "\n" + verdict
 
-
-if __name__ == "__main__":  # pragma: no cover
-    print(report(run()))

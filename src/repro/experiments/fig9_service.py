@@ -337,8 +337,3 @@ def report_monte_carlo(result: Fig9MonteCarloResult) -> str:
         "(paper: ~3%)"
     )
 
-
-if __name__ == "__main__":  # pragma: no cover
-    print(report(run()))
-    print()
-    print(report_monte_carlo(run_monte_carlo()))

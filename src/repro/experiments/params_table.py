@@ -88,6 +88,3 @@ def report(result: ParamsTableResult) -> str:
     )
     return table + "\nlifetime ranking: " + " > ".join(result.lifetime_ranking())
 
-
-if __name__ == "__main__":  # pragma: no cover
-    print(report(run()))

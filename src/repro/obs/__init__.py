@@ -1,0 +1,55 @@
+"""Observability plane: metrics, spans, and per-run kernel diagnostics.
+
+See :mod:`repro.obs.core` for the design and the zero-overhead /
+draw-neutrality contract.  Typical use::
+
+    from repro.obs import Instrumentation
+
+    inst = Instrumentation()
+    out = run_service_replications(dist, bag, instrument=inst)
+    out.stats.channel_events      # per-channel arena event counts
+    inst.tracer.write("trace.json")   # -> chrome://tracing
+
+or ambiently, wrapping code that calls the entry points internally::
+
+    from repro.obs import Instrumentation, instrumented
+
+    with instrumented(Instrumentation()) as inst:
+        experiment.run()
+"""
+
+from repro.obs.core import (
+    Counter,
+    Gauge,
+    Histogram,
+    Instrumentation,
+    KernelStats,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NULL_TRACER,
+    Snapshot,
+    Tracer,
+    current_instrumentation,
+    instrumented,
+    peak_rss_bytes,
+    progress_printer,
+    write_metrics_json,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Instrumentation",
+    "KernelStats",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "Snapshot",
+    "Tracer",
+    "current_instrumentation",
+    "instrumented",
+    "peak_rss_bytes",
+    "progress_printer",
+    "write_metrics_json",
+]

@@ -1,0 +1,636 @@
+"""The observability plane: metrics registry, span tracer, KernelStats.
+
+Three cooperating pieces, all with a strict *zero-overhead-when-off*
+contract:
+
+:class:`MetricsRegistry`
+    Named counters, gauges, and histograms.  Instrumented code holds an
+    ``obs`` reference that is either a registry or ``None``; every
+    recording site is guarded by ``if obs is not None`` (or goes through
+    the :data:`NULL_REGISTRY` no-op singleton), so a disabled run costs
+    one identity check per site and allocates nothing.
+
+:class:`Tracer`
+    Append-only span recorder emitting Chrome-trace-format JSON
+    (``chrome://tracing`` / Perfetto load it directly).  Spans wrap the
+    *orchestration* phases of a sweep (validate, simulate, shard
+    fan-out, chunk k), never the per-round inner loops.
+
+:class:`KernelStats`
+    The per-run diagnostic record attached to every ``*Outcomes`` by the
+    :mod:`repro.sim.backend` entry points when instrumentation is on:
+    rounds, RNG rows, per-channel arena event counts, mirrored policy
+    counters (stall terminations, boot-grace activations, livelock
+    near-misses), peaks (queue depth, per-pool occupancy, RSS), the
+    shard/chunk layout, and per-phase wall time.
+
+The load-bearing guarantee
+--------------------------
+Instrumentation **never consumes an RNG draw and never changes an
+outcome**.  Counters only *read* simulation state; the round protocol
+is untouched.  ``tests/test_obs_neutrality.py`` pins outcomes
+byte-identical with instrumentation on vs off for every kernel x
+backend x workers cell, and pins the per-channel event counts equal
+across backends — the diagnostics themselves are equivalence-checked,
+not just the outcomes.
+
+Everything here is stdlib-only and picklable where it must cross
+process boundaries (:class:`Snapshot` travels back from
+``ProcessPoolExecutor`` workers and merges deterministically).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Snapshot",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "Tracer",
+    "NULL_TRACER",
+    "Instrumentation",
+    "instrumented",
+    "current_instrumentation",
+    "KernelStats",
+    "peak_rss_bytes",
+    "progress_printer",
+    "write_metrics_json",
+]
+
+
+# ----------------------------------------------------------------------
+# Metric primitives
+# ----------------------------------------------------------------------
+
+class Counter:
+    """Monotone event count; merges across shards by summation."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """Sampled level tracking its extremes.
+
+    ``set`` records the latest sample and folds it into the running
+    min/max, so peaks survive shard merging (where "latest" is
+    meaningless, :meth:`Snapshot.merge` keeps the max).
+    """
+
+    __slots__ = ("last", "max", "min", "n_samples")
+
+    def __init__(self) -> None:
+        self.last = 0.0
+        self.max = float("-inf")
+        self.min = float("inf")
+        self.n_samples = 0
+
+    def set(self, value: float) -> None:
+        self.last = value
+        if value > self.max:
+            self.max = value
+        if value < self.min:
+            self.min = value
+        self.n_samples += 1
+
+
+class Histogram:
+    """Streaming summary (count / total / extremes) of observed values."""
+
+    __slots__ = ("count", "total", "max", "min")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.max = float("-inf")
+        self.min = float("inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+        if value < self.min:
+            self.min = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class _NullCounter:
+    __slots__ = ()
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+# ----------------------------------------------------------------------
+# Snapshot: the picklable merge unit
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Snapshot:
+    """Frozen, picklable image of a registry's state.
+
+    This is what travels back from worker processes: each shard (or
+    chunk) snapshots its private registry and the parent merges the
+    snapshots.  ``merge`` is associative and commutative up to the
+    documented gauge convention, so per-shard stats combine
+    deterministically regardless of completion order:
+
+    - counters and histogram count/total **sum**;
+    - gauge/histogram ``max`` takes the max, ``min`` the min — and a
+      merged gauge's ``last`` is the max of the sources' lasts (the
+      only order-independent choice);
+    - ``n_sources`` sums, giving shard-count accounting for free.
+    """
+
+    counters: dict[str, int] = field(default_factory=dict)
+    gauges: dict[str, dict[str, float]] = field(default_factory=dict)
+    histograms: dict[str, dict[str, float]] = field(default_factory=dict)
+    n_sources: int = 1
+
+    def merge(self, other: "Snapshot") -> "Snapshot":
+        counters = dict(self.counters)
+        for name, v in other.counters.items():
+            counters[name] = counters.get(name, 0) + v
+        gauges = {name: dict(g) for name, g in self.gauges.items()}
+        for name, g in other.gauges.items():
+            if name not in gauges:
+                gauges[name] = dict(g)
+            else:
+                mine = gauges[name]
+                mine["max"] = max(mine["max"], g["max"])
+                mine["min"] = min(mine["min"], g["min"])
+                mine["last"] = max(mine["last"], g["last"])
+                mine["n_samples"] = mine["n_samples"] + g["n_samples"]
+        histograms = {name: dict(h) for name, h in self.histograms.items()}
+        for name, h in other.histograms.items():
+            if name not in histograms:
+                histograms[name] = dict(h)
+            else:
+                mine = histograms[name]
+                mine["count"] = mine["count"] + h["count"]
+                mine["total"] = mine["total"] + h["total"]
+                mine["max"] = max(mine["max"], h["max"])
+                mine["min"] = min(mine["min"], h["min"])
+        return Snapshot(
+            counters=counters,
+            gauges=gauges,
+            histograms=histograms,
+            n_sources=self.n_sources + other.n_sources,
+        )
+
+    def counter(self, name: str, default: int = 0) -> int:
+        return self.counters.get(name, default)
+
+    def gauge_max(self, name: str, default: float = 0.0) -> float:
+        g = self.gauges.get(name)
+        return g["max"] if g is not None else default
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "counters": dict(self.counters),
+            "gauges": {k: dict(v) for k, v in self.gauges.items()},
+            "histograms": {k: dict(v) for k, v in self.histograms.items()},
+            "n_sources": self.n_sources,
+        }
+
+
+class MetricsRegistry:
+    """Named metric store; the live mutable side of :class:`Snapshot`.
+
+    Lookups create metrics on first use, so instrumented code never
+    pre-declares anything.  Registries are *not* shared across
+    processes — shards snapshot their private registry and the parent
+    merges (see :class:`Snapshot`).
+    """
+
+    #: Disabled registries (the NULL singleton) report False here so
+    #: callers can gate genuinely expensive sampling.
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter()
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge()
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram()
+        return h
+
+    def inc(self, name: str, n: int = 1) -> None:
+        """Shorthand for ``registry.counter(name).inc(n)``."""
+        self.counter(name).inc(n)
+
+    def snapshot(self) -> Snapshot:
+        return Snapshot(
+            counters={k: c.value for k, c in self._counters.items()},
+            gauges={
+                k: {
+                    "last": g.last,
+                    "max": g.max,
+                    "min": g.min,
+                    "n_samples": g.n_samples,
+                }
+                for k, g in self._gauges.items()
+            },
+            histograms={
+                k: {"count": h.count, "total": h.total, "max": h.max, "min": h.min}
+                for k, h in self._histograms.items()
+            },
+        )
+
+    def merge_snapshot(self, snap: Snapshot) -> None:
+        """Fold a shard/chunk snapshot into this registry in place."""
+        for name, v in snap.counters.items():
+            self.counter(name).inc(v)
+        for name, g in snap.gauges.items():
+            gauge = self.gauge(name)
+            if not g["n_samples"]:
+                continue
+            if gauge.n_samples == 0:
+                gauge.last = g["last"]
+                gauge.max = g["max"]
+                gauge.min = g["min"]
+            else:  # the Snapshot.merge convention: last := max of lasts
+                gauge.last = max(gauge.last, g["last"])
+                gauge.max = max(gauge.max, g["max"])
+                gauge.min = min(gauge.min, g["min"])
+            gauge.n_samples += g["n_samples"]
+        for name, h in snap.histograms.items():
+            hist = self.histogram(name)
+            hist.count += h["count"]
+            hist.total += h["total"]
+            hist.max = max(hist.max, h["max"])
+            hist.min = min(hist.min, h["min"])
+
+
+class _NullRegistry(MetricsRegistry):
+    """The disabled singleton: every lookup returns a shared no-op.
+
+    Exists so code may be written against a registry unconditionally;
+    the simulation kernels instead take ``obs=None`` and guard each
+    site, which benchmarks as free.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:  # no dicts: nothing is ever stored
+        pass
+
+    def counter(self, name: str) -> Counter:
+        return _NULL_COUNTER  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:
+        return _NULL_GAUGE  # type: ignore[return-value]
+
+    def histogram(self, name: str) -> Histogram:
+        return _NULL_HISTOGRAM  # type: ignore[return-value]
+
+    def inc(self, name: str, n: int = 1) -> None:
+        pass
+
+    def snapshot(self) -> Snapshot:
+        return Snapshot(n_sources=0)
+
+    def merge_snapshot(self, snap: Snapshot) -> None:
+        pass
+
+
+NULL_REGISTRY = _NullRegistry()
+
+
+# ----------------------------------------------------------------------
+# Span tracer (Chrome trace format)
+# ----------------------------------------------------------------------
+
+class Tracer:
+    """Records named spans as Chrome-trace "complete" (``X``) events.
+
+    ``write()`` emits the JSON object format chrome://tracing and
+    Perfetto load directly.  Timestamps are ``perf_counter``
+    microseconds relative to the tracer's creation.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: list[dict[str, Any]] = []
+        self._t0 = time.perf_counter()
+
+    def _now_us(self) -> float:
+        return (time.perf_counter() - self._t0) * 1e6
+
+    @contextmanager
+    def span(self, name: str, category: str = "repro") -> Iterator[None]:
+        start = self._now_us()
+        try:
+            yield
+        finally:
+            self.events.append(
+                {
+                    "name": name,
+                    "cat": category,
+                    "ph": "X",
+                    "ts": start,
+                    "dur": self._now_us() - start,
+                    "pid": 0,
+                    "tid": 0,
+                }
+            )
+
+    def instant(self, name: str, category: str = "repro") -> None:
+        self.events.append(
+            {
+                "name": name,
+                "cat": category,
+                "ph": "i",
+                "ts": self._now_us(),
+                "pid": 0,
+                "tid": 0,
+                "s": "g",
+            }
+        )
+
+    def to_chrome_trace(self) -> dict[str, Any]:
+        return {
+            "traceEvents": list(self.events),
+            "displayTimeUnit": "ms",
+            "otherData": {"generator": "repro.obs"},
+        }
+
+    def write(self, path) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_chrome_trace(), fh, indent=2)
+            fh.write("\n")
+
+
+class _NullTracer(Tracer):
+    enabled = False
+
+    def __init__(self) -> None:
+        pass
+
+    @contextmanager
+    def span(self, name: str, category: str = "repro") -> Iterator[None]:
+        yield
+
+    def instant(self, name: str, category: str = "repro") -> None:
+        pass
+
+    def to_chrome_trace(self) -> dict[str, Any]:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+
+
+NULL_TRACER = _NullTracer()
+
+
+# ----------------------------------------------------------------------
+# Instrumentation bundle + ambient stack
+# ----------------------------------------------------------------------
+
+@dataclass
+class Instrumentation:
+    """One run's observability bundle, passed as ``instrument=``.
+
+    ``registry`` accumulates metrics across every entry-point call made
+    under this bundle (an experiment may run many sweeps); each call
+    additionally gets its own :class:`KernelStats` on the returned
+    outcomes.  ``progress`` is an optional ``(done, total, elapsed_s,
+    eta_s)`` callback invoked by the chunk-streaming path.
+    """
+
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+    tracer: Tracer = field(default_factory=Tracer)
+    progress: Callable[[int, int, float, float], None] | None = None
+
+
+#: Ambient instrumentation stack: entry points called with the default
+#: ``instrument=None`` look here, so a CLI can instrument a whole
+#: experiment without threading a kwarg through every layer.  Empty in
+#: normal operation — the lookup is a truthiness check, preserving the
+#: zero-overhead contract.
+_AMBIENT: list[Instrumentation] = []
+
+
+def current_instrumentation() -> Instrumentation | None:
+    """The innermost ambient bundle, or None when instrumentation is off."""
+    return _AMBIENT[-1] if _AMBIENT else None
+
+
+@contextmanager
+def instrumented(inst: Instrumentation) -> Iterator[Instrumentation]:
+    """Make ``inst`` the ambient bundle for the duration of the block."""
+    _AMBIENT.append(inst)
+    try:
+        yield inst
+    finally:
+        _AMBIENT.pop()
+
+
+# ----------------------------------------------------------------------
+# KernelStats: the per-run record on every *Outcomes
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class KernelStats:
+    """Diagnostics of one ``run_*_replications`` invocation.
+
+    ``channel_events`` and the three mirrored policy counters
+    (``stall_terminations``, ``boot_grace_activations``,
+    ``livelock_peak_streak``) agree *exactly* between the event and
+    vectorized backends — they are counted at semantically identical
+    choke points on both sides, so a cross-backend drift shows up as a
+    dict diff here before it shows up as a 1e-9 outcome divergence.
+    ``peak_queue_depth`` and ``pool_occupancy`` are sampled diagnostics
+    (round-granular in the kernels, event-granular in the oracles) and
+    may differ between backends; phase times and RSS are host-local.
+
+    Merge semantics (shards / chunks): counts sum; ``n_rounds``,
+    ``rng_rows`` and the peaks take the max (CRN shards replay the
+    same row indices); pool occupancy maxes elementwise; the layout
+    tuples concatenate.
+    """
+
+    kind: str                      # "plan" | "cluster" | "service" | "tenancy"
+    backend: str
+    n_replications: int
+    workers: int
+    shards: tuple[tuple[int, int], ...]
+    chunk_sizes: tuple[int, ...]
+    n_rounds: int
+    rng_rows: int
+    n_draws: int
+    channel_events: dict[str, int]
+    stall_terminations: int
+    boot_grace_activations: int
+    livelock_peak_streak: int
+    peak_queue_depth: int
+    pool_occupancy: tuple[int, ...]
+    phase_seconds: dict[str, float]
+    peak_rss_bytes: int
+
+    def merge(self, other: "KernelStats") -> "KernelStats":
+        if (self.kind, self.backend) != (other.kind, other.backend):
+            raise ValueError(
+                f"cannot merge stats of ({self.kind}, {self.backend}) with "
+                f"({other.kind}, {other.backend})"
+            )
+        channels = dict(self.channel_events)
+        for name, v in other.channel_events.items():
+            channels[name] = channels.get(name, 0) + v
+        phases = dict(self.phase_seconds)
+        for name, v in other.phase_seconds.items():
+            phases[name] = phases.get(name, 0.0) + v
+        occ_a, occ_b = self.pool_occupancy, other.pool_occupancy
+        if len(occ_a) < len(occ_b):
+            occ_a, occ_b = occ_b, occ_a
+        occupancy = tuple(
+            max(a, occ_b[i]) if i < len(occ_b) else a
+            for i, a in enumerate(occ_a)
+        )
+        return KernelStats(
+            kind=self.kind,
+            backend=self.backend,
+            n_replications=self.n_replications + other.n_replications,
+            workers=max(self.workers, other.workers),
+            shards=self.shards + other.shards,
+            chunk_sizes=self.chunk_sizes + other.chunk_sizes,
+            n_rounds=max(self.n_rounds, other.n_rounds),
+            rng_rows=max(self.rng_rows, other.rng_rows),
+            n_draws=self.n_draws + other.n_draws,
+            channel_events=channels,
+            stall_terminations=self.stall_terminations + other.stall_terminations,
+            boot_grace_activations=(
+                self.boot_grace_activations + other.boot_grace_activations
+            ),
+            livelock_peak_streak=max(
+                self.livelock_peak_streak, other.livelock_peak_streak
+            ),
+            peak_queue_depth=max(self.peak_queue_depth, other.peak_queue_depth),
+            pool_occupancy=occupancy,
+            phase_seconds=phases,
+            peak_rss_bytes=max(self.peak_rss_bytes, other.peak_rss_bytes),
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "backend": self.backend,
+            "n_replications": self.n_replications,
+            "workers": self.workers,
+            "shards": [list(s) for s in self.shards],
+            "chunk_sizes": list(self.chunk_sizes),
+            "n_rounds": self.n_rounds,
+            "rng_rows": self.rng_rows,
+            "n_draws": self.n_draws,
+            "channel_events": dict(self.channel_events),
+            "stall_terminations": self.stall_terminations,
+            "boot_grace_activations": self.boot_grace_activations,
+            "livelock_peak_streak": self.livelock_peak_streak,
+            "peak_queue_depth": self.peak_queue_depth,
+            "pool_occupancy": list(self.pool_occupancy),
+            "phase_seconds": dict(self.phase_seconds),
+            "peak_rss_bytes": self.peak_rss_bytes,
+        }
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+
+def peak_rss_bytes() -> int:
+    """Peak resident set size of this process, in bytes (0 if unknown)."""
+    try:
+        import resource
+    except ImportError:  # non-POSIX platforms
+        return 0
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports kilobytes, macOS bytes.
+    import sys
+
+    return int(rss) if sys.platform == "darwin" else int(rss) * 1024
+
+
+def progress_printer(stream=None) -> Callable[[int, int, float, float], None]:
+    """A ``progress=`` callback writing one status line per chunk.
+
+    Writes to ``stream`` (default ``sys.stderr``, keeping stdout clean
+    for reports) as ``done/total (pct)  elapsed  eta``.
+    """
+    import sys
+
+    out = stream if stream is not None else sys.stderr
+
+    def report(done: int, total: int, elapsed: float, eta: float) -> None:
+        pct = 100.0 * done / total if total else 100.0
+        eta_txt = f"{eta:6.1f}s" if eta < float("inf") else "    ?s"
+        out.write(
+            f"\r[repro.obs] {done}/{total} replications ({pct:5.1f}%)  "
+            f"elapsed {elapsed:6.1f}s  eta {eta_txt}"
+        )
+        if done >= total:
+            out.write("\n")
+        out.flush()
+
+    return report
+
+
+def write_metrics_json(path, registry: MetricsRegistry, meta: dict | None = None) -> None:
+    """Dump a registry snapshot as the metrics-JSON document
+    ``tools/obs_report.py`` renders."""
+    doc: dict[str, Any] = {"generator": "repro.obs", "schema_version": 1}
+    if meta:
+        doc.update(meta)
+    doc.update(registry.snapshot().as_dict())
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True, default=str)
+        fh.write("\n")

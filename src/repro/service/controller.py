@@ -157,6 +157,12 @@ class ServiceReport:
 class BatchComputingService:
     """Event-driven controller over one simulated cloud + cluster."""
 
+    #: Optional :class:`repro.obs.MetricsRegistry`.  ``None`` (the class
+    #: default) keeps the hot path free of any instrumentation work;
+    #: counters here mirror the vectorized kernels' names exactly so
+    #: per-channel event counts agree across backends.
+    obs = None
+
     def __init__(
         self,
         sim: Simulator,
@@ -353,6 +359,11 @@ class BatchComputingService:
             handle.cancel()
 
     def _reap_spare(self, vm_id: int) -> None:
+        if self.obs is not None:
+            # Counted at entry (even when the reap is a no-op): the
+            # vectorized kernel counts every fired reap arena event the
+            # same way, and cancelled timers never fire on either side.
+            self.obs.inc("events.reap")
         self._spare_timers.pop(vm_id, None)
         for vm in self.cluster.free_nodes():
             if vm.vm_id == vm_id and self.cluster.queue_length == 0:
@@ -366,6 +377,20 @@ class BatchComputingService:
         free = self.cluster.free_nodes(job)
         if self.config.use_reuse_policy:
             suitable = [vm for vm in free if self._vm_suitable(length, vm)]
+            if self.obs is not None:
+                # Boot-grace activations: free VMs spared *only* by the
+                # grace window (pure Eq. 8 verdict would reject them).
+                # Mirrors ``_count_graced`` in the vectorized kernel.
+                graced = 0
+                for vm in free:
+                    age = vm.age(self.sim.now)
+                    if age <= self.pools[vm.pool].boot_latency and (
+                        self._reuse_policies[vm.pool].decide(length, age)
+                        is not SchedulingDecision.REUSE
+                    ):
+                        graced += 1
+                if graced:
+                    self.obs.inc("stall.graced", graced)
             # Policy-rejected idle VMs are released: the model says any
             # job placed there now would be better off on a fresh VM.
             # The boot-grace fallback in _vm_suitable exempts VMs a
@@ -379,12 +404,18 @@ class BatchComputingService:
                     self.cloud.terminate(vm)
                     terminated += 1
             if terminated:
+                if self.obs is not None:
+                    self.obs.inc("stall.terminations", terminated)
                 # Backstop guardrail for terminate/provision churn:
                 # stall rounds that keep rejecting and replacing idle
                 # workers, with no job ever starting, are livelock.
                 # The grace window resolves the known pathology; this
                 # protects against future policy regressions.
                 self._fruitless_stalls += 1
+                if self.obs is not None:
+                    self.obs.gauge("livelock.peak_streak").set(
+                        self._fruitless_stalls
+                    )
                 if self._fruitless_stalls >= self.config.livelock_threshold:
                     raise ProvisioningLivelockError(
                         f"{self._fruitless_stalls} consecutive queue stalls "

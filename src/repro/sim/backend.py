@@ -31,12 +31,21 @@ generator and expect stability.
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
 from repro.distributions.base import LifetimeDistribution
+from repro.obs.core import (
+    Instrumentation,
+    KernelStats,
+    MetricsRegistry,
+    current_instrumentation,
+    peak_rss_bytes,
+)
 from repro.sim.engine import EventHandle, Simulator
 from repro.sim.vectorized import conditional_quantiles, simulate_plan_vectorized
 from repro.utils.validation import check_nonnegative, check_positive
@@ -232,6 +241,10 @@ def _shard_task(payload):
     kind, backend, rng, lo, hi, full, args = payload
     shard_rng = _ShardRNG(rng, lo, hi, full)
     size = hi - lo
+    # Instrumented shards count into a private registry and ship the
+    # picklable snapshot home inside the raw dict; the parent merges
+    # (deterministically — Snapshot.merge is order-independent).
+    reg = MetricsRegistry() if args.get("instrument") else None
     if kind == "plan":
         if backend == COMPILED_BACKEND:
             from repro.sim.compiled import simulate_plan_compiled
@@ -262,11 +275,12 @@ def _shard_task(payload):
             if backend == "vectorized"
             else _simulate_cluster_event
         )
-        return kernel(
+        raw = kernel(
             args["dist"], args["jobs"], args["config"],
             n_replications=size, rng=shard_rng, max_events=args["max_events"],
+            obs=reg,
         )
-    if kind == "service":
+    elif kind == "service":
         from repro.sim.service_vectorized import simulate_service_vectorized
 
         kernel = (
@@ -274,11 +288,12 @@ def _shard_task(payload):
             if backend == "vectorized"
             else _simulate_service_event
         )
-        return kernel(
+        raw = kernel(
             args["dist"], args["jobs"], args["config"],
             n_replications=size, rng=shard_rng, max_events=args["max_events"],
+            obs=reg,
         )
-    if kind == "tenancy":
+    elif kind == "tenancy":
         from repro.sim.tenancy_vectorized import simulate_tenancy_vectorized
 
         kernel = (
@@ -286,11 +301,17 @@ def _shard_task(payload):
             if backend == "vectorized"
             else _simulate_tenancy_event
         )
-        return kernel(
+        raw = kernel(
             args["dist"], args["traffic"], args["n_tenants"], args["config"],
             n_replications=size, rng=shard_rng, max_events=args["max_events"],
+            obs=reg,
         )
-    raise ValueError(f"unknown shard kind {kind!r}")
+    else:
+        raise ValueError(f"unknown shard kind {kind!r}")
+    if reg is not None:
+        reg.gauge("proc.peak_rss").set(peak_rss_bytes())
+        raw["obs_snapshot"] = reg.snapshot()
+    return raw
 
 
 def _run_sharded(payloads, workers: int):
@@ -316,10 +337,162 @@ def _merge_raws(raws: list[dict]) -> dict:
     merged = {
         key: np.concatenate([r[key] for r in raws], axis=0)
         for key in raws[0]
-        if key != "n_rounds"
+        # Scalar / side-channel keys are not per-replication arrays:
+        # round counts reduce by max, obs snapshots via _RunObs.absorb.
+        if key not in ("n_rounds", "obs_snapshot")
     }
     merged["n_rounds"] = max(r["n_rounds"] for r in raws)
     return merged
+
+
+# ----------------------------------------------------------------------
+# Instrumentation plumbing (the observability plane's backend hooks)
+# ----------------------------------------------------------------------
+
+@contextmanager
+def _timed_phase(phases: dict, tracer, name: str):
+    t0 = time.perf_counter()
+    with tracer.span(name):
+        try:
+            yield
+        finally:
+            phases[name] = phases.get(name, 0.0) + (time.perf_counter() - t0)
+
+
+class _RunObs:
+    """Per-invocation instrumentation state of one entry-point call.
+
+    Resolves the ``instrument=`` argument (an :class:`Instrumentation`
+    bundle, ``True`` for a fresh one, or ``None`` to consult the
+    ambient stack — usually off), owns the run's *private* registry so
+    per-run stats stay per-run even when one bundle spans many calls,
+    times orchestration phases, and assembles the :class:`KernelStats`
+    record.  When instrumentation is off every method is a cheap no-op,
+    and the simulation paths receive ``obs=None`` — the zero-overhead
+    contract.
+
+    Draw-neutrality note: nothing in here touches the generator; the
+    kernels' counting sites only *read* simulation state.  The byte-
+    identity suite (``tests/test_obs_neutrality.py``) pins this.
+    """
+
+    def __init__(self, instrument, kind: str, backend: str):
+        if instrument is None:
+            inst = current_instrumentation()
+        elif instrument is True:
+            inst = Instrumentation()
+        elif instrument is False:
+            inst = None
+        else:
+            inst = instrument
+        self.inst = inst
+        self.reg: MetricsRegistry | None = (
+            MetricsRegistry() if inst is not None else None
+        )
+        self.phases: dict[str, float] = {}
+        self.kind = kind
+        self.backend = backend
+        self.shards: tuple[tuple[int, int], ...] = ()
+        self.chunk_sizes: tuple[int, ...] = ()
+        self._t0 = time.perf_counter()
+
+    @property
+    def on(self) -> bool:
+        return self.inst is not None
+
+    def timed(self, name: str):
+        """Context manager timing one orchestration phase (+ a span)."""
+        if self.inst is None:
+            return nullcontext()
+        return _timed_phase(self.phases, self.inst.tracer, name)
+
+    def absorb(self, raws: list[dict]) -> None:
+        """Merge worker-shard registry snapshots carried in raw dicts."""
+        for r in raws:
+            snap = r.pop("obs_snapshot", None)
+            if snap is not None and self.reg is not None:
+                self.reg.merge_snapshot(snap)
+
+    def progress(self, done: int, total: int) -> None:
+        """Invoke the bundle's progress callback (chunk streaming)."""
+        if self.inst is None or self.inst.progress is None:
+            return
+        elapsed = time.perf_counter() - self._t0
+        eta = (
+            elapsed * (total - done) / done if done > 0 else float("inf")
+        )
+        self.inst.progress(done, total, elapsed, eta)
+
+    def finish(
+        self,
+        *,
+        n: int,
+        n_rounds: int,
+        n_draws: int,
+        channel_events: dict[str, int] | None,
+        rng_rows: int | None = None,
+        workers: int = 1,
+    ) -> KernelStats | None:
+        """Build the KernelStats record and fold the run's metrics into
+        the bundle's cumulative registry.  ``channel_events=None`` reads
+        the kernel-counted ``events.*`` counters (vectorized backends);
+        the event paths pass the oracle-derived dict instead, so the
+        cross-backend stats comparison is an independent check of the
+        kernels' pick classification."""
+        if self.inst is None or self.reg is None:
+            return None
+        snap = self.reg.snapshot()
+        if channel_events is None:
+            channel_events = {
+                name.split(".", 1)[1]: int(v)
+                for name, v in snap.counters.items()
+                if name.startswith("events.")
+            }
+        else:
+            # Derived channels (plan restarts, event-oracle death/comp/
+            # boot) are computed from outputs rather than counted in the
+            # registry; backfill them so the cumulative bundle registry
+            # (and any --metrics-out dump) carries the same events.*
+            # counters regardless of backend.  Counters already present
+            # (e.g. events.reap, counted live) are left alone.
+            missing = {
+                k: int(v)
+                for k, v in channel_events.items()
+                if f"events.{k}" not in snap.counters
+            }
+            if missing:
+                for k, v in missing.items():
+                    self.reg.inc(f"events.{k}", v)
+                snap = self.reg.snapshot()
+        occupancy = []
+        while True:
+            g = snap.gauges.get(f"pool.occupancy.{len(occupancy)}")
+            if g is None:
+                break
+            occupancy.append(int(g["max"]))
+        stats = KernelStats(
+            kind=self.kind,
+            backend=self.backend,
+            n_replications=int(n),
+            workers=int(workers),
+            shards=tuple(self.shards),
+            chunk_sizes=tuple(self.chunk_sizes),
+            n_rounds=int(n_rounds),
+            rng_rows=int(
+                snap.gauge_max("rng.rows") if rng_rows is None else rng_rows
+            ),
+            n_draws=int(n_draws),
+            channel_events={k: int(v) for k, v in channel_events.items()},
+            stall_terminations=int(snap.counter("stall.terminations")),
+            boot_grace_activations=int(snap.counter("stall.graced")),
+            livelock_peak_streak=int(snap.gauge_max("livelock.peak_streak")),
+            peak_queue_depth=int(snap.gauge_max("queue.peak_depth")),
+            pool_occupancy=tuple(occupancy),
+            phase_seconds={k: float(v) for k, v in self.phases.items()},
+            peak_rss_bytes=max(int(snap.gauge_max("proc.peak_rss")), peak_rss_bytes()),
+        )
+        self.inst.registry.merge_snapshot(snap)
+        return stats
 
 
 @dataclass(frozen=True)
@@ -351,6 +524,9 @@ class ReplicationOutcomes:
     n_restarts: np.ndarray
     n_rounds: int
     backend: str
+    #: Per-run diagnostics when the sweep ran with ``instrument=``;
+    #: ``None`` otherwise (the zero-overhead default).
+    stats: KernelStats | None = None
 
     @property
     def n_replications(self) -> int:
@@ -577,6 +753,7 @@ def run_replications(
     max_rounds: int = 10_000,
     workers: int = 1,
     capture: DrawCapture | None = None,
+    instrument=None,
 ) -> ReplicationOutcomes:
     """Simulate ``n_replications`` runs of a checkpoint plan under ``dist``.
 
@@ -622,6 +799,15 @@ def run_replications(
         Optional fresh :class:`DrawCapture`; records every consumed
         round row so the realized draws can be re-scored (e.g. by the
         hindsight-optimal oracle) with draw-level pairing.
+    instrument:
+        Observability switch: ``None`` (default) consults the ambient
+        :func:`repro.obs.instrumented` stack — usually off, the
+        zero-overhead path; ``True`` builds a fresh
+        :class:`repro.obs.Instrumentation` bundle; ``False`` forces
+        off; or pass a bundle directly.  When on, the returned
+        outcomes carry a :class:`repro.obs.KernelStats` in ``.stats``.
+        Instrumentation never consumes an RNG draw and never changes
+        an outcome (pinned byte-identical by the neutrality tests).
 
     Returns
     -------
@@ -659,6 +845,10 @@ def run_replications(
         start_val = start_arr
     workers = _check_workers(workers, capture)
     n = int(n_replications)
+    # Plan stats are fully derivable from the outputs (one lifetime draw
+    # per VM acquisition, one RNG row per round), so no kernel hooks are
+    # needed on any of the three plan backends — compiled included.
+    robs = _RunObs(instrument, "plan", backend)
     if workers > 1 and n > 1:
         root = (
             seed if isinstance(seed, np.random.Generator)
@@ -672,18 +862,32 @@ def run_replications(
             restart_latency=float(restart_latency),
             max_rounds=int(max_rounds),
         )
-        payloads = [
-            ("plan", backend, root, lo, hi, n, args)
-            for lo, hi in _shard_bounds(n, min(workers, n))
-        ]
-        outs = _run_sharded(payloads, workers)
+        bounds = _shard_bounds(n, min(workers, n))
+        robs.shards = tuple(bounds)
+        payloads = [("plan", backend, root, lo, hi, n, args) for lo, hi in bounds]
+        with robs.timed("shards"):
+            outs = _run_sharded(payloads, workers)
+        with robs.timed("merge"):
+            makespan = np.concatenate([o[0] for o in outs])
+            wasted = np.concatenate([o[1] for o in outs])
+            completed = np.concatenate([o[2] for o in outs])
+            restarts = np.concatenate([o[3] for o in outs])
+            n_rounds = max(o[4] for o in outs)
         return ReplicationOutcomes(
-            makespan=np.concatenate([o[0] for o in outs]),
-            wasted_hours=np.concatenate([o[1] for o in outs]),
-            completed_work=np.concatenate([o[2] for o in outs]),
-            n_restarts=np.concatenate([o[3] for o in outs]),
-            n_rounds=max(o[4] for o in outs),
+            makespan=makespan,
+            wasted_hours=wasted,
+            completed_work=completed,
+            n_restarts=restarts,
+            n_rounds=n_rounds,
             backend=backend,
+            stats=robs.finish(
+                n=n,
+                n_rounds=int(n_rounds),
+                n_draws=int(restarts.sum()) + n,
+                channel_events={"restart": int(restarts.sum())},
+                rng_rows=int(n_rounds),
+                workers=workers,
+            ),
         )
     rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
     if capture is not None:
@@ -695,31 +899,33 @@ def run_replications(
         # Block drawing may advance the generator past the final round;
         # only safe when nobody can observe the generator afterwards.
         stream_exact = isinstance(seed, np.random.Generator) or capture is not None
-        makespan, wasted, completed, restarts, n_rounds = simulate_plan_compiled(
-            dist,
-            segs,
-            delta=float(delta),
-            start_age=start_val,
-            restart_latency=float(restart_latency),
-            n_replications=int(n_replications),
-            rng=rng,
-            max_rounds=int(max_rounds),
-            stream_exact=stream_exact,
-        )
+        with robs.timed(f"simulate:{backend}"):
+            makespan, wasted, completed, restarts, n_rounds = simulate_plan_compiled(
+                dist,
+                segs,
+                delta=float(delta),
+                start_age=start_val,
+                restart_latency=float(restart_latency),
+                n_replications=int(n_replications),
+                rng=rng,
+                max_rounds=int(max_rounds),
+                stream_exact=stream_exact,
+            )
     else:
         kernel = (
             simulate_plan_vectorized if backend == "vectorized" else _simulate_plan_event
         )
-        makespan, wasted, completed, restarts, n_rounds = kernel(
-            dist,
-            segs,
-            delta=float(delta),
-            start_age=start_val,
-            restart_latency=float(restart_latency),
-            n_replications=int(n_replications),
-            rng=rng,
-            max_rounds=int(max_rounds),
-        )
+        with robs.timed(f"simulate:{backend}"):
+            makespan, wasted, completed, restarts, n_rounds = kernel(
+                dist,
+                segs,
+                delta=float(delta),
+                start_age=start_val,
+                restart_latency=float(restart_latency),
+                n_replications=int(n_replications),
+                rng=rng,
+                max_rounds=int(max_rounds),
+            )
     return ReplicationOutcomes(
         makespan=makespan,
         wasted_hours=wasted,
@@ -727,6 +933,13 @@ def run_replications(
         n_restarts=restarts,
         n_rounds=n_rounds,
         backend=backend,
+        stats=robs.finish(
+            n=n,
+            n_rounds=int(n_rounds),
+            n_draws=int(np.asarray(restarts).sum()) + n,
+            channel_events={"restart": int(np.asarray(restarts).sum())},
+            rng_rows=int(n_rounds),
+        ),
     )
 
 
@@ -784,6 +997,9 @@ class ClusterOutcomes:
     n_rounds: int
     backend: str
     pool_vm_hours: np.ndarray | None = None
+    #: Per-run diagnostics when the sweep ran with ``instrument=``;
+    #: ``None`` otherwise (the zero-overhead default).
+    stats: KernelStats | None = None
 
     @property
     def n_replications(self) -> int:
@@ -837,6 +1053,7 @@ class _ClusterReplication:
         replication: int,
         max_events: int,
         ckpt=None,
+        obs=None,
     ):
         from repro.policies.scheduling import ModelReusePolicy, SchedulingDecision
         from repro.sim.cluster import ClusterManager, SimJob
@@ -884,6 +1101,12 @@ class _ClusterReplication:
             pools=self.pools,
         )
         self.cluster.on_queue_stalled.append(self._on_stall)
+        # Mirrored observability counters: the ClusterManager samples
+        # queue depth at its insertion points; this oracle counts stall
+        # terminations and tracks per-pool alive occupancy.
+        self.obs = obs
+        self.cluster.obs = obs
+        self._alive_per_pool = [0] * len(self.pools)
         # Shared CheckpointPolicy in checkpoint="dp" mode (one DP table
         # across the whole sweep, like the batched walker), else None.
         self._ckpt = ckpt
@@ -967,6 +1190,11 @@ class _ClusterReplication:
         self._death_handles[vm.vm_id] = self.sim.schedule(
             lifetime, lambda v=vm: self._die(v)
         )
+        if self.obs is not None:
+            self._alive_per_pool[pool] += 1
+            self.obs.gauge(f"pool.occupancy.{pool}").set(
+                self._alive_per_pool[pool]
+            )
         return vm
 
     def _die(self, vm) -> None:
@@ -974,6 +1202,8 @@ class _ClusterReplication:
             return
         vm.mark_preempted(self.sim.now)
         self.preemptions += 1
+        if self.obs is not None:
+            self._alive_per_pool[vm.pool] -= 1
         if self.cfg.hot_spare:
             # Substitute before the cluster reacts: the dead idle VM
             # leaves the pool and a fresh spare joins (giving the queue
@@ -1013,6 +1243,9 @@ class _ClusterReplication:
                 if handle is not None:
                     handle.cancel()
                 victim.mark_terminated(self.sim.now)
+                if self.obs is not None:
+                    self.obs.inc("stall.terminations")
+                    self._alive_per_pool[victim.pool] -= 1
             # add_node recurses into try_schedule, re-flagging the stall
             # if the head is still stuck.
             self.cluster.add_node(self._boot())
@@ -1067,6 +1300,7 @@ def _simulate_cluster_event(
     n_replications: int,
     rng: np.random.Generator,
     max_events: int,
+    obs=None,
 ) -> dict[str, np.ndarray | int]:
     from repro.policies.checkpointing import CheckpointPolicy
     from repro.sim.placement import resolve_pools
@@ -1093,7 +1327,7 @@ def _simulate_cluster_event(
     draws = np.zeros(n, dtype=np.int64)
     for i in range(n):
         rep = _ClusterReplication(
-            dist, jobs, config, uniforms, i, max_events, ckpt=ckpt
+            dist, jobs, config, uniforms, i, max_events, ckpt=ckpt, obs=obs
         )
         (
             makespan[i],
@@ -1106,7 +1340,12 @@ def _simulate_cluster_event(
             events[i],
             draws[i],
         ) = rep.run()
-    return {
+        if obs is not None:
+            # Engine mirror: real event-loop callbacks executed, summed
+            # across the sweep (a backend-local diagnostic; the arena
+            # event channels are the cross-backend contract).
+            obs.inc("engine.callbacks", rep.sim.events_processed)
+    raw = {
         "makespan": makespan,
         "wasted_hours": wasted,
         "completed_jobs": completed,
@@ -1118,6 +1357,9 @@ def _simulate_cluster_event(
         "n_draws": draws,
         "n_rounds": int(events.max()) if n else 0,
     }
+    if obs is not None:
+        obs.gauge("rng.rows").set(uniforms._filled)
+    return raw
 
 
 def run_cluster_replications(
@@ -1131,6 +1373,7 @@ def run_cluster_replications(
     max_events: int = 1_000_000,
     workers: int = 1,
     capture: DrawCapture | None = None,
+    instrument=None,
     **config_kwargs,
 ) -> ClusterOutcomes:
     """Simulate ``n_replications`` whole-cluster bag runs under ``dist``.
@@ -1174,6 +1417,13 @@ def run_cluster_replications(
         Optional fresh :class:`DrawCapture`; records every consumed
         round row so the realized lifetime draws can be re-scored with
         draw-level pairing (the hindsight-oracle hook).
+    instrument:
+        Observability switch (see :func:`run_replications`); when on,
+        ``.stats`` carries per-channel arena event counts, stall
+        terminations, pool occupancy, and phase timings.  The event
+        backend's channel counts are *derived* from the oracle's
+        outputs, so comparing them against the vectorized kernel's
+        direct counts independently checks the pick classification.
 
     Returns
     -------
@@ -1206,41 +1456,81 @@ def run_cluster_replications(
     check_positive("max_events", max_events)
     workers = _check_workers(workers, capture)
     n = int(n_replications)
+    robs = _RunObs(instrument, "cluster", backend)
     if workers > 1 and n > 1:
         root = (
             seed if isinstance(seed, np.random.Generator)
             else np.random.default_rng(seed)
         )
         args = dict(dist=dist, jobs=bag, config=config, max_events=int(max_events))
-        payloads = [
-            ("cluster", backend, root, lo, hi, n, args)
-            for lo, hi in _shard_bounds(n, min(workers, n))
-        ]
-        raw = _merge_raws(_run_sharded(payloads, workers))
-        return ClusterOutcomes(backend=backend, **raw)
+        if robs.on:
+            args["instrument"] = True
+        bounds = _shard_bounds(n, min(workers, n))
+        robs.shards = tuple(bounds)
+        payloads = [("cluster", backend, root, lo, hi, n, args) for lo, hi in bounds]
+        with robs.timed("shards"):
+            raws = _run_sharded(payloads, workers)
+        robs.absorb(raws)
+        with robs.timed("merge"):
+            raw = _merge_raws(raws)
+        return ClusterOutcomes(
+            backend=backend,
+            stats=_cluster_stats(robs, raw, backend, n, workers=workers),
+            **raw,
+        )
     rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
     if capture is not None:
         capture._arm()
         rng = _RecordingRNG(rng, capture)
     if backend == "vectorized":
-        raw = simulate_cluster_vectorized(
-            dist,
-            bag,
-            config,
-            n_replications=int(n_replications),
-            rng=rng,
-            max_events=int(max_events),
-        )
+        with robs.timed("simulate:vectorized"):
+            raw = simulate_cluster_vectorized(
+                dist,
+                bag,
+                config,
+                n_replications=int(n_replications),
+                rng=rng,
+                max_events=int(max_events),
+                obs=robs.reg,
+            )
     else:
-        raw = _simulate_cluster_event(
-            dist,
-            bag,
-            config,
-            n_replications=int(n_replications),
-            rng=rng,
-            max_events=int(max_events),
-        )
-    return ClusterOutcomes(backend=backend, **raw)
+        with robs.timed("simulate:event"):
+            raw = _simulate_cluster_event(
+                dist,
+                bag,
+                config,
+                n_replications=int(n_replications),
+                rng=rng,
+                max_events=int(max_events),
+                obs=robs.reg,
+            )
+    return ClusterOutcomes(
+        backend=backend, stats=_cluster_stats(robs, raw, backend, n), **raw
+    )
+
+
+def _cluster_stats(robs, raw, backend: str, n: int, *, workers: int = 1):
+    """Assemble cluster KernelStats; event channel counts are derived
+    from the oracle's per-replication outputs (every arena event is a
+    death or a segment completion), making the cross-backend stats
+    comparison an independent check of the kernel's pick split."""
+    if not robs.on:
+        return None
+    if backend == "event":
+        death = int(raw["n_preemptions"].sum())
+        channel_events = {
+            "death": death,
+            "comp": int(raw["n_events"].sum()) - death,
+        }
+    else:
+        channel_events = None
+    return robs.finish(
+        n=n,
+        n_rounds=int(raw["n_rounds"]),
+        n_draws=int(raw["n_draws"].sum()),
+        channel_events=channel_events,
+        workers=workers,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -1334,6 +1624,9 @@ class ServiceOutcomes(_BilledSweepMixin):
     total_work_hours: float
     backend: str
     pool_vm_hours: np.ndarray | None = None
+    #: Per-run diagnostics when the sweep ran with ``instrument=``;
+    #: ``None`` otherwise (the zero-overhead default).
+    stats: KernelStats | None = None
 
     @property
     def n_replications(self) -> int:
@@ -1393,6 +1686,7 @@ class _RoundProtocolCloud:
         uniforms: _RoundUniforms,
         replication: int,
         pools=None,
+        obs=None,
     ):
         from repro.sim.events import EventLog
 
@@ -1407,6 +1701,19 @@ class _RoundProtocolCloud:
         self.n_preempted = 0
         self._next_id = 0
         self._handles: dict[int, EventHandle] = {}
+        # Observability: per-pool alive-worker occupancy, sampled at
+        # every boot (the vectorized kernels sample per round — the
+        # peaks agree in spirit, not by contract; see docs).
+        self.obs = obs
+        self._alive_per_pool: dict[int, int] = {}
+
+    def _occupancy(self, pool: int, delta: int) -> None:
+        if self.obs is None:
+            return
+        level = self._alive_per_pool.get(pool, 0) + delta
+        self._alive_per_pool[pool] = level
+        if delta > 0:
+            self.obs.gauge(f"pool.occupancy.{pool}").set(level)
 
     def launch(
         self, vm_type: str, zone: str = "mc", *, preemptible: bool = True, pool: int = 0
@@ -1432,6 +1739,7 @@ class _RoundProtocolCloud:
             self._handles[vm.vm_id] = self.sim.schedule(
                 lifetime, lambda v=vm: self._die(v)
             )
+            self._occupancy(vm.pool, +1)
         return vm
 
     def terminate(self, vm) -> None:
@@ -1441,6 +1749,8 @@ class _RoundProtocolCloud:
         if handle is not None:
             handle.cancel()
         vm.mark_terminated(self.sim.now)
+        if vm.preemptible:
+            self._occupancy(vm.pool, -1)
 
     def _die(self, vm) -> None:
         if not vm.alive:
@@ -1448,6 +1758,7 @@ class _RoundProtocolCloud:
         self._handles.pop(vm.vm_id, None)
         vm.mark_preempted(self.sim.now)
         self.n_preempted += 1
+        self._occupancy(vm.pool, -1)
         for cb in list(vm.on_preempt):
             cb(vm, self.sim.now)
 
@@ -1517,7 +1828,9 @@ class _ServiceReplication:
     :mod:`repro.sim.service_vectorized`.
     """
 
-    def __init__(self, dist, jobs, config, uniforms, replication, max_events, ckpt=None):
+    def __init__(
+        self, dist, jobs, config, uniforms, replication, max_events, ckpt=None, obs=None
+    ):
         # The oracle deliberately reaches down into the service layer —
         # it IS the service; the vectorized kernel stays sim-pure.
         from repro.service.controller import BatchComputingService
@@ -1531,10 +1844,15 @@ class _ServiceReplication:
         )
         self.svc = BatchComputingService(
             self.sim,
-            _RoundProtocolCloud(self.sim, dist, uniforms, replication),
+            _RoundProtocolCloud(self.sim, dist, uniforms, replication, obs=obs),
             dist,
             service_config,
         )
+        # Mirrored observability counters: the controller counts reaps,
+        # stall terminations, boot-grace spares, and livelock streaks;
+        # the cluster manager samples queue depth.
+        self.svc.obs = obs
+        self.svc.cluster.obs = obs
         # The controller resolved the pool catalog (defaults filled in);
         # hand it to the cloud shim so boots draw per-pool lifetimes.
         self.cloud = self.svc.cloud
@@ -1575,6 +1893,7 @@ def _simulate_service_event(
     n_replications: int,
     rng: np.random.Generator,
     max_events: int,
+    obs=None,
 ) -> dict[str, np.ndarray | int]:
     from repro.policies.checkpointing import CheckpointPolicy
     from repro.sim.placement import resolve_pools
@@ -1609,7 +1928,7 @@ def _simulate_service_event(
     draws = np.zeros(n, dtype=np.int64)
     for i in range(n):
         rep = _ServiceReplication(
-            dist, jobs, config, uniforms, i, max_events, ckpt=ckpt
+            dist, jobs, config, uniforms, i, max_events, ckpt=ckpt, obs=obs
         )
         (
             makespan[i],
@@ -1623,7 +1942,12 @@ def _simulate_service_event(
             events[i],
             draws[i],
         ) = rep.run()
-    return {
+        if obs is not None:
+            # Engine mirror: real event-loop callbacks executed, summed
+            # across the sweep (a backend-local diagnostic; the arena
+            # event channels are the cross-backend contract).
+            obs.inc("engine.callbacks", rep.sim.events_processed)
+    raw = {
         "makespan": makespan,
         "wasted_hours": wasted,
         "completed_jobs": completed,
@@ -1636,6 +1960,9 @@ def _simulate_service_event(
         "n_draws": draws,
         "n_rounds": int(events.max()) if n else 0,
     }
+    if obs is not None:
+        obs.gauge("rng.rows").set(uniforms._filled)
+    return raw
 
 
 def run_service_replications(
@@ -1649,6 +1976,7 @@ def run_service_replications(
     max_events: int = 1_000_000,
     workers: int = 1,
     capture: DrawCapture | None = None,
+    instrument=None,
     **config_kwargs,
 ) -> ServiceOutcomes:
     """Simulate ``n_replications`` full batch-service runs under ``dist``.
@@ -1699,6 +2027,12 @@ def run_service_replications(
         Optional fresh :class:`DrawCapture`; records every consumed
         round row so the realized lifetime draws can be re-scored with
         draw-level pairing (the hindsight-oracle hook).
+    instrument:
+        Observability switch (see :func:`run_replications`); when on,
+        ``.stats`` carries per-channel arena event counts (death /
+        comp / boot / reap), stall terminations, boot-grace
+        activations, livelock near-miss peaks, queue depth, pool
+        occupancy, and phase timings.
 
     Returns
     -------
@@ -1733,43 +2067,94 @@ def run_service_replications(
     workers = _check_workers(workers, capture)
     n = int(n_replications)
     total_work = float(sum(j.work_hours * j.width for j in bag))
+    robs = _RunObs(instrument, "service", backend)
     if workers > 1 and n > 1:
         root = (
             seed if isinstance(seed, np.random.Generator)
             else np.random.default_rng(seed)
         )
         args = dict(dist=dist, jobs=bag, config=config, max_events=int(max_events))
-        payloads = [
-            ("service", backend, root, lo, hi, n, args)
-            for lo, hi in _shard_bounds(n, min(workers, n))
-        ]
-        raw = _merge_raws(_run_sharded(payloads, workers))
+        if robs.on:
+            args["instrument"] = True
+        bounds = _shard_bounds(n, min(workers, n))
+        robs.shards = tuple(bounds)
+        payloads = [("service", backend, root, lo, hi, n, args) for lo, hi in bounds]
+        with robs.timed("shards"):
+            raws = _run_sharded(payloads, workers)
+        robs.absorb(raws)
+        with robs.timed("merge"):
+            raw = _merge_raws(raws)
         return ServiceOutcomes(
-            backend=backend, total_work_hours=total_work, **raw
+            backend=backend,
+            total_work_hours=total_work,
+            stats=_service_stats(robs, raw, backend, n, workers=workers),
+            **raw,
         )
     rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
     if capture is not None:
         capture._arm()
         rng = _RecordingRNG(rng, capture)
     if backend == "vectorized":
-        raw = simulate_service_vectorized(
-            dist,
-            bag,
-            config,
-            n_replications=int(n_replications),
-            rng=rng,
-            max_events=int(max_events),
-        )
+        with robs.timed("simulate:vectorized"):
+            raw = simulate_service_vectorized(
+                dist,
+                bag,
+                config,
+                n_replications=int(n_replications),
+                rng=rng,
+                max_events=int(max_events),
+                obs=robs.reg,
+            )
     else:
-        raw = _simulate_service_event(
-            dist,
-            bag,
-            config,
-            n_replications=int(n_replications),
-            rng=rng,
-            max_events=int(max_events),
-        )
-    return ServiceOutcomes(backend=backend, total_work_hours=total_work, **raw)
+        with robs.timed("simulate:event"):
+            raw = _simulate_service_event(
+                dist,
+                bag,
+                config,
+                n_replications=int(n_replications),
+                rng=rng,
+                max_events=int(max_events),
+                obs=robs.reg,
+            )
+    return ServiceOutcomes(
+        backend=backend,
+        total_work_hours=total_work,
+        stats=_service_stats(robs, raw, backend, n),
+        **raw,
+    )
+
+
+def _service_stats(robs, raw, backend: str, n: int, *, workers: int = 1, arr: int = 0):
+    """Assemble service/tenancy KernelStats.  Event channel counts are
+    derived from oracle outputs plus the controller's reap counter:
+    every worker boot event draws exactly one lifetime (masters and
+    t=0 launches are not events), deaths are the cloud's preemption
+    tally, arrivals are one event per submitted bag, and completions
+    are the remainder — so comparing against the vectorized kernel's
+    direct pick counts independently checks the classification."""
+    if not robs.on:
+        return None
+    if backend == "event":
+        death = int(raw["n_preemptions"].sum())
+        boot = int(raw["n_draws"].sum())
+        reap = int(robs.reg.counter("events.reap").value)
+        channel_events = {
+            "death": death,
+            "comp": int(raw["n_events"].sum()) - death - boot - reap - arr,
+            "boot": boot,
+            "reap": reap,
+        }
+        if arr:
+            channel_events["arr"] = arr
+    else:
+        channel_events = None
+    return robs.finish(
+        n=n,
+        n_rounds=int(raw["n_rounds"]),
+        n_draws=int(raw["n_draws"].sum()),
+        channel_events=channel_events,
+        workers=workers,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -1833,6 +2218,9 @@ class TenantOutcomes(_BilledSweepMixin):
     n_rounds: int
     backend: str
     pool_vm_hours: np.ndarray | None = None
+    #: Per-run diagnostics when the sweep ran with ``instrument=``;
+    #: ``None`` otherwise (the zero-overhead default).
+    stats: KernelStats | None = None
 
     @property
     def n_replications(self) -> int:
@@ -1894,12 +2282,12 @@ class _TenantReplication:
 
     def __init__(
         self, dist, traffic, n_tenants, config, uniforms, replication, max_events,
-        ckpt=None,
+        ckpt=None, obs=None,
     ):
         from repro.traffic.multitenant import MultiTenantService
 
         self.sim = Simulator()
-        self.cloud = _RoundProtocolCloud(self.sim, dist, uniforms, replication)
+        self.cloud = _RoundProtocolCloud(self.sim, dist, uniforms, replication, obs=obs)
         self.max_events = int(max_events)
         service_config = _oracle_service_config(config, "tenant-mc", backfill=False)
         self.mts = MultiTenantService(
@@ -1914,6 +2302,10 @@ class _TenantReplication:
             elastic_vms_per_bag=config.elastic_vms_per_bag,
             estimate_window=config.estimate_window,
         )
+        # Mirrored observability counters on the underlying controller
+        # and cluster manager (reaps, stalls, grace, queue depth).
+        self.mts.service.obs = obs
+        self.mts.service.cluster.obs = obs
         # Per-pool lifetime laws for the cloud shim, resolved by the
         # underlying controller (defaults filled in).
         self.cloud.pools = self.mts.service.pools
@@ -1955,6 +2347,7 @@ def _simulate_tenancy_event(
     n_replications: int,
     rng: np.random.Generator,
     max_events: int,
+    obs=None,
 ) -> dict[str, np.ndarray | int]:
     from repro.policies.checkpointing import CheckpointPolicy
     from repro.sim.placement import resolve_pools
@@ -1993,7 +2386,8 @@ def _simulate_tenancy_event(
     finishes = np.full((n, J), np.nan)
     for i in range(n):
         rep = _TenantReplication(
-            dist, traffic, n_tenants, config, uniforms, i, max_events, ckpt=ckpt
+            dist, traffic, n_tenants, config, uniforms, i, max_events, ckpt=ckpt,
+            obs=obs,
         )
         (
             makespan[i],
@@ -2010,7 +2404,12 @@ def _simulate_tenancy_event(
             starts[i],
             finishes[i],
         ) = rep.run()
-    return {
+        if obs is not None:
+            # Engine mirror: real event-loop callbacks executed, summed
+            # across the sweep (a backend-local diagnostic; the arena
+            # event channels are the cross-backend contract).
+            obs.inc("engine.callbacks", rep.sim.events_processed)
+    raw = {
         "makespan": makespan,
         "wasted_hours": wasted,
         "completed_jobs": completed,
@@ -2026,6 +2425,9 @@ def _simulate_tenancy_event(
         "finish_times": finishes,
         "n_rounds": int(events.max()) if n else 0,
     }
+    if obs is not None:
+        obs.gauge("rng.rows").set(uniforms._filled)
+    return raw
 
 
 def run_tenant_replications(
@@ -2041,6 +2443,7 @@ def run_tenant_replications(
     chunk_size: int | None = None,
     workers: int = 1,
     capture: DrawCapture | None = None,
+    instrument=None,
     **config_kwargs,
 ) -> TenantOutcomes:
     """Simulate ``n_replications`` multi-tenant traffic runs under ``dist``.
@@ -2111,6 +2514,12 @@ def run_tenant_replications(
         draw-level pairing (the hindsight-oracle hook).  Incompatible
         with ``chunk_size``: chunks materialise rows of differing
         widths, which no longer form one round table.
+    instrument:
+        Observability switch (see :func:`run_replications`); when on,
+        ``.stats`` carries the five tenancy channels (death / comp /
+        boot / reap / arr), chunk layout, and phase timings, and the
+        bundle's ``progress`` callback fires after each streamed chunk
+        with ``(done, total, elapsed_s, eta_s)``.
 
     Returns
     -------
@@ -2186,6 +2595,8 @@ def run_tenant_replications(
         chunk_rngs = [rng]
     else:
         chunk_rngs = [rng, *rng.spawn(len(sizes) - 1)]
+    robs = _RunObs(instrument, "tenancy", backend)
+    robs.chunk_sizes = tuple(sizes)
     if workers > 1 and n > 1:
         args = dict(
             dist=dist,
@@ -2194,29 +2605,43 @@ def run_tenant_replications(
             config=config,
             max_events=int(max_events),
         )
+        if robs.on:
+            args["instrument"] = True
         payloads = [
             ("tenancy", backend, chunk_rngs[k], lo, hi, size, args)
             for k, size in enumerate(sizes)
             for lo, hi in _shard_bounds(size, min(workers, size))
         ]
-        raws = _run_sharded(payloads, workers)
+        robs.shards = tuple((p[3], p[4]) for p in payloads)
+        with robs.timed("shards"):
+            raws = _run_sharded(payloads, workers)
+        robs.absorb(raws)
+        robs.progress(n, n)
     else:
         # Chunks run sequentially; each builds its own chunk-wide kernel
         # (bounded peak memory) and the raw per-replication arrays are
-        # reduced by concatenation.
-        raws = [
-            simulate(
-                dist,
-                traffic,
-                T,
-                config,
-                n_replications=size,
-                rng=chunk_rngs[k],
-                max_events=int(max_events),
-            )
-            for k, size in enumerate(sizes)
-        ]
-    raw = _merge_raws(raws)
+        # reduced by concatenation.  With instrumentation on, each
+        # chunk is timed and the progress callback fires as it lands.
+        raws = []
+        done = 0
+        for k, size in enumerate(sizes):
+            with robs.timed(f"chunk[{k}]" if len(sizes) > 1 else "simulate"):
+                raws.append(
+                    simulate(
+                        dist,
+                        traffic,
+                        T,
+                        config,
+                        n_replications=size,
+                        rng=chunk_rngs[k],
+                        max_events=int(max_events),
+                        obs=robs.reg,
+                    )
+                )
+            done += size
+            robs.progress(done, n)
+    with robs.timed("merge"):
+        raw = _merge_raws(raws)
     job_tenant = np.asarray(
         [s.tenant for s in traffic for _ in s.jobs], dtype=np.int64
     )
@@ -2236,5 +2661,8 @@ def run_tenant_replications(
         job_arrival=job_arrival,
         job_work=job_work,
         job_width=job_width,
+        stats=_service_stats(
+            robs, raw, backend, n, workers=workers, arr=n * len(traffic)
+        ),
         **raw,
     )

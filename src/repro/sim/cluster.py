@@ -134,6 +134,11 @@ class ClusterManager:
     queues evict) nodes pool-rank-first over a heterogeneous fleet.
     """
 
+    #: Optional :class:`repro.obs.MetricsRegistry`.  ``None`` (the class
+    #: default) keeps scheduling paths instrumentation-free; when set,
+    #: the manager records the peak queue depth seen at insertion time.
+    obs = None
+
     def __init__(
         self,
         sim: Simulator,
@@ -256,6 +261,8 @@ class ClusterManager:
             self._queue.insert(idx, job)
         else:
             self._queue.append(job)
+        if self.obs is not None:
+            self.obs.gauge("queue.peak_depth").set(len(self._queue))
         self.try_schedule()
 
     def try_schedule(self) -> None:
@@ -360,6 +367,8 @@ class ClusterManager:
             job.queue_key = self._requeue_key  # type: ignore[attr-defined]
             self._requeue_key -= 1.0
         self._queue.insert(0, job)
+        if self.obs is not None:
+            self.obs.gauge("queue.peak_depth").set(len(self._queue))
         # Release the whole gang: the dead VM leaves the busy set, the
         # survivors return to the free pool.
         self._release(vms)

@@ -198,9 +198,11 @@ class _ClusterKernel(_LockstepKernel):
         n_replications: int,
         rng: np.random.Generator,
         max_events: int,
+        obs=None,
     ):
         self.dist = dist
         self.cfg = config
+        self.obs = obs
         self.n = int(n_replications)
         self.max_events = int(max_events)
         # The same lazy row table the event paths use, so both backends
@@ -470,6 +472,8 @@ class _ClusterKernel(_LockstepKernel):
             has_u = n_unsuit > 0
             ru = rr[has_u]
             if ru.size:
+                if self.obs is not None:
+                    self.obs.inc("stall.terminations", int(ru.size))
                 col = self._oldest(unsuitable[has_u], ru, self._rank_cols(ru))[:, 0]
                 self.vm_hours[ru] += self.now[ru] - self.launch[ru, col]
                 self.pool_hours[ru, self.vm_pool[ru, col]] += (
@@ -555,9 +559,13 @@ class _ClusterKernel(_LockstepKernel):
             _, pick = self._select_events(active)
             is_death = pick < self.S
             rd = active[is_death]
+            rc = active[~is_death]
+            if self.obs is not None:
+                self.obs.inc("events.death", int(rd.size))
+                self.obs.inc("events.comp", int(rc.size))
+                self._sample_obs(active)
             if rd.size:
                 self._process_deaths(rd, pick[is_death])
-            rc = active[~is_death]
             if rc.size:
                 self._process_completions(rc, pick[~is_death] - self.S)
             active = active[self.done_count[active] < self.J]
@@ -583,6 +591,7 @@ def simulate_cluster_vectorized(
     n_replications: int,
     rng: np.random.Generator,
     max_events: int = 1_000_000,
+    obs=None,
 ) -> dict[str, np.ndarray | int]:
     """Run ``n_replications`` lockstep cluster sweeps (see module docstring).
 
@@ -590,10 +599,14 @@ def simulate_cluster_vectorized(
     :func:`repro.sim.backend.run_cluster_replications`; this kernel
     assumes a validated ``config`` and job widths within the pool.
     Returns the raw per-replication arrays keyed by outcome name plus
-    the round count.
+    the round count.  ``obs`` is an optional
+    :class:`repro.obs.MetricsRegistry`; counting sites are draw-neutral
+    and gated so ``obs=None`` adds zero work.
     """
-    kernel = _ClusterKernel(dist, jobs, config, n_replications, rng, max_events)
+    kernel = _ClusterKernel(dist, jobs, config, n_replications, rng, max_events, obs=obs)
     n_rounds = kernel.run()
+    if obs is not None:
+        obs.gauge("rng.rows").set(kernel.table._filled)
     return {
         "makespan": kernel.makespan,
         "wasted_hours": kernel.wasted,

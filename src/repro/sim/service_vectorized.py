@@ -268,9 +268,11 @@ class _ServiceKernel(_LockstepKernel):
         n_replications: int,
         rng: np.random.Generator,
         max_events: int,
+        obs=None,
     ):
         self.dist = dist
         self.cfg = config
+        self.obs = obs
         self.n = int(n_replications)
         self.max_events = int(max_events)
         from repro.sim.backend import _RoundUniforms
@@ -545,11 +547,15 @@ class _ServiceKernel(_LockstepKernel):
         if not rr.size:
             return
         if self.policies is not None:
+            if self.obs is not None:
+                self._count_graced(rr, head, free)
             unsuit = free & ~suit
             kill = unsuit.any(axis=1)
             rk = rr[kill]
             if rk.size:
                 u = unsuit[kill]
+                if self.obs is not None:
+                    self.obs.inc("stall.terminations", int(u.sum()))
                 hours = np.where(
                     u, self.now[rk][:, None] - self.launch[rk], 0.0
                 )
@@ -588,10 +594,42 @@ class _ServiceKernel(_LockstepKernel):
         overrides this with its elastic-in-active-bags cap."""
         return np.full(rr.size, self.cfg.max_vms, dtype=np.int64)
 
+    def _stall_T(self, rr: np.ndarray, head: np.ndarray) -> np.ndarray:
+        """The runtime estimate the stalled head is judged against —
+        the bag-wide estimate here; the tenancy kernel's is per-bag."""
+        return np.maximum(self.est[rr], 1e-6)
+
+    def _count_graced(self, rr: np.ndarray, head: np.ndarray, free: np.ndarray) -> None:
+        """Boot-grace near-miss census at a stall action.
+
+        Counts free workers still inside their pool's boot-grace window
+        that the *pure* Eq. 8 criterion would have terminated — i.e.
+        spared only by the grace rule.  A pure read of equivalence-
+        pinned state at the stall choke point, so the event oracle's
+        controller mirror produces the exact same totals.
+        """
+        T = self._stall_T(rr, head)[:, None]
+        ages = np.maximum(self.now[rr][:, None] - self.launch[rr], 0.0)
+        vp = np.clip(self.vm_pool[rr], 0, None)
+        in_grace = ages <= self.latency[vp]
+        pure = np.zeros(free.shape, dtype=bool)
+        if self.nP == 1:
+            pure = self.policies[0].decide_pairs(T, ages)
+        else:
+            for p, pol in enumerate(self.policies):
+                m = self.vm_pool[rr] == p
+                if m.any():
+                    pure |= m & pol.decide_pairs(T, ages)
+        self.obs.inc("stall.graced", int((free & in_grace & ~pure).sum()))
+
     def _count_stall_strikes(self, rk: np.ndarray) -> None:
         """The controller's churn guardrail over the rows that just
         terminated rejected workers in a stall round."""
         self.stall_strikes[rk] += 1
+        if self.obs is not None:
+            self.obs.gauge("livelock.peak_streak").set(
+                int(self.stall_strikes[rk].max())
+            )
         if np.any(self.stall_strikes[rk] >= self.cfg.livelock_threshold):
             raise ProvisioningLivelockError(
                 f"{self.cfg.livelock_threshold} consecutive queue stalls "
@@ -783,15 +821,21 @@ class _ServiceKernel(_LockstepKernel):
             is_boot = (pick >= S + J) & (pick < S + J + B)
             is_reap = pick >= S + J + B
             rd = active[is_death]
+            rc = active[is_comp]
+            rb = active[is_boot]
+            rp = active[is_reap]
+            if self.obs is not None:
+                self.obs.inc("events.death", int(rd.size))
+                self.obs.inc("events.comp", int(rc.size))
+                self.obs.inc("events.boot", int(rb.size))
+                self.obs.inc("events.reap", int(rp.size))
+                self._sample_obs(active)
             if rd.size:
                 self._process_deaths(rd, pick[is_death])
-            rc = active[is_comp]
             if rc.size:
                 self._process_completions(rc, pick[is_comp] - S)
-            rb = active[is_boot]
             if rb.size:
                 self._process_boots(rb, pick[is_boot] - S - J)
-            rp = active[is_reap]
             if rp.size:
                 self._process_reaps(rp, pick[is_reap] - S - J - B)
             active = active[self.done_count[active] < self.J]
@@ -818,6 +862,7 @@ def simulate_service_vectorized(
     n_replications: int,
     rng: np.random.Generator,
     max_events: int = 1_000_000,
+    obs=None,
 ) -> dict[str, np.ndarray | int]:
     """Run ``n_replications`` lockstep service sweeps (see module docstring).
 
@@ -825,10 +870,14 @@ def simulate_service_vectorized(
     :func:`repro.sim.backend.run_service_replications`; this kernel
     assumes a validated ``config`` and job widths within ``max_vms``.
     Returns the raw per-replication arrays keyed by outcome name plus
-    the round count.
+    the round count.  ``obs`` is an optional
+    :class:`repro.obs.MetricsRegistry`; counting sites are draw-neutral
+    and gated so ``obs=None`` adds zero work.
     """
-    kernel = _ServiceKernel(dist, jobs, config, n_replications, rng, max_events)
+    kernel = _ServiceKernel(dist, jobs, config, n_replications, rng, max_events, obs=obs)
     n_rounds = kernel.run()
+    if obs is not None:
+        obs.gauge("rng.rows").set(kernel.table._filled)
     return {
         "makespan": kernel.makespan,
         "wasted_hours": kernel.wasted,

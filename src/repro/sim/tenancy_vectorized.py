@@ -349,12 +349,13 @@ class _TenancyKernel(_ServiceKernel):
         n_replications: int,
         rng: np.random.Generator,
         max_events: int,
+        obs=None,
     ):
         flat = _flatten_traffic(traffic)
         jobs = [GangJob(h, int(w)) for h, w in zip(flat["work"], flat["width"])]
         self.K = len(traffic)
         self.atime = flat["bag_time"]
-        super().__init__(dist, jobs, config, n_replications, rng, max_events)
+        super().__init__(dist, jobs, config, n_replications, rng, max_events, obs=obs)
         n, J = self.n, self.J
         # Per-job completion events live *outside* the fused table (the
         # compact ``run`` channel mirrors the at-most-S pending ones),
@@ -479,6 +480,10 @@ class _TenancyKernel(_ServiceKernel):
             "tenancy suitability is per-job (bag estimates differ); "
             "use _suitability_for"
         )
+
+    def _stall_T(self, rr: np.ndarray, head: np.ndarray) -> np.ndarray:
+        """Boot-grace census judges against the head's bag estimate."""
+        return np.maximum(self.est[rr, self.bag_of[head]], 1e-6)
 
     def _backfill_scan(self, rr: np.ndarray) -> None:
         raise NotImplementedError(
@@ -667,18 +672,25 @@ class _TenancyKernel(_ServiceKernel):
             is_reap = (pick >= S + S + B) & (pick < S + S + B + S)
             is_arr = pick >= S + S + B + S
             rd = active[is_death]
+            rc = active[is_comp]
+            rb = active[is_boot]
+            rp = active[is_reap]
+            ra = active[is_arr]
+            if self.obs is not None:
+                self.obs.inc("events.death", int(rd.size))
+                self.obs.inc("events.comp", int(rc.size))
+                self.obs.inc("events.boot", int(rb.size))
+                self.obs.inc("events.reap", int(rp.size))
+                self.obs.inc("events.arr", int(ra.size))
+                self._sample_obs(active)
             if rd.size:
                 self._process_deaths(rd, pick[is_death])
-            rc = active[is_comp]
             if rc.size:
                 self._process_completions(rc, self.rjob[rc, pick[is_comp] - S])
-            rb = active[is_boot]
             if rb.size:
                 self._process_boots(rb, pick[is_boot] - S - S)
-            rp = active[is_reap]
             if rp.size:
                 self._process_reaps(rp, pick[is_reap] - S - S - B)
-            ra = active[is_arr]
             if ra.size:
                 self._process_arrivals(ra)
             fin = (self.aptr[active] == self.K) & (
@@ -710,6 +722,7 @@ def simulate_tenancy_vectorized(
     n_replications: int,
     rng: np.random.Generator,
     max_events: int = 1_000_000,
+    obs=None,
 ) -> dict[str, np.ndarray | int]:
     """Run ``n_replications`` lockstep multi-tenant sweeps.
 
@@ -717,12 +730,16 @@ def simulate_tenancy_vectorized(
     :func:`repro.sim.backend.run_tenant_replications`; this kernel
     assumes normalised traffic and a validated config.  Returns the raw
     per-replication arrays keyed by outcome name plus the round count.
+    ``obs`` is an optional :class:`repro.obs.MetricsRegistry`; counting
+    sites are draw-neutral and gated so ``obs=None`` adds zero work.
     """
     traffic = normalize_traffic(traffic)
     kernel = _TenancyKernel(
-        dist, traffic, n_tenants, config, n_replications, rng, max_events
+        dist, traffic, n_tenants, config, n_replications, rng, max_events, obs=obs
     )
     n_rounds = kernel.run()
+    if obs is not None:
+        obs.gauge("rng.rows").set(kernel.table._filled)
     return {
         "makespan": kernel.makespan,
         "wasted_hours": kernel.wasted,

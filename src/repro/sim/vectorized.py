@@ -346,6 +346,32 @@ class _LockstepKernel:
     _sweep_name = "lockstep"
     _budget_what = "bag"
 
+    #: Per-run metrics registry, or ``None`` when instrumentation is
+    #: off.  Every counting site is gated on this being non-``None`` —
+    #: the zero-overhead-when-off contract — and no site consumes an
+    #: RNG draw or writes simulation state (draw neutrality, pinned by
+    #: the on/off byte-identity tests).
+    obs = None
+
+    def _sample_obs(self, active: np.ndarray) -> None:
+        """Round-start diagnostic sampling: queue depth, pool occupancy.
+
+        Sampling points are backend-local (the event oracle samples at
+        queue insertions and boots instead), so these gauges are
+        diagnostics, not part of the cross-backend exactness contract.
+        """
+        if self.obs is None or not active.size:
+            return
+        self.obs.gauge("queue.peak_depth").set(
+            int(np.isfinite(self.qkey[active]).sum(axis=1).max())
+        )
+        al = self.alive[active]
+        vp = self.vm_pool[active]
+        for p in range(self.nP):
+            self.obs.gauge(f"pool.occupancy.{p}").set(
+                int((al & (vp == p)).sum(axis=1).max())
+            )
+
     def _arena_channels(self) -> list[tuple[str, int]]:
         raise NotImplementedError
 

@@ -1,5 +1,7 @@
 """Tests for the experiments CLI (`python -m repro.experiments`)."""
 
+import json
+
 import pytest
 
 from repro.experiments.__main__ import main
@@ -15,11 +17,46 @@ class TestCLI:
         assert main([]) == 0
         assert "usage" in capsys.readouterr().out
 
+    def test_help_flag_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--help"])
+        assert exc.value.code == 0
+        assert "usage" in capsys.readouterr().out
+
     def test_single_experiment(self, capsys):
         assert main(["fig4"]) == 0
         out = capsys.readouterr().out
         assert "Fig. 4" in out and "crossover" in out
 
-    def test_unknown_experiment(self):
-        with pytest.raises(KeyError, match="known:"):
-            main(["fig99"])
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment 'fig99'" in err
+        assert "fig1" in err and "checkpoint-schedule" in err
+
+    def test_seed_passthrough(self, capsys):
+        assert main(["checkpoint-schedule"]) == 0
+        capsys.readouterr()
+        # checkpoint-schedule's run() takes no seed parameter.
+        with pytest.raises(SystemExit, match="does not accept --seed"):
+            main(["checkpoint-schedule", "--seed", "7"])
+
+    def test_seed_rejected_for_all(self, capsys):
+        assert main(["all", "--seed", "1"]) == 2
+        assert "--seed" in capsys.readouterr().err
+
+    def test_metrics_and_trace_out(self, tmp_path, capsys):
+        metrics = tmp_path / "m.json"
+        trace = tmp_path / "t.json"
+        assert main([
+            "fig4-mc",
+            "--seed", "0",
+            "--metrics-out", str(metrics),
+            "--trace-out", str(trace),
+        ]) == 0
+        doc = json.loads(metrics.read_text())
+        assert doc["generator"] == "repro.obs"
+        assert doc["experiment"] == "fig4-mc"
+        assert doc["counters"].get("events.restart", 0) > 0
+        tdoc = json.loads(trace.read_text())
+        assert isinstance(tdoc["traceEvents"], list)

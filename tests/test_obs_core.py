@@ -1,0 +1,240 @@
+"""Unit tier for :mod:`repro.obs`: registry, snapshot algebra, tracer.
+
+The load-bearing property is that :meth:`Snapshot.merge` is associative
+and commutative (up to the documented gauge ``last := max of lasts``
+convention), because shard and chunk snapshots arrive in completion
+order and the merged stats must not depend on it.
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro.obs import (
+    Instrumentation,
+    KernelStats,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NULL_TRACER,
+    Snapshot,
+    Tracer,
+    current_instrumentation,
+    instrumented,
+    write_metrics_json,
+)
+
+
+def make_snap(deaths, depth, n_sources=1):
+    reg = MetricsRegistry()
+    reg.inc("events.death", deaths)
+    reg.gauge("queue.peak_depth").set(depth)
+    reg.histogram("round.width").observe(float(deaths))
+    snap = reg.snapshot()
+    return Snapshot(
+        counters=snap.counters,
+        gauges=snap.gauges,
+        histograms=snap.histograms,
+        n_sources=n_sources,
+    )
+
+
+class TestRegistry:
+    def test_counter_gauge_histogram(self):
+        reg = MetricsRegistry()
+        reg.inc("c", 3)
+        reg.inc("c")
+        reg.gauge("g").set(5.0)
+        reg.gauge("g").set(2.0)
+        reg.histogram("h").observe(1.0)
+        reg.histogram("h").observe(3.0)
+        snap = reg.snapshot()
+        assert snap.counter("c") == 4
+        assert snap.gauges["g"] == {
+            "last": 2.0, "max": 5.0, "min": 2.0, "n_samples": 2,
+        }
+        assert snap.histograms["h"]["count"] == 2
+        assert snap.histograms["h"]["total"] == 4.0
+        assert reg.histogram("h").mean == 2.0
+
+    def test_metrics_are_created_on_first_use(self):
+        snap = MetricsRegistry().snapshot()
+        assert snap.counter("never", default=7) == 7
+        assert snap.gauge_max("never", default=1.5) == 1.5
+
+    def test_null_registry_stores_nothing(self):
+        NULL_REGISTRY.inc("c", 10)
+        NULL_REGISTRY.gauge("g").set(1.0)
+        NULL_REGISTRY.histogram("h").observe(1.0)
+        snap = NULL_REGISTRY.snapshot()
+        assert snap.counters == {} and snap.gauges == {}
+        assert snap.n_sources == 0
+        assert not NULL_REGISTRY.enabled and MetricsRegistry().enabled
+
+
+class TestSnapshotMerge:
+    def test_merge_sums_counters_and_sources(self):
+        merged = make_snap(3, 2.0).merge(make_snap(5, 7.0))
+        assert merged.counter("events.death") == 8
+        assert merged.gauge_max("queue.peak_depth") == 7.0
+        assert merged.n_sources == 2
+        assert merged.histograms["round.width"]["count"] == 2
+
+    def test_merge_is_commutative(self):
+        a, b = make_snap(3, 2.0), make_snap(5, 7.0)
+        assert a.merge(b) == b.merge(a)
+
+    def test_merge_is_associative(self):
+        a, b, c = make_snap(1, 9.0), make_snap(2, 4.0), make_snap(4, 6.0)
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        assert left == right
+        assert left.counter("events.death") == 7
+        assert left.n_sources == 3
+
+    def test_shard_count_accounting(self):
+        shards = [make_snap(i, float(i)) for i in range(1, 6)]
+        merged = shards[0]
+        for s in shards[1:]:
+            merged = merged.merge(s)
+        assert merged.n_sources == 5
+        assert merged.counter("events.death") == 15
+
+    def test_disjoint_metric_names_union(self):
+        reg_a, reg_b = MetricsRegistry(), MetricsRegistry()
+        reg_a.inc("only.a", 2)
+        reg_b.gauge("only.b").set(3.0)
+        merged = reg_a.snapshot().merge(reg_b.snapshot())
+        assert merged.counter("only.a") == 2
+        assert merged.gauge_max("only.b") == 3.0
+
+    def test_snapshot_is_picklable(self):
+        snap = make_snap(3, 2.0)
+        assert pickle.loads(pickle.dumps(snap)) == snap
+
+    def test_merge_snapshot_matches_snapshot_merge(self):
+        """Folding into a live registry is the same algebra as merge()."""
+        a, b = make_snap(3, 2.0), make_snap(5, 7.0)
+        reg = MetricsRegistry()
+        reg.merge_snapshot(a)
+        reg.merge_snapshot(b)
+        folded = reg.snapshot()
+        merged = a.merge(b)
+        assert folded.counters == merged.counters
+        assert folded.gauges == merged.gauges
+        assert folded.histograms == merged.histograms
+
+
+class TestTracer:
+    def test_spans_nest_and_serialize(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        tracer.instant("marker")
+        doc = tracer.to_chrome_trace()
+        names = [e["name"] for e in doc["traceEvents"]]
+        assert "outer" in names and "inner" in names and "marker" in names
+        path = tmp_path / "trace.json"
+        tracer.write(path)
+        assert json.loads(path.read_text()) == doc
+
+    def test_null_tracer_records_nothing(self):
+        with NULL_TRACER.span("x"):
+            NULL_TRACER.instant("y")
+        assert NULL_TRACER.to_chrome_trace()["traceEvents"] == []
+
+
+class TestAmbient:
+    def test_stack_discipline(self):
+        assert current_instrumentation() is None
+        inst = Instrumentation()
+        with instrumented(inst):
+            assert current_instrumentation() is inst
+            inner = Instrumentation()
+            with instrumented(inner):
+                assert current_instrumentation() is inner
+            assert current_instrumentation() is inst
+        assert current_instrumentation() is None
+
+
+def make_stats(**overrides):
+    base = dict(
+        kind="service",
+        backend="vectorized",
+        n_replications=10,
+        workers=1,
+        shards=((0, 10),),
+        chunk_sizes=(10,),
+        n_rounds=40,
+        rng_rows=42,
+        n_draws=100,
+        channel_events={"death": 5, "comp": 10},
+        stall_terminations=2,
+        boot_grace_activations=1,
+        livelock_peak_streak=3,
+        peak_queue_depth=2,
+        pool_occupancy=(4, 2),
+        phase_seconds={"simulate": 0.5},
+        peak_rss_bytes=1000,
+    )
+    base.update(overrides)
+    return KernelStats(**base)
+
+
+class TestKernelStats:
+    def test_merge_semantics(self):
+        a = make_stats()
+        b = make_stats(
+            n_replications=6,
+            shards=((10, 16),),
+            chunk_sizes=(6,),
+            n_rounds=55,
+            rng_rows=30,
+            n_draws=60,
+            channel_events={"death": 2, "boot": 7},
+            stall_terminations=1,
+            boot_grace_activations=4,
+            livelock_peak_streak=1,
+            peak_queue_depth=9,
+            pool_occupancy=(1, 5, 3),
+            phase_seconds={"simulate": 0.25, "merge": 0.1},
+            peak_rss_bytes=2000,
+        )
+        m = a.merge(b)
+        assert m.n_replications == 16
+        assert m.shards == ((0, 10), (10, 16))
+        assert m.chunk_sizes == (10, 6)
+        assert m.n_rounds == 55 and m.rng_rows == 42
+        assert m.n_draws == 160
+        assert m.channel_events == {"death": 7, "comp": 10, "boot": 7}
+        assert m.stall_terminations == 3
+        assert m.boot_grace_activations == 5
+        assert m.livelock_peak_streak == 3
+        assert m.peak_queue_depth == 9
+        assert m.pool_occupancy == (4, 5, 3)
+        assert m.phase_seconds == {"simulate": 0.75, "merge": 0.1}
+        assert m.peak_rss_bytes == 2000
+
+    def test_merge_rejects_mixed_kind_or_backend(self):
+        with pytest.raises(ValueError, match="cannot merge"):
+            make_stats().merge(make_stats(backend="event"))
+        with pytest.raises(ValueError, match="cannot merge"):
+            make_stats().merge(make_stats(kind="cluster"))
+
+    def test_as_dict_round_trips_json(self):
+        doc = json.loads(json.dumps(make_stats().as_dict()))
+        assert doc["channel_events"]["death"] == 5
+        assert doc["pool_occupancy"] == [4, 2]
+
+
+def test_write_metrics_json(tmp_path):
+    reg = MetricsRegistry()
+    reg.inc("events.death", 9)
+    path = tmp_path / "m.json"
+    write_metrics_json(path, reg, meta={"experiment": "unit"})
+    doc = json.loads(path.read_text())
+    assert doc["generator"] == "repro.obs"
+    assert doc["schema_version"] == 1
+    assert doc["experiment"] == "unit"
+    assert doc["counters"]["events.death"] == 9

@@ -1,0 +1,190 @@
+"""Observability neutrality tier: ``instrument=`` changes nothing.
+
+The zero-overhead-when-off contract has a stronger sibling that makes
+instrumentation trustworthy at all: turning it ON must not change a
+single outcome byte.  The counting sites only *read* simulation state —
+they never consume an RNG draw — so every per-replication array is
+byte-identical with and without ``instrument=True``, across all four
+kernels, both backends, and the sharded worker paths.
+
+The cross-backend class then pins the mirror contract: per-channel
+arena event counts and the policy counters (stall terminations,
+boot-grace activations) are counted at semantically identical choke
+points in the vectorized kernels and the event oracle, so the two
+backends' :class:`~repro.obs.KernelStats` agree exactly — an
+independent check of the kernels' pick classification that catches
+drift before it reaches the 1e-9 outcome tolerance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.distributions.exponential import ExponentialDistribution
+from repro.distributions.weibull import WeibullDistribution
+from repro.sim.backend import (
+    DrawCapture,
+    run_cluster_replications,
+    run_replications,
+    run_service_replications,
+    run_tenant_replications,
+)
+
+DIST = ExponentialDistribution(3.0)
+SEGMENTS = [0.8, 0.5, 0.7]
+JOBS = [(0.6, 1), (0.4, 2), (0.5, 1)]
+TRAFFIC = [
+    (0, 0.0, [(0.6, 1), (0.4, 2)]),
+    (1, 0.3, [(0.5, 1)]),
+    (2, 0.9, [(0.8, 2)]),
+]
+BACKENDS = ["event", "vectorized"]
+WORKERS = [1, 2, 3]
+
+
+def run_plan(backend, workers=1, instrument=False, capture=None):
+    return run_replications(
+        DIST, SEGMENTS, n_replications=13, seed=2, restart_latency=0.05,
+        backend=backend, workers=workers, instrument=instrument,
+        capture=capture,
+    )
+
+
+def run_cluster(backend, workers=1, instrument=False, capture=None):
+    return run_cluster_replications(
+        DIST, JOBS, n_replications=9, seed=2, pool_size=3,
+        backend=backend, workers=workers, instrument=instrument,
+        capture=capture,
+    )
+
+
+def run_service(backend, workers=1, instrument=False, capture=None):
+    return run_service_replications(
+        DIST, JOBS, n_replications=9, seed=2, max_vms=4,
+        backend=backend, workers=workers, instrument=instrument,
+        capture=capture,
+    )
+
+
+def run_tenancy(backend, workers=1, instrument=False, capture=None):
+    return run_tenant_replications(
+        DIST, TRAFFIC, n_replications=7, seed=2, max_vms=4,
+        backend=backend, workers=workers, instrument=instrument,
+        capture=capture,
+    )
+
+
+RUNNERS = {
+    "plan": run_plan,
+    "cluster": run_cluster,
+    "service": run_service,
+    "tenancy": run_tenancy,
+}
+
+
+def assert_outcomes_equal(base, instrumented_run):
+    """Byte-identity on every outcome field; stats itself is excluded."""
+    assert base.stats is None
+    assert instrumented_run.stats is not None
+    for name, value in vars(base).items():
+        if name == "stats":
+            continue
+        other = getattr(instrumented_run, name)
+        if isinstance(value, np.ndarray):
+            with np.errstate(invalid="ignore"):
+                np.testing.assert_array_equal(value, other, err_msg=name)
+        else:
+            assert value == other, name
+
+
+class TestOnOffByteIdentity:
+    """4 kernels x 2 backends: instrument on == off, byte for byte."""
+
+    @pytest.mark.parametrize("kind", sorted(RUNNERS))
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_serial(self, kind, backend):
+        base = RUNNERS[kind](backend)
+        on = RUNNERS[kind](backend, instrument=True)
+        assert_outcomes_equal(base, on)
+
+    @pytest.mark.sharded
+    @pytest.mark.parametrize("kind", sorted(RUNNERS))
+    @pytest.mark.parametrize("workers", WORKERS)
+    def test_sharded(self, kind, workers):
+        base = RUNNERS[kind]("vectorized")
+        on = RUNNERS[kind]("vectorized", workers=workers, instrument=True)
+        assert_outcomes_equal(base, on)
+        assert on.stats.workers == workers
+
+    def test_capture_rows_unchanged(self):
+        """Instrumentation never consumes a draw: the realized uniform
+        rows of an instrumented sweep equal the uninstrumented ones."""
+        for kind in ("plan", "cluster", "service"):
+            cap_off, cap_on = DrawCapture(), DrawCapture()
+            RUNNERS[kind]("vectorized", capture=cap_off)
+            RUNNERS[kind]("vectorized", capture=cap_on, instrument=True)
+            assert cap_off.n_rounds == cap_on.n_rounds, kind
+            for k, (a, b) in enumerate(zip(cap_off.rows, cap_on.rows)):
+                np.testing.assert_array_equal(a, b, err_msg=f"{kind}[{k}]")
+
+
+class TestCrossBackendStats:
+    """The two backends produce the same counted diagnostics."""
+
+    MIRRORED = (
+        "kind", "n_replications", "n_rounds", "n_draws",
+        "channel_events", "stall_terminations", "boot_grace_activations",
+    )
+
+    @pytest.mark.parametrize("kind", sorted(RUNNERS))
+    def test_stats_agree(self, kind):
+        event = RUNNERS[kind]("event", instrument=True).stats
+        vec = RUNNERS[kind]("vectorized", instrument=True).stats
+        for field in self.MIRRORED:
+            assert getattr(event, field) == getattr(vec, field), field
+
+    def test_channel_schema(self):
+        """Each kernel reports its full channel set."""
+        expected = {
+            "plan": {"restart"},
+            "cluster": {"death", "comp"},
+            "service": {"death", "comp", "boot", "reap"},
+            "tenancy": {"death", "comp", "boot", "reap", "arr"},
+        }
+        for kind, channels in expected.items():
+            stats = RUNNERS[kind]("vectorized", instrument=True).stats
+            assert set(stats.channel_events) == channels, kind
+
+    def test_boot_grace_mirror_fires(self):
+        """A decreasing-hazard law with a wide grace window exercises
+        the grace channel on both sides; the counts agree exactly."""
+        dist = WeibullDistribution(0.6, 4.0)
+        jobs = [(0.6, 1), (0.4, 2), (0.5, 1), (0.3, 1), (0.7, 2)]
+        stats = {}
+        for backend in BACKENDS:
+            out = run_service_replications(
+                dist, jobs, n_replications=12, seed=2, backend=backend,
+                max_vms=5, hot_spare_hours=0.2, provision_latency=0.5,
+                instrument=True,
+            )
+            stats[backend] = out.stats
+        ev, vec = stats["event"], stats["vectorized"]
+        assert ev.boot_grace_activations == vec.boot_grace_activations > 0
+        assert ev.channel_events == vec.channel_events
+        assert ev.stall_terminations == vec.stall_terminations > 0
+
+    def test_reap_mirror_fires(self):
+        """A short hot-spare hold makes spare reaping happen; the reap
+        channel (controller timer vs reap arena events) agrees."""
+        dist = WeibullDistribution(0.6, 4.0)
+        jobs = [(0.6, 1), (0.4, 2), (0.5, 1), (0.3, 1), (0.7, 2)]
+        stats = {}
+        for backend in BACKENDS:
+            out = run_service_replications(
+                dist, jobs, n_replications=12, seed=2, backend=backend,
+                max_vms=5, hot_spare_hours=0.2, provision_latency=0.05,
+                instrument=True,
+            )
+            stats[backend] = out.stats
+        ev, vec = stats["event"], stats["vectorized"]
+        assert ev.channel_events == vec.channel_events
+        assert ev.channel_events["reap"] > 0

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Lint: no stray ``print(`` calls in the ``src/repro/`` library code.
+
+Run from the repository root (CI runs it in the lint step)::
+
+    python tools/check_no_print.py
+
+Library code must report through return values, logging, or the
+:mod:`repro.obs` instrumentation plane — a ``print`` buried in a kernel
+or controller corrupts experiment reports (stdout is the report
+channel) and is unusable under ``ProcessPoolExecutor``. The one
+sanctioned exception is the CLI front end
+(``src/repro/experiments/__main__.py``), whose whole job is printing.
+
+The scan is AST-based, so ``print`` inside docstrings, comments, or
+string literals does not trip it — only actual call sites do.
+
+Exit status: 0 when clean, 1 when a stray print is found.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = ROOT / "src" / "repro"
+ALLOWED = {SRC / "experiments" / "__main__.py"}
+
+
+def stray_prints(path: pathlib.Path) -> list[int]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    return [
+        node.lineno
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "print"
+    ]
+
+
+def main() -> int:
+    bad = 0
+    for path in sorted(SRC.rglob("*.py")):
+        if path in ALLOWED:
+            continue
+        for lineno in stray_prints(path):
+            print(f"{path.relative_to(ROOT)}:{lineno}: stray print() call")
+            bad += 1
+    if bad:
+        print(f"\n{bad} stray print call(s) in src/repro/ "
+              "(see tools/check_no_print.py for the policy)")
+        return 1
+    print("no stray print calls in src/repro/")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

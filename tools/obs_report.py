@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Render a ``repro.obs`` metrics-JSON file as a terminal report.
+
+Usage::
+
+    python -m repro.experiments fig9-mc --metrics-out m.json
+    python tools/obs_report.py m.json
+
+The input is the document :func:`repro.obs.write_metrics_json` emits
+(schema_version 1): top-level metadata plus ``counters`` /
+``gauges`` / ``histograms`` sections from a merged
+:class:`repro.obs.Snapshot`.  The renderer is dependency-free and
+read-only — it never recomputes anything, it just formats.
+
+Exit status: 0 on success, 2 on a missing/invalid input file.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def _fmt_count(v: float) -> str:
+    if isinstance(v, float) and not v.is_integer():
+        return f"{v:,.3f}"
+    return f"{int(v):,}"
+
+
+def render(doc: dict) -> str:
+    """Format one metrics document; returns the report text."""
+    lines: list[str] = []
+    meta = {
+        k: v
+        for k, v in doc.items()
+        if k not in ("counters", "gauges", "histograms")
+    }
+    lines.append("repro.obs metrics report")
+    lines.append("=" * 56)
+    for k in sorted(meta):
+        lines.append(f"  {k:18s} {meta[k]}")
+
+    counters = doc.get("counters", {})
+    if counters:
+        lines.append("")
+        lines.append("counters")
+        lines.append("-" * 56)
+        width = max(len(n) for n in counters)
+        for name in sorted(counters):
+            lines.append(f"  {name:{width}s}  {_fmt_count(counters[name]):>14s}")
+
+    gauges = doc.get("gauges", {})
+    if gauges:
+        lines.append("")
+        lines.append("gauges (last / max / min over sources)")
+        lines.append("-" * 56)
+        width = max(len(n) for n in gauges)
+        for name in sorted(gauges):
+            g = gauges[name]
+            lines.append(
+                f"  {name:{width}s}  last {_fmt_count(g['last']):>12s}"
+                f"  max {_fmt_count(g['max']):>12s}"
+                f"  min {_fmt_count(g['min']):>12s}"
+            )
+
+    histograms = doc.get("histograms", {})
+    if histograms:
+        lines.append("")
+        lines.append("histograms")
+        lines.append("-" * 56)
+        for name in sorted(histograms):
+            h = histograms[name]
+            lines.append(
+                f"  {name}: n={_fmt_count(h['count'])}"
+                f" sum={h['sum']:.6g} min={h['min']:.6g} max={h['max']:.6g}"
+            )
+    return "\n".join(lines)
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 1 or argv[0] in ("-h", "--help"):
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        with open(argv[0]) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read metrics file {argv[0]!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    if not isinstance(doc, dict) or doc.get("generator") != "repro.obs":
+        print(f"error: {argv[0]!r} is not a repro.obs metrics file",
+              file=sys.stderr)
+        return 2
+    print(render(doc))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
